@@ -1,0 +1,63 @@
+// Command edlgen drafts an EDL interface file for plain C code by
+// inferring [in]/[out] marshalling attributes from how each function uses
+// its pointer parameters — the enclave-porting step the paper's authors
+// performed by hand when moving open-source ML code into SGX (§VI-C).
+//
+// Usage:
+//
+//	edlgen -c module.c [-fn name,name...]
+//
+// The draft is printed to stdout; review the attributes (an unused pointer
+// defaults to [in]) and feed the pair to cmd/privacyscope.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"privacyscope/internal/edl"
+	"privacyscope/internal/minic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("edlgen", flag.ContinueOnError)
+	cPath := fs.String("c", "", "C source file (required)")
+	fnList := fs.String("fn", "", "comma-separated functions to export (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-c is required")
+	}
+	src, err := os.ReadFile(*cPath)
+	if err != nil {
+		return err
+	}
+	file, err := minic.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	var names []string
+	if *fnList != "" {
+		for _, n := range strings.Split(*fnList, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+	draft, err := edl.GenerateEDL(file, names)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, draft)
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdlgenDraft(t *testing.T) {
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "m.c")
+	src := `
+int process(char *secrets, char *output) {
+    output[0] = secrets[0] + 1;
+    return 0;
+}
+`
+	if err := os.WriteFile(cPath, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-c", cPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	draft := out.String()
+	if !strings.Contains(draft, "public int process([in] char* secrets, [out] char* output);") {
+		t.Errorf("draft:\n%s", draft)
+	}
+
+	// -fn selection.
+	out.Reset()
+	if err := run([]string{"-c", cPath, "-fn", "process"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "process") {
+		t.Errorf("draft:\n%s", out.String())
+	}
+}
+
+func TestEdlgenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -c must error")
+	}
+	if err := run([]string{"-c", "nope.c"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.c")
+	_ = os.WriteFile(bad, []byte("int f("), 0o600)
+	if err := run([]string{"-c", bad}, &out); err == nil {
+		t.Error("parse error must surface")
+	}
+	good := filepath.Join(dir, "g.c")
+	_ = os.WriteFile(good, []byte("int f(void) { return 0; }"), 0o600)
+	if err := run([]string{"-c", good, "-fn", "missing"}, &out); err == nil {
+		t.Error("unknown -fn must error")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const demoC = `
+int add_bias(int *xs, int *output, int bias) {
+    output[0] = xs[0] + xs[1] + bias;
+    printf("bias was %d", bias);
+    return 0;
+}
+`
+
+const demoEDL = `
+enclave {
+    trusted {
+        public int add_bias([in] int *xs, [out] int *output, int bias);
+    };
+};
+`
+
+func writeFiles(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "e.c")
+	edlPath := filepath.Join(dir, "e.edl")
+	if err := os.WriteFile(cPath, []byte(demoC), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edlPath, []byte(demoEDL), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return cPath, edlPath
+}
+
+func TestRunECall(t *testing.T) {
+	cPath, edlPath := writeFiles(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-c", cPath, "-edl", edlPath, "-call", "add_bias",
+		"-arg", "in:10,20", "-arg", "out:1", "-arg", "scalar:5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"attestation quote verified",
+		"return = 0",
+		"[out] output = [35]",
+		"ocall output: bias was 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunEncrypted(t *testing.T) {
+	cPath, edlPath := writeFiles(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-encrypt",
+		"-arg", "in:3,4", "-arg", "out:1", "-arg", "scalar:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "[out] output = [7]") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cPath, edlPath := writeFiles(t)
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-c", cPath}, // missing flags
+		{"-c", "nope.c", "-edl", edlPath, "-call", "f"},   // bad C path
+		{"-c", cPath, "-edl", "nope.edl", "-call", "f"},   // bad EDL path
+		{"-c", cPath, "-edl", edlPath, "-call", "nosuch"}, // unknown ECALL
+		{"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-arg", "bogus"},
+		{"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-arg", "weird:1"},
+		{"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-arg", "out:x"},
+		{"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-arg", "scalar:x"},
+		{"-c", cPath, "-edl", edlPath, "-call", "add_bias", "-arg", "in:1,zz"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseCellsFloats(t *testing.T) {
+	cells, err := parseCells("1,2.5, 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 || cells[1].Float() != 2.5 || cells[0].Int() != 1 {
+		t.Errorf("cells = %v", cells)
+	}
+	empty, err := parseCells("")
+	if err != nil || empty != nil {
+		t.Errorf("empty = %v, %v", empty, err)
+	}
+}

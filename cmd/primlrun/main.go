@@ -1,0 +1,90 @@
+// Command primlrun interprets or analyzes PRIML programs (§V of the
+// paper).
+//
+// Usage:
+//
+//	primlrun analyze prog.priml          # PrivacyScope analysis + trace
+//	primlrun run prog.priml -secrets 1,2 # concrete execution
+//
+// Exit status: 0 secure/successful, 2 when the analysis found violations,
+// 1 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"privacyscope/internal/priml"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primlrun:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	if len(args) < 2 {
+		return 1, fmt.Errorf("usage: primlrun analyze|run <file.priml> [-secrets v1,v2,...]")
+	}
+	mode, path := args[0], args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return 1, err
+	}
+	prog, err := priml.Parse(string(src))
+	if err != nil {
+		return 1, err
+	}
+	switch mode {
+	case "analyze":
+		res, err := priml.NewAnalyzer(priml.DefaultOptions()).Analyze(prog)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprint(out, res.Trace.Render())
+		fmt.Fprintf(out, "\npaths explored: %d\n", res.Paths)
+		if res.Secure() {
+			fmt.Fprintln(out, "no nonreversibility violations detected")
+			return 0, nil
+		}
+		for _, f := range res.Findings {
+			fmt.Fprintln(out, "WARNING:", f.Message)
+		}
+		return 2, nil
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		secretsFlag := fs.String("secrets", "", "comma-separated secret input stream")
+		if err := fs.Parse(args[2:]); err != nil {
+			return 1, err
+		}
+		var secrets []int32
+		if *secretsFlag != "" {
+			for _, part := range strings.Split(*secretsFlag, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+				if err != nil {
+					return 1, fmt.Errorf("bad secret %q: %w", part, err)
+				}
+				secrets = append(secrets, int32(v))
+			}
+		}
+		res, err := priml.NewInterp().Run(prog, secrets)
+		if err != nil {
+			return 1, err
+		}
+		for i, v := range res.Declassified {
+			fmt.Fprintf(out, "declassify(site %d) = %d\n", res.DeclassifySites[i], v)
+		}
+		fmt.Fprintf(out, "final Δ: %v\n", res.Delta)
+		return 0, nil
+	default:
+		return 1, fmt.Errorf("unknown mode %q (want analyze or run)", mode)
+	}
+}

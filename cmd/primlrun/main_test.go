@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeProg(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.priml")
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeModeInsecure(t *testing.T) {
+	path := writeProg(t, `h := 2 * get_secret(secret);
+if h - 5 == 14 then declassify(0) else declassify(1)`)
+	var out bytes.Buffer
+	code, err := run([]string{"analyze", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	text := out.String()
+	if !strings.Contains(text, "WARNING:") || !strings.Contains(text, "implicit") {
+		t.Errorf("output:\n%s", text)
+	}
+	if !strings.Contains(text, "paths explored: 2") {
+		t.Errorf("output missing path count:\n%s", text)
+	}
+}
+
+func TestAnalyzeModeSecure(t *testing.T) {
+	path := writeProg(t, "l := get_secret(secret) + get_secret(secret); declassify(l)")
+	var out bytes.Buffer
+	code, err := run([]string{"analyze", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "no nonreversibility violations") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunMode(t *testing.T) {
+	path := writeProg(t, `h1 := 2 * get_secret(secret);
+declassify(h1 + 1)`)
+	var out bytes.Buffer
+	code, err := run([]string{"run", path, "-secrets", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d", code)
+	}
+	if !strings.Contains(out.String(), "declassify(site 1) = 41") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"analyze"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	if _, err := run([]string{"analyze", "nope.priml"}, &out); err == nil {
+		t.Error("unreadable file must error")
+	}
+	bad := writeProg(t, "x :=")
+	if _, err := run([]string{"analyze", bad}, &out); err == nil {
+		t.Error("parse error must surface")
+	}
+	good := writeProg(t, "skip")
+	if _, err := run([]string{"frobnicate", good}, &out); err == nil {
+		t.Error("unknown mode must error")
+	}
+	if _, err := run([]string{"run", good, "-secrets", "x"}, &out); err == nil {
+		t.Error("bad secret value must error")
+	}
+}

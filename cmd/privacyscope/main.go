@@ -1,0 +1,147 @@
+// Command privacyscope analyzes an SGX enclave module (C source + EDL
+// interface file, optionally an XML rule file) for nonreversibility
+// violations and prints the Box-1-style report.
+//
+// Usage:
+//
+//	privacyscope -c enclave.c -edl enclave.edl [-config rules.xml]
+//	             [-fn name] [-loop-bound n] [-no-witness] [-json]
+//
+// Exit status is 0 when the module is secure, 2 when violations were
+// found, and 1 on usage or analysis errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"privacyscope"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privacyscope:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+type jsonFinding struct {
+	Function string `json:"function"`
+	Kind     string `json:"kind"`
+	Sink     string `json:"sink"`
+	Where    string `json:"where"`
+	Secret   string `json:"secret"`
+	Message  string `json:"message"`
+	Verified bool   `json:"witnessVerified"`
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("privacyscope", flag.ContinueOnError)
+	var (
+		cPath      = fs.String("c", "", "enclave C source file (required)")
+		edlPath    = fs.String("edl", "", "EDL interface file (required)")
+		configPath = fs.String("config", "", "XML rule file (optional)")
+		fnName     = fs.String("fn", "", "analyze only this ECALL")
+		loopBound  = fs.Int("loop-bound", 0, "symbolic loop unrolling bound (0 = default)")
+		noWitness  = fs.Bool("no-witness", false, "skip concrete witness replay")
+		noImplicit = fs.Bool("no-implicit", false, "disable implicit-leak detection")
+		timing     = fs.Bool("timing", false, "enable the timing-channel extension (§VIII-A)")
+		prob       = fs.Bool("probabilistic", false, "enable the probabilistic-channel extension (§VIII-A)")
+		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
+		asJSON     = fs.Bool("json", false, "emit findings as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *cPath == "" || *edlPath == "" {
+		fs.Usage()
+		return 1, fmt.Errorf("-c and -edl are required")
+	}
+	cSrc, err := os.ReadFile(*cPath)
+	if err != nil {
+		return 1, err
+	}
+	edlSrc, err := os.ReadFile(*edlPath)
+	if err != nil {
+		return 1, err
+	}
+	var opts []privacyscope.Option
+	if *configPath != "" {
+		cfg, err := os.ReadFile(*configPath)
+		if err != nil {
+			return 1, err
+		}
+		opts = append(opts, privacyscope.WithConfigXML(cfg))
+	}
+	if *loopBound > 0 {
+		opts = append(opts, privacyscope.WithLoopBound(*loopBound))
+	}
+	if *noWitness {
+		opts = append(opts, privacyscope.WithoutWitnessReplay())
+	}
+	if *noImplicit {
+		opts = append(opts, privacyscope.WithoutImplicitCheck())
+	}
+	if *timing {
+		opts = append(opts, privacyscope.WithTimingCheck())
+	}
+	if *prob {
+		opts = append(opts, privacyscope.WithProbabilisticCheck())
+	}
+	if *conserv {
+		opts = append(opts, privacyscope.WithConservativeExterns())
+	}
+
+	rep, err := privacyscope.AnalyzeEnclave(string(cSrc), string(edlSrc), opts...)
+	if err != nil {
+		return 1, err
+	}
+	if *fnName != "" {
+		var filtered []*privacyscope.Report
+		for _, r := range rep.Reports {
+			if r.Function == *fnName {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			return 1, fmt.Errorf("no public ECALL named %s", *fnName)
+		}
+		rep.Reports = filtered
+	}
+
+	if *asJSON {
+		var all []jsonFinding
+		for _, r := range rep.Reports {
+			for _, f := range r.Findings {
+				jf := jsonFinding{
+					Function: r.Function,
+					Kind:     f.Kind.String(),
+					Sink:     f.Sink.String(),
+					Where:    f.Where,
+					Secret:   f.Secret,
+					Message:  f.Message,
+				}
+				if f.Witness != nil {
+					jf.Verified = f.Witness.Verified
+				}
+				all = append(all, jf)
+			}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return 1, err
+		}
+	} else {
+		fmt.Fprint(out, rep.Render())
+	}
+	if rep.Secure() {
+		return 0, nil
+	}
+	return 2, nil
+}

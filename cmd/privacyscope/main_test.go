@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testC = `
+int enclave_process_data(char *secrets, char *output)
+{
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0)
+        return 0;
+    else
+        return 1;
+}
+`
+
+const testEDL = `
+enclave {
+    trusted {
+        public int enclave_process_data([in] char *secrets, [out] char *output);
+    };
+};
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsViolations(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (violations)", code)
+	}
+	text := out.String()
+	for _, want := range []string{"explicit", "implicit", "recovery", "secrets[0]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	var verified bool
+	for _, f := range findings {
+		if f.Function != "enclave_process_data" {
+			t.Errorf("function = %q", f.Function)
+		}
+		if f.Verified {
+			verified = true
+		}
+	}
+	if !verified {
+		t.Error("no witness-verified finding in JSON")
+	}
+}
+
+func TestRunSecureExitsZero(t *testing.T) {
+	cPath := writeTemp(t, "e.c", `
+int f(int *secrets, int *output) {
+    output[0] = secrets[0] + secrets[1];
+    return 0;
+}`)
+	edlPath := writeTemp(t, "e.edl",
+		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "no nonreversibility violations") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunWithConfig(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	cfgPath := writeTemp(t, "rules.xml", `
+<privacyscope>
+  <function name="enclave_process_data">
+    <public param="secrets"/>
+  </function>
+</privacyscope>`)
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-config", cfgPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (secrets declassified by config)", code)
+	}
+}
+
+func TestRunFlagsAndErrors(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+
+	var out bytes.Buffer
+	if _, err := run([]string{"-c", cPath}, &out); err == nil {
+		t.Error("missing -edl must error")
+	}
+	if _, err := run([]string{"-c", "nope.c", "-edl", edlPath}, &out); err == nil {
+		t.Error("missing C file must error")
+	}
+	if _, err := run([]string{"-c", cPath, "-edl", "nope.edl"}, &out); err == nil {
+		t.Error("missing EDL file must error")
+	}
+	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-fn", "missing"}, &out); err == nil {
+		t.Error("unknown -fn must error")
+	}
+	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-config", "nope.xml"}, &out); err == nil {
+		t.Error("missing config must error")
+	}
+	// -no-implicit drops the implicit finding.
+	out.Reset()
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-no-implicit", "-json"}, &out)
+	if err != nil || code != 2 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Kind != "explicit" {
+		t.Errorf("findings = %+v", findings)
+	}
+	// -no-witness skips replay.
+	out.Reset()
+	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-no-witness", "-loop-bound", "4", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	findings = nil
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Verified {
+			t.Error("witness built despite -no-witness")
+		}
+	}
+	// -fn filter narrows to one function.
+	out.Reset()
+	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-fn", "enclave_process_data"}, &out)
+	if err != nil || code != 2 {
+		t.Errorf("code=%d err=%v", code, err)
+	}
+}
+
+func TestRunTimingFlag(t *testing.T) {
+	cPath := writeTemp(t, "e.c", `
+int f(int *secrets, int *output) {
+    int acc = 0;
+    if (secrets[0] > 0) {
+        for (int i = 0; i < 8; i++) { acc += i; }
+    }
+    output[0] = 0;
+    return 0;
+}`)
+	edlPath := writeTemp(t, "e.edl",
+		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-timing", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	var timing bool
+	for _, f := range findings {
+		if f.Kind == "timing-channel" {
+			timing = true
+		}
+	}
+	if !timing {
+		t.Errorf("no timing finding: %+v", findings)
+	}
+}
+
+func TestRunProbabilisticFlag(t *testing.T) {
+	cPath := writeTemp(t, "e.c", `
+int f(int *secrets, int *output) {
+    output[0] = secrets[0] + rand();
+    return 0;
+}`)
+	edlPath := writeTemp(t, "e.edl",
+		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
+	var out bytes.Buffer
+	// Without the flag: secure.
+	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	// With it: probabilistic finding.
+	out.Reset()
+	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-probabilistic", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Kind != "probabilistic-channel" {
+		t.Errorf("findings = %+v", findings)
+	}
+}

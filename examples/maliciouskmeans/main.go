@@ -1,0 +1,63 @@
+// maliciouskmeans reproduces the §VI-D-2 case study: a malicious enclave
+// writer embeds explicit and implicit exfiltration logic in a Kmeans
+// module; PrivacyScope detects both injections before the enclave is ever
+// deployed, and the demo then runs the trojaned enclave concretely to show
+// the leak is real.
+//
+//	go run ./examples/maliciouskmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privacyscope"
+	"privacyscope/internal/interp"
+	"privacyscope/internal/mlsuite"
+	"privacyscope/internal/sgx"
+)
+
+func main() {
+	fmt.Println("=== static detection (before deployment) ===")
+	report, err := privacyscope.AnalyzeEnclave(mlsuite.MaliciousKmeansC, mlsuite.MaliciousKmeansEDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range report.Findings() {
+		if f.Where == "centroids[4]" || f.Where == "centroids[5]" {
+			fmt.Printf("INJECTED LEAK DETECTED: %s\n", f.Message)
+			if f.Inversion != nil && f.Inversion.Exact {
+				fmt.Printf("  attacker recovery: %s\n", f.Inversion.Formula())
+			}
+		}
+	}
+
+	fmt.Println("\n=== concrete confirmation (running the trojan) ===")
+	platform := sgx.NewPlatform([]byte("demo"))
+	enclave, err := platform.LoadEnclave(mlsuite.MaliciousKmeansC, mlsuite.MaliciousKmeansEDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Private training points (4 points × 2 dims); the first coordinate
+	// is the victim's secret 7.25, and the last coordinate is the magic
+	// beacon value 13.
+	points := []float64{7.25, 1.0, 0.5, 0.9, 9.0, 9.5, 9.2, 13.0}
+	cells := make([]interp.Value, len(points))
+	for i, v := range points {
+		cells[i] = interp.FloatValue(v)
+	}
+	res, err := enclave.ECall("enclave_train_kmeans", []sgx.Arg{
+		sgx.BufArg(cells),
+		sgx.OutArg(6), // 4 legit centroid slots + 2 injected
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := res.Outs["centroids"]
+	observed := out[4].Float()
+	recovered := (observed - 3) / 4
+	fmt.Printf("host observes centroids[4] = %g → recovers secret %g (actual %g)\n",
+		observed, recovered, points[0])
+	fmt.Printf("host observes centroids[5] = %g → beacon says points[7]==13 is %v (actual %v)\n",
+		out[5].Float(), out[5].Float() == 1, points[7] == 13)
+}

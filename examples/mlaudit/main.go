@@ -1,0 +1,41 @@
+// mlaudit reproduces the paper's evaluation workflow (§VI-C): audit the
+// three open-source ML enclave modules — LinearRegression, Kmeans and
+// Recommender — and print a Table-V-style summary plus every violation.
+//
+//	go run ./examples/mlaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"privacyscope"
+	"privacyscope/internal/mlsuite"
+)
+
+func main() {
+	fmt.Println("PrivacyScope audit of the ML suite (paper §VI-C/D + extensions)")
+	fmt.Printf("%-18s %6s %10s %9s %7s\n", "module", "LoC", "time", "findings", "paths")
+	all := append(mlsuite.Modules(), mlsuite.ExtensionModules()...)
+	for _, m := range all {
+		start := time.Now()
+		report, err := privacyscope.AnalyzeEnclave(m.C, m.EDL)
+		if err != nil {
+			log.Fatalf("%s: %v", m.Name, err)
+		}
+		paths := 0
+		for _, r := range report.Reports {
+			paths += r.Paths
+		}
+		fmt.Printf("%-18s %6d %10s %9d %7d\n",
+			m.Name, mlsuite.CountLoC(m.C), time.Since(start).Round(time.Microsecond),
+			report.TotalFindings(), paths)
+		for _, f := range report.Findings() {
+			fmt.Printf("    %s\n", f.Message)
+		}
+	}
+	fmt.Println("\nNote: the Recommender's 6 violations reproduce the §VI-D-1 case")
+	fmt.Println("study; the Kmeans findings are the genuine singleton-cluster")
+	fmt.Println("nonreversibility violations discussed in DESIGN.md.")
+}

@@ -1,0 +1,3 @@
+module privacyscope
+
+go 1.22

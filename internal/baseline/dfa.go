@@ -1,0 +1,342 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/symexec"
+)
+
+// DFAViolation is one tainted sink found by the dataflow baseline.
+type DFAViolation struct {
+	Where   string
+	Sources []string
+}
+
+// DFAReport is the outcome of the dataflow taint baseline.
+type DFAReport struct {
+	Function   string
+	Violations []DFAViolation
+	// Iterations is the number of fixpoint rounds.
+	Iterations int
+}
+
+// Secure reports whether no tainted sink was found.
+func (r *DFAReport) Secure() bool { return len(r.Violations) == 0 }
+
+// DFATaint is a classical path-insensitive forward dataflow taint analysis
+// in the AndroidLeaks [23] mould: variable-granular taint sets propagated
+// through assignments to a fixpoint, with both branch sides joined and no
+// tracking of control-flow (implicit) dependences. It is orders of
+// magnitude cheaper than symbolic execution (§II-B) and finds explicit
+// flows only.
+type DFATaint struct {
+	// MaxRounds bounds fixpoint iteration; 0 means 64.
+	MaxRounds int
+}
+
+// NewDFATaint returns the baseline with defaults.
+func NewDFATaint() *DFATaint { return &DFATaint{} }
+
+type taintSet map[string]bool
+
+func (t taintSet) union(o taintSet) (taintSet, bool) {
+	changed := false
+	for k := range o {
+		if !t[k] {
+			t[k] = true
+			changed = true
+		}
+	}
+	return t, changed
+}
+
+func (t taintSet) names() []string {
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type dfaState struct {
+	file  *minic.File
+	vars  map[string]taintSet
+	outs  map[string]bool // out-param names
+	sinks map[string]taintSet
+	depth int
+}
+
+// Check runs the analysis on one entry point.
+func (d *DFATaint) Check(file *minic.File, fn string, params []symexec.ParamSpec) (*DFAReport, error) {
+	f, ok := file.Function(fn)
+	if !ok || f.Body == nil {
+		return nil, fmt.Errorf("dfa: no such function %s", fn)
+	}
+	st := &dfaState{
+		file:  file,
+		vars:  make(map[string]taintSet),
+		outs:  make(map[string]bool),
+		sinks: make(map[string]taintSet),
+	}
+	for _, p := range params {
+		switch p.Class {
+		case symexec.ParamSecret:
+			st.vars[p.Name] = taintSet{p.Name: true}
+		case symexec.ParamInOut:
+			st.vars[p.Name] = taintSet{p.Name: true}
+			st.outs[p.Name] = true
+		case symexec.ParamOut:
+			st.outs[p.Name] = true
+		}
+	}
+	rounds := d.MaxRounds
+	if rounds <= 0 {
+		rounds = 64
+	}
+	report := &DFAReport{Function: fn}
+	for i := 0; i < rounds; i++ {
+		report.Iterations = i + 1
+		if changed := st.stmt(f.Body); !changed {
+			break
+		}
+	}
+	keys := make([]string, 0, len(st.sinks))
+	for k := range st.sinks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if len(st.sinks[k]) == 0 {
+			continue
+		}
+		report.Violations = append(report.Violations, DFAViolation{
+			Where:   k,
+			Sources: st.sinks[k].names(),
+		})
+	}
+	return report, nil
+}
+
+// stmt propagates taint through a statement; returns whether any taint set
+// changed (for the fixpoint loop).
+func (st *dfaState) stmt(s minic.Stmt) bool {
+	switch v := s.(type) {
+	case nil:
+		return false
+	case *minic.Block:
+		changed := false
+		for _, sub := range v.Stmts {
+			changed = st.stmt(sub) || changed
+		}
+		return changed
+	case *minic.DeclStmt:
+		changed := false
+		for _, dcl := range v.Decls {
+			if dcl.Init != nil {
+				changed = st.assign(dcl.Name, st.expr(dcl.Init)) || changed
+			}
+		}
+		return changed
+	case *minic.ExprStmt:
+		return st.exprEffects(v.X)
+	case *minic.IfStmt:
+		// Path-insensitive: both branches apply; the condition's taint
+		// is NOT propagated into the branches — the well-known blind
+		// spot for implicit flows.
+		changed := st.stmt(v.Then)
+		if v.Else != nil {
+			changed = st.stmt(v.Else) || changed
+		}
+		_ = st.expr(v.Cond)
+		return changed
+	case *minic.WhileStmt:
+		_ = st.expr(v.Cond)
+		return st.stmt(v.Body)
+	case *minic.DoWhileStmt:
+		changed := st.stmt(v.Body)
+		_ = st.expr(v.Cond)
+		return changed
+	case *minic.SwitchStmt:
+		_ = st.expr(v.Tag)
+		changed := false
+		for _, cs := range v.Cases {
+			if cs.Value != nil {
+				_ = st.expr(cs.Value)
+			}
+			for _, s := range cs.Body {
+				changed = st.stmt(s) || changed
+			}
+		}
+		return changed
+	case *minic.ForStmt:
+		changed := st.stmt(v.Init)
+		if v.Cond != nil {
+			_ = st.expr(v.Cond)
+		}
+		changed = st.stmt(v.Body) || changed
+		if v.Post != nil {
+			changed = st.exprEffects(v.Post) || changed
+		}
+		return changed
+	case *minic.ReturnStmt:
+		if v.X != nil {
+			return st.sink("return", st.expr(v.X))
+		}
+		return false
+	case *minic.EmptyStmt, *minic.BreakStmt, *minic.ContinueStmt:
+		return false
+	}
+	return false
+}
+
+// exprEffects handles expressions in statement position (assignments,
+// calls).
+func (st *dfaState) exprEffects(e minic.Expr) bool {
+	switch v := e.(type) {
+	case *minic.AssignExpr:
+		rhs := st.expr(v.RHS)
+		if v.Op != 0 {
+			rhs, _ = rhs.union(st.expr(v.LHS))
+		}
+		base := baseVar(v.LHS)
+		changed := st.assign(base, rhs)
+		if st.outs[base] {
+			changed = st.sink(minic.ExprString(v.LHS), rhs) || changed
+		}
+		return changed
+	case *minic.CallExpr:
+		return st.call(v)
+	case *minic.IncDecExpr:
+		return false
+	default:
+		_ = st.expr(e)
+		return false
+	}
+}
+
+func (st *dfaState) assign(name string, t taintSet) bool {
+	if name == "" {
+		return false
+	}
+	cur, ok := st.vars[name]
+	if !ok {
+		cur = taintSet{}
+		st.vars[name] = cur
+	}
+	_, changed := cur.union(t)
+	return changed
+}
+
+func (st *dfaState) sink(where string, t taintSet) bool {
+	cur, ok := st.sinks[where]
+	if !ok {
+		cur = taintSet{}
+		st.sinks[where] = cur
+	}
+	_, changed := cur.union(t)
+	return changed
+}
+
+// expr computes the taint of an expression: the union over referenced
+// variables (variable-granular, index- and field-insensitive).
+func (st *dfaState) expr(e minic.Expr) taintSet {
+	out := taintSet{}
+	switch v := e.(type) {
+	case nil:
+	case *minic.IdentExpr:
+		out, _ = out.union(st.vars[v.Name])
+	case *minic.IntLitExpr, *minic.FloatLitExpr, *minic.StringLitExpr:
+	case *minic.BinExpr:
+		out, _ = out.union(st.expr(v.L))
+		out, _ = out.union(st.expr(v.R))
+	case *minic.UnExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.AssignExpr:
+		st.exprEffects(v)
+		out, _ = out.union(st.expr(v.RHS))
+	case *minic.IncDecExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.IndexExpr:
+		out, _ = out.union(st.expr(v.X))
+		out, _ = out.union(st.expr(v.Index))
+	case *minic.MemberExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.DerefExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.AddrExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.CastExpr:
+		out, _ = out.union(st.expr(v.X))
+	case *minic.CondExpr:
+		out, _ = out.union(st.expr(v.Then))
+		out, _ = out.union(st.expr(v.Else))
+		// Condition taint ignored: path-insensitive.
+	case *minic.SizeofExpr:
+	case *minic.CallExpr:
+		st.call(v)
+		for _, a := range v.Args {
+			out, _ = out.union(st.expr(a))
+		}
+	}
+	return out
+}
+
+// call models side effects of recognized calls: memcpy-style copies and
+// printf sinks. User functions are treated as taint-transparent (return =
+// union of args) without inlining, matching the cheap-analysis design.
+func (st *dfaState) call(v *minic.CallExpr) bool {
+	switch v.Fun {
+	case "memcpy", "sgx_rijndael128GCM_decrypt":
+		if len(v.Args) == 3 {
+			src := st.expr(v.Args[1])
+			dst := baseVar(v.Args[0])
+			changed := st.assign(dst, src)
+			if st.outs[dst] {
+				changed = st.sink(dst, src) || changed
+			}
+			return changed
+		}
+	case "printf", "ocall_print":
+		t := taintSet{}
+		for _, a := range v.Args {
+			t, _ = t.union(st.expr(a))
+		}
+		return st.sink(v.Fun, t)
+	}
+	return false
+}
+
+// baseVar finds the root variable name of an lvalue expression.
+func baseVar(e minic.Expr) string {
+	switch v := e.(type) {
+	case *minic.IdentExpr:
+		return v.Name
+	case *minic.IndexExpr:
+		return baseVar(v.X)
+	case *minic.MemberExpr:
+		return baseVar(v.X)
+	case *minic.DerefExpr:
+		return baseVar(v.X)
+	case *minic.AddrExpr:
+		return baseVar(v.X)
+	case *minic.CastExpr:
+		return baseVar(v.X)
+	}
+	return ""
+}
+
+// Summary renders the violations compactly for the detection matrix.
+func (r *DFAReport) Summary() string {
+	if r.Secure() {
+		return "secure"
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = v.Where + "←{" + strings.Join(v.Sources, ",") + "}"
+	}
+	return strings.Join(parts, "; ")
+}

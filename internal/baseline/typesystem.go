@@ -1,0 +1,303 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/symexec"
+)
+
+// This file implements the third comparison point of Table VI: a
+// Volpano–Smith-style security type system (the "Type System" category the
+// paper cites for Jif-like approaches). Every variable carries a fixed
+// security level (L or H); assignments raise the target to the join of the
+// right-hand side and the program-counter label, computed to a fixpoint;
+// any H value reaching a sink is a violation. The checker is flow- and
+// path-insensitive and tracks the pc label, so it catches implicit flows —
+// at the price of rejecting every masked aggregate and even dead code, the
+// conservatism that makes noninterference-style typing unusable for ML
+// enclaves (§I).
+
+// Level is a two-point security lattice.
+type Level int
+
+// Levels.
+const (
+	Low Level = iota
+	High
+)
+
+// String names the level.
+func (l Level) String() string {
+	if l == High {
+		return "H"
+	}
+	return "L"
+}
+
+func (l Level) join(o Level) Level {
+	if l == High || o == High {
+		return High
+	}
+	return Low
+}
+
+// TSViolation is one typing failure: a sink typed H.
+type TSViolation struct {
+	Where string
+	// ViaPC is true when the flow is implicit (the value itself types L
+	// but the program counter is H).
+	ViaPC bool
+}
+
+// TSReport is the outcome of the type-system baseline.
+type TSReport struct {
+	Function   string
+	Violations []TSViolation
+	// Levels is the final variable typing.
+	Levels map[string]Level
+}
+
+// Secure reports whether the program types securely.
+func (r *TSReport) Secure() bool { return len(r.Violations) == 0 }
+
+// TypeSystem is the security-typing baseline.
+type TypeSystem struct {
+	// MaxRounds bounds the fixpoint; 0 means 64.
+	MaxRounds int
+}
+
+// NewTypeSystem returns the baseline with defaults.
+func NewTypeSystem() *TypeSystem { return &TypeSystem{} }
+
+type tsState struct {
+	levels map[string]Level
+	outs   map[string]bool
+	sinks  map[string]bool // sink → saw High
+	pcHint map[minic.Stmt]Level
+}
+
+// Check types one entry point.
+func (ts *TypeSystem) Check(file *minic.File, fn string, params []symexec.ParamSpec) (*TSReport, error) {
+	f, ok := file.Function(fn)
+	if !ok || f.Body == nil {
+		return nil, fmt.Errorf("typesystem: no such function %s", fn)
+	}
+	st := &tsState{
+		levels: make(map[string]Level),
+		outs:   make(map[string]bool),
+		sinks:  make(map[string]bool),
+	}
+	for _, p := range params {
+		switch p.Class {
+		case symexec.ParamSecret, symexec.ParamInOut:
+			st.levels[p.Name] = High
+		}
+		if p.Class == symexec.ParamOut || p.Class == symexec.ParamInOut {
+			st.outs[p.Name] = true
+		}
+	}
+	rounds := ts.MaxRounds
+	if rounds <= 0 {
+		rounds = 64
+	}
+	viaPC := make(map[string]bool)
+	for i := 0; i < rounds; i++ {
+		if !st.stmt(f.Body, Low, viaPC) {
+			break
+		}
+	}
+	report := &TSReport{Function: fn, Levels: st.levels}
+	keys := make([]string, 0, len(st.sinks))
+	for k := range st.sinks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if st.sinks[k] {
+			report.Violations = append(report.Violations, TSViolation{Where: k, ViaPC: viaPC[k]})
+		}
+	}
+	return report, nil
+}
+
+// stmt types a statement under pc; returns whether any level rose.
+func (st *tsState) stmt(s minic.Stmt, pc Level, viaPC map[string]bool) bool {
+	switch v := s.(type) {
+	case nil:
+		return false
+	case *minic.Block:
+		changed := false
+		for _, sub := range v.Stmts {
+			changed = st.stmt(sub, pc, viaPC) || changed
+		}
+		return changed
+	case *minic.DeclStmt:
+		changed := false
+		for _, d := range v.Decls {
+			lvl := pc
+			if d.Init != nil {
+				lvl = lvl.join(st.expr(d.Init))
+			}
+			changed = st.raise(d.Name, lvl) || changed
+		}
+		return changed
+	case *minic.ExprStmt:
+		return st.exprEffects(v.X, pc, viaPC)
+	case *minic.IfStmt:
+		inner := pc.join(st.expr(v.Cond))
+		changed := st.stmt(v.Then, inner, viaPC)
+		if v.Else != nil {
+			changed = st.stmt(v.Else, inner, viaPC) || changed
+		}
+		return changed
+	case *minic.WhileStmt:
+		inner := pc.join(st.expr(v.Cond))
+		return st.stmt(v.Body, inner, viaPC)
+	case *minic.DoWhileStmt:
+		inner := pc.join(st.expr(v.Cond))
+		return st.stmt(v.Body, inner, viaPC)
+	case *minic.ForStmt:
+		changed := st.stmt(v.Init, pc, viaPC)
+		inner := pc
+		if v.Cond != nil {
+			inner = inner.join(st.expr(v.Cond))
+		}
+		if v.Post != nil {
+			changed = st.exprEffects(v.Post, inner, viaPC) || changed
+		}
+		return st.stmt(v.Body, inner, viaPC) || changed
+	case *minic.SwitchStmt:
+		inner := pc.join(st.expr(v.Tag))
+		changed := false
+		for _, cs := range v.Cases {
+			for _, sub := range cs.Body {
+				changed = st.stmt(sub, inner, viaPC) || changed
+			}
+		}
+		return changed
+	case *minic.ReturnStmt:
+		lvl := pc
+		var valueLvl Level
+		if v.X != nil {
+			valueLvl = st.expr(v.X)
+			lvl = lvl.join(valueLvl)
+		}
+		return st.sink("return", lvl, valueLvl == Low && lvl == High, viaPC)
+	default:
+		return false
+	}
+}
+
+func (st *tsState) exprEffects(e minic.Expr, pc Level, viaPC map[string]bool) bool {
+	switch v := e.(type) {
+	case *minic.AssignExpr:
+		rhs := st.expr(v.RHS)
+		if v.Op != 0 {
+			rhs = rhs.join(st.expr(v.LHS))
+		}
+		lvl := pc.join(rhs)
+		base := baseVar(v.LHS)
+		changed := st.raise(base, lvl)
+		if st.outs[base] {
+			changed = st.sink(minic.ExprString(v.LHS), lvl, rhs == Low && lvl == High, viaPC) || changed
+		}
+		return changed
+	case *minic.CallExpr:
+		switch v.Fun {
+		case "printf", "ocall_print":
+			lvl := pc
+			for _, a := range v.Args {
+				lvl = lvl.join(st.expr(a))
+			}
+			argsOnly := Low
+			for _, a := range v.Args {
+				argsOnly = argsOnly.join(st.expr(a))
+			}
+			return st.sink(v.Fun, lvl, argsOnly == Low && lvl == High, viaPC)
+		case "memcpy", "sgx_rijndael128GCM_decrypt":
+			if len(v.Args) == 3 {
+				lvl := pc.join(st.expr(v.Args[1]))
+				dst := baseVar(v.Args[0])
+				changed := st.raise(dst, lvl)
+				if st.outs[dst] {
+					changed = st.sink(dst, lvl, false, viaPC) || changed
+				}
+				return changed
+			}
+		}
+		return false
+	case *minic.IncDecExpr:
+		return st.raise(baseVar(v.X), pc.join(st.expr(v.X)))
+	default:
+		return false
+	}
+}
+
+func (st *tsState) raise(name string, lvl Level) bool {
+	if name == "" || lvl == Low {
+		return false
+	}
+	if st.levels[name] == High {
+		return false
+	}
+	st.levels[name] = High
+	return true
+}
+
+func (st *tsState) sink(where string, lvl Level, implicit bool, viaPC map[string]bool) bool {
+	if lvl != High {
+		return false
+	}
+	if implicit {
+		viaPC[where] = true
+	}
+	if st.sinks[where] {
+		return false
+	}
+	st.sinks[where] = true
+	return true
+}
+
+// expr types an expression: the join over referenced variables.
+func (st *tsState) expr(e minic.Expr) Level {
+	switch v := e.(type) {
+	case nil:
+		return Low
+	case *minic.IdentExpr:
+		return st.levels[v.Name]
+	case *minic.IntLitExpr, *minic.FloatLitExpr, *minic.StringLitExpr:
+		return Low
+	case *minic.BinExpr:
+		return st.expr(v.L).join(st.expr(v.R))
+	case *minic.UnExpr:
+		return st.expr(v.X)
+	case *minic.AssignExpr:
+		return st.expr(v.RHS)
+	case *minic.IncDecExpr:
+		return st.expr(v.X)
+	case *minic.IndexExpr:
+		return st.expr(v.X).join(st.expr(v.Index))
+	case *minic.MemberExpr:
+		return st.expr(v.X)
+	case *minic.DerefExpr:
+		return st.expr(v.X)
+	case *minic.AddrExpr:
+		return st.expr(v.X)
+	case *minic.CastExpr:
+		return st.expr(v.X)
+	case *minic.CondExpr:
+		return st.expr(v.Cond).join(st.expr(v.Then)).join(st.expr(v.Else))
+	case *minic.SizeofExpr:
+		return Low
+	case *minic.CallExpr:
+		lvl := Low
+		for _, a := range v.Args {
+			lvl = lvl.join(st.expr(a))
+		}
+		return lvl
+	default:
+		return Low
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"privacyscope/internal/core"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/mlsuite"
+	"privacyscope/internal/symexec"
+)
+
+// This file implements the §VIII-C scalability study. The paper notes that
+// "symbolic execution is known to have limitation on scalability" and that
+// enclave code "will become larger in the future"; this harness quantifies
+// the path explosion on synthetic enclaves with a growing number of
+// sequential secret-dependent branches (2^n paths) and growing straight-
+// line length (linear).
+
+// ScalabilityProgram generates an enclave entry point with `branches`
+// sequential secret-dependent branches and `straight` straight-line
+// statements. Each branch writes different constants, so the analysis must
+// keep the paths apart.
+func ScalabilityProgram(branches, straight int) string {
+	var sb strings.Builder
+	sb.WriteString("int f(int *secrets, int *output) {\n")
+	sb.WriteString("    int acc = 0;\n")
+	for i := 0; i < straight; i++ {
+		fmt.Fprintf(&sb, "    acc = acc + secrets[%d];\n", i%4)
+	}
+	for i := 0; i < branches; i++ {
+		fmt.Fprintf(&sb, "    if (secrets[%d] > %d) { acc = acc + %d; } else { acc = acc - %d; }\n",
+			i, i, i+1, i+1)
+	}
+	sb.WriteString("    output[0] = acc;\n")
+	sb.WriteString("    return 0;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ScalabilityRow is one measurement of the study.
+type ScalabilityRow struct {
+	Branches int
+	Straight int
+	Paths    int
+	States   int
+	Seconds  float64
+}
+
+// Scalability sweeps branch counts (path explosion) and straight-line
+// lengths (linear growth) and measures exploration size and time.
+func Scalability() ([]ScalabilityRow, error) {
+	var rows []ScalabilityRow
+	params := []symexec.ParamSpec{
+		{Name: "secrets", Class: symexec.ParamSecret},
+		{Name: "output", Class: symexec.ParamOut},
+	}
+	opts := core.DefaultOptions()
+	opts.ReplayWitness = false // measure pure exploration
+	opts.Engine.MaxPaths = 1 << 12
+
+	for _, branches := range []int{1, 2, 4, 6, 8, 10} {
+		src := ScalabilityProgram(branches, 4)
+		file, err := minic.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		report, err := core.New(opts).CheckFunction(file, "f", params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalabilityRow{
+			Branches: branches, Straight: 4,
+			Paths: report.Paths, States: report.States,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+	for _, straight := range []int{16, 64, 256} {
+		src := ScalabilityProgram(2, straight)
+		file, err := minic.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		report, err := core.New(opts).CheckFunction(file, "f", params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalabilityRow{
+			Branches: 2, Straight: straight,
+			Paths: report.Paths, States: report.States,
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderScalability formats the study.
+func RenderScalability(rows []ScalabilityRow) string {
+	var sb strings.Builder
+	sb.WriteString("Scalability (§VIII-C) — path explosion vs. program size\n")
+	sb.WriteString(fmt.Sprintf("%-9s %-9s %7s %8s %12s\n", "branches", "straight", "paths", "states", "time(s)"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-9d %-9d %7d %8d %12.6f\n",
+			r.Branches, r.Straight, r.Paths, r.States, r.Seconds))
+	}
+	sb.WriteString("paths double per secret branch (2^n); straight-line growth is linear —\n")
+	sb.WriteString("the scalability limitation the paper acknowledges for symbolic execution.\n")
+	return sb.String()
+}
+
+// DeepKmeansC is the Kmeans module with a second Lloyd iteration: the
+// second assignment round branches on the (symbolic) updated centroids, so
+// paths grow from 2^4 to ~2^8. A realistic instance of the §VIII-C
+// concern, used by TestDeepKmeansScales / BenchmarkDeepKmeans.
+func DeepKmeansC() string {
+	return strings.Replace(mlsuite.KmeansC, "#define ITERS 1", "#define ITERS 2", 1)
+}
+
+// DeepKmeans measures the two-iteration Kmeans analysis.
+func DeepKmeans() (ScalabilityRow, error) {
+	file, err := minic.Parse(DeepKmeansC())
+	if err != nil {
+		return ScalabilityRow{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.ReplayWitness = false
+	opts.Engine.MaxPaths = 1 << 12
+	start := time.Now()
+	report, err := core.New(opts).CheckFunction(file, "enclave_train_kmeans", []symexec.ParamSpec{
+		{Name: "points", Class: symexec.ParamSecret},
+		{Name: "centroids", Class: symexec.ParamOut},
+	})
+	if err != nil {
+		return ScalabilityRow{}, err
+	}
+	return ScalabilityRow{
+		Branches: 8, Straight: 0,
+		Paths: report.Paths, States: report.States,
+		Seconds: time.Since(start).Seconds(),
+	}, nil
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/symexec"
+	"privacyscope/internal/taint"
+)
+
+// Options configures the checker.
+type Options struct {
+	// Engine configures the underlying symbolic execution engine.
+	Engine symexec.Options
+	// ReplayWitness constructs and concretely replays a two-run witness
+	// for every explicit finding with an exact affine inversion.
+	ReplayWitness bool
+	// ImplicitCheck enables the hashmap-hm implicit detection (ablation
+	// switch; on in DefaultOptions).
+	ImplicitCheck bool
+	// KnownInputs lists secret display names the attacker is assumed to
+	// know (the §VIII-B prior-knowledge extension). A sink masked only
+	// by known inputs is reported as a prior-knowledge leak.
+	KnownInputs []string
+	// TimingCheck enables the §VIII-A extension: compare the abstract
+	// execution cost of paths that differ only in one secret's branch
+	// constraints. Off by default — timing is explicitly out of the
+	// paper's core scope.
+	TimingCheck bool
+	// ProbabilisticCheck enables the §VIII-A probabilistic channel: an
+	// observable single-secret value masked only by in-enclave entropy
+	// is reported (its distribution reveals the secret). Off by default
+	// — the paper's threat model covers deterministic leakage only, and
+	// entropy genuinely blocks deterministic recovery.
+	ProbabilisticCheck bool
+}
+
+// DefaultOptions returns the standard checker configuration.
+func DefaultOptions() Options {
+	return Options{
+		Engine:        symexec.DefaultOptions(),
+		ReplayWitness: true,
+		ImplicitCheck: true,
+	}
+}
+
+// Checker detects nonreversibility violations in MiniC enclave code.
+type Checker struct {
+	opts Options
+	sv   *solver.Solver
+}
+
+// New returns a checker.
+func New(opts Options) *Checker {
+	return &Checker{opts: opts, sv: solver.New()}
+}
+
+// CheckFunction analyzes one entry point of the file under the given
+// parameter classification and returns the leak report.
+func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.ParamSpec) (*Report, error) {
+	start := time.Now()
+	engine := symexec.New(file, c.opts.Engine)
+	res, err := engine.AnalyzeFunction(fn, params)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", fn, err)
+	}
+	report := &Report{
+		Function: fn,
+		Paths:    len(res.Paths),
+		States:   res.States,
+		Regions:  res.Regions,
+		Secrets:  len(res.SecretSymbols),
+		Warnings: res.Warnings,
+	}
+	run := &checkRun{checker: c, file: file, res: res, report: report, known: c.knownIDs(res)}
+	run.explicitChecks(file, params)
+	if c.opts.ImplicitCheck {
+		run.implicitChecks()
+	}
+	if c.opts.TimingCheck {
+		run.timingChecks()
+	}
+	sortFindings(report.Findings)
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// knownIDs resolves the KnownInputs display names to symbol IDs.
+func (c *Checker) knownIDs(res *symexec.Result) map[int]bool {
+	known := make(map[int]bool)
+	for _, name := range c.opts.KnownInputs {
+		if s, ok := res.SecretSymbols[name]; ok {
+			known[s.ID] = true
+		}
+	}
+	return known
+}
+
+type checkRun struct {
+	checker *Checker
+	file    *minic.File
+	res     *symexec.Result
+	report  *Report
+	known   map[int]bool
+	seen    map[string]bool
+}
+
+func (r *checkRun) dedupe(key string) bool {
+	if r.seen == nil {
+		r.seen = make(map[string]bool)
+	}
+	if r.seen[key] {
+		return true
+	}
+	r.seen[key] = true
+	return false
+}
+
+// effectiveTaint computes the taint of an observable value, optionally
+// discounting attacker-known inputs (§VIII-B). It returns the label and
+// whether prior knowledge was needed to reach a single tag.
+func (r *checkRun) effectiveTaint(e sym.Expr) (taint.Label, bool) {
+	full := sym.TaintOf(e)
+	if full.IsSingle() || full.IsBottom() || len(r.known) == 0 {
+		return full, false
+	}
+	var tags []taint.Tag
+	for _, s := range sym.FreeSymbols(e) {
+		if s.Secret() && !r.known[s.ID] {
+			tags = append(tags, s.Tag)
+		}
+	}
+	eff := taint.FromTags(tags)
+	return eff, eff.IsSingle()
+}
+
+// explicitChecks applies the out-parameter / return / OCALL taint policy.
+func (r *checkRun) explicitChecks(file *minic.File, params []symexec.ParamSpec) {
+	for _, p := range r.res.Paths {
+		for _, o := range p.Outs {
+			r.explicitOne(SinkOutParam, o.Display, minic.Pos{}, o.Value, p.PC, file, params)
+		}
+		if p.Return != nil {
+			r.explicitOne(SinkReturn, "return", p.ReturnPos, p.Return, p.PC, file, params)
+		}
+		for _, oc := range p.Ocalls {
+			where := fmt.Sprintf("%s@%s", oc.Func, oc.Pos)
+			for _, a := range oc.Args {
+				r.explicitOne(SinkOCall, where, oc.Pos, a, oc.PC, file, params)
+			}
+		}
+	}
+}
+
+func (r *checkRun) explicitOne(sink SinkKind, where string, pos minic.Pos, value sym.Expr, pc *solver.PathCondition, file *minic.File, params []symexec.ParamSpec) {
+	label, viaPrior := r.effectiveTaint(value)
+	tag, single := label.Tag()
+	if !single {
+		return
+	}
+	// In-enclave entropy blocks deterministic recovery: under the
+	// paper's threat model this is not an explicit violation, but the
+	// distribution over repeated calls still reveals the secret — the
+	// §VIII-A probabilistic channel, reported on request.
+	if sym.HasEntropy(value) {
+		if !r.checker.opts.ProbabilisticCheck {
+			return
+		}
+		secretSym := r.res.SecretSymbolByTag(int(tag))
+		secretName := "?"
+		if secretSym != nil {
+			secretName = secretSym.Name
+		}
+		if r.dedupe(fmt.Sprintf("P|%s|%s", where, secretName)) {
+			return
+		}
+		f := Finding{
+			Kind:   ProbabilisticLeak,
+			Sink:   sink,
+			Where:  where,
+			Pos:    pos,
+			Secret: secretName,
+			Tag:    tag,
+			Value:  value,
+			Path:   pc,
+		}
+		f.Message = fmt.Sprintf(
+			"probabilistic channel: %s %s depends on secret %s masked only by in-enclave entropy",
+			f.Sink, f.Where, secretName)
+		r.report.Findings = append(r.report.Findings, f)
+		return
+	}
+	secretSym := r.res.SecretSymbolByTag(int(tag))
+	secretName := "?"
+	if secretSym != nil {
+		secretName = secretSym.Name
+	}
+	if r.dedupe(fmt.Sprintf("E|%s|%s|%s", where, secretName, sym.Key(value))) {
+		return
+	}
+	f := Finding{
+		Kind:           ExplicitLeak,
+		Sink:           sink,
+		Where:          where,
+		Pos:            pos,
+		Secret:         secretName,
+		Tag:            tag,
+		Value:          value,
+		Path:           pc,
+		PriorKnowledge: viaPrior,
+	}
+	if secretSym != nil {
+		if inv, ok := sym.InvertFor(value, secretSym.ID); ok {
+			f.Inversion = inv
+		}
+	}
+	f.Message = fmt.Sprintf("explicit leak: %s %s reveals secret %s (value %s)",
+		f.Sink, f.Where, f.Secret, trim(value.String()))
+	if r.checker.opts.ReplayWitness && f.Inversion != nil && f.Inversion.Exact &&
+		(sink == SinkOutParam || sink == SinkReturn) {
+		f.Witness = r.checker.replay(file, r.res, params, &f)
+	}
+	r.report.Findings = append(r.report.Findings, f)
+}
+
+// implicitChecks applies Alg. 1 across paths, generalized to multi-branch
+// programs. For every sink location it groups completed paths by the value
+// they reveal there (the role of the hashmap hm), then compares path pairs
+// from different groups: when two paths' conditions differ ONLY in
+// constraints tainted by a single secret and the revealed values differ,
+// varying that one secret observably changes the output — the definition of
+// a nonreversibility violation through control flow (§IV). A value revealed
+// on one path but absent on the sibling (Alg. 1's end-of-exploration hm
+// check) leaks through output presence the same way.
+func (r *checkRun) implicitChecks() {
+	type observation struct {
+		pc    *solver.PathCondition
+		value sym.Expr // nil encodes ABSENT
+	}
+	type sinkInfo struct {
+		sink SinkKind
+		pos  minic.Pos
+		obs  []observation
+	}
+	sinks := make(map[string]*sinkInfo)
+	var order []string
+	observe := func(sink SinkKind, where string, pos minic.Pos, value sym.Expr, pc *solver.PathCondition) {
+		// Tainted values are the explicit checker's business.
+		if value != nil && !sym.TaintOf(value).IsBottom() {
+			return
+		}
+		info, ok := sinks[where]
+		if !ok {
+			info = &sinkInfo{sink: sink, pos: pos}
+			sinks[where] = info
+			order = append(order, where)
+		}
+		info.obs = append(info.obs, observation{pc: pc, value: value})
+	}
+
+	// First pass: register every sink any path touches, so absences are
+	// recorded regardless of path exploration order (a sink written only
+	// on the second-explored sibling must still compare against the
+	// first path's silence).
+	register := func(sink SinkKind, where string, pos minic.Pos) {
+		if _, ok := sinks[where]; !ok {
+			sinks[where] = &sinkInfo{sink: sink, pos: pos}
+			order = append(order, where)
+		}
+	}
+	for _, p := range r.res.Paths {
+		if p.Return != nil {
+			register(SinkReturn, "return", p.ReturnPos)
+		}
+		for _, o := range p.Outs {
+			register(SinkOutParam, o.Display, minic.Pos{})
+		}
+		for _, oc := range p.Ocalls {
+			register(SinkOCall, fmt.Sprintf("%s@%s", oc.Func, oc.Pos), oc.Pos)
+		}
+	}
+	// Second pass: record each path's observation (or absence) per sink.
+	for _, p := range r.res.Paths {
+		seenHere := make(map[string]bool)
+		if p.Return != nil {
+			observe(SinkReturn, "return", p.ReturnPos, p.Return, p.PC)
+			seenHere["return"] = true
+		}
+		for _, o := range p.Outs {
+			observe(SinkOutParam, o.Display, minic.Pos{}, o.Value, p.PC)
+			seenHere[o.Display] = true
+		}
+		for _, oc := range p.Ocalls {
+			where := fmt.Sprintf("%s@%s", oc.Func, oc.Pos)
+			for _, a := range oc.Args {
+				observe(SinkOCall, where, oc.Pos, a, oc.PC)
+				seenHere[where] = true
+			}
+		}
+		// Record absences so output-presence leaks are comparable. An
+		// unwritten [out] cell is observably zero (the buffer enters
+		// the enclave zeroed), so its absence compares as 0; a missing
+		// return value or OCALL is a genuine presence channel.
+		for _, where := range order {
+			if seenHere[where] {
+				continue
+			}
+			info := sinks[where]
+			if info.sink == SinkOutParam {
+				info.obs = append(info.obs, observation{pc: p.PC, value: sym.IntConst{V: 0}})
+			} else {
+				info.obs = append(info.obs, observation{pc: p.PC, value: nil})
+			}
+		}
+	}
+
+	const pairBudget = 100_000
+	comparisons := 0
+	for _, where := range order {
+		info := sinks[where]
+		for i := 0; i < len(info.obs); i++ {
+			for j := i + 1; j < len(info.obs); j++ {
+				if comparisons++; comparisons > pairBudget {
+					return
+				}
+				a, b := info.obs[i], info.obs[j]
+				if exprEqual(a.value, b.value) {
+					continue
+				}
+				tag, single := pcDiffTaint(a.pc, b.pc)
+				if !single {
+					continue
+				}
+				values := [2]sym.Expr{a.value, b.value}
+				pcA, pcB := a.pc, b.pc
+				if a.value == nil {
+					values = [2]sym.Expr{b.value, nil}
+					pcA, pcB = b.pc, a.pc
+				}
+				r.emitImplicit(tag, info.sink, where, info.pos, values, pcA, pcB)
+			}
+		}
+	}
+}
+
+func exprEqual(a, b sym.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return sym.Equal(a, b)
+}
+
+// pcDiffTaint computes the taint of the conjuncts on which two path
+// conditions disagree. A single tag means the two executions differ only in
+// how one secret steered control flow.
+func pcDiffTaint(a, b *solver.PathCondition) (taint.Tag, bool) {
+	inA := make(map[string]sym.Expr)
+	for _, c := range a.Conjuncts() {
+		inA[sym.Key(c)] = c
+	}
+	inB := make(map[string]sym.Expr)
+	for _, c := range b.Conjuncts() {
+		inB[sym.Key(c)] = c
+	}
+	var tags []taint.Tag
+	seen := make(map[taint.Tag]bool)
+	collect := func(c sym.Expr) {
+		for _, tg := range sym.SecretTags(c) {
+			if !seen[tg] {
+				seen[tg] = true
+				tags = append(tags, tg)
+			}
+		}
+	}
+	diff := false
+	for k, c := range inA {
+		if _, ok := inB[k]; !ok {
+			diff = true
+			collect(c)
+		}
+	}
+	for k, c := range inB {
+		if _, ok := inA[k]; !ok {
+			diff = true
+			collect(c)
+		}
+	}
+	if !diff {
+		return 0, false
+	}
+	return taint.FromTags(tags).Tag()
+}
+
+func (r *checkRun) emitImplicit(tag taint.Tag, sink SinkKind, where string, pos minic.Pos, values [2]sym.Expr, pc, pcSibling *solver.PathCondition) {
+	secretSym := r.res.SecretSymbolByTag(int(tag))
+	secretName := "?"
+	if secretSym != nil {
+		secretName = secretSym.Name
+	}
+	if r.dedupe(fmt.Sprintf("I|%s|%s", where, secretName)) {
+		return
+	}
+	f := Finding{
+		Kind:   ImplicitLeak,
+		Sink:   sink,
+		Where:  where,
+		Pos:    pos,
+		Secret: secretName,
+		Tag:    tag,
+		Values: values,
+		Path:   pc,
+	}
+	if r.checker.opts.ReplayWitness && pcSibling != nil &&
+		(sink == SinkReturn || sink == SinkOutParam) {
+		f.Witness = r.checker.replayImplicit(r.file, r.res, &f, pc, pcSibling)
+	}
+	if values[1] != nil {
+		f.Message = fmt.Sprintf("implicit leak: %s at %s reveals %s vs %s depending on secret %s",
+			f.Sink, f.Where, trim(values[0].String()), trim(values[1].String()), secretName)
+	} else {
+		f.Message = fmt.Sprintf("implicit leak: output at %s is produced only on paths branching on secret %s",
+			f.Where, secretName)
+	}
+	r.report.Findings = append(r.report.Findings, f)
+}
+
+// timingChecks implements the §VIII-A timing-channel extension: when two
+// completed paths differ only in constraints on a single secret but execute
+// a different number of statements, an attacker timing the enclave learns
+// that secret's branch outcome even if no data value leaks.
+func (r *checkRun) timingChecks() {
+	paths := r.res.Paths
+	const pairBudget = 100_000
+	comparisons := 0
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if comparisons++; comparisons > pairBudget {
+				return
+			}
+			a, b := paths[i], paths[j]
+			if a.Cost == b.Cost {
+				continue
+			}
+			tag, single := pcDiffTaint(a.PC, b.PC)
+			if !single {
+				continue
+			}
+			secretSym := r.res.SecretSymbolByTag(int(tag))
+			secretName := "?"
+			if secretSym != nil {
+				secretName = secretSym.Name
+			}
+			if r.dedupe(fmt.Sprintf("T|%s", secretName)) {
+				continue
+			}
+			f := Finding{
+				Kind:   TimingLeak,
+				Sink:   SinkReturn, // observed at call completion
+				Where:  "execution time",
+				Secret: secretName,
+				Tag:    tag,
+				Costs:  [2]int{a.Cost, b.Cost},
+				Path:   a.PC,
+			}
+			f.Message = fmt.Sprintf(
+				"timing channel: paths branching on secret %s execute %d vs %d statements",
+				secretName, a.Cost, b.Cost)
+			r.report.Findings = append(r.report.Findings, f)
+		}
+	}
+}

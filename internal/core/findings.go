@@ -1,0 +1,277 @@
+// Package core implements the PrivacyScope nonreversibility checker — the
+// paper's primary contribution. It drives the symbolic execution engine
+// over an enclave entry point and applies the declassify_check policy of
+// Alg. 1 to everything the untrusted host can observe: [out]-parameter
+// contents, return values, and OCALL arguments.
+//
+//   - An observable value tainted by exactly one secret source is an
+//     explicit nonreversibility violation: the attacker can reverse the
+//     computation and recover that secret (Example 1 / Table II).
+//   - When the path condition π is tainted by exactly one secret and two
+//     sibling paths reveal different values at the same sink, the branch
+//     outcome — and hence the secret — is observable: an implicit violation
+//     (Example 2 / Table III), detected through the hashmap hm.
+//
+// Each explicit finding carries, when the leaked value is affine in the
+// secret, a concrete inversion formula and a two-run witness that the
+// checker can replay on the concrete interpreter.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/taint"
+)
+
+// LeakKind distinguishes explicit and implicit violations.
+type LeakKind int
+
+// Leak kinds.
+const (
+	ExplicitLeak LeakKind = iota + 1
+	ImplicitLeak
+	// TimingLeak is the §VIII-A extension: the abstract execution time
+	// (statement count) of the path depends on a single secret. Reported
+	// only when Options.TimingCheck is enabled.
+	TimingLeak
+	// ProbabilisticLeak is the §VIII-A probabilistic channel: an
+	// observable value depends on a single secret masked only by
+	// in-enclave entropy, so its *distribution* reveals the secret even
+	// though no single run does. Reported only when
+	// Options.ProbabilisticCheck is enabled; under the paper's
+	// deterministic threat model such values are otherwise secure.
+	ProbabilisticLeak
+)
+
+// String names the kind.
+func (k LeakKind) String() string {
+	switch k {
+	case ExplicitLeak:
+		return "explicit"
+	case ImplicitLeak:
+		return "implicit"
+	case TimingLeak:
+		return "timing-channel"
+	case ProbabilisticLeak:
+		return "probabilistic-channel"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// SinkKind classifies where the observation happens.
+type SinkKind int
+
+// Sink kinds.
+const (
+	SinkOutParam SinkKind = iota + 1
+	SinkReturn
+	SinkOCall
+)
+
+// String names the sink kind.
+func (s SinkKind) String() string {
+	switch s {
+	case SinkOutParam:
+		return "[out] parameter"
+	case SinkReturn:
+		return "return value"
+	case SinkOCall:
+		return "OCALL argument"
+	}
+	return fmt.Sprintf("sink(%d)", int(s))
+}
+
+// Finding is one detected nonreversibility violation.
+type Finding struct {
+	Kind LeakKind
+	Sink SinkKind
+	// Where names the sink in source notation: "output[0]", "return",
+	// "printf@3:5".
+	Where string
+	Pos   minic.Pos
+	// Secret is the leaked secret's display name (e.g. "secrets[0]").
+	Secret string
+	// Tag is the secret's taint tag.
+	Tag taint.Tag
+	// Value is the revealed symbolic value (explicit leaks).
+	Value sym.Expr
+	// Values holds the differing revealed values of two sibling paths
+	// (implicit leaks); Values[1] is nil for presence-only leaks.
+	Values [2]sym.Expr
+	// Costs holds the differing abstract path costs (timing leaks).
+	Costs [2]int
+	// Path is a path condition under which the leak manifests.
+	Path *solver.PathCondition
+	// Inversion is the affine recovery formula, when one exists.
+	Inversion *sym.Inversion
+	// PriorKnowledge is true when the leak only exists given the
+	// attacker's assumed knowledge of other inputs (§VIII-B).
+	PriorKnowledge bool
+	// Witness is the replayed two-run confirmation, when constructed.
+	Witness *Witness
+	// Message is the human-readable description.
+	Message string
+}
+
+// Witness is a concrete two-run demonstration of an explicit leak: the two
+// input assignments differ only in the leaked secret, the observed sink
+// values differ, and applying the inversion to each observation recovers
+// the corresponding secret value.
+type Witness struct {
+	// InputsA and InputsB assign concrete values by secret display name.
+	InputsA, InputsB map[string]int32
+	// ObservedA and ObservedB are the sink values of the two runs.
+	ObservedA, ObservedB float64
+	// RecoveredA and RecoveredB are the inversion outputs.
+	RecoveredA, RecoveredB float64
+	// Verified is true when the replay confirmed the leak end-to-end.
+	Verified bool
+	// Note explains a skipped or failed replay.
+	Note string
+}
+
+// Report is the outcome of checking one enclave entry point.
+type Report struct {
+	Function string
+	Findings []Finding
+	// Paths, States and Regions are exploration metrics.
+	Paths   int
+	States  int
+	Regions int
+	// Secrets is the number of distinct secret sources observed.
+	Secrets int
+	// Duration is the wall-clock analysis time (Table V's metric).
+	Duration time.Duration
+	Warnings []string
+}
+
+// Secure reports whether no violation was found.
+func (r *Report) Secure() bool { return len(r.Findings) == 0 }
+
+// Explicit returns the explicit findings.
+func (r *Report) Explicit() []Finding { return r.filter(ExplicitLeak) }
+
+// Implicit returns the implicit findings.
+func (r *Report) Implicit() []Finding { return r.filter(ImplicitLeak) }
+
+func (r *Report) filter(k LeakKind) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Render pretty-prints the report in the style of the paper's Box 1.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== PrivacyScope report: %s ===\n", r.Function)
+	fmt.Fprintf(&sb, "paths explored: %d, states: %d, regions: %d, secrets: %d, time: %s\n",
+		r.Paths, r.States, r.Regions, r.Secrets, r.Duration.Round(time.Microsecond))
+	if r.Secure() {
+		sb.WriteString("no nonreversibility violations detected\n")
+	}
+	for i, f := range r.Findings {
+		fmt.Fprintf(&sb, "\nWARNING %d: %s information leakage via %s\n", i+1, f.Kind, f.Sink)
+		fmt.Fprintf(&sb, "  sink:   %s (line %d)\n", f.Where, f.Pos.Line)
+		fmt.Fprintf(&sb, "  secret: %s\n", f.Secret)
+		switch f.Kind {
+		case ExplicitLeak:
+			fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
+			if f.Inversion != nil && f.Inversion.Exact {
+				fmt.Fprintf(&sb, "  recovery: %s\n", f.Inversion.Formula())
+			}
+		case ImplicitLeak:
+			if f.Values[1] != nil {
+				fmt.Fprintf(&sb, "  branches on %s reveal %s vs %s\n",
+					f.Secret, trim(f.Values[0].String()), trim(f.Values[1].String()))
+			} else {
+				fmt.Fprintf(&sb, "  output at %s happens only on paths where π depends on %s\n",
+					f.Where, f.Secret)
+			}
+			if f.Path != nil {
+				fmt.Fprintf(&sb, "  path condition: %s\n", f.Path)
+			}
+		case TimingLeak:
+			fmt.Fprintf(&sb, "  paths branching on %s execute %d vs %d statements\n",
+				f.Secret, f.Costs[0], f.Costs[1])
+			if f.Path != nil {
+				fmt.Fprintf(&sb, "  path condition: %s\n", f.Path)
+			}
+		case ProbabilisticLeak:
+			fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
+			sb.WriteString("  the masking randomness is generated in-enclave: the output\n")
+			sb.WriteString("  distribution over repeated calls reveals the secret\n")
+		}
+		if f.PriorKnowledge {
+			sb.WriteString("  note: leak assumes attacker prior knowledge of other inputs (§VIII-B)\n")
+		}
+		if f.Witness != nil && f.Witness.Verified {
+			if f.Kind == ExplicitLeak {
+				fmt.Fprintf(&sb, "  witness: inputs %v vs %v → observed %g vs %g, recovered %g vs %g\n",
+					f.Witness.InputsA, f.Witness.InputsB,
+					f.Witness.ObservedA, f.Witness.ObservedB,
+					f.Witness.RecoveredA, f.Witness.RecoveredB)
+			} else {
+				fmt.Fprintf(&sb, "  witness: inputs %v vs %v → observed %g vs %g\n",
+					f.Witness.InputsA, f.Witness.InputsB,
+					f.Witness.ObservedA, f.Witness.ObservedB)
+			}
+		}
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&sb, "\nnote: %s\n", w)
+	}
+	return sb.String()
+}
+
+// maxRenderedValue bounds how much of a symbolic value the report prints;
+// aggregate expressions (k-means centroids, regression slopes) can be
+// arbitrarily large.
+const maxRenderedValue = 160
+
+func trim(s string) string {
+	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		depth := 0
+		balanced := true
+		for i := 0; i < len(s)-1; i++ {
+			switch s[i] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			if depth == 0 {
+				balanced = false
+				break
+			}
+		}
+		if balanced {
+			s = s[1 : len(s)-1]
+		}
+	}
+	if len(s) > maxRenderedValue {
+		return s[:maxRenderedValue] + " …(truncated)"
+	}
+	return s
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Where != fs[j].Where {
+			return fs[i].Where < fs[j].Where
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		return fs[i].Secret < fs[j].Secret
+	})
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"privacyscope/internal/interp"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/symexec"
+)
+
+// replay builds and verifies a two-run witness for an explicit out-param
+// finding with an exact affine inversion. It prefers a fully concrete
+// replay on the MiniC interpreter (run the enclave function twice with
+// inputs differing only in the leaked secret, observe the [out] buffer,
+// apply the inversion); when the sink or inputs cannot be concretized it
+// falls back to evaluating the symbolic sink value.
+func (c *Checker) replay(file *minic.File, res *symexec.Result, params []symexec.ParamSpec, f *Finding) *Witness {
+	w := &Witness{}
+	secretSym := res.SecretSymbolByTag(int(f.Tag))
+	if secretSym == nil || f.Inversion == nil || !f.Inversion.Exact {
+		w.Note = "no exact inversion; replay skipped"
+		return w
+	}
+	// A model of the path condition fixes every constrained input.
+	model, ok := c.sv.Model(f.Path, res.Builder.Symbols())
+	if !ok {
+		w.Note = "path condition has no model; replay skipped"
+		return w
+	}
+	bindA := make(sym.Binding, len(model))
+	for k, v := range model {
+		bindA[k] = v
+	}
+	if _, bound := bindA[secretSym.ID]; !bound {
+		bindA[secretSym.ID] = sym.IntVal(1)
+	}
+	// Small magnitudes keep char-typed buffers clear of 8-bit wraparound,
+	// which the symbolic value domain does not model.
+	bindB := make(sym.Binding, len(bindA))
+	for k, v := range bindA {
+		bindB[k] = v
+	}
+	bindB[secretSym.ID] = sym.IntVal(bindA[secretSym.ID].AsInt() + 5)
+	// The flipped secret must not break the path condition.
+	for _, conj := range f.Path.Conjuncts() {
+		v, err := sym.Eval(conj, bindB)
+		if err != nil || v.IsZero() {
+			w.Note = "path condition pins the leaked secret; replay skipped"
+			return w
+		}
+	}
+	w.InputsA = bindingByName(res, bindA)
+	w.InputsB = bindingByName(res, bindB)
+
+	if c.concreteReplay(file, res, params, f, secretSym, bindA, bindB, w) {
+		return w
+	}
+	// Symbolic fallback: evaluate the recorded sink expression.
+	obsA, errA := sym.Eval(f.Value, bindA)
+	obsB, errB := sym.Eval(f.Value, bindB)
+	if errA != nil || errB != nil {
+		w.Note = "sink value not evaluable; replay skipped"
+		return w
+	}
+	c.finishWitness(f, secretSym, bindA, bindB, obsA.AsFloat(), obsB.AsFloat(), w, "symbolic")
+	return w
+}
+
+func (c *Checker) finishWitness(f *Finding, secretSym *sym.Symbol, bindA, bindB sym.Binding, obsA, obsB float64, w *Witness, mode string) {
+	w.ObservedA, w.ObservedB = obsA, obsB
+	w.RecoveredA = (obsA - f.Inversion.Offset) / f.Inversion.Scale
+	w.RecoveredB = (obsB - f.Inversion.Offset) / f.Inversion.Scale
+	wantA := bindA[secretSym.ID].AsFloat()
+	wantB := bindB[secretSym.ID].AsFloat()
+	w.Verified = obsA != obsB &&
+		approxEq(w.RecoveredA, wantA) && approxEq(w.RecoveredB, wantB)
+	if !w.Verified {
+		w.Note = mode + " replay did not confirm the inversion"
+	} else {
+		w.Note = mode + " replay"
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}
+
+func bindingByName(res *symexec.Result, b sym.Binding) map[string]int32 {
+	out := make(map[string]int32)
+	for name, s := range res.SecretSymbols {
+		if v, ok := b[s.ID]; ok {
+			out[name] = v.AsInt()
+		}
+	}
+	return out
+}
+
+// concreteReplay drives the enclave function on the concrete interpreter.
+// Returns false (leaving w untouched beyond inputs) when concretization is
+// impossible; the symbolic fallback then applies.
+func (c *Checker) concreteReplay(file *minic.File, res *symexec.Result, params []symexec.ParamSpec, f *Finding, secretSym *sym.Symbol, bindA, bindB sym.Binding, w *Witness) bool {
+	fn, ok := file.Function(res.Function)
+	if !ok || fn.Body == nil {
+		return false
+	}
+	isReturnSink := f.Sink == SinkReturn
+	var outParam string
+	var outIdx int
+	if !isReturnSink {
+		outParam, outIdx, ok = splitDisplay(f.Where)
+		if !ok {
+			return false
+		}
+	}
+	sizes := bufferSizes(res)
+	runOnce := func(bind sym.Binding) (float64, bool) {
+		machine, err := interp.NewMachine(file)
+		if err != nil {
+			return 0, false
+		}
+		var outBuf *interp.Object
+		args := make([]interp.Value, 0, len(fn.Params))
+		for _, p := range fn.Params {
+			ptr, isPtr := p.Type.(minic.Pointer)
+			if !isPtr {
+				// Scalar: bind from the model by name.
+				v, ok := symValueByName(res, bind, p.Name)
+				if !ok {
+					v = sym.IntVal(0)
+				}
+				if minic.IsFloatType(p.Type) {
+					args = append(args, interp.FloatValue(v.AsFloat()))
+				} else {
+					args = append(args, interp.IntValue(int64(v.AsInt())))
+				}
+				continue
+			}
+			kind := cellKindOf(ptr.Elem)
+			if kind == 0 {
+				return 0, false // struct pointers: not concretized
+			}
+			n := sizes[p.Name]
+			if outParam == p.Name && outIdx+1 > n {
+				n = outIdx + 1
+			}
+			if n == 0 {
+				n = 1
+			}
+			buf := interp.NewBuffer(p.Name, kind, n)
+			// Fill secret elements from the binding.
+			for name, s := range res.SecretSymbols {
+				pn, idx, ok := splitDisplay(name)
+				if !ok || pn != p.Name {
+					continue
+				}
+				v, bound := bind[s.ID]
+				if !bound {
+					continue
+				}
+				if kind == interp.CellFloat {
+					_ = buf.Store(idx, interp.FloatValue(v.AsFloat()))
+				} else {
+					_ = buf.Store(idx, interp.IntValue(int64(v.AsInt())))
+				}
+			}
+			if p.Name == outParam {
+				outBuf = buf
+			}
+			args = append(args, interp.PtrValue(interp.Pointer{Obj: buf}))
+		}
+		if outBuf == nil && !isReturnSink {
+			return 0, false
+		}
+		ret, err := machine.Call(res.Function, args)
+		if err != nil {
+			return 0, false
+		}
+		if isReturnSink {
+			// The concrete run may follow a different path than
+			// f.Path when the leaking return is path-dependent; the
+			// model pins the path, so the observation is valid.
+			return ret.Float(), true
+		}
+		cell, err := outBuf.Load(outIdx)
+		if err != nil {
+			return 0, false
+		}
+		return cell.Float(), true
+	}
+
+	obsA, okA := runOnce(bindA)
+	obsB, okB := runOnce(bindB)
+	if !okA || !okB {
+		return false
+	}
+	c.finishWitness(f, secretSym, bindA, bindB, obsA, obsB, w, "concrete")
+	return true
+}
+
+// splitDisplay parses "param[3]" into ("param", 3).
+func splitDisplay(display string) (string, int, bool) {
+	open := strings.IndexByte(display, '[')
+	if open <= 0 || !strings.HasSuffix(display, "]") {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(display[open+1 : len(display)-1])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return display[:open], idx, true
+}
+
+// bufferSizes infers, per pointer parameter, how many elements the analysis
+// touched (max display index + 1).
+func bufferSizes(res *symexec.Result) map[string]int {
+	sizes := make(map[string]int)
+	grow := func(display string) {
+		if p, idx, ok := splitDisplay(display); ok {
+			if idx+1 > sizes[p] {
+				sizes[p] = idx + 1
+			}
+		}
+	}
+	for name := range res.SecretSymbols {
+		grow(name)
+	}
+	for _, path := range res.Paths {
+		for _, o := range path.Outs {
+			grow(o.Display)
+		}
+	}
+	return sizes
+}
+
+func symValueByName(res *symexec.Result, bind sym.Binding, name string) (sym.Value, bool) {
+	for _, s := range res.Builder.Symbols() {
+		if s.Name == name {
+			v, ok := bind[s.ID]
+			return v, ok
+		}
+	}
+	return sym.Value{}, false
+}
+
+func cellKindOf(t minic.Type) interp.CellKind {
+	b, ok := t.(minic.Basic)
+	if !ok {
+		return 0
+	}
+	switch b.Kind {
+	case minic.Char:
+		return interp.CellChar
+	case minic.Int:
+		return interp.CellInt
+	case minic.Float, minic.Double:
+		return interp.CellFloat
+	}
+	return 0
+}
+
+// replayImplicit builds a two-run witness for an implicit finding: one run
+// per sibling path, with every input shared except the deciding secret.
+// The observed sink values (or output presence) must differ.
+func (c *Checker) replayImplicit(file *minic.File, res *symexec.Result, f *Finding, pcA, pcB *solver.PathCondition) *Witness {
+	w := &Witness{}
+	secretSym := res.SecretSymbolByTag(int(f.Tag))
+	if secretSym == nil {
+		w.Note = "no secret symbol; replay skipped"
+		return w
+	}
+	modelA, okA := c.sv.Model(pcA, res.Builder.Symbols())
+	if !okA {
+		w.Note = "no model for the first path; replay skipped"
+		return w
+	}
+	modelB, okB := c.sv.Model(pcB, res.Builder.Symbols())
+	if !okB {
+		w.Note = "no model for the sibling path; replay skipped"
+		return w
+	}
+	// Align: keep B's value only for the deciding secret; everything else
+	// comes from A. The paths differ solely in constraints on the deciding
+	// secret, so the merged binding still satisfies pcB.
+	merged := make(sym.Binding, len(modelA))
+	for k, v := range modelA {
+		merged[k] = v
+	}
+	merged[secretSym.ID] = modelB[secretSym.ID]
+	for _, conj := range pcB.Conjuncts() {
+		v, err := sym.Eval(conj, merged)
+		if err != nil || v.IsZero() {
+			w.Note = "paths disagree beyond the deciding secret; replay skipped"
+			return w
+		}
+	}
+	w.InputsA = bindingByName(res, modelA)
+	w.InputsB = bindingByName(res, merged)
+
+	obsA, okA := c.observeSink(file, res, f, modelA)
+	obsB, okB := c.observeSink(file, res, f, merged)
+	if !okA || !okB {
+		w.Note = "sink not concretely observable; replay skipped"
+		return w
+	}
+	w.ObservedA, w.ObservedB = obsA, obsB
+	w.Verified = obsA != obsB
+	if w.Verified {
+		w.Note = "concrete replay: sibling observations differ"
+	} else {
+		w.Note = "concrete replay did not distinguish the paths"
+	}
+	return w
+}
+
+// observeSink runs the function concretely under the binding and reads the
+// finding's sink: the return value, or an [out] element (absence reads the
+// zeroed buffer).
+func (c *Checker) observeSink(file *minic.File, res *symexec.Result, f *Finding, bind sym.Binding) (float64, bool) {
+	fn, ok := file.Function(res.Function)
+	if !ok || fn.Body == nil {
+		return 0, false
+	}
+	var outParam string
+	var outIdx int
+	if f.Sink == SinkOutParam {
+		outParam, outIdx, ok = splitDisplay(f.Where)
+		if !ok {
+			return 0, false
+		}
+	} else if f.Sink != SinkReturn {
+		return 0, false
+	}
+	machine, err := interp.NewMachine(file)
+	if err != nil {
+		return 0, false
+	}
+	sizes := bufferSizes(res)
+	var outBuf *interp.Object
+	args := make([]interp.Value, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		ptr, isPtr := p.Type.(minic.Pointer)
+		if !isPtr {
+			v, ok := symValueByName(res, bind, p.Name)
+			if !ok {
+				v = sym.IntVal(0)
+			}
+			if minic.IsFloatType(p.Type) {
+				args = append(args, interp.FloatValue(v.AsFloat()))
+			} else {
+				args = append(args, interp.IntValue(int64(v.AsInt())))
+			}
+			continue
+		}
+		kind := cellKindOf(ptr.Elem)
+		if kind == 0 {
+			return 0, false
+		}
+		n := sizes[p.Name]
+		if p.Name == outParam && outIdx+1 > n {
+			n = outIdx + 1
+		}
+		if n == 0 {
+			n = 1
+		}
+		buf := interp.NewBuffer(p.Name, kind, n)
+		for name, s := range res.SecretSymbols {
+			pn, idx, ok := splitDisplay(name)
+			if !ok || pn != p.Name {
+				continue
+			}
+			v, bound := bind[s.ID]
+			if !bound {
+				continue
+			}
+			if kind == interp.CellFloat {
+				_ = buf.Store(idx, interp.FloatValue(v.AsFloat()))
+			} else {
+				_ = buf.Store(idx, interp.IntValue(int64(v.AsInt())))
+			}
+		}
+		if p.Name == outParam {
+			outBuf = buf
+		}
+		args = append(args, interp.PtrValue(interp.Pointer{Obj: buf}))
+	}
+	ret, err := machine.Call(res.Function, args)
+	if err != nil {
+		return 0, false
+	}
+	if f.Sink == SinkReturn {
+		return ret.Float(), true
+	}
+	if outBuf == nil {
+		return 0, false
+	}
+	cell, err := outBuf.Load(outIdx)
+	if err != nil {
+		return 0, false
+	}
+	return cell.Float(), true
+}

@@ -1,0 +1,144 @@
+package edl
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"privacyscope/internal/symexec"
+)
+
+// Config is PrivacyScope's XML rule file (§V-C: "PrivacyScope processes an
+// XML configuration file, provided by user, containing function names that
+// the user is interested in evaluating"). When a function has no explicit
+// rules, the EDL default applies: [in] parameters are secrets and [out]
+// parameters are leaking points.
+type Config struct {
+	XMLName xml.Name `xml:"privacyscope"`
+	// Functions lists entry points to analyze with optional overrides.
+	Functions []FunctionRule `xml:"function"`
+	// Decrypts lists IPP-style decryption functions whose destination
+	// buffers hold secret plaintext after the call.
+	Decrypts []DecryptRule `xml:"decrypt"`
+	// Ocalls lists extra sink functions whose arguments leave the
+	// enclave.
+	Ocalls []OcallRule `xml:"ocall"`
+}
+
+// FunctionRule selects one entry point and optionally overrides parameter
+// classes.
+type FunctionRule struct {
+	Name    string      `xml:"name,attr"`
+	Secrets []ParamRule `xml:"secret"`
+	Sinks   []ParamRule `xml:"sink"`
+	Publics []ParamRule `xml:"public"`
+}
+
+// ParamRule names a parameter.
+type ParamRule struct {
+	Param string `xml:"param,attr"`
+}
+
+// DecryptRule registers a decryption function; DstArg is the 0-based index
+// of the plaintext destination argument.
+type DecryptRule struct {
+	Function string `xml:"function,attr"`
+	DstArg   int    `xml:"dstArg,attr"`
+}
+
+// OcallRule registers an extra OCALL sink.
+type OcallRule struct {
+	Function string `xml:"function,attr"`
+}
+
+// ParseConfig parses the XML rule file.
+func ParseConfig(data []byte) (*Config, error) {
+	var c Config
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("edl: parse config: %w", err)
+	}
+	return &c, nil
+}
+
+// Rule looks up the override rule for a function.
+func (c *Config) Rule(fn string) (*FunctionRule, bool) {
+	for i := range c.Functions {
+		if c.Functions[i].Name == fn {
+			return &c.Functions[i], true
+		}
+	}
+	return nil, false
+}
+
+// ParamSpecs derives the engine's parameter classification for an ECALL:
+// EDL attributes give the default ([in]→secret, [out]→sink, [in,out]→both,
+// plain→public); an XML rule for the function overrides per parameter.
+func ParamSpecs(sig *FuncSig, rule *FunctionRule) []symexec.ParamSpec {
+	specs := make([]symexec.ParamSpec, 0, len(sig.Params))
+	for _, p := range sig.Params {
+		cls := symexec.ParamPublic
+		switch {
+		case p.In && p.Out:
+			cls = symexec.ParamInOut
+		case p.In:
+			cls = symexec.ParamSecret
+		case p.Out:
+			cls = symexec.ParamOut
+		}
+		if rule != nil {
+			if hasParam(rule.Publics, p.Name) {
+				cls = symexec.ParamPublic
+			}
+			secret := hasParam(rule.Secrets, p.Name)
+			sink := hasParam(rule.Sinks, p.Name)
+			switch {
+			case secret && sink:
+				cls = symexec.ParamInOut
+			case secret:
+				cls = symexec.ParamSecret
+			case sink:
+				cls = symexec.ParamOut
+			}
+		}
+		specs = append(specs, symexec.ParamSpec{Name: p.Name, Class: cls})
+	}
+	return specs
+}
+
+func hasParam(rules []ParamRule, name string) bool {
+	for _, r := range rules {
+		if r.Param == name {
+			return true
+		}
+	}
+	return false
+}
+
+// EngineOptions folds the config's decrypt and ocall registrations into a
+// base engine configuration.
+func (c *Config) EngineOptions(base symexec.Options) symexec.Options {
+	if base.DecryptFuncs == nil {
+		base.DecryptFuncs = map[string]int{}
+	} else {
+		m := make(map[string]int, len(base.DecryptFuncs))
+		for k, v := range base.DecryptFuncs {
+			m[k] = v
+		}
+		base.DecryptFuncs = m
+	}
+	if base.OCallFuncs == nil {
+		base.OCallFuncs = map[string]bool{}
+	} else {
+		m := make(map[string]bool, len(base.OCallFuncs))
+		for k, v := range base.OCallFuncs {
+			m[k] = v
+		}
+		base.OCallFuncs = m
+	}
+	for _, d := range c.Decrypts {
+		base.DecryptFuncs[d.Function] = d.DstArg
+	}
+	for _, o := range c.Ocalls {
+		base.OCallFuncs[o.Function] = true
+	}
+	return base
+}

@@ -1,0 +1,353 @@
+// Package edl parses Intel SGX Enclave Definition Language (EDL) interface
+// files and PrivacyScope's XML rule configuration.
+//
+// An EDL file declares the enclave boundary: trusted functions (ECALLs,
+// callable from the untrusted host) and untrusted functions (OCALLs, calls
+// out of the enclave). Pointer parameters carry marshalling attributes in
+// brackets: [in] data flows into the enclave (user private data in the
+// PrivacyScope threat model), [out] data flows back to the host
+// (observable). PrivacyScope's default policy marks [in] parameters as
+// secrets and [out] parameters as potential leaking points (§VI-B).
+package edl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ErrSyntax wraps EDL parse failures.
+var ErrSyntax = errors.New("edl: syntax error")
+
+// Interface is a parsed EDL file.
+type Interface struct {
+	// Trusted lists ECALLs.
+	Trusted []*FuncSig
+	// Untrusted lists OCALLs.
+	Untrusted []*FuncSig
+}
+
+// ECall returns the trusted function with the given name.
+func (i *Interface) ECall(name string) (*FuncSig, bool) {
+	for _, f := range i.Trusted {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// OCallNames returns the names of all untrusted functions.
+func (i *Interface) OCallNames() []string {
+	out := make([]string, len(i.Untrusted))
+	for j, f := range i.Untrusted {
+		out[j] = f.Name
+	}
+	return out
+}
+
+// FuncSig is one declared interface function.
+type FuncSig struct {
+	Name   string
+	Return string
+	Public bool
+	Params []Param
+}
+
+// Param is one declared parameter with its marshalling attributes.
+type Param struct {
+	Name string
+	// Type is the C type text, e.g. "char*".
+	Type string
+	// In marks [in]: data is marshalled into the enclave.
+	In bool
+	// Out marks [out]: data is marshalled back to the host.
+	Out bool
+	// Size is the byte count from [size=N], 0 if absent.
+	Size int
+	// IsString marks [string].
+	IsString bool
+	// Pointer reports whether the declared type is a pointer.
+	Pointer bool
+}
+
+// Parse parses EDL source text.
+func Parse(src string) (*Interface, error) {
+	p := &parser{src: src}
+	return p.parse()
+}
+
+type parser struct {
+	src  string
+	off  int
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: line %d: %s", ErrSyntax, p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.off < len(p.src) {
+		c := p.src[p.off]
+		if c == '\n' {
+			p.line++
+		}
+		if unicode.IsSpace(rune(c)) {
+			p.off++
+			continue
+		}
+		if c == '/' && p.off+1 < len(p.src) && p.src[p.off+1] == '/' {
+			for p.off < len(p.src) && p.src[p.off] != '\n' {
+				p.off++
+			}
+			continue
+		}
+		if c == '/' && p.off+1 < len(p.src) && p.src[p.off+1] == '*' {
+			p.off += 2
+			for p.off+1 < len(p.src) && !(p.src[p.off] == '*' && p.src[p.off+1] == '/') {
+				if p.src[p.off] == '\n' {
+					p.line++
+				}
+				p.off++
+			}
+			p.off += 2
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	start := p.off
+	for start < len(p.src) && (isIdent(p.src[start]) || p.src[start] == '_') {
+		start++
+	}
+	return p.src[p.off:start]
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *parser) word() string {
+	w := p.peekWord()
+	p.off += len(w)
+	return w
+}
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.off:], tok) {
+		got := p.src[p.off:]
+		if len(got) > 12 {
+			got = got[:12]
+		}
+		return p.errf("expected %q, found %q", tok, got)
+	}
+	p.off += len(tok)
+	return nil
+}
+
+func (p *parser) peekByte() byte {
+	p.skipSpace()
+	if p.off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.off]
+}
+
+func (p *parser) parse() (*Interface, error) {
+	if err := p.expect("enclave"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	iface := &Interface{}
+	for {
+		p.skipSpace()
+		switch w := p.peekWord(); w {
+		case "trusted":
+			p.word()
+			fns, err := p.parseSection()
+			if err != nil {
+				return nil, err
+			}
+			iface.Trusted = append(iface.Trusted, fns...)
+		case "untrusted":
+			p.word()
+			fns, err := p.parseSection()
+			if err != nil {
+				return nil, err
+			}
+			iface.Untrusted = append(iface.Untrusted, fns...)
+		case "include", "from":
+			// "from "other.edl" import *;" and "include "header.h"" are
+			// tolerated and skipped to end of line.
+			for p.off < len(p.src) && p.src[p.off] != ';' && p.src[p.off] != '\n' {
+				p.off++
+			}
+			if p.off < len(p.src) {
+				p.off++
+			}
+		default:
+			if p.peekByte() == '}' {
+				p.off++
+				p.skipSpace()
+				if p.off < len(p.src) && p.src[p.off] == ';' {
+					p.off++
+				}
+				return iface, nil
+			}
+			return nil, p.errf("unexpected token %q in enclave block", w)
+		}
+	}
+}
+
+func (p *parser) parseSection() ([]*FuncSig, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var fns []*FuncSig
+	for {
+		if p.peekByte() == '}' {
+			p.off++
+			p.skipSpace()
+			if p.off < len(p.src) && p.src[p.off] == ';' {
+				p.off++
+			}
+			return fns, nil
+		}
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+}
+
+func (p *parser) parseFunc() (*FuncSig, error) {
+	fn := &FuncSig{}
+	w := p.peekWord()
+	if w == "public" {
+		p.word()
+		fn.Public = true
+	}
+	retType, err := p.parseCType()
+	if err != nil {
+		return nil, err
+	}
+	fn.Return = retType
+	fn.Name = p.word()
+	if fn.Name == "" {
+		return nil, p.errf("expected function name")
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for p.peekByte() != ')' {
+		if p.peekByte() == 0 {
+			return nil, p.errf("unterminated parameter list for %s", fn.Name)
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param)
+		if p.peekByte() == ',' {
+			p.off++
+		}
+	}
+	p.off++ // )
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) parseParam() (Param, error) {
+	var param Param
+	if p.peekByte() == '[' {
+		p.off++
+		for {
+			attr := p.word()
+			switch attr {
+			case "in":
+				param.In = true
+			case "out":
+				param.Out = true
+			case "string":
+				param.IsString = true
+			case "user_check", "isptr", "readonly":
+				// Recognized, no analysis effect.
+			case "size", "count":
+				if err := p.expect("="); err != nil {
+					return param, err
+				}
+				n := 0
+				p.skipSpace()
+				for p.off < len(p.src) && p.src[p.off] >= '0' && p.src[p.off] <= '9' {
+					n = n*10 + int(p.src[p.off]-'0')
+					p.off++
+				}
+				param.Size = n
+			default:
+				return param, p.errf("unknown EDL attribute %q", attr)
+			}
+			if p.peekByte() == ',' {
+				p.off++
+				continue
+			}
+			break
+		}
+		if err := p.expect("]"); err != nil {
+			return param, err
+		}
+	}
+	ty, err := p.parseCType()
+	if err != nil {
+		return param, err
+	}
+	param.Type = ty
+	param.Pointer = strings.HasSuffix(ty, "*")
+	param.Name = p.word()
+	if param.Name == "" {
+		return param, p.errf("expected parameter name after type %q", ty)
+	}
+	return param, nil
+}
+
+// parseCType consumes a C type: qualifiers, a base type, and stars.
+func (p *parser) parseCType() (string, error) {
+	var parts []string
+	for {
+		w := p.peekWord()
+		switch w {
+		case "const", "unsigned", "signed", "long", "short", "struct":
+			p.word()
+			parts = append(parts, w)
+			continue
+		case "void", "int", "char", "float", "double", "size_t", "uint8_t",
+			"uint32_t", "int32_t", "uint64_t", "int64_t":
+			p.word()
+			parts = append(parts, w)
+		default:
+			if len(parts) > 0 && parts[len(parts)-1] == "struct" {
+				p.word()
+				parts = append(parts, w)
+			} else if len(parts) == 0 {
+				return "", p.errf("expected type, found %q", w)
+			}
+		}
+		break
+	}
+	ty := strings.Join(parts, " ")
+	for p.peekByte() == '*' {
+		p.off++
+		ty += "*"
+	}
+	return ty, nil
+}

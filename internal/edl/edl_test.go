@@ -1,0 +1,273 @@
+package edl
+
+import (
+	"errors"
+	"testing"
+
+	"privacyscope/internal/symexec"
+)
+
+const listing1EDL = `
+enclave {
+    trusted {
+        /* process user private data */
+        public int enclave_process_data([in] char *secrets, [out] char *output);
+    };
+    untrusted {
+        void ocall_print([in, string] const char *str);
+    };
+};
+`
+
+func TestParseListing1EDL(t *testing.T) {
+	iface, err := Parse(listing1EDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Trusted) != 1 || len(iface.Untrusted) != 1 {
+		t.Fatalf("sections = %d/%d", len(iface.Trusted), len(iface.Untrusted))
+	}
+	fn, ok := iface.ECall("enclave_process_data")
+	if !ok {
+		t.Fatal("ECall lookup failed")
+	}
+	if !fn.Public || fn.Return != "int" {
+		t.Errorf("sig = %+v", fn)
+	}
+	if len(fn.Params) != 2 {
+		t.Fatalf("params = %+v", fn.Params)
+	}
+	sec, out := fn.Params[0], fn.Params[1]
+	if sec.Name != "secrets" || !sec.In || sec.Out || !sec.Pointer || sec.Type != "char*" {
+		t.Errorf("secrets = %+v", sec)
+	}
+	if out.Name != "output" || out.In || !out.Out {
+		t.Errorf("output = %+v", out)
+	}
+	ocalls := iface.OCallNames()
+	if len(ocalls) != 1 || ocalls[0] != "ocall_print" {
+		t.Errorf("ocalls = %v", ocalls)
+	}
+	ostr := iface.Untrusted[0].Params[0]
+	if !ostr.IsString || !ostr.In {
+		t.Errorf("ocall param = %+v", ostr)
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	src := `
+enclave {
+    trusted {
+        public void train([in, size=64] float *data, [in, out, count=8] double *model, int n);
+    };
+};
+`
+	iface, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := iface.Trusted[0]
+	if fn.Params[0].Size != 64 {
+		t.Errorf("size = %d", fn.Params[0].Size)
+	}
+	p1 := fn.Params[1]
+	if !p1.In || !p1.Out || p1.Size != 8 {
+		t.Errorf("model = %+v", p1)
+	}
+	p2 := fn.Params[2]
+	if p2.In || p2.Out || p2.Pointer {
+		t.Errorf("n = %+v", p2)
+	}
+}
+
+func TestParseStructAndQualifiedTypes(t *testing.T) {
+	src := `
+enclave {
+    trusted {
+        public int f([out] struct Model *m, [in] const unsigned char *buf, size_t len);
+    };
+};
+`
+	iface, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := iface.Trusted[0].Params
+	if params[0].Type != "struct Model*" {
+		t.Errorf("type = %q", params[0].Type)
+	}
+	if params[1].Type != "const unsigned char*" {
+		t.Errorf("type = %q", params[1].Type)
+	}
+	if params[2].Type != "size_t" || params[2].Pointer {
+		t.Errorf("len = %+v", params[2])
+	}
+}
+
+func TestParseMultipleFunctions(t *testing.T) {
+	src := `
+enclave {
+    trusted {
+        public int a([in] int *x);
+        public int b([out] int *y);
+    };
+    untrusted {
+        void oc1(int v);
+        void oc2([in, string] char *s);
+    };
+};
+`
+	iface, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Trusted) != 2 || len(iface.Untrusted) != 2 {
+		t.Errorf("counts = %d/%d", len(iface.Trusted), len(iface.Untrusted))
+	}
+	if _, ok := iface.ECall("b"); !ok {
+		t.Error("ECall b missing")
+	}
+	if _, ok := iface.ECall("oc1"); ok {
+		t.Error("oc1 is untrusted, not an ECALL")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"trusted { };",
+		"enclave { trusted { public int f([bogus] int *x); }; };",
+		"enclave { trusted { public int f(int x) }; };", // missing ;
+		"enclave { trusted { public f(); }; };",         // missing return type? f parses as type... missing name
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("error not wrapped: %v", err)
+		}
+	}
+}
+
+func TestParamSpecsDefaults(t *testing.T) {
+	iface, err := Parse(listing1EDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := iface.ECall("enclave_process_data")
+	specs := ParamSpecs(fn, nil)
+	if len(specs) != 2 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].Class != symexec.ParamSecret || specs[1].Class != symexec.ParamOut {
+		t.Errorf("specs = %+v", specs)
+	}
+}
+
+const configXML = `
+<privacyscope>
+  <function name="enclave_process_data">
+    <public param="secrets"/>
+    <secret param="output"/>
+  </function>
+  <decrypt function="my_decrypt" dstArg="1"/>
+  <ocall function="log_metric"/>
+</privacyscope>
+`
+
+func TestParseConfig(t *testing.T) {
+	c, err := ParseConfig([]byte(configXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, ok := c.Rule("enclave_process_data")
+	if !ok {
+		t.Fatal("rule missing")
+	}
+	if len(rule.Publics) != 1 || rule.Publics[0].Param != "secrets" {
+		t.Errorf("publics = %+v", rule.Publics)
+	}
+	if _, ok := c.Rule("nope"); ok {
+		t.Error("unknown rule matched")
+	}
+	if len(c.Decrypts) != 1 || c.Decrypts[0].DstArg != 1 {
+		t.Errorf("decrypts = %+v", c.Decrypts)
+	}
+}
+
+func TestParseConfigError(t *testing.T) {
+	if _, err := ParseConfig([]byte("<privacyscope><function")); err == nil {
+		t.Error("expected XML error")
+	}
+}
+
+func TestParamSpecsWithOverrides(t *testing.T) {
+	iface, _ := Parse(listing1EDL)
+	fn, _ := iface.ECall("enclave_process_data")
+	c, err := ParseConfig([]byte(configXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, _ := c.Rule("enclave_process_data")
+	specs := ParamSpecs(fn, rule)
+	// The XML flips the defaults: secrets→public, output→secret.
+	if specs[0].Class != symexec.ParamPublic {
+		t.Errorf("secrets class = %v", specs[0].Class)
+	}
+	if specs[1].Class != symexec.ParamSecret {
+		t.Errorf("output class = %v", specs[1].Class)
+	}
+}
+
+func TestParamSpecsSecretAndSink(t *testing.T) {
+	sig := &FuncSig{Name: "f", Params: []Param{{Name: "buf", Pointer: true}}}
+	rule := &FunctionRule{
+		Name:    "f",
+		Secrets: []ParamRule{{Param: "buf"}},
+		Sinks:   []ParamRule{{Param: "buf"}},
+	}
+	specs := ParamSpecs(sig, rule)
+	if specs[0].Class != symexec.ParamInOut {
+		t.Errorf("class = %v, want in/out", specs[0].Class)
+	}
+}
+
+func TestEngineOptionsMerge(t *testing.T) {
+	c, err := ParseConfig([]byte(configXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := symexec.DefaultOptions()
+	opts := c.EngineOptions(base)
+	if opts.DecryptFuncs["my_decrypt"] != 1 {
+		t.Errorf("decrypt merge failed: %v", opts.DecryptFuncs)
+	}
+	if opts.DecryptFuncs["sgx_rijndael128GCM_decrypt"] != 0 {
+		t.Error("default decrypt lost")
+	}
+	if !opts.OCallFuncs["log_metric"] || !opts.OCallFuncs["printf"] {
+		t.Errorf("ocall merge failed: %v", opts.OCallFuncs)
+	}
+	// The base maps must not be mutated.
+	if _, ok := base.DecryptFuncs["my_decrypt"]; ok {
+		t.Error("EngineOptions mutated the base map")
+	}
+}
+
+func TestIgnoredDirectives(t *testing.T) {
+	src := `
+enclave {
+    include "sgx_tseal.h"
+    from "other.edl" import *;
+    trusted {
+        public int f([in] int *x);
+    };
+};
+`
+	iface, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Trusted) != 1 {
+		t.Errorf("trusted = %+v", iface.Trusted)
+	}
+}

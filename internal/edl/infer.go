@@ -1,0 +1,252 @@
+package edl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privacyscope/internal/minic"
+)
+
+// This file implements EDL inference: drafting an interface file for plain
+// C code by classifying each pointer parameter from its uses — the porting
+// step the paper's authors performed by hand when moving the open-source ML
+// code into enclaves (§VI-C). A parameter that is only read is [in]; only
+// written, [out]; both, [in, out].
+
+// ParamUsage describes how a function uses one pointer parameter.
+type ParamUsage struct {
+	Name    string
+	Reads   bool
+	Writes  bool
+	Pointer bool
+}
+
+// Attr renders the inferred EDL attribute list ("[in]", "[out]",
+// "[in, out]", or "" for scalars and unused pointers, which default to
+// [in] for safety).
+func (u ParamUsage) Attr() string {
+	if !u.Pointer {
+		return ""
+	}
+	switch {
+	case u.Reads && u.Writes:
+		return "[in, out] "
+	case u.Writes:
+		return "[out] "
+	default:
+		// Read or unused: marshal in (the conservative default — an
+		// unused pointer is assumed to carry input).
+		return "[in] "
+	}
+}
+
+// InferUsage classifies every parameter of fn by walking its body. Reads
+// and writes through a parameter are attributed to the parameter's base
+// variable; passing the pointer to another function counts as both (the
+// callee may do either).
+func InferUsage(file *minic.File, fn *minic.FuncDecl) []ParamUsage {
+	usage := make(map[string]*ParamUsage, len(fn.Params))
+	order := make([]string, 0, len(fn.Params))
+	for _, p := range fn.Params {
+		_, isPtr := p.Type.(minic.Pointer)
+		usage[p.Name] = &ParamUsage{Name: p.Name, Pointer: isPtr}
+		order = append(order, p.Name)
+	}
+	if fn.Body != nil {
+		walkStmtUsage(fn.Body, usage)
+	}
+	out := make([]ParamUsage, 0, len(order))
+	for _, name := range order {
+		out = append(out, *usage[name])
+	}
+	return out
+}
+
+func walkStmtUsage(s minic.Stmt, usage map[string]*ParamUsage) {
+	switch v := s.(type) {
+	case nil:
+	case *minic.Block:
+		for _, sub := range v.Stmts {
+			walkStmtUsage(sub, usage)
+		}
+	case *minic.DeclStmt:
+		for _, d := range v.Decls {
+			walkExprUsage(d.Init, usage, false)
+		}
+	case *minic.ExprStmt:
+		walkExprUsage(v.X, usage, false)
+	case *minic.IfStmt:
+		walkExprUsage(v.Cond, usage, false)
+		walkStmtUsage(v.Then, usage)
+		walkStmtUsage(v.Else, usage)
+	case *minic.WhileStmt:
+		walkExprUsage(v.Cond, usage, false)
+		walkStmtUsage(v.Body, usage)
+	case *minic.DoWhileStmt:
+		walkStmtUsage(v.Body, usage)
+		walkExprUsage(v.Cond, usage, false)
+	case *minic.SwitchStmt:
+		walkExprUsage(v.Tag, usage, false)
+		for _, cs := range v.Cases {
+			walkExprUsage(cs.Value, usage, false)
+			for _, s := range cs.Body {
+				walkStmtUsage(s, usage)
+			}
+		}
+	case *minic.ForStmt:
+		walkStmtUsage(v.Init, usage)
+		walkExprUsage(v.Cond, usage, false)
+		walkExprUsage(v.Post, usage, false)
+		walkStmtUsage(v.Body, usage)
+	case *minic.ReturnStmt:
+		walkExprUsage(v.X, usage, false)
+	}
+}
+
+// walkExprUsage records reads/writes; asWrite marks the lvalue context of
+// an enclosing assignment target.
+func walkExprUsage(e minic.Expr, usage map[string]*ParamUsage, asWrite bool) {
+	switch v := e.(type) {
+	case nil:
+	case *minic.IdentExpr:
+		if u, ok := usage[v.Name]; ok {
+			if asWrite {
+				u.Writes = true
+			} else {
+				u.Reads = true
+			}
+		}
+	case *minic.AssignExpr:
+		markWriteBase(v.LHS, usage)
+		// Compound assignment also reads the target.
+		if v.Op != 0 {
+			walkExprUsage(v.LHS, usage, false)
+		} else {
+			// Index expressions inside the LHS still read (the
+			// subscript), but the base is a write.
+			walkIndexReads(v.LHS, usage)
+		}
+		walkExprUsage(v.RHS, usage, false)
+	case *minic.IncDecExpr:
+		markWriteBase(v.X, usage)
+		walkExprUsage(v.X, usage, false)
+	case *minic.BinExpr:
+		walkExprUsage(v.L, usage, false)
+		walkExprUsage(v.R, usage, false)
+	case *minic.UnExpr:
+		walkExprUsage(v.X, usage, false)
+	case *minic.IndexExpr:
+		walkExprUsage(v.X, usage, asWrite)
+		walkExprUsage(v.Index, usage, false)
+	case *minic.MemberExpr:
+		walkExprUsage(v.X, usage, asWrite)
+	case *minic.DerefExpr:
+		walkExprUsage(v.X, usage, asWrite)
+	case *minic.AddrExpr:
+		walkExprUsage(v.X, usage, asWrite)
+	case *minic.CastExpr:
+		walkExprUsage(v.X, usage, asWrite)
+	case *minic.CondExpr:
+		walkExprUsage(v.Cond, usage, false)
+		walkExprUsage(v.Then, usage, asWrite)
+		walkExprUsage(v.Else, usage, asWrite)
+	case *minic.SizeofExpr:
+		walkExprUsage(v.X, usage, false)
+	case *minic.CallExpr:
+		for _, a := range v.Args {
+			// A pointer escaping into a call may be read or written
+			// by the callee.
+			if base := callPointerBase(a, usage); base != nil {
+				base.Reads = true
+				base.Writes = true
+				continue
+			}
+			walkExprUsage(a, usage, false)
+		}
+	}
+}
+
+// markWriteBase marks the base parameter of an lvalue as written.
+func markWriteBase(e minic.Expr, usage map[string]*ParamUsage) {
+	switch v := e.(type) {
+	case *minic.IdentExpr:
+		if u, ok := usage[v.Name]; ok {
+			u.Writes = true
+		}
+	case *minic.IndexExpr:
+		markWriteBase(v.X, usage)
+	case *minic.MemberExpr:
+		markWriteBase(v.X, usage)
+	case *minic.DerefExpr:
+		markWriteBase(v.X, usage)
+	case *minic.CastExpr:
+		markWriteBase(v.X, usage)
+	}
+}
+
+// walkIndexReads records the subscript reads inside an assignment target.
+func walkIndexReads(e minic.Expr, usage map[string]*ParamUsage) {
+	switch v := e.(type) {
+	case *minic.IndexExpr:
+		walkExprUsage(v.Index, usage, false)
+		walkIndexReads(v.X, usage)
+	case *minic.MemberExpr:
+		walkIndexReads(v.X, usage)
+	case *minic.DerefExpr:
+		walkIndexReads(v.X, usage)
+	}
+}
+
+// callPointerBase returns the usage slot when the argument is a bare
+// pointer parameter reference (possibly &x or a cast).
+func callPointerBase(e minic.Expr, usage map[string]*ParamUsage) *ParamUsage {
+	switch v := e.(type) {
+	case *minic.IdentExpr:
+		if u, ok := usage[v.Name]; ok && u.Pointer {
+			return u
+		}
+	case *minic.CastExpr:
+		return callPointerBase(v.X, usage)
+	case *minic.AddrExpr:
+		return callPointerBase(v.X, usage)
+	}
+	return nil
+}
+
+// GenerateEDL drafts an EDL interface file for the file's functions: each
+// selected function becomes a public ECALL with inferred attributes. When
+// names is empty, every defined function is exported.
+func GenerateEDL(file *minic.File, names []string) (string, error) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var fns []*minic.FuncDecl
+	for _, fn := range file.Functions {
+		if fn.Body == nil {
+			continue
+		}
+		if len(names) > 0 && !want[fn.Name] {
+			continue
+		}
+		fns = append(fns, fn)
+	}
+	if len(fns) == 0 {
+		return "", fmt.Errorf("edl: no matching function definitions")
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Name < fns[j].Name })
+
+	var sb strings.Builder
+	sb.WriteString("enclave {\n    trusted {\n")
+	for _, fn := range fns {
+		params := make([]string, len(fn.Params))
+		for i, u := range InferUsage(file, fn) {
+			params[i] = u.Attr() + fn.Params[i].Type.String() + " " + u.Name
+		}
+		fmt.Fprintf(&sb, "        public %s %s(%s);\n",
+			fn.Return.String(), fn.Name, strings.Join(params, ", "))
+	}
+	sb.WriteString("    };\n};\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,166 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+
+	"privacyscope/internal/minic"
+)
+
+func usageOf(t *testing.T, src, fn string) map[string]ParamUsage {
+	t.Helper()
+	file := minic.MustParse(src)
+	f, ok := file.Function(fn)
+	if !ok {
+		t.Fatalf("no function %s", fn)
+	}
+	out := map[string]ParamUsage{}
+	for _, u := range InferUsage(file, f) {
+		out[u.Name] = u
+	}
+	return out
+}
+
+func TestInferUsageListing1(t *testing.T) {
+	u := usageOf(t, `
+int enclave_process_data(char *secrets, char *output)
+{
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0)
+        return 0;
+    else
+        return 1;
+}
+`, "enclave_process_data")
+	if got := u["secrets"]; !got.Reads || got.Writes {
+		t.Errorf("secrets = %+v, want read-only", got)
+	}
+	if got := u["output"]; got.Reads || !got.Writes {
+		t.Errorf("output = %+v, want write-only", got)
+	}
+	if u["secrets"].Attr() != "[in] " || u["output"].Attr() != "[out] " {
+		t.Errorf("attrs = %q / %q", u["secrets"].Attr(), u["output"].Attr())
+	}
+}
+
+func TestInferUsageInOutAndScalars(t *testing.T) {
+	u := usageOf(t, `
+int scale(float *buf, int n, float k) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = buf[i] * k;
+    }
+    return 0;
+}
+`, "scale")
+	if got := u["buf"]; !got.Reads || !got.Writes {
+		t.Errorf("buf = %+v, want read+write", got)
+	}
+	if u["buf"].Attr() != "[in, out] " {
+		t.Errorf("attr = %q", u["buf"].Attr())
+	}
+	if u["n"].Attr() != "" || u["k"].Attr() != "" {
+		t.Error("scalars must have no attribute")
+	}
+}
+
+func TestInferUsageCompoundAndIncDec(t *testing.T) {
+	u := usageOf(t, `
+void f(int *a, int *b) {
+    a[0] += 1;
+    b[0]++;
+}
+`, "f")
+	for _, name := range []string{"a", "b"} {
+		if got := u[name]; !got.Reads || !got.Writes {
+			t.Errorf("%s = %+v, want read+write", name, got)
+		}
+	}
+}
+
+func TestInferUsageEscapeThroughCall(t *testing.T) {
+	u := usageOf(t, `
+void helper(int *p) { p[0] = 1; }
+void f(int *q) { helper(q); }
+`, "f")
+	if got := u["q"]; !got.Reads || !got.Writes {
+		t.Errorf("escaped pointer = %+v, want read+write (conservative)", got)
+	}
+}
+
+func TestInferUsageUnusedPointerDefaultsIn(t *testing.T) {
+	u := usageOf(t, "int f(int *unused) { return 0; }", "f")
+	if u["unused"].Attr() != "[in] " {
+		t.Errorf("attr = %q", u["unused"].Attr())
+	}
+}
+
+func TestInferUsageStructAndDeref(t *testing.T) {
+	u := usageOf(t, `
+struct S { int v; };
+void f(struct S *s, int *p) {
+    s->v = *p;
+}
+`, "f")
+	if got := u["s"]; got.Reads || !got.Writes {
+		t.Errorf("s = %+v, want write-only", got)
+	}
+	if got := u["p"]; !got.Reads || got.Writes {
+		t.Errorf("p = %+v, want read-only", got)
+	}
+}
+
+func TestGenerateEDLRoundTrips(t *testing.T) {
+	src := `
+int train(float *data, float *model, int n) {
+    float total = 0.0;
+    for (int i = 0; i < n; i++) { total += data[i]; }
+    model[0] = total / n;
+    return 0;
+}
+int helper(int x) { return x; }
+`
+	file := minic.MustParse(src)
+	draft, err := GenerateEDL(file, []string{"train"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(draft, "public int train([in] float* data, [out] float* model, int n);") {
+		t.Errorf("draft:\n%s", draft)
+	}
+	if strings.Contains(draft, "helper") {
+		t.Error("unselected function exported")
+	}
+	// The draft must parse with the EDL parser and carry the attributes.
+	iface, err := Parse(draft)
+	if err != nil {
+		t.Fatalf("draft does not re-parse: %v\n%s", err, draft)
+	}
+	sig, ok := iface.ECall("train")
+	if !ok {
+		t.Fatal("train missing from parsed draft")
+	}
+	if !sig.Params[0].In || sig.Params[0].Out {
+		t.Errorf("data = %+v", sig.Params[0])
+	}
+	if sig.Params[1].In || !sig.Params[1].Out {
+		t.Errorf("model = %+v", sig.Params[1])
+	}
+}
+
+func TestGenerateEDLAllFunctions(t *testing.T) {
+	file := minic.MustParse(`
+int a(int *p) { return p[0]; }
+int b(int *q) { q[0] = 1; return 0; }
+`)
+	draft, err := GenerateEDL(file, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(draft, "public int a(") || !strings.Contains(draft, "public int b(") {
+		t.Errorf("draft:\n%s", draft)
+	}
+	if _, err := GenerateEDL(file, []string{"nope"}); err == nil {
+		t.Error("unknown selection must error")
+	}
+}

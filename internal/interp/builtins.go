@@ -1,0 +1,364 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/sym"
+)
+
+// applyBinary applies an arithmetic/bitwise/comparison operator to two
+// concrete values with C-style usual arithmetic conversions.
+func applyBinary(op sym.Op, l, r Value) (Value, error) {
+	// Pointer comparisons.
+	if l.Kind() == CellPtr || r.Kind() == CellPtr {
+		switch op {
+		case sym.OpEq, sym.OpNe:
+			same := l.Ptr() == r.Ptr()
+			if (op == sym.OpEq) == same {
+				return IntValue(1), nil
+			}
+			return IntValue(0), nil
+		}
+		return Value{}, fmt.Errorf("interp: bad pointer operation %v", op)
+	}
+	if l.IsFloat() || r.IsFloat() {
+		a, b := l.Float(), r.Float()
+		switch op {
+		case sym.OpAdd:
+			return FloatValue(a + b), nil
+		case sym.OpSub:
+			return FloatValue(a - b), nil
+		case sym.OpMul:
+			return FloatValue(a * b), nil
+		case sym.OpDiv:
+			if b == 0 {
+				return Value{}, ErrDivideByZero
+			}
+			return FloatValue(a / b), nil
+		case sym.OpEq:
+			return boolValue(a == b), nil
+		case sym.OpNe:
+			return boolValue(a != b), nil
+		case sym.OpLt:
+			return boolValue(a < b), nil
+		case sym.OpLe:
+			return boolValue(a <= b), nil
+		case sym.OpGt:
+			return boolValue(a > b), nil
+		case sym.OpGe:
+			return boolValue(a >= b), nil
+		default:
+			return Value{}, fmt.Errorf("interp: bad float operation %v", op)
+		}
+	}
+	a, b := l.Int(), r.Int()
+	switch op {
+	case sym.OpAdd:
+		return IntValue(a + b), nil
+	case sym.OpSub:
+		return IntValue(a - b), nil
+	case sym.OpMul:
+		return IntValue(a * b), nil
+	case sym.OpDiv:
+		if b == 0 {
+			return Value{}, ErrDivideByZero
+		}
+		return IntValue(a / b), nil
+	case sym.OpRem:
+		if b == 0 {
+			return Value{}, ErrDivideByZero
+		}
+		return IntValue(a % b), nil
+	case sym.OpAnd:
+		return IntValue(a & b), nil
+	case sym.OpOr:
+		return IntValue(a | b), nil
+	case sym.OpXor:
+		return IntValue(a ^ b), nil
+	case sym.OpShl:
+		return IntValue(a << (uint64(b) & 63)), nil
+	case sym.OpShr:
+		return IntValue(a >> (uint64(b) & 63)), nil
+	case sym.OpEq:
+		return boolValue(a == b), nil
+	case sym.OpNe:
+		return boolValue(a != b), nil
+	case sym.OpLt:
+		return boolValue(a < b), nil
+	case sym.OpLe:
+		return boolValue(a <= b), nil
+	case sym.OpGt:
+		return boolValue(a > b), nil
+	case sym.OpGe:
+		return boolValue(a >= b), nil
+	}
+	return Value{}, fmt.Errorf("interp: bad int operation %v", op)
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return IntValue(1)
+	}
+	return IntValue(0)
+}
+
+// builtin dispatches library calls the machine gives semantics to.
+func (m *Machine) builtin(fr *frame, v *minic.CallExpr) (Value, minic.Type, error) {
+	intTy := minic.Type(minic.Basic{Kind: minic.Int})
+	dblTy := minic.Type(minic.Basic{Kind: minic.Double})
+
+	evalArgs := func() ([]Value, error) {
+		args := make([]Value, len(v.Args))
+		for i, a := range v.Args {
+			val, _, err := m.eval(fr, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = val
+		}
+		return args, nil
+	}
+	need := func(n int) error {
+		if len(v.Args) != n {
+			return &minic.Error{Pos: v.Pos, Msg: fmt.Sprintf("%s expects %d args, got %d", v.Fun, n, len(v.Args))}
+		}
+		return nil
+	}
+
+	switch v.Fun {
+	case "sqrt", "fabs", "exp", "log", "floor", "ceil":
+		if err := need(1); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		x := args[0].Float()
+		var out float64
+		switch v.Fun {
+		case "sqrt":
+			if x < 0 {
+				return Value{}, nil, &minic.Error{Pos: v.Pos, Msg: "sqrt of negative value"}
+			}
+			out = math.Sqrt(x)
+		case "fabs":
+			out = math.Abs(x)
+		case "exp":
+			out = math.Exp(x)
+		case "log":
+			if x <= 0 {
+				return Value{}, nil, &minic.Error{Pos: v.Pos, Msg: "log of non-positive value"}
+			}
+			out = math.Log(x)
+		case "floor":
+			out = math.Floor(x)
+		case "ceil":
+			out = math.Ceil(x)
+		}
+		return FloatValue(out), dblTy, nil
+	case "pow":
+		if err := need(2); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return FloatValue(math.Pow(args[0].Float(), args[1].Float())), dblTy, nil
+	case "abs":
+		if err := need(1); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		x := args[0].Int()
+		if x < 0 {
+			x = -x
+		}
+		return IntValue(x), intTy, nil
+	case "rand":
+		// xorshift64*: deterministic and seedable, standing in for
+		// libc rand.
+		m.rng ^= m.rng >> 12
+		m.rng ^= m.rng << 25
+		m.rng ^= m.rng >> 27
+		return IntValue(int64((m.rng * 0x2545F4914F6CDD1D) >> 33)), intTy, nil
+	case "srand":
+		if err := need(1); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		m.Seed(uint64(args[0].Int()))
+		return IntValue(0), intTy, nil
+	case "printf", "ocall_print":
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		m.Printed = append(m.Printed, formatPrintf(args))
+		return IntValue(0), intTy, nil
+	case "memcpy", "sgx_rijndael128GCM_decrypt", "sgx_rijndael128GCM_encrypt":
+		// Cell-wise copy dst ← src of n cells. The SGX crypto
+		// intrinsics behave as plaintext copies inside the simulator;
+		// real sealing happens in internal/sgx outside the enclave
+		// body. Argument order follows memcpy(dst, src, n).
+		if err := need(3); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		dst, src := args[0].Ptr(), args[1].Ptr()
+		n := int(args[2].Int())
+		if dst.IsNil() || src.IsNil() {
+			return Value{}, nil, fmt.Errorf("%w in %s", ErrNilDeref, v.Fun)
+		}
+		for i := 0; i < n; i++ {
+			val, err := src.Obj.Load(src.Off + i)
+			if err != nil {
+				return Value{}, nil, err
+			}
+			if err := dst.Obj.Store(dst.Off+i, val); err != nil {
+				return Value{}, nil, err
+			}
+		}
+		return IntValue(0), intTy, nil
+	case "memset":
+		if err := need(3); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		dst := args[0].Ptr()
+		if dst.IsNil() {
+			return Value{}, nil, fmt.Errorf("%w in memset", ErrNilDeref)
+		}
+		n := int(args[2].Int())
+		for i := 0; i < n; i++ {
+			if err := dst.Obj.Store(dst.Off+i, args[1]); err != nil {
+				return Value{}, nil, err
+			}
+		}
+		return IntValue(0), intTy, nil
+	case "sgx_read_rand":
+		// Fill buffer with deterministic pseudo-random cells.
+		if err := need(2); err != nil {
+			return Value{}, nil, err
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		dst := args[0].Ptr()
+		if dst.IsNil() {
+			return Value{}, nil, fmt.Errorf("%w in sgx_read_rand", ErrNilDeref)
+		}
+		n := int(args[1].Int())
+		for i := 0; i < n; i++ {
+			m.rng ^= m.rng >> 12
+			m.rng ^= m.rng << 25
+			m.rng ^= m.rng >> 27
+			if err := dst.Obj.Store(dst.Off+i, IntValue(int64(m.rng&0xFF))); err != nil {
+				return Value{}, nil, err
+			}
+		}
+		return IntValue(0), intTy, nil
+	}
+	if m.OCallHandler != nil {
+		args, err := evalArgs()
+		if err != nil {
+			return Value{}, nil, err
+		}
+		result, handled, err := m.OCallHandler(v.Fun, args)
+		if err != nil {
+			return Value{}, nil, fmt.Errorf("ocall %s: %w", v.Fun, err)
+		}
+		if handled {
+			return result, intTy, nil
+		}
+	}
+	return Value{}, nil, fmt.Errorf("%w: %s", ErrNoSuchFunc, v.Fun)
+}
+
+// formatPrintf renders a printf call: the first argument (a char buffer)
+// is the format; %d/%f/%g/%c/%s verbs consume subsequent arguments. The
+// output is collected, not written to stdout — the machine is a library.
+func formatPrintf(args []Value) string {
+	if len(args) == 0 {
+		return ""
+	}
+	format := cString(args[0])
+	rest := args[1:]
+	var sb strings.Builder
+	argIdx := 0
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' || i+1 >= len(format) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		// Skip width/precision.
+		for i < len(format) && (format[i] == '.' || (format[i] >= '0' && format[i] <= '9')) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		if argIdx >= len(rest) {
+			sb.WriteString("%!missing")
+			continue
+		}
+		arg := rest[argIdx]
+		argIdx++
+		switch verb {
+		case 'd', 'i', 'u', 'l':
+			sb.WriteString(strconv.FormatInt(arg.Int(), 10))
+		case 'f', 'g', 'e':
+			sb.WriteString(strconv.FormatFloat(arg.Float(), 'g', -1, 64))
+		case 'c':
+			sb.WriteByte(byte(arg.Int()))
+		case 's':
+			sb.WriteString(cString(arg))
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(verb)
+		}
+	}
+	return sb.String()
+}
+
+// cString reads a NUL-terminated char buffer through a pointer value.
+func cString(v Value) string {
+	p := v.Ptr()
+	if p.IsNil() {
+		return ""
+	}
+	var sb strings.Builder
+	for off := p.Off; off < p.Obj.Len(); off++ {
+		cell, err := p.Obj.Load(off)
+		if err != nil || cell.Int() == 0 {
+			break
+		}
+		sb.WriteByte(byte(cell.Int()))
+	}
+	return sb.String()
+}

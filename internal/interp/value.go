@@ -1,0 +1,267 @@
+// Package interp implements a concrete interpreter for MiniC. The SGX
+// enclave simulator uses it to actually run enclave code end-to-end, and
+// the checker uses it to replay leak witnesses: two concrete executions
+// differing in a single secret must produce observably different outputs.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"privacyscope/internal/minic"
+)
+
+// Interpreter errors.
+var (
+	ErrStepBudget    = errors.New("interp: step budget exhausted")
+	ErrNilDeref      = errors.New("interp: nil pointer dereference")
+	ErrOutOfBounds   = errors.New("interp: index out of bounds")
+	ErrDivideByZero  = errors.New("interp: division by zero")
+	ErrNoSuchFunc    = errors.New("interp: no such function")
+	ErrMissingReturn = errors.New("interp: function fell off the end without returning a value")
+)
+
+// CellKind is the storage class of one memory cell.
+type CellKind int
+
+// Cell kinds.
+const (
+	CellInt CellKind = iota + 1
+	CellChar
+	CellFloat // float and double both store float64
+	CellPtr
+)
+
+// Value is a concrete MiniC value: an integer, a float, or a pointer.
+type Value struct {
+	kind CellKind
+	i    int64
+	f    float64
+	ptr  Pointer
+}
+
+// Pointer references a cell inside an object.
+type Pointer struct {
+	Obj *Object
+	Off int
+}
+
+// IsNil reports whether the pointer is null.
+func (p Pointer) IsNil() bool { return p.Obj == nil }
+
+// IntValue wraps an int.
+func IntValue(v int64) Value { return Value{kind: CellInt, i: v} }
+
+// CharValue wraps a char.
+func CharValue(v int64) Value { return Value{kind: CellChar, i: int64(int8(v))} }
+
+// FloatValue wraps a float.
+func FloatValue(v float64) Value { return Value{kind: CellFloat, f: v} }
+
+// PtrValue wraps a pointer.
+func PtrValue(p Pointer) Value { return Value{kind: CellPtr, ptr: p} }
+
+// Kind returns the value's storage class.
+func (v Value) Kind() CellKind { return v.kind }
+
+// Int returns the value as int64 (floats truncate).
+func (v Value) Int() int64 {
+	if v.kind == CellFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// Float returns the value as float64.
+func (v Value) Float() float64 {
+	if v.kind == CellFloat {
+		return v.f
+	}
+	return float64(v.i)
+}
+
+// Ptr returns the pointer payload (zero Pointer when not a pointer).
+func (v Value) Ptr() Pointer { return v.ptr }
+
+// IsZero reports numeric zero or nil pointer.
+func (v Value) IsZero() bool {
+	switch v.kind {
+	case CellFloat:
+		return v.f == 0
+	case CellPtr:
+		return v.ptr.IsNil()
+	default:
+		return v.i == 0
+	}
+}
+
+// IsFloat reports whether the value is floating point.
+func (v Value) IsFloat() bool { return v.kind == CellFloat }
+
+// String formats the value.
+func (v Value) String() string {
+	switch v.kind {
+	case CellFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case CellPtr:
+		if v.ptr.IsNil() {
+			return "NULL"
+		}
+		return fmt.Sprintf("&%s+%d", v.ptr.Obj.Name, v.ptr.Off)
+	default:
+		return strconv.FormatInt(v.i, 10)
+	}
+}
+
+// Object is a contiguous block of typed cells: a variable, array, struct or
+// heap buffer.
+type Object struct {
+	Name  string
+	cells []Value
+	kinds []CellKind
+}
+
+// NewObject allocates an object with the cell layout of the given type.
+func NewObject(name string, t minic.Type) *Object {
+	kinds := layout(t)
+	o := &Object{Name: name, cells: make([]Value, len(kinds)), kinds: kinds}
+	for i, k := range kinds {
+		o.cells[i] = zeroOf(k)
+	}
+	return o
+}
+
+// NewBuffer allocates a flat buffer of n cells of one kind (for ECALL
+// marshalling).
+func NewBuffer(name string, kind CellKind, n int) *Object {
+	o := &Object{Name: name, cells: make([]Value, n), kinds: make([]CellKind, n)}
+	for i := range o.cells {
+		o.kinds[i] = kind
+		o.cells[i] = zeroOf(kind)
+	}
+	return o
+}
+
+// Len returns the number of cells.
+func (o *Object) Len() int { return len(o.cells) }
+
+// Load reads cell off.
+func (o *Object) Load(off int) (Value, error) {
+	if off < 0 || off >= len(o.cells) {
+		return Value{}, fmt.Errorf("%w: %s[%d] (len %d)", ErrOutOfBounds, o.Name, off, len(o.cells))
+	}
+	return o.cells[off], nil
+}
+
+// Store writes cell off, coercing v to the cell's kind (C-style narrowing).
+func (o *Object) Store(off int, v Value) error {
+	if off < 0 || off >= len(o.cells) {
+		return fmt.Errorf("%w: %s[%d] (len %d)", ErrOutOfBounds, o.Name, off, len(o.cells))
+	}
+	o.cells[off] = coerce(v, o.kinds[off])
+	return nil
+}
+
+// Cells returns a copy of the raw cells (for reading [out] buffers).
+func (o *Object) Cells() []Value {
+	out := make([]Value, len(o.cells))
+	copy(out, o.cells)
+	return out
+}
+
+// SetCells overwrites the first len(vals) cells with coercion (for filling
+// [in] buffers).
+func (o *Object) SetCells(vals []Value) error {
+	if len(vals) > len(o.cells) {
+		return fmt.Errorf("%w: writing %d cells into %s (len %d)", ErrOutOfBounds, len(vals), o.Name, len(o.cells))
+	}
+	for i, v := range vals {
+		o.cells[i] = coerce(v, o.kinds[i])
+	}
+	return nil
+}
+
+func zeroOf(k CellKind) Value {
+	switch k {
+	case CellFloat:
+		return FloatValue(0)
+	case CellPtr:
+		return PtrValue(Pointer{})
+	case CellChar:
+		return CharValue(0)
+	default:
+		return IntValue(0)
+	}
+}
+
+// coerce converts v to cell kind k with C semantics: floats truncate to
+// ints, chars wrap to 8 bits, ints widen to floats exactly.
+func coerce(v Value, k CellKind) Value {
+	switch k {
+	case CellInt:
+		return IntValue(int64(int32(v.Int())))
+	case CellChar:
+		return CharValue(v.Int())
+	case CellFloat:
+		return FloatValue(v.Float())
+	case CellPtr:
+		if v.kind == CellPtr {
+			return v
+		}
+		return PtrValue(Pointer{}) // storing a non-pointer nulls the cell
+	}
+	return v
+}
+
+// layout flattens a type into its cell kinds.
+func layout(t minic.Type) []CellKind {
+	switch v := t.(type) {
+	case minic.Basic:
+		switch v.Kind {
+		case minic.Char:
+			return []CellKind{CellChar}
+		case minic.Float, minic.Double:
+			return []CellKind{CellFloat}
+		case minic.Void:
+			return nil
+		default:
+			return []CellKind{CellInt}
+		}
+	case minic.Pointer:
+		return []CellKind{CellPtr}
+	case minic.Array:
+		n := v.Len
+		if n < 0 {
+			n = 0
+		}
+		elem := layout(v.Elem)
+		out := make([]CellKind, 0, n*len(elem))
+		for i := 0; i < n; i++ {
+			out = append(out, elem...)
+		}
+		return out
+	case *minic.StructType:
+		var out []CellKind
+		for _, f := range v.Fields {
+			out = append(out, layout(f.Type)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// cellsOf returns the number of cells a type occupies.
+func cellsOf(t minic.Type) int { return len(layout(t)) }
+
+// fieldOffset returns the cell offset of field name within struct st.
+func fieldOffset(st *minic.StructType, name string) (int, minic.Type, bool) {
+	off := 0
+	for _, f := range st.Fields {
+		if f.Name == name {
+			return off, f.Type, true
+		}
+		off += cellsOf(f.Type)
+	}
+	return 0, nil, false
+}

@@ -1,0 +1,370 @@
+// Package mem implements the region-based memory model used by the MiniC
+// symbolic execution engine, following the Clang Static Analyzer design the
+// paper describes in §VI-B: lvalue expressions map to memory regions via an
+// environment, regions map to (symbolic) values via a store, and regions can
+// be structured — an ElementRegion is a subregion of its array's region, a
+// FieldRegion of its struct's region, and a SymRegion stands for the unknown
+// block a symbolic pointer points to.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"privacyscope/internal/sym"
+)
+
+// Region is an abstract memory object. Regions are hash-consed by a Manager,
+// so two regions are the same object iff they denote the same memory.
+type Region interface {
+	// Key is a stable identifier usable as a map key.
+	Key() string
+	// String renders the region in the paper's Table IV notation
+	// (reg0, reg0[1], …).
+	String() string
+	// Super returns the parent region (nil for roots).
+	Super() Region
+}
+
+// VarRegion is the region of a named program variable in some frame.
+type VarRegion struct {
+	id    int
+	Name  string
+	Frame int // call-frame depth, distinguishing recursive locals
+}
+
+// Key implements Region.
+func (r *VarRegion) Key() string { return "v" + strconv.Itoa(r.id) }
+
+// String implements Region.
+func (r *VarRegion) String() string { return "reg" + strconv.Itoa(r.id) }
+
+// Super implements Region; variable regions are roots.
+func (r *VarRegion) Super() Region { return nil }
+
+// SymRegion represents the unknown memory block pointed to by a symbolic
+// pointer (e.g. an [in] pointer parameter of an ECALL). Its Pointee symbol
+// identifies the block; element reads produce fresh symbols per index.
+type SymRegion struct {
+	id      int
+	Pointee *sym.Symbol // identity of the unknown block
+	// SecretSource is non-zero when the block holds secret input; element
+	// reads then mint secret symbols.
+	SecretSource bool
+	DisplayName  string // e.g. "secrets" — used in Table IV style output
+}
+
+// Key implements Region.
+func (r *SymRegion) Key() string { return "sym" + strconv.Itoa(r.id) }
+
+// String implements Region.
+func (r *SymRegion) String() string { return "SymRegion{" + r.DisplayName + "}" }
+
+// Super implements Region; symbolic regions are roots.
+func (r *SymRegion) Super() Region { return nil }
+
+// ElementRegion is the subregion for array element super[index].
+type ElementRegion struct {
+	super Region
+	Index int // concrete element index
+}
+
+// Key implements Region.
+func (r *ElementRegion) Key() string {
+	return r.super.Key() + "[" + strconv.Itoa(r.Index) + "]"
+}
+
+// String implements Region.
+func (r *ElementRegion) String() string {
+	return regionBase(r.super) + "[" + strconv.Itoa(r.Index) + "]"
+}
+
+// Super implements Region.
+func (r *ElementRegion) Super() Region { return r.super }
+
+// FieldRegion is the subregion for struct field super.Field.
+type FieldRegion struct {
+	super Region
+	Field string
+}
+
+// Key implements Region.
+func (r *FieldRegion) Key() string { return r.super.Key() + "." + r.Field }
+
+// String implements Region.
+func (r *FieldRegion) String() string { return regionBase(r.super) + "." + r.Field }
+
+// Super implements Region.
+func (r *FieldRegion) Super() Region { return r.super }
+
+// regionBase renders the super-region part of a derived region's name in
+// Table IV notation (the paper writes reg0[1] even when reg0 is symbolic).
+func regionBase(r Region) string {
+	switch v := r.(type) {
+	case *VarRegion:
+		return v.String()
+	case *SymRegion:
+		return "reg" + strconv.Itoa(v.id)
+	default:
+		return r.String()
+	}
+}
+
+// Root walks Super links up to the root region.
+func Root(r Region) Region {
+	for r.Super() != nil {
+		r = r.Super()
+	}
+	return r
+}
+
+// Manager hash-conses regions so identical denotations share one object.
+// It is not safe for concurrent use; each analysis run owns one.
+type Manager struct {
+	nextID int
+	vars   map[string]*VarRegion
+	symRgs map[string]*SymRegion
+	elems  map[string]*ElementRegion
+	fields map[string]*FieldRegion
+}
+
+// NewManager returns an empty region manager.
+func NewManager() *Manager {
+	return &Manager{
+		vars:   make(map[string]*VarRegion),
+		symRgs: make(map[string]*SymRegion),
+		elems:  make(map[string]*ElementRegion),
+		fields: make(map[string]*FieldRegion),
+	}
+}
+
+// Var returns the region of variable name in the given frame.
+func (m *Manager) Var(name string, frame int) *VarRegion {
+	k := name + "@" + strconv.Itoa(frame)
+	if r, ok := m.vars[k]; ok {
+		return r
+	}
+	r := &VarRegion{id: m.nextID, Name: name, Frame: frame}
+	m.nextID++
+	m.vars[k] = r
+	return r
+}
+
+// SymBlock returns the SymRegion for the block identified by pointee.
+func (m *Manager) SymBlock(pointee *sym.Symbol, display string, secret bool) *SymRegion {
+	k := strconv.Itoa(pointee.ID)
+	if r, ok := m.symRgs[k]; ok {
+		return r
+	}
+	r := &SymRegion{id: m.nextID, Pointee: pointee, DisplayName: display, SecretSource: secret}
+	m.nextID++
+	m.symRgs[k] = r
+	return r
+}
+
+// Element returns the ElementRegion super[index].
+func (m *Manager) Element(super Region, index int) *ElementRegion {
+	k := super.Key() + "[" + strconv.Itoa(index) + "]"
+	if r, ok := m.elems[k]; ok {
+		return r
+	}
+	r := &ElementRegion{super: super, Index: index}
+	m.elems[k] = r
+	return r
+}
+
+// Field returns the FieldRegion super.field.
+func (m *Manager) Field(super Region, field string) *FieldRegion {
+	k := super.Key() + "." + field
+	if r, ok := m.fields[k]; ok {
+		return r
+	}
+	r := &FieldRegion{super: super, Field: field}
+	m.fields[k] = r
+	return r
+}
+
+// RegionCount returns how many distinct regions have been created, a metric
+// the Table IV bench reports.
+func (m *Manager) RegionCount() int {
+	return len(m.vars) + len(m.symRgs) + len(m.elems) + len(m.fields)
+}
+
+// SVal is a symbolic value stored in the store or produced by expression
+// evaluation: a scalar symbolic expression, a location (region address), or
+// undefined.
+type SVal interface {
+	isSVal()
+	String() string
+}
+
+// Scalar wraps a symbolic scalar expression.
+type Scalar struct {
+	E sym.Expr
+}
+
+func (Scalar) isSVal() {}
+
+// String implements SVal.
+func (s Scalar) String() string { return s.E.String() }
+
+// Loc is the address of a region (a pointer value).
+type Loc struct {
+	R Region
+}
+
+func (Loc) isSVal() {}
+
+// String implements SVal.
+func (l Loc) String() string { return "&" + l.R.String() }
+
+// Undefined is the value of uninitialized memory.
+type Undefined struct{}
+
+func (Undefined) isSVal() {}
+
+// String implements SVal.
+func (Undefined) String() string { return "undef" }
+
+// Store maps regions to SVals (σ in the paper's state 4-tuple). It is a
+// persistent-by-cloning map: Clone before forking.
+type Store struct {
+	vals map[string]entry
+}
+
+type entry struct {
+	region Region
+	val    SVal
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{vals: make(map[string]entry)}
+}
+
+// Bind records region → val.
+func (s *Store) Bind(r Region, v SVal) {
+	s.vals[r.Key()] = entry{region: r, val: v}
+}
+
+// Lookup returns the value bound to r, or (nil, false).
+func (s *Store) Lookup(r Region) (SVal, bool) {
+	e, ok := s.vals[r.Key()]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Remove deletes any binding for r.
+func (s *Store) Remove(r Region) { delete(s.vals, r.Key()) }
+
+// Len returns the number of bindings.
+func (s *Store) Len() int { return len(s.vals) }
+
+// Clone returns an independent copy for state forking.
+func (s *Store) Clone() *Store {
+	c := &Store{vals: make(map[string]entry, len(s.vals))}
+	for k, v := range s.vals {
+		c.vals[k] = v
+	}
+	return c
+}
+
+// Bindings returns all (region, value) pairs sorted by region key, for
+// deterministic rendering of Table IV rows.
+func (s *Store) Bindings() []struct {
+	Region Region
+	Val    SVal
+} {
+	keys := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		Region Region
+		Val    SVal
+	}, 0, len(keys))
+	for _, k := range keys {
+		e := s.vals[k]
+		out = append(out, struct {
+			Region Region
+			Val    SVal
+		}{e.region, e.val})
+	}
+	return out
+}
+
+// SubRegionsOf returns the bound regions whose root is the given root,
+// used to smear taint over a region when a symbolic index is written.
+func (s *Store) SubRegionsOf(root Region) []Region {
+	var out []Region
+	for _, e := range s.vals {
+		if Root(e.region) == root && e.region != root {
+			out = append(out, e.region)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Env is the environment mapping lvalue expressions (by display text) to
+// regions, as in the paper's state 4-tuple. It exists for rendering Table IV
+// and for debugging; the engine itself resolves lvalues structurally.
+type Env struct {
+	m map[string]Region
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{m: make(map[string]Region)}
+}
+
+// Bind records lvalue text → region.
+func (e *Env) Bind(lvalue string, r Region) { e.m[lvalue] = r }
+
+// Lookup returns the region for an lvalue.
+func (e *Env) Lookup(lvalue string) (Region, bool) {
+	r, ok := e.m[lvalue]
+	return r, ok
+}
+
+// Len returns the number of bindings.
+func (e *Env) Len() int { return len(e.m) }
+
+// Clone returns an independent copy.
+func (e *Env) Clone() *Env {
+	c := &Env{m: make(map[string]Region, len(e.m))}
+	for k, v := range e.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Bindings returns (lvalue, region) pairs sorted by lvalue.
+func (e *Env) Bindings() []struct {
+	LValue string
+	Region Region
+} {
+	keys := make([]string, 0, len(e.m))
+	for k := range e.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		LValue string
+		Region Region
+	}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct {
+			LValue string
+			Region Region
+		}{k, e.m[k]})
+	}
+	return out
+}
+
+// String renders a compact description.
+func (e *Env) String() string { return fmt.Sprintf("env(%d lvalues)", len(e.m)) }

@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+
+	"privacyscope/internal/sym"
+	"privacyscope/internal/taint"
+)
+
+func newSymBuilder() *sym.Builder {
+	var alloc taint.Allocator
+	return sym.NewBuilder(&alloc)
+}
+
+func TestManagerHashConsing(t *testing.T) {
+	m := NewManager()
+	a := m.Var("x", 0)
+	b := m.Var("x", 0)
+	if a != b {
+		t.Error("same variable must yield same region")
+	}
+	if m.Var("x", 1) == a {
+		t.Error("different frame must yield different region")
+	}
+	if m.Var("y", 0) == a {
+		t.Error("different name must yield different region")
+	}
+
+	e1 := m.Element(a, 0)
+	e2 := m.Element(a, 0)
+	if e1 != e2 {
+		t.Error("same element must be hash-consed")
+	}
+	if m.Element(a, 1) == e1 {
+		t.Error("different index must differ")
+	}
+
+	f1 := m.Field(a, "weight")
+	f2 := m.Field(a, "weight")
+	if f1 != f2 {
+		t.Error("same field must be hash-consed")
+	}
+
+	sb := newSymBuilder()
+	p := sb.FreshSecret("secrets")
+	s1 := m.SymBlock(p, "secrets", true)
+	s2 := m.SymBlock(p, "secrets", true)
+	if s1 != s2 {
+		t.Error("same pointee must yield same SymRegion")
+	}
+	if !s1.SecretSource {
+		t.Error("SecretSource lost")
+	}
+	if m.RegionCount() != 7 {
+		t.Errorf("RegionCount = %d, want 7", m.RegionCount())
+	}
+}
+
+func TestRegionStringsAndKeys(t *testing.T) {
+	m := NewManager()
+	sb := newSymBuilder()
+	p := sb.FreshSecret("secrets")
+	blk := m.SymBlock(p, "secrets", true)
+	el := m.Element(blk, 1)
+	if el.String() != "reg0[1]" {
+		t.Errorf("element String = %q, want reg0[1]", el.String())
+	}
+	v := m.Var("temporary", 0)
+	fl := m.Field(v, "bias")
+	if fl.Key() == el.Key() {
+		t.Error("distinct regions must have distinct keys")
+	}
+	if Root(el) != blk {
+		t.Error("Root of element must be the block")
+	}
+	if Root(v) != v {
+		t.Error("Root of var is itself")
+	}
+	if el.Super() != blk || fl.Super() != v {
+		t.Error("Super links wrong")
+	}
+	if v.Super() != nil || blk.Super() != nil {
+		t.Error("roots must have nil Super")
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	m := NewManager()
+	st := NewStore()
+	x := m.Var("x", 0)
+	if _, ok := st.Lookup(x); ok {
+		t.Error("empty store must miss")
+	}
+	st.Bind(x, Scalar{E: sym.IntConst{V: 42}})
+	v, ok := st.Lookup(x)
+	if !ok {
+		t.Fatal("Lookup after Bind failed")
+	}
+	if v.String() != "42" {
+		t.Errorf("value = %q", v.String())
+	}
+	st.Bind(x, Undefined{})
+	v, _ = st.Lookup(x)
+	if _, isUndef := v.(Undefined); !isUndef {
+		t.Error("rebind must overwrite")
+	}
+	st.Remove(x)
+	if st.Len() != 0 {
+		t.Error("Remove failed")
+	}
+}
+
+func TestStoreCloneIndependent(t *testing.T) {
+	m := NewManager()
+	st := NewStore()
+	x := m.Var("x", 0)
+	st.Bind(x, Scalar{E: sym.IntConst{V: 1}})
+	c := st.Clone()
+	c.Bind(x, Scalar{E: sym.IntConst{V: 2}})
+	v, _ := st.Lookup(x)
+	if v.String() != "1" {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestStoreBindingsSorted(t *testing.T) {
+	m := NewManager()
+	st := NewStore()
+	sb := newSymBuilder()
+	blk := m.SymBlock(sb.FreshPublic("p"), "p", false)
+	st.Bind(m.Element(blk, 2), Scalar{E: sym.IntConst{V: 2}})
+	st.Bind(m.Element(blk, 0), Scalar{E: sym.IntConst{V: 0}})
+	st.Bind(m.Element(blk, 1), Scalar{E: sym.IntConst{V: 1}})
+	bs := st.Bindings()
+	if len(bs) != 3 {
+		t.Fatalf("Bindings len = %d", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Region.Key() > bs[i].Region.Key() {
+			t.Error("Bindings not sorted")
+		}
+	}
+}
+
+func TestSubRegionsOf(t *testing.T) {
+	m := NewManager()
+	st := NewStore()
+	sb := newSymBuilder()
+	blk := m.SymBlock(sb.FreshSecret("secrets"), "secrets", true)
+	other := m.Var("x", 0)
+	st.Bind(m.Element(blk, 0), Scalar{E: sym.IntConst{V: 1}})
+	st.Bind(m.Element(blk, 1), Scalar{E: sym.IntConst{V: 2}})
+	st.Bind(other, Scalar{E: sym.IntConst{V: 3}})
+	subs := st.SubRegionsOf(blk)
+	if len(subs) != 2 {
+		t.Fatalf("SubRegionsOf = %v", subs)
+	}
+	for _, r := range subs {
+		if Root(r) != blk {
+			t.Error("wrong root in SubRegionsOf result")
+		}
+	}
+}
+
+func TestEnv(t *testing.T) {
+	m := NewManager()
+	env := NewEnv()
+	r := m.Var("secrets", 0)
+	env.Bind("secrets", r)
+	got, ok := env.Lookup("secrets")
+	if !ok || got != r {
+		t.Error("env Lookup failed")
+	}
+	if _, ok := env.Lookup("missing"); ok {
+		t.Error("missing lvalue should miss")
+	}
+	c := env.Clone()
+	c.Bind("x", m.Var("x", 0))
+	if env.Len() != 1 || c.Len() != 2 {
+		t.Error("clone independence broken")
+	}
+	bs := c.Bindings()
+	if len(bs) != 2 || bs[0].LValue > bs[1].LValue {
+		t.Error("Bindings not sorted")
+	}
+}
+
+func TestSValStrings(t *testing.T) {
+	m := NewManager()
+	r := m.Var("x", 0)
+	if (Loc{R: r}).String() != "&reg0" {
+		t.Errorf("Loc String = %q", Loc{R: r}.String())
+	}
+	if (Undefined{}).String() != "undef" {
+		t.Error("Undefined String wrong")
+	}
+	if (Scalar{E: sym.IntConst{V: 7}}).String() != "7" {
+		t.Error("Scalar String wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an expression in compact C syntax, used by trace
+// tables and diagnostics.
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case nil:
+		return ""
+	case *IdentExpr:
+		return v.Name
+	case *IntLitExpr:
+		return fmt.Sprintf("%d", v.V)
+	case *FloatLitExpr:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%g", v.V), "0"), ".")
+	case *StringLitExpr:
+		return fmt.Sprintf("%q", v.V)
+	case *BinExpr:
+		return ExprString(v.L) + " " + v.Op.String() + " " + ExprString(v.R)
+	case *UnExpr:
+		return v.Op.String() + ExprString(v.X)
+	case *AssignExpr:
+		op := "="
+		if v.Op != 0 {
+			op = v.Op.String() + "="
+		}
+		return ExprString(v.LHS) + " " + op + " " + ExprString(v.RHS)
+	case *IncDecExpr:
+		op := "++"
+		if v.Decr {
+			op = "--"
+		}
+		if v.Prefix {
+			return op + ExprString(v.X)
+		}
+		return ExprString(v.X) + op
+	case *IndexExpr:
+		return ExprString(v.X) + "[" + ExprString(v.Index) + "]"
+	case *CallExpr:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			parts[i] = ExprString(a)
+		}
+		return v.Fun + "(" + strings.Join(parts, ", ") + ")"
+	case *MemberExpr:
+		sep := "."
+		if v.Arrow {
+			sep = "->"
+		}
+		return ExprString(v.X) + sep + v.Field
+	case *DerefExpr:
+		return "*" + ExprString(v.X)
+	case *AddrExpr:
+		return "&" + ExprString(v.X)
+	case *CastExpr:
+		return "(" + v.To.String() + ")" + ExprString(v.X)
+	case *CondExpr:
+		return ExprString(v.Cond) + " ? " + ExprString(v.Then) + " : " + ExprString(v.Else)
+	case *SizeofExpr:
+		if v.Ty != nil {
+			return "sizeof(" + v.Ty.String() + ")"
+		}
+		return "sizeof " + ExprString(v.X)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// StmtString renders a one-line summary of a statement (bodies elided).
+func StmtString(s Stmt) string {
+	switch v := s.(type) {
+	case nil:
+		return ""
+	case *Block:
+		return "{...}"
+	case *EmptyStmt:
+		return ";"
+	case *DeclStmt:
+		parts := make([]string, len(v.Decls))
+		for i, d := range v.Decls {
+			p := d.Type.String() + " " + d.Name
+			if d.Init != nil {
+				p += " = " + ExprString(d.Init)
+			}
+			parts[i] = p
+		}
+		return strings.Join(parts, ", ")
+	case *ExprStmt:
+		return ExprString(v.X)
+	case *IfStmt:
+		return "if (" + ExprString(v.Cond) + ")"
+	case *WhileStmt:
+		return "while (" + ExprString(v.Cond) + ")"
+	case *DoWhileStmt:
+		return "do ... while (" + ExprString(v.Cond) + ")"
+	case *SwitchStmt:
+		return "switch (" + ExprString(v.Tag) + ")"
+	case *ForStmt:
+		return "for (" + StmtString(v.Init) + "; " + ExprString(v.Cond) + "; " + ExprString(v.Post) + ")"
+	case *ReturnStmt:
+		if v.X == nil {
+			return "return"
+		}
+		return "return " + ExprString(v.X)
+	case *BreakStmt:
+		return "break"
+	case *ContinueStmt:
+		return "continue"
+	default:
+		return fmt.Sprintf("<%T>", s)
+	}
+}

@@ -1,0 +1,177 @@
+package minic
+
+import "testing"
+
+func exprOf(t *testing.T, src string) Expr {
+	t.Helper()
+	f := MustParse("int f(int a, int b, int *p) { return " + src + "; }")
+	fn, _ := f.Function("f")
+	return fn.Body.Stmts[0].(*ReturnStmt).X
+}
+
+func TestExprString(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"a + b * 2", "a + b * 2"},
+		{"-a", "-a"},
+		{"!a", "!a"},
+		{"~a", "~a"},
+		{"p[3]", "p[3]"},
+		{"*p", "*p"},
+		{"a > b ? a : b", "a > b ? a : b"},
+		{"(int)a", "(int)a"},
+		{"sizeof(int)", "sizeof(int)"},
+		{"sizeof a", "sizeof a"},
+		{"a == b && a != 2", "a == b && a != 2"},
+	}
+	for _, tt := range tests {
+		if got := ExprString(exprOf(t, tt.src)); got != tt.want {
+			t.Errorf("ExprString(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	if ExprString(nil) != "" {
+		t.Error("nil expr must render empty")
+	}
+}
+
+func TestExprStringEffects(t *testing.T) {
+	f := MustParse(`
+struct S { int v; };
+int f(int a, int *p, struct S *s) {
+    a = 1;
+    a += 2;
+    a++;
+    --a;
+    p[0] = a;
+    s->v = 3;
+    g(a, 4);
+    return a;
+}
+int g(int x, int y) { return x + y; }
+`)
+	fn, _ := f.Function("f")
+	wants := []string{
+		"a = 1", "a += 2", "a++", "--a", "p[0] = a", "s->v = 3", "g(a, 4)",
+	}
+	for i, want := range wants {
+		got := ExprString(fn.Body.Stmts[i].(*ExprStmt).X)
+		if got != want {
+			t.Errorf("stmt %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestExprStringLiterals(t *testing.T) {
+	f := MustParse(`int f(void) { printf("hi %d", 1); return 0; }`)
+	fn, _ := f.Function("f")
+	got := ExprString(fn.Body.Stmts[0].(*ExprStmt).X)
+	if got != `printf("hi %d", 1)` {
+		t.Errorf("call = %q", got)
+	}
+	lit := exprOf(t, "1")
+	if ExprString(lit) != "1" {
+		t.Error("int literal wrong")
+	}
+}
+
+func TestStmtStringForms(t *testing.T) {
+	f := MustParse(`
+int f(int a) {
+    int x = 1;
+    if (a > 0) { x = 2; }
+    while (x < 10) x++;
+    for (int i = 0; i < 3; i++) { x += i; }
+    ;
+    return x;
+}
+`)
+	fn, _ := f.Function("f")
+	wants := []string{
+		"int x = 1",
+		"if (a > 0)",
+		"while (x < 10)",
+		"for (int i = 0; i < 3; i++)",
+		";",
+		"return x",
+	}
+	for i, want := range wants {
+		if got := StmtString(fn.Body.Stmts[i]); got != want {
+			t.Errorf("stmt %d = %q, want %q", i, got, want)
+		}
+	}
+	if StmtString(nil) != "" {
+		t.Error("nil stmt must render empty")
+	}
+	if StmtString(fn.Body) != "{...}" {
+		t.Error("block renders as {...}")
+	}
+	loop := fn.Body.Stmts[1].(*IfStmt)
+	if StmtString(loop.Then) != "{...}" {
+		t.Error("nested block wrong")
+	}
+}
+
+func TestStmtStringBreakContinueReturn(t *testing.T) {
+	f := MustParse(`
+int f(void) {
+    for (;;) { break; }
+    while (1) { continue; }
+    return 0;
+}
+void g(void) { return; }
+`)
+	fn, _ := f.Function("f")
+	forStmt := fn.Body.Stmts[0].(*ForStmt)
+	if got := StmtString(forStmt); got != "for (; ; )" {
+		t.Errorf("empty for = %q", got)
+	}
+	inner := forStmt.Body.(*Block).Stmts[0]
+	if StmtString(inner) != "break" {
+		t.Error("break wrong")
+	}
+	whileStmt := fn.Body.Stmts[1].(*WhileStmt)
+	if StmtString(whileStmt.Body.(*Block).Stmts[0]) != "continue" {
+		t.Error("continue wrong")
+	}
+	g, _ := f.Function("g")
+	if StmtString(g.Body.Stmts[0]) != "return" {
+		t.Error("bare return wrong")
+	}
+}
+
+func TestLexStringLiteral(t *testing.T) {
+	f := MustParse(`int f(void) { printf("a\n\t\"q\"\\z"); return 0; }`)
+	fn, _ := f.Function("f")
+	call := fn.Body.Stmts[0].(*ExprStmt).X.(*CallExpr)
+	lit := call.Args[0].(*StringLitExpr)
+	if lit.V != "a\n\t\"q\"\\z" {
+		t.Errorf("string = %q", lit.V)
+	}
+	if _, err := Parse(`int f(void) { printf("unterminated`); err == nil {
+		t.Error("unterminated string must error")
+	}
+}
+
+func TestDescribeStruct(t *testing.T) {
+	f := MustParse("struct P { int x; float y; }; int f(void) { return 0; }")
+	st, _ := f.Struct("P")
+	want := "struct P { int x; float y; }"
+	if got := st.Describe(); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+	if !(Basic{Kind: Int}).IsInteger() || (Basic{Kind: Float}).IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+}
+
+func TestLexHexLiterals(t *testing.T) {
+	f := MustParse(`int f(void) { int a = 0xFF; int b = 0x10; return a + b; }`)
+	fn, _ := f.Function("f")
+	a := fn.Body.Stmts[0].(*DeclStmt).Decls[0].Init.(*IntLitExpr)
+	b := fn.Body.Stmts[1].(*DeclStmt).Decls[0].Init.(*IntLitExpr)
+	if a.V != 255 || b.V != 16 {
+		t.Errorf("hex literals = %d, %d", a.V, b.V)
+	}
+	if _, err := Parse("int f(void) { return 0x; }"); err == nil {
+		t.Error("bare 0x must error")
+	}
+}

@@ -1,0 +1,307 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultBuiltins lists library functions the analysis engines give
+// semantics to (math, memory and the SGX/IPP intrinsics of §VI-B). Code may
+// call them without defining them.
+var DefaultBuiltins = []string{
+	"sqrt", "fabs", "abs", "exp", "log", "pow", "floor", "ceil",
+	"memcpy", "memset", "malloc", "free", "rand", "srand", "printf",
+	"sgx_rijndael128GCM_decrypt", "sgx_rijndael128GCM_encrypt",
+	"sgx_read_rand", "ocall_print",
+}
+
+// CheckError aggregates semantic errors found in one file.
+type CheckError struct {
+	Errs []*Error
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	msgs := make([]string, len(e.Errs))
+	for i, err := range e.Errs {
+		msgs[i] = err.Error()
+	}
+	return strings.Join(msgs, "; ")
+}
+
+// Checker performs name resolution and structural checks over a parsed
+// file: undeclared identifiers, unknown call targets, duplicate
+// declarations in a scope, and break/continue outside loops. It is
+// deliberately lenient about numeric conversions, as C is.
+type Checker struct {
+	builtins map[string]bool
+}
+
+// NewChecker returns a checker that accepts calls to the given builtin
+// functions in addition to functions defined in the file.
+func NewChecker(builtins []string) *Checker {
+	m := make(map[string]bool, len(builtins))
+	for _, b := range builtins {
+		m[b] = true
+	}
+	return &Checker{builtins: m}
+}
+
+// Check validates the file; it returns a *CheckError listing every problem
+// found, or nil.
+func (c *Checker) Check(f *File) error {
+	cc := &checkCtx{
+		checker: c,
+		file:    f,
+		funcs:   make(map[string]*FuncDecl, len(f.Functions)),
+	}
+	for _, fn := range f.Functions {
+		if prev, dup := cc.funcs[fn.Name]; dup && prev.Body != nil && fn.Body != nil {
+			cc.errorf(fn.Pos, "duplicate function %s", fn.Name)
+		}
+		cc.funcs[fn.Name] = fn
+	}
+	globals := newScope(nil)
+	for _, g := range f.Globals {
+		if !globals.declare(g) {
+			cc.errorf(g.Pos, "duplicate global %s", g.Name)
+		}
+		if g.Init != nil {
+			cc.expr(g.Init, globals, 0)
+		}
+	}
+	for _, fn := range f.Functions {
+		if fn.Body == nil {
+			continue
+		}
+		sc := newScope(globals)
+		for _, p := range fn.Params {
+			if p.Name == "" {
+				continue
+			}
+			if !sc.declare(p) {
+				cc.errorf(p.Pos, "duplicate parameter %s in %s", p.Name, fn.Name)
+			}
+		}
+		cc.block(fn.Body, sc, 0)
+	}
+	if len(cc.errs) > 0 {
+		return &CheckError{Errs: cc.errs}
+	}
+	return nil
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]*VarDecl
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: make(map[string]*VarDecl)}
+}
+
+func (s *scope) declare(d *VarDecl) bool {
+	if _, exists := s.vars[d.Name]; exists {
+		return false
+	}
+	s.vars[d.Name] = d
+	return true
+}
+
+func (s *scope) lookup(name string) (*VarDecl, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if d, ok := sc.vars[name]; ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+type checkCtx struct {
+	checker *Checker
+	file    *File
+	funcs   map[string]*FuncDecl
+	errs    []*Error
+}
+
+func (c *checkCtx) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checkCtx) block(b *Block, outer *scope, loopDepth int) {
+	sc := newScope(outer)
+	for _, s := range b.Stmts {
+		c.stmt(s, sc, loopDepth)
+	}
+}
+
+func (c *checkCtx) stmt(s Stmt, sc *scope, loopDepth int) {
+	switch v := s.(type) {
+	case *Block:
+		c.block(v, sc, loopDepth)
+	case *EmptyStmt:
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			if d.Init != nil {
+				c.expr(d.Init, sc, loopDepth)
+			}
+			if !sc.declare(d) {
+				c.errorf(d.Pos, "duplicate declaration of %s", d.Name)
+			}
+		}
+	case *ExprStmt:
+		c.expr(v.X, sc, loopDepth)
+	case *IfStmt:
+		c.expr(v.Cond, sc, loopDepth)
+		c.stmt(v.Then, sc, loopDepth)
+		if v.Else != nil {
+			c.stmt(v.Else, sc, loopDepth)
+		}
+	case *WhileStmt:
+		c.expr(v.Cond, sc, loopDepth)
+		c.stmt(v.Body, sc, loopDepth+1)
+	case *DoWhileStmt:
+		c.stmt(v.Body, sc, loopDepth+1)
+		c.expr(v.Cond, sc, loopDepth)
+	case *SwitchStmt:
+		c.expr(v.Tag, sc, loopDepth)
+		defaults := 0
+		for _, cs := range v.Cases {
+			if cs.IsDefault {
+				defaults++
+				if defaults > 1 {
+					c.errorf(cs.Pos, "multiple default cases in switch")
+				}
+			} else {
+				c.expr(cs.Value, sc, loopDepth)
+			}
+			inner := newScope(sc)
+			for _, s := range cs.Body {
+				// break binds to the switch: allow it in case bodies.
+				c.stmt(s, inner, loopDepth+1)
+			}
+		}
+	case *ForStmt:
+		inner := newScope(sc)
+		if v.Init != nil {
+			c.stmt(v.Init, inner, loopDepth)
+		}
+		if v.Cond != nil {
+			c.expr(v.Cond, inner, loopDepth)
+		}
+		if v.Post != nil {
+			c.expr(v.Post, inner, loopDepth)
+		}
+		c.stmt(v.Body, inner, loopDepth+1)
+	case *ReturnStmt:
+		if v.X != nil {
+			c.expr(v.X, sc, loopDepth)
+		}
+	case *BreakStmt:
+		if loopDepth == 0 {
+			c.errorf(v.Pos, "break outside loop")
+		}
+	case *ContinueStmt:
+		if loopDepth == 0 {
+			c.errorf(v.Pos, "continue outside loop")
+		}
+	}
+}
+
+func (c *checkCtx) expr(e Expr, sc *scope, loopDepth int) {
+	switch v := e.(type) {
+	case *IdentExpr:
+		if _, ok := sc.lookup(v.Name); !ok {
+			if _, isFn := c.funcs[v.Name]; !isFn {
+				c.errorf(v.Pos, "undeclared identifier %s", v.Name)
+			}
+		}
+	case *IntLitExpr, *FloatLitExpr, *StringLitExpr:
+	case *BinExpr:
+		c.expr(v.L, sc, loopDepth)
+		c.expr(v.R, sc, loopDepth)
+	case *UnExpr:
+		c.expr(v.X, sc, loopDepth)
+	case *AssignExpr:
+		if !isLValue(v.LHS) {
+			c.errorf(v.Pos, "assignment target is not an lvalue")
+		}
+		c.expr(v.LHS, sc, loopDepth)
+		c.expr(v.RHS, sc, loopDepth)
+	case *IncDecExpr:
+		if !isLValue(v.X) {
+			c.errorf(v.Pos, "++/-- target is not an lvalue")
+		}
+		c.expr(v.X, sc, loopDepth)
+	case *IndexExpr:
+		c.expr(v.X, sc, loopDepth)
+		c.expr(v.Index, sc, loopDepth)
+	case *CallExpr:
+		if _, defined := c.funcs[v.Fun]; !defined && !c.checker.builtins[v.Fun] {
+			c.errorf(v.Pos, "call to unknown function %s", v.Fun)
+		}
+		if fn, defined := c.funcs[v.Fun]; defined && len(v.Args) != len(fn.Params) {
+			c.errorf(v.Pos, "%s expects %d arguments, got %d", v.Fun, len(fn.Params), len(v.Args))
+		}
+		for _, a := range v.Args {
+			c.expr(a, sc, loopDepth)
+		}
+	case *MemberExpr:
+		c.expr(v.X, sc, loopDepth)
+	case *DerefExpr:
+		c.expr(v.X, sc, loopDepth)
+	case *AddrExpr:
+		c.expr(v.X, sc, loopDepth)
+	case *CastExpr:
+		c.expr(v.X, sc, loopDepth)
+	case *CondExpr:
+		c.expr(v.Cond, sc, loopDepth)
+		c.expr(v.Then, sc, loopDepth)
+		c.expr(v.Else, sc, loopDepth)
+	case *SizeofExpr:
+		if v.X != nil {
+			c.expr(v.X, sc, loopDepth)
+		}
+	}
+}
+
+// isLValue reports whether e designates a memory location.
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *IdentExpr, *IndexExpr, *MemberExpr, *DerefExpr:
+		return true
+	}
+	return false
+}
+
+// SizeOf returns the byte size of a scalar/struct type in this model
+// (char 1, int/float 4, double 8, pointer 8).
+func SizeOf(t Type) int {
+	switch v := t.(type) {
+	case Basic:
+		switch v.Kind {
+		case Char:
+			return 1
+		case Int, Float:
+			return 4
+		case Double:
+			return 8
+		default:
+			return 0
+		}
+	case Pointer:
+		return 8
+	case Array:
+		if v.Len < 0 {
+			return 8
+		}
+		return v.Len * SizeOf(v.Elem)
+	case *StructType:
+		n := 0
+		for _, f := range v.Fields {
+			n += SizeOf(f.Type)
+		}
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package minic
+
+import "testing"
+
+func TestParseDoWhile(t *testing.T) {
+	f := MustParse(`
+int f(int n) {
+    int total = 0;
+    do {
+        total += n;
+        n--;
+    } while (n > 0);
+    return total;
+}
+`)
+	fn, _ := f.Function("f")
+	dw, ok := fn.Body.Stmts[1].(*DoWhileStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", fn.Body.Stmts[1])
+	}
+	if ExprString(dw.Cond) != "n > 0" {
+		t.Errorf("cond = %q", ExprString(dw.Cond))
+	}
+	if StmtString(dw) != "do ... while (n > 0)" {
+		t.Errorf("StmtString = %q", StmtString(dw))
+	}
+	// Missing semicolon after while(...) is an error.
+	if _, err := Parse("int f(void) { do {} while (1) return 0; }"); err == nil {
+		t.Error("missing ; must error")
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := MustParse(`
+int f(int x) {
+    int r = 0;
+    switch (x) {
+    case 1:
+        r = 10;
+        break;
+    case 2:
+    case 3:
+        r = 20;
+        break;
+    default:
+        r = 30;
+    }
+    return r;
+}
+`)
+	fn, _ := f.Function("f")
+	sw, ok := fn.Body.Stmts[1].(*SwitchStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", fn.Body.Stmts[1])
+	}
+	if len(sw.Cases) != 4 {
+		t.Fatalf("cases = %d", len(sw.Cases))
+	}
+	if !sw.Cases[3].IsDefault {
+		t.Error("last case must be default")
+	}
+	if len(sw.Cases[1].Body) != 0 {
+		t.Error("case 2 falls through with empty body")
+	}
+	if StmtString(sw) != "switch (x)" {
+		t.Errorf("StmtString = %q", StmtString(sw))
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	bad := []string{
+		"int f(int x) { switch (x) { foo: ; } return 0; }",
+		"int f(int x) { switch (x) { case 1 } return 0; }",
+		"int f(int x) { switch (x) { case 1:",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSemaSwitch(t *testing.T) {
+	// break inside switch is legal even outside loops.
+	ok := `
+int f(int x) {
+    switch (x) {
+    case 1: break;
+    default: x = 0;
+    }
+    return x;
+}
+`
+	if err := NewChecker(DefaultBuiltins).Check(MustParse(ok)); err != nil {
+		t.Errorf("valid switch rejected: %v", err)
+	}
+	// Two defaults are rejected.
+	dup := `
+int f(int x) {
+    switch (x) {
+    default: x = 1;
+    default: x = 2;
+    }
+    return x;
+}
+`
+	if err := NewChecker(DefaultBuiltins).Check(MustParse(dup)); err == nil {
+		t.Error("duplicate default must be rejected")
+	}
+	// Case-scope declarations resolve.
+	scoped := `
+int f(int x) {
+    switch (x) {
+    case 1: {
+        int y = 2;
+        x = y;
+    }
+    }
+    return x;
+}
+`
+	if err := NewChecker(DefaultBuiltins).Check(MustParse(scoped)); err != nil {
+		t.Errorf("scoped case rejected: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package minic implements a C-subset front end ("MiniC"): lexer, parser,
+// AST and a light semantic checker. It plays the role of the Clang front
+// end in the paper's prototype, covering the C features the evaluated
+// SGX/ML code uses: functions, pointers, one- and two-dimensional arrays,
+// structs, int/char/float/double scalars, control flow (if/while/for),
+// assignment operators, a minimal #define/#include-tolerant preprocessor,
+// and line/block comments.
+package minic
+
+import "fmt"
+
+// Kind enumerates MiniC token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwFloat
+	KwDouble
+	KwVoid
+	KwLong
+	KwUnsigned
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwSwitch
+	KwCase
+	KwDefault
+	KwReturn
+	KwStruct
+	KwBreak
+	KwContinue
+	KwConst
+	KwSizeof
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Dot
+	Arrow // ->
+
+	// Operators.
+	Assign // =
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	CaretAssign
+	AmpAssign
+	PipeAssign
+	ShlAssign
+	ShrAssign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Inc // ++
+	Dec // --
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+	Bang
+	Question
+	Colon
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "int literal", FloatLit: "float literal",
+	CharLit: "char literal", StringLit: "string literal",
+	KwInt: "int", KwChar: "char", KwFloat: "float", KwDouble: "double",
+	KwVoid: "void", KwLong: "long", KwUnsigned: "unsigned",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for",
+	KwDo: "do", KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	KwReturn: "return", KwStruct: "struct", KwBreak: "break",
+	KwContinue: "continue", KwConst: "const", KwSizeof: "sizeof",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semi: ";", Dot: ".", Arrow: "->",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", CaretAssign: "^=",
+	AmpAssign: "&=", PipeAssign: "|=", ShlAssign: "<<=", ShrAssign: ">>=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Inc: "++", Dec: "--",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Shl: "<<", Shr: ">>",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Bang: "!", Question: "?", Colon: ":",
+}
+
+// String names the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywordKinds = map[string]Kind{
+	"int": KwInt, "char": KwChar, "float": KwFloat, "double": KwDouble,
+	"void": KwVoid, "long": KwLong, "unsigned": KwUnsigned,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor,
+	"do": KwDo, "switch": KwSwitch, "case": KwCase, "default": KwDefault,
+	"return": KwReturn, "struct": KwStruct, "break": KwBreak,
+	"continue": KwContinue, "const": KwConst, "sizeof": KwSizeof,
+}
+
+// Token is a lexed MiniC token.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Int   int64
+	Float float64
+	Pos   Pos
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }

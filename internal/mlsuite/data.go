@@ -1,0 +1,144 @@
+package mlsuite
+
+import "strings"
+
+// Deterministic synthetic workload generation. The paper's evaluation used
+// private user data the authors cannot publish; these generators produce
+// the same *shapes* (linear data with noise, separable clusters, item-
+// biased ratings) from a seeded xorshift PRNG so every example, test and
+// bench is reproducible.
+
+// Rand is a small deterministic PRNG (xorshift64*).
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a generator; seed 0 is mapped to 1.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *Rand) Uint64() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// LinearData generates n points on slope·x + intercept with ±noise.
+func LinearData(seed uint64, n int, intercept, slope, noise float64) (xs, ys []float64) {
+	rng := NewRand(seed)
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Range(0, 10)
+		ys[i] = intercept + slope*xs[i] + rng.Range(-noise, noise)
+	}
+	return xs, ys
+}
+
+// ClusteredPoints generates n points in dim dimensions around k well-
+// separated centers.
+func ClusteredPoints(seed uint64, n, dim, k int) [][]float64 {
+	rng := NewRand(seed)
+	points := make([][]float64, n)
+	for i := range points {
+		center := float64(i%k) * 10
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = center + rng.Range(-1, 1)
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// Ratings generates n ratings in [1, 5] with a per-item bias (item = index
+// parity when nItems is 2, matching the Recommender port).
+func Ratings(seed uint64, n, nItems int) []float64 {
+	rng := NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		bias := 0.5 * float64(i%nItems)
+		v := 3 + bias + rng.Range(-1, 1)
+		if v < 1 {
+			v = 1
+		}
+		if v > 5 {
+			v = 5
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CountLoC counts non-blank source lines, the metric of Table V.
+func CountLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Module bundles one evaluation target as Table V lists it.
+type Module struct {
+	// Name as printed in Table V.
+	Name string
+	// C is the enclave source; EDL its interface.
+	C, EDL string
+	// Entry points to analyze, in order.
+	ECalls []string
+	// PaperLoC is the size the paper reports (Table V).
+	PaperLoC int
+	// PaperSeconds is the analysis time the paper reports (Table V).
+	PaperSeconds float64
+}
+
+// ExtensionModules returns workloads beyond the paper's evaluation
+// (analyzed and tested, but not part of Table V).
+func ExtensionModules() []Module {
+	return []Module{
+		{
+			Name: "LogisticRegression", C: LogRegC, EDL: LogRegEDL,
+			ECalls: []string{"enclave_train_logreg"},
+		},
+	}
+}
+
+// Modules returns the three Table V targets.
+func Modules() []Module {
+	return []Module{
+		{
+			Name: "LinearRegression", C: LinRegC, EDL: LinRegEDL,
+			ECalls:   []string{"enclave_train_linreg"},
+			PaperLoC: 161, PaperSeconds: 2.549,
+		},
+		{
+			Name: "Kmeans", C: KmeansC, EDL: KmeansEDL,
+			ECalls:   []string{"enclave_train_kmeans"},
+			PaperLoC: 179, PaperSeconds: 4.654,
+		},
+		{
+			Name: "Recommender", C: RecommenderC, EDL: RecommenderEDL,
+			ECalls:   RecommenderECalls,
+			PaperLoC: 117, PaperSeconds: 1.758,
+		},
+	}
+}

@@ -1,0 +1,160 @@
+package mlsuite
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file holds Go reference implementations of the three algorithms.
+// They serve two purposes: realistic workloads for the examples, and
+// differential-testing oracles for the MiniC ports (same formulas, same
+// seeding, same tie-breaking).
+
+// ErrBadInput reports malformed training data.
+var ErrBadInput = errors.New("mlsuite: bad input")
+
+// LinearModel is a fitted univariate OLS model.
+type LinearModel struct {
+	Intercept float64
+	Slope     float64
+	SSE       float64
+}
+
+// FitLinear fits y = b0 + b1·x by ordinary least squares, mirroring the
+// MiniC port exactly.
+func FitLinear(xs, ys []float64) (*LinearModel, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return nil, fmt.Errorf("%w: need ≥2 paired samples", ErrBadInput)
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, varx float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		varx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if varx == 0 {
+		return nil, fmt.Errorf("%w: zero variance in x", ErrBadInput)
+	}
+	m := &LinearModel{Slope: cov / varx}
+	m.Intercept = my - m.Slope*mx
+	for i := range xs {
+		r := ys[i] - m.Predict(xs[i])
+		m.SSE += r * r
+	}
+	return m, nil
+}
+
+// Predict evaluates the fitted line.
+func (m *LinearModel) Predict(x float64) float64 {
+	return m.Intercept + m.Slope*x
+}
+
+// KMeans runs Lloyd's algorithm with the same conventions as the MiniC
+// port: centroids seeded from the first k points, strict-< nearest
+// assignment (ties to the later centroid), empty clusters keep their
+// centroid. Points are row vectors; all rows must share a dimension.
+func KMeans(points [][]float64, k, iters int) ([][]float64, []int, error) {
+	if k <= 0 || len(points) < k {
+		return nil, nil, fmt.Errorf("%w: need ≥k points", ErrBadInput)
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, nil, fmt.Errorf("%w: ragged points", ErrBadInput)
+		}
+	}
+	cents := make([][]float64, k)
+	for i := range cents {
+		cents[i] = append([]float64(nil), points[i]...)
+	}
+	labels := make([]int, len(points))
+	for it := 0; it < iters; it++ {
+		for i, p := range points {
+			best, bestK := dist2(p, cents[0]), 0
+			for c := 1; c < k; c++ {
+				if d := dist2(p, cents[c]); !(best < d) {
+					// Matches the port's "if (d0 < d1) 0 else 1"
+					// tie-breaking toward the later centroid.
+					best, bestK = d, c
+				}
+			}
+			labels[i] = bestK
+		}
+		for c := 0; c < k; c++ {
+			sum := make([]float64, dim)
+			count := 0
+			for i, p := range points {
+				if labels[i] != c {
+					continue
+				}
+				count++
+				for j, v := range p {
+					sum[j] += v
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			for j := range sum {
+				cents[c][j] = sum[j] / float64(count)
+			}
+		}
+	}
+	return cents, labels, nil
+}
+
+func dist2(a, b []float64) float64 {
+	var total float64
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return total
+}
+
+// CFModel is the collaborative-filtering predictor of the Recommender
+// port: global mean plus per-item offsets.
+type CFModel struct {
+	GlobalMean  float64
+	ItemOffsets []float64
+}
+
+// FitCF fits the predictor over a flat ratings array where rating i
+// belongs to item i mod nItems — the layout of the MiniC port.
+func FitCF(ratings []float64, nItems int) (*CFModel, error) {
+	if nItems <= 0 || len(ratings) < nItems {
+		return nil, fmt.Errorf("%w: need ≥1 rating per item", ErrBadInput)
+	}
+	m := &CFModel{ItemOffsets: make([]float64, nItems)}
+	for _, r := range ratings {
+		m.GlobalMean += r
+	}
+	m.GlobalMean /= float64(len(ratings))
+	counts := make([]int, nItems)
+	for i, r := range ratings {
+		item := i % nItems
+		m.ItemOffsets[item] += r
+		counts[item]++
+	}
+	for item := range m.ItemOffsets {
+		if counts[item] == 0 {
+			return nil, fmt.Errorf("%w: item %d has no ratings", ErrBadInput, item)
+		}
+		m.ItemOffsets[item] = m.ItemOffsets[item]/float64(counts[item]) - m.GlobalMean
+	}
+	return m, nil
+}
+
+// Predict scores one item.
+func (m *CFModel) Predict(item int) (float64, error) {
+	if item < 0 || item >= len(m.ItemOffsets) {
+		return 0, fmt.Errorf("%w: item %d out of range", ErrBadInput, item)
+	}
+	return m.GlobalMean + m.ItemOffsets[item], nil
+}

@@ -1,0 +1,291 @@
+package mlsuite
+
+// KmeansC is the Kmeans enclave module: Lloyd's algorithm over N points in
+// D dimensions with K clusters, seeded from the first K points (paper ref
+// [29]). The sizes are compile-time constants so the symbolic exploration
+// forks only on the genuinely data-dependent cluster-assignment branches
+// (2^N paths per iteration).
+//
+// Note on nonreversibility: k-means is not unconditionally secure. On
+// paths where a cluster ends up with a single member (or empty, keeping
+// its raw seed point), the emitted centroid IS a raw training point, and
+// PrivacyScope correctly reports those paths. The injected-malice case
+// study (§VI-D-2) therefore asserts on the *additional* sinks its
+// injections create, not on a clean baseline being violation-free.
+const KmeansC = `/*
+ * Kmeans — Lloyd's algorithm ported into an SGX enclave module from the
+ * open-source C implementation the paper evaluates ([29]).
+ *
+ * Layout: points is a flat [in] array of N*D floats (point i occupies
+ * points[i*D] .. points[i*D+D-1]); centroids is a flat [out] array of
+ * K*D floats.
+ */
+
+#define N 4
+#define D 2
+#define K 2
+#define ITERS 1
+#define NPOINTS 8
+#define NCENTS 4
+
+/* km_dist2 is the squared euclidean distance between point i and
+ * centroid k. */
+float km_dist2(float *points, int i, float *cents, int k)
+{
+    float total = 0.0;
+    for (int j = 0; j < D; j++) {
+        float diff = points[i * D + j] - cents[k * D + j];
+        total += diff * diff;
+    }
+    return total;
+}
+
+/* km_seed copies the first K points as the initial centroids. */
+void km_seed(float *points, float *cents)
+{
+    for (int k = 0; k < K; k++) {
+        for (int j = 0; j < D; j++) {
+            cents[k * D + j] = points[k * D + j];
+        }
+    }
+}
+
+/* km_assign labels each point with its nearest centroid. */
+void km_assign(float *points, float *cents, int *labels)
+{
+    for (int i = 0; i < N; i++) {
+        float d0 = km_dist2(points, i, cents, 0);
+        float d1 = km_dist2(points, i, cents, 1);
+        if (d0 < d1) {
+            labels[i] = 0;
+        } else {
+            labels[i] = 1;
+        }
+    }
+}
+
+/* km_update recomputes each centroid as the mean of its members; an
+ * empty cluster keeps its previous centroid. */
+void km_update(float *points, float *cents, int *labels)
+{
+    for (int k = 0; k < K; k++) {
+        float sum0 = 0.0;
+        float sum1 = 0.0;
+        int count = 0;
+        for (int i = 0; i < N; i++) {
+            if (labels[i] == k) {
+                sum0 += points[i * D];
+                sum1 += points[i * D + 1];
+                count = count + 1;
+            }
+        }
+        if (count > 0) {
+            cents[k * D] = sum0 / count;
+            cents[k * D + 1] = sum1 / count;
+        }
+    }
+}
+
+/* ECALL: cluster the private points and emit the centroids. */
+int enclave_train_kmeans(float *points, float *centroids)
+{
+    int labels[4];
+    km_seed(points, centroids);
+    for (int it = 0; it < ITERS; it++) {
+        km_assign(points, centroids, labels);
+        km_update(points, centroids, labels);
+    }
+    return 0;
+}
+
+/* km_copy duplicates a centroid set (for convergence checks). */
+void km_copy(float *src, float *dst)
+{
+    for (int k = 0; k < K; k++) {
+        for (int j = 0; j < D; j++) {
+            dst[k * D + j] = src[k * D + j];
+        }
+    }
+}
+
+/* km_count returns the population of one cluster. */
+int km_count(int *labels, int k)
+{
+    int count = 0;
+    for (int i = 0; i < N; i++) {
+        if (labels[i] == k) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+
+/* km_inertia is the total within-cluster squared distance, the usual
+ * k-means convergence metric. */
+float km_inertia(float *points, float *cents, int *labels)
+{
+    float total = 0.0;
+    for (int i = 0; i < N; i++) {
+        total += km_dist2(points, i, cents, labels[i]);
+    }
+    return total;
+}
+
+/* km_converged reports whether two centroid sets agree within eps. */
+int km_converged(float *a, float *b, float eps)
+{
+    for (int k = 0; k < K; k++) {
+        for (int j = 0; j < D; j++) {
+            float d = a[k * D + j] - b[k * D + j];
+            if (d < 0.0) {
+                d = 0.0 - d;
+            }
+            if (d > eps) {
+                return 0;
+            }
+        }
+    }
+    return 1;
+}
+
+/* ECALL: classify one public query point with the trained centroids. */
+int enclave_classify_kmeans(float *centroids, float x0, float x1)
+{
+    float best = 0.0;
+    int bestk = 0;
+    for (int k = 0; k < K; k++) {
+        float d0 = x0 - centroids[k * D];
+        float d1 = x1 - centroids[k * D + 1];
+        float d = d0 * d0 + d1 * d1;
+        if (k == 0) {
+            best = d;
+        } else {
+            if (d < best) {
+                best = d;
+                bestk = k;
+            }
+        }
+    }
+    return bestk;
+}
+`
+
+// KmeansEDL is the interface file for the Kmeans enclave.
+const KmeansEDL = `
+enclave {
+    trusted {
+        public int enclave_train_kmeans([in] float *points, [out] float *centroids);
+        public int enclave_classify_kmeans([in] float *centroids, float x0, float x1);
+    };
+};
+`
+
+// Kmeans problem sizes baked into the port.
+const (
+	KmeansN     = 4 // points
+	KmeansD     = 2 // dimensions
+	KmeansK     = 2 // clusters
+	KmeansIters = 1
+)
+
+// MaliciousKmeansC is the §VI-D-2 case study: the clean module with two
+// intentionally injected leaks —
+//
+//   - explicit: a raw coordinate of the first point, lightly obfuscated as
+//     4·x+3, written to the spare centroid slot centroids[4];
+//   - implicit: a magic-value beacon on the last coordinate, writing 1/0 to
+//     centroids[5] depending on whether points[7] equals 13.
+//
+// PrivacyScope must report both, with the correct secrets, at exactly
+// those sinks.
+const MaliciousKmeansC = `/*
+ * Kmeans with intentionally embedded sensitive-data leakage logic
+ * (mimicking a malicious enclave writer, §VI-D-2).
+ */
+
+#define N 4
+#define D 2
+#define K 2
+#define ITERS 1
+
+float km_dist2(float *points, int i, float *cents, int k)
+{
+    float total = 0.0;
+    for (int j = 0; j < D; j++) {
+        float diff = points[i * D + j] - cents[k * D + j];
+        total += diff * diff;
+    }
+    return total;
+}
+
+void km_seed(float *points, float *cents)
+{
+    for (int k = 0; k < K; k++) {
+        for (int j = 0; j < D; j++) {
+            cents[k * D + j] = points[k * D + j];
+        }
+    }
+}
+
+void km_assign(float *points, float *cents, int *labels)
+{
+    for (int i = 0; i < N; i++) {
+        float d0 = km_dist2(points, i, cents, 0);
+        float d1 = km_dist2(points, i, cents, 1);
+        if (d0 < d1) {
+            labels[i] = 0;
+        } else {
+            labels[i] = 1;
+        }
+    }
+}
+
+void km_update(float *points, float *cents, int *labels)
+{
+    for (int k = 0; k < K; k++) {
+        float sum0 = 0.0;
+        float sum1 = 0.0;
+        int count = 0;
+        for (int i = 0; i < N; i++) {
+            if (labels[i] == k) {
+                sum0 += points[i * D];
+                sum1 += points[i * D + 1];
+                count = count + 1;
+            }
+        }
+        if (count > 0) {
+            cents[k * D] = sum0 / count;
+            cents[k * D + 1] = sum1 / count;
+        }
+    }
+}
+
+int enclave_train_kmeans(float *points, float *centroids)
+{
+    int labels[4];
+    /* injected: exfiltrate a raw coordinate, lightly obfuscated */
+    centroids[4] = points[0] * 4.0 + 3.0;
+    /* injected: magic-value beacon on the last coordinate */
+    if (points[7] == 13.0) {
+        centroids[5] = 1.0;
+    } else {
+        centroids[5] = 0.0;
+    }
+    km_seed(points, centroids);
+    for (int it = 0; it < ITERS; it++) {
+        km_assign(points, centroids, labels);
+        km_update(points, centroids, labels);
+    }
+    return 0;
+}
+`
+
+// MaliciousKmeansEDL is the interface for the trojaned Kmeans (the extra
+// centroid slots ride along in the same [out] buffer).
+const MaliciousKmeansEDL = `
+enclave {
+    trusted {
+        public int enclave_train_kmeans([in] float *points, [out] float *centroids);
+    };
+};
+`

@@ -1,0 +1,202 @@
+// Package mlsuite holds the evaluation workloads of the paper: MiniC ports
+// of the three open-source ML modules analyzed in §VI (LinearRegression,
+// Kmeans, Recommender — paper refs [27]–[29]), their EDL interface files,
+// deliberately injected malicious variants (the §VI-D-2 case study), Go
+// reference implementations of the same algorithms, and deterministic
+// synthetic workload generators.
+//
+// The ports are sized to match Table V (LinearRegression ≈161 LoC,
+// Kmeans ≈179 LoC, Recommender ≈117 LoC) and written against the MiniC
+// subset: fixed #define problem sizes, no dynamic allocation.
+package mlsuite
+
+// LinRegC is the LinearRegression enclave module: ordinary least squares
+// over N training pairs. Its outputs — intercept, slope and the training
+// error — are aggregates over all inputs (⊤ in the taint lattice), so the
+// module satisfies nonreversibility; the paper reports no pre-existing
+// violations in it.
+const LinRegC = `/*
+ * LinearRegression — simple (univariate) ordinary least squares,
+ * ported into an SGX enclave module from the open-source C
+ * implementation the paper evaluates ([28]).
+ *
+ * The enclave receives the private training set through the [in]
+ * parameters xs and ys, fits y = b0 + b1*x, and returns the model
+ * through the [out] parameter:
+ *
+ *   model[0] = b0   (intercept)
+ *   model[1] = b1   (slope)
+ *   model[2] = SSE  (sum of squared residuals on the training set)
+ *
+ * All reported values are aggregates over the full training set, so no
+ * single training point is recoverable from them.
+ */
+
+#define N 8
+
+/* lr_sum accumulates a column. */
+float lr_sum(float *xs)
+{
+    float total = 0.0;
+    for (int i = 0; i < N; i++) {
+        total += xs[i];
+    }
+    return total;
+}
+
+/* lr_mean is the column average. */
+float lr_mean(float *xs)
+{
+    return lr_sum(xs) / N;
+}
+
+/* lr_sq_dev is the sum of squared deviations from m. */
+float lr_sq_dev(float *xs, float m)
+{
+    float total = 0.0;
+    for (int i = 0; i < N; i++) {
+        float d = xs[i] - m;
+        total += d * d;
+    }
+    return total;
+}
+
+/* lr_co_dev is the sum of co-deviations of the two columns. */
+float lr_co_dev(float *xs, float *ys, float mx, float my)
+{
+    float total = 0.0;
+    for (int i = 0; i < N; i++) {
+        total += (xs[i] - mx) * (ys[i] - my);
+    }
+    return total;
+}
+
+/* lr_slope computes b1 = cov(x, y) / var(x). */
+float lr_slope(float *xs, float *ys, float mx, float my)
+{
+    float cov = lr_co_dev(xs, ys, mx, my);
+    float var = lr_sq_dev(xs, mx);
+    return cov / var;
+}
+
+/* lr_intercept computes b0 = mean(y) - b1 * mean(x). */
+float lr_intercept(float mx, float my, float b1)
+{
+    return my - b1 * mx;
+}
+
+/* lr_predict evaluates the fitted line at x. */
+float lr_predict(float b0, float b1, float x)
+{
+    return b0 + b1 * x;
+}
+
+/* lr_sse is the residual sum of squares of the fit. */
+float lr_sse(float *xs, float *ys, float b0, float b1)
+{
+    float total = 0.0;
+    for (int i = 0; i < N; i++) {
+        float r = ys[i] - lr_predict(b0, b1, xs[i]);
+        total += r * r;
+    }
+    return total;
+}
+
+/* lr_sst is the total sum of squares of the response column. */
+float lr_sst(float *ys, float my)
+{
+    return lr_sq_dev(ys, my);
+}
+
+/* lr_r2 is the coefficient of determination, 1 - SSE/SST. */
+float lr_r2(float sse, float sst)
+{
+    return 1.0 - sse / sst;
+}
+
+/* lr_stddev is the (population) standard deviation of a column. */
+float lr_stddev(float *xs, float m)
+{
+    return sqrt(lr_sq_dev(xs, m) / N);
+}
+
+/* lr_rmse is the root mean squared training error. */
+float lr_rmse(float sse)
+{
+    return sqrt(sse / N);
+}
+
+/* lr_standardize rescales a column in place to zero mean, unit sd. */
+void lr_standardize(float *xs)
+{
+    float m = lr_mean(xs);
+    float sd = lr_stddev(xs, m);
+    for (int i = 0; i < N; i++) {
+        xs[i] = (xs[i] - m) / sd;
+    }
+}
+
+/* ECALL: train on the private data and emit the model. */
+int enclave_train_linreg(float *xs, float *ys, float *model)
+{
+    float mx = lr_mean(xs);
+    float my = lr_mean(ys);
+    float b1 = lr_slope(xs, ys, mx, my);
+    float b0 = lr_intercept(mx, my, b1);
+    float sse = lr_sse(xs, ys, b0, b1);
+    float sst = lr_sst(ys, my);
+    model[0] = b0;
+    model[1] = b1;
+    model[2] = sse;
+    model[3] = lr_r2(sse, sst);
+    model[4] = lr_rmse(sse);
+    return 0;
+}
+
+/* ECALL: score a public query point against the trained model. */
+float enclave_predict_linreg(float *model, float x)
+{
+    return lr_predict(model[0], model[1], x);
+}
+`
+
+// LinRegEDL is the interface file for the LinearRegression enclave.
+const LinRegEDL = `
+enclave {
+    trusted {
+        public int enclave_train_linreg([in] float *xs, [in] float *ys, [out] float *model);
+        public float enclave_predict_linreg([in] float *model, float x);
+    };
+    untrusted {
+        void ocall_print([in, string] const char *str);
+    };
+};
+`
+
+// LinRegN is the training-set size baked into the port.
+const LinRegN = 8
+
+// MaliciousLinRegC adds an intentionally injected exfiltration to the
+// clean module: the first raw training point is copied into a spare model
+// slot. PrivacyScope must flag model[3] and nothing new elsewhere.
+const MaliciousLinRegC = LinRegC + `
+/* ECALL: the same training entry point with injected exfiltration. */
+int enclave_train_linreg_evil(float *xs, float *ys, float *model)
+{
+    enclave_train_linreg(xs, ys, model);
+    /* injected: smuggle a raw sample through an unused model slot */
+    model[5] = xs[0];
+    return 0;
+}
+`
+
+// MaliciousLinRegEDL extends the interface with the trojaned entry point.
+const MaliciousLinRegEDL = `
+enclave {
+    trusted {
+        public int enclave_train_linreg([in] float *xs, [in] float *ys, [out] float *model);
+        public int enclave_train_linreg_evil([in] float *xs, [in] float *ys, [out] float *model);
+        public float enclave_predict_linreg([in] float *model, float x);
+    };
+};
+`

@@ -1,0 +1,120 @@
+package mlsuite
+
+import "math"
+
+// LogRegC is an extension workload beyond the paper's three modules:
+// binary logistic regression trained by full-batch gradient descent. It
+// exercises the analyzer on an iterative training loop with a nonlinear
+// link function (sigmoid via exp) — the shape §VIII-C worries about — and
+// is clean under nonreversibility: both trained parameters aggregate every
+// sample through three epochs.
+const LogRegC = `/*
+ * LogisticRegression — binary classifier trained by batch gradient
+ * descent (extension workload; not part of the paper's Table V).
+ *
+ * model[0] = weight, model[1] = bias, model[2] = final training loss
+ * surrogate (sum of |p - y|).
+ */
+
+#define N 8
+#define EPOCHS 3
+#define LR 0.1
+
+/* sigmoid is the logistic link. */
+float lg_sigmoid(float z)
+{
+    return 1.0 / (1.0 + exp(0.0 - z));
+}
+
+/* lg_predict scores one sample. */
+float lg_predict(float w, float b, float x)
+{
+    return lg_sigmoid(w * x + b);
+}
+
+/* ECALL: train on the private samples. */
+int enclave_train_logreg(float *xs, float *ys, float *model)
+{
+    float w = 0.0;
+    float b = 0.0;
+    for (int e = 0; e < EPOCHS; e++) {
+        for (int i = 0; i < N; i++) {
+            float p = lg_predict(w, b, xs[i]);
+            float g = p - ys[i];
+            w = w - LR * g * xs[i];
+            b = b - LR * g;
+        }
+    }
+    float loss = 0.0;
+    for (int i = 0; i < N; i++) {
+        float d = lg_predict(w, b, xs[i]) - ys[i];
+        if (d < 0.0) {
+            d = 0.0 - d;
+        }
+        loss += d;
+    }
+    model[0] = w;
+    model[1] = b;
+    model[2] = loss;
+    return 0;
+}
+
+/* ECALL: classify one public query point. */
+int enclave_classify_logreg(float *model, float x)
+{
+    if (lg_predict(model[0], model[1], x) > 0.5) {
+        return 1;
+    }
+    return 0;
+}
+`
+
+// LogRegEDL is the interface file for the LogisticRegression enclave.
+const LogRegEDL = `
+enclave {
+    trusted {
+        public int enclave_train_logreg([in] float *xs, [in] float *ys, [out] float *model);
+        public int enclave_classify_logreg([in] float *model, float x);
+    };
+};
+`
+
+// LogReg problem sizes baked into the port.
+const (
+	LogRegN      = 8
+	LogRegEpochs = 3
+	LogRegRate   = 0.1
+)
+
+// LogRegModel is the Go reference classifier.
+type LogRegModel struct {
+	Weight float64
+	Bias   float64
+}
+
+// FitLogReg mirrors the MiniC port exactly: full-batch gradient descent,
+// same epoch and rate constants.
+func FitLogReg(xs, ys []float64) (*LogRegModel, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil, ErrBadInput
+	}
+	m := &LogRegModel{}
+	for e := 0; e < LogRegEpochs; e++ {
+		for i := range xs {
+			p := m.Predict(xs[i])
+			g := p - ys[i]
+			m.Weight -= LogRegRate * g * xs[i]
+			m.Bias -= LogRegRate * g
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the positive-class probability.
+func (m *LogRegModel) Predict(x float64) float64 {
+	return 1 / (1 + expApprox(-(m.Weight*x + m.Bias)))
+}
+
+// expApprox delegates to math.Exp; kept as a named hook so the MiniC port
+// and the Go reference share one definition site in documentation.
+func expApprox(z float64) float64 { return math.Exp(z) }

@@ -1,0 +1,195 @@
+package mlsuite
+
+// RecommenderC is the Recommender enclave module: a compact collaborative
+// filtering library (global-mean plus item-offset predictor, the bias step
+// of the matrix-factorization library the paper evaluates — ref [27]).
+//
+// Faithful to the §VI-D-1 case study, the port carries SIX pre-existing
+// nonreversibility violations of the kind PrivacyScope found in the
+// open-source code and the authors responsibly disclosed:
+//
+//	#1 explicit  — model[0] seeded with the raw first rating
+//	#2 explicit  — a leftover debug printf of a single rating (OCALL)
+//	#3 explicit  — a per-user bias that is just ratings[2] scaled by the
+//	               learning rate
+//	#4 implicit  — the cold-start probe returns a different code depending
+//	               on one rating
+//	#5 explicit  — a residual against a constant baseline, affine in one
+//	               rating
+//	#6 implicit  — a quality flag written only when one rating is negative
+//	               (output presence)
+//
+// The legitimate outputs (global mean, item offsets) aggregate many
+// ratings and are ⊤-masked.
+const RecommenderC = `/*
+ * Recommender — collaborative filtering (global mean + item offsets),
+ * ported into an SGX enclave module from the open-source C library the
+ * paper evaluates ([27]). Ratings are a flat [in] array; even indices
+ * belong to item 0 and odd indices to item 1.
+ *
+ * model layout:
+ *   model[0] bias seed        model[1] global mean
+ *   model[2] item-0 offset    model[3] user bias
+ *   model[4] residual probe   model[5] item-1 offset
+ *   model[6] quality flag
+ */
+
+#define NRATINGS 8
+#define LRATE 0.1
+#define BASELINE 2.5
+#define COLDMIN 40.0
+
+/* rc_global_mean averages every rating. */
+float rc_global_mean(float *ratings)
+{
+    float total = 0.0;
+    for (int i = 0; i < NRATINGS; i++) {
+        total += ratings[i];
+    }
+    return total / NRATINGS;
+}
+
+/* rc_item_mean averages the ratings of one item (by index parity). */
+float rc_item_mean(float *ratings, int item)
+{
+    float total = 0.0;
+    int count = 0;
+    for (int i = 0; i < NRATINGS; i++) {
+        if (i % 2 == item) {
+            total += ratings[i];
+            count = count + 1;
+        }
+    }
+    return total / count;
+}
+
+/* rc_predict scores an item for the fitted model. */
+float rc_predict(float *model, int item)
+{
+    if (item == 0) {
+        return model[1] + model[2];
+    }
+    return model[1] + model[5];
+}
+
+/* ECALL: train the predictor on the private ratings. */
+int recommender_train(float *ratings, float *model)
+{
+    model[0] = ratings[0];                      /* violation #1 */
+    printf("debug: first rating %f", ratings[1]); /* violation #2 */
+    float gmean = rc_global_mean(ratings);
+    model[1] = gmean;
+    model[2] = rc_item_mean(ratings, 0) - gmean;
+    model[5] = rc_item_mean(ratings, 1) - gmean;
+    model[3] = ratings[2] * LRATE;              /* violation #3 */
+    model[4] = ratings[4] - BASELINE;           /* violation #5 */
+    return 0;
+}
+
+/* ECALL: cold-start probe — has this user rated enough? */
+int recommender_cold_start(float *ratings)
+{
+    if (ratings[3] > COLDMIN) {                 /* violation #4 */
+        return 1;
+    }
+    return 0;
+}
+
+/* ECALL: data-quality screen. */
+int recommender_quality_flag(float *ratings, float *model)
+{
+    if (ratings[5] < 0.0) {                     /* violation #6 */
+        model[6] = 1.0;
+    }
+    return 0;
+}
+`
+
+// RecommenderEDL is the interface file for the Recommender enclave.
+const RecommenderEDL = `
+enclave {
+    trusted {
+        public int recommender_train([in] float *ratings, [out] float *model);
+        public int recommender_cold_start([in] float *ratings);
+        public int recommender_quality_flag([in] float *ratings, [out] float *model);
+    };
+    untrusted {
+        void ocall_print([in, string] const char *str);
+    };
+};
+`
+
+// RecommenderN is the number of ratings baked into the port.
+const RecommenderN = 8
+
+// RecommenderECalls lists the library's entry points in analysis order.
+var RecommenderECalls = []string{
+	"recommender_train",
+	"recommender_cold_start",
+	"recommender_quality_flag",
+}
+
+// FixedRecommenderC is the repaired library: the version after responsible
+// disclosure. The six violations are removed (aggregated, deleted, or
+// properly masked); the legitimate model outputs are unchanged.
+const FixedRecommenderC = `/*
+ * Recommender after the responsible-disclosure fixes: no raw ratings,
+ * no debug output, no single-rating branches.
+ */
+
+#define NRATINGS 8
+
+float rc_global_mean(float *ratings)
+{
+    float total = 0.0;
+    for (int i = 0; i < NRATINGS; i++) {
+        total += ratings[i];
+    }
+    return total / NRATINGS;
+}
+
+float rc_item_mean(float *ratings, int item)
+{
+    float total = 0.0;
+    int count = 0;
+    for (int i = 0; i < NRATINGS; i++) {
+        if (i % 2 == item) {
+            total += ratings[i];
+            count = count + 1;
+        }
+    }
+    return total / count;
+}
+
+int recommender_train(float *ratings, float *model)
+{
+    float gmean = rc_global_mean(ratings);
+    model[1] = gmean;
+    model[2] = rc_item_mean(ratings, 0) - gmean;
+    model[5] = rc_item_mean(ratings, 1) - gmean;
+    return 0;
+}
+
+int recommender_cold_start(float *ratings)
+{
+    /* fixed: decide on the aggregate, not a single rating */
+    float total = 0.0;
+    for (int i = 0; i < NRATINGS; i++) {
+        total += ratings[i];
+    }
+    if (total > 160.0) {
+        return 1;
+    }
+    return 0;
+}
+`
+
+// FixedRecommenderEDL matches the repaired library.
+const FixedRecommenderEDL = `
+enclave {
+    trusted {
+        public int recommender_train([in] float *ratings, [out] float *model);
+        public int recommender_cold_start([in] float *ratings);
+    };
+};
+`

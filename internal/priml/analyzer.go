@@ -1,0 +1,556 @@
+package priml
+
+import (
+	"fmt"
+	"sort"
+
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/taint"
+)
+
+// This file implements the PrivacyScope program analysis for PRIML (§V-B):
+// the PS-* instrumented operational semantics. Values are pairs <v, τ> of a
+// symbolic expression and a taint label; the state carries the variable
+// context Δ, the taint map τΔ, and the path condition π. declassify_check
+// (Alg. 1) fires on every declassify: a single-tag value is an explicit
+// leak; under a single-tag π, values revealed on sibling paths are compared
+// through the hashmap hm and a mismatch is an implicit leak. At the end of
+// the last path, unmatched hm entries are reported as implicit violations
+// (one branch revealed, the sibling did not — observing *whether* output
+// happened leaks the secret).
+
+// LeakKind distinguishes explicit and implicit nonreversibility violations.
+type LeakKind int
+
+// Leak kinds.
+const (
+	ExplicitLeak LeakKind = iota + 1
+	ImplicitLeak
+	// CustomLeak is reported by a user-supplied Options.CustomPolicy.
+	CustomLeak
+)
+
+// String names the leak kind.
+func (k LeakKind) String() string {
+	switch k {
+	case ExplicitLeak:
+		return "explicit"
+	case ImplicitLeak:
+		return "implicit"
+	case CustomLeak:
+		return "custom-policy"
+	}
+	return fmt.Sprintf("leak(%d)", int(k))
+}
+
+// Finding is one detected nonreversibility violation.
+type Finding struct {
+	Kind LeakKind
+	// Site is the declassify site ID where the leak is observable.
+	Site int
+	// Pos is the source position of the declassify.
+	Pos Pos
+	// Secret is the taint tag of the leaked secret.
+	Secret taint.Tag
+	// Value is the symbolic expression revealed (explicit leaks).
+	Value sym.Expr
+	// Values holds the two differing revealed values (implicit leaks).
+	Values [2]sym.Expr
+	// Path is the path condition under which the leak manifests.
+	Path *solver.PathCondition
+	// Inversion is the affine recovery formula, when one exists.
+	Inversion *sym.Inversion
+	// Message is a human-readable description, Box-1 style.
+	Message string
+}
+
+// Analysis is the result of analyzing a PRIML program.
+type Analysis struct {
+	Findings []Finding
+	// Trace is the row-by-row simulation table (Tables II and III).
+	Trace *Trace
+	// Paths is the number of completed execution paths.
+	Paths int
+	// Builder owns the secret symbols minted during the analysis.
+	Builder *sym.Builder
+	// SecretSymbols maps get_secret occurrence index to its symbol.
+	SecretSymbols map[int]*sym.Symbol
+}
+
+// HasExplicit reports whether any explicit leak was found.
+func (a *Analysis) HasExplicit() bool { return a.count(ExplicitLeak) > 0 }
+
+// HasImplicit reports whether any implicit leak was found.
+func (a *Analysis) HasImplicit() bool { return a.count(ImplicitLeak) > 0 }
+
+// Secure reports whether the program satisfies nonreversibility.
+func (a *Analysis) Secure() bool { return len(a.Findings) == 0 }
+
+func (a *Analysis) count(k LeakKind) int {
+	n := 0
+	for _, f := range a.Findings {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures the analyzer.
+type Options struct {
+	// PruneInfeasible uses the solver to skip branches whose symbolic
+	// path condition is unsatisfiable. Off by default: the paper's
+	// PS-TCOND/PS-FCOND rules fork unconditionally (Table III explores
+	// the integer-infeasible then-branch of h-5==14). Branches whose
+	// condition folds to a constant are never forked, matching the
+	// concrete TCOND/FCOND rules.
+	PruneInfeasible bool
+	// MaxPaths bounds path explosion; 0 means DefaultMaxPaths.
+	MaxPaths int
+	// RecordTrace enables the Tables II/III simulation trace.
+	RecordTrace bool
+	// ImplicitCheck enables Alg. 1's hashmap-based implicit detection
+	// (ablation switch; on by default).
+	ImplicitCheck bool
+	// CustomPolicy, when set, is invoked at every declassify *in
+	// addition to* the built-in nonreversibility policy — the user
+	// extension hook the paper describes ("PRIML's formal semantics can
+	// be extended by users who wish to introduce their own specialized
+	// notion of nonreversibility", §IX). Return a non-empty message to
+	// report a custom violation.
+	CustomPolicy func(value sym.Expr, label taint.Label, pi *solver.PathCondition) string
+}
+
+// DefaultMaxPaths bounds exploration for pathological inputs.
+const DefaultMaxPaths = 4096
+
+// DefaultOptions returns the standard analyzer configuration.
+func DefaultOptions() Options {
+	return Options{RecordTrace: true, ImplicitCheck: true}
+}
+
+// Analyzer detects nonreversibility violations in PRIML programs.
+type Analyzer struct {
+	opts   Options
+	solver *solver.Solver
+}
+
+// NewAnalyzer returns an analyzer with the given options.
+func NewAnalyzer(opts Options) *Analyzer {
+	if opts.MaxPaths <= 0 {
+		opts.MaxPaths = DefaultMaxPaths
+	}
+	return &Analyzer{opts: opts, solver: solver.New()}
+}
+
+// Analyze symbolically explores the program and returns all findings.
+func (an *Analyzer) Analyze(p *Program) (*Analysis, error) {
+	var alloc taint.Allocator
+	run := &analysisRun{
+		an:      an,
+		builder: sym.NewBuilder(&alloc),
+		secrets: make(map[int]*sym.Symbol),
+		hm:      make(map[taint.Tag]*hmEntry),
+		res: &Analysis{
+			Trace:         NewTrace(),
+			SecretSymbols: make(map[int]*sym.Symbol),
+		},
+	}
+	init := &psState{
+		delta: make(map[string]sym.Expr),
+		tau:   taint.NewMap(),
+		pi:    solver.True(),
+	}
+	if err := run.exec(p.Body, init, func(st *psState) error {
+		run.res.Paths++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	run.finish()
+	run.res.Builder = run.builder
+	for idx, s := range run.secrets {
+		run.res.SecretSymbols[idx] = s
+	}
+	sortFindings(run.res.Findings)
+	return run.res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Site != fs[j].Site {
+			return fs[i].Site < fs[j].Site
+		}
+		return fs[i].Kind < fs[j].Kind
+	})
+}
+
+// psState is the per-path analysis state (Δ, τΔ, π).
+type psState struct {
+	delta map[string]sym.Expr
+	tau   *taint.Map
+	pi    *solver.PathCondition
+}
+
+func (st *psState) clone() *psState {
+	d := make(map[string]sym.Expr, len(st.delta))
+	for k, v := range st.delta {
+		d[k] = v
+	}
+	return &psState{delta: d, tau: st.tau.Clone(), pi: st.pi}
+}
+
+// hmEntry is one slot of Alg. 1's hashmap hm, keyed by the secret tag the
+// path condition is tainted with.
+type hmEntry struct {
+	value    sym.Expr
+	site     int
+	pos      Pos
+	pi       *solver.PathCondition
+	reported bool
+}
+
+type analysisRun struct {
+	an         *Analyzer
+	builder    *sym.Builder
+	secrets    map[int]*sym.Symbol // get_secret occurrence → symbol
+	hm         map[taint.Tag]*hmEntry
+	res        *Analysis
+	aborted    bool // abort flag for the current trace row
+	customSeen map[string]bool
+}
+
+// dedupeCustom reports whether the (site, message) custom finding was
+// already emitted on a sibling path.
+func (r *analysisRun) dedupeCustom(site int, msg string) bool {
+	if r.customSeen == nil {
+		r.customSeen = make(map[string]bool)
+	}
+	key := fmt.Sprintf("%d|%s", site, msg)
+	if r.customSeen[key] {
+		return true
+	}
+	r.customSeen[key] = true
+	return false
+}
+
+// exec walks stmt under state st and invokes k on every completed path.
+// Forking at conditionals duplicates the continuation.
+func (r *analysisRun) exec(s Stmt, st *psState, k func(*psState) error) error {
+	switch v := s.(type) {
+	case *Skip:
+		return k(st)
+	case *Seq:
+		return r.execSeq(v.Stmts, st, k)
+	case *Assign:
+		val, err := r.eval(v.Exp, st)
+		if err != nil {
+			return err
+		}
+		st.delta[v.Var] = val
+		st.tau.Set(v.Var, sym.TaintOf(val)) // PS-ASSIGN with P_assign
+		r.traceRow(v.String(), st, nil)
+		return k(st)
+	case *ExprStmt:
+		if _, err := r.eval(v.Exp, st); err != nil {
+			return err
+		}
+		r.traceRow(v.String(), st, nil)
+		return k(st)
+	case *If:
+		return r.execIf(v, st, k)
+	default:
+		return fmt.Errorf("priml: analyzer: unknown statement %T", s)
+	}
+}
+
+func (r *analysisRun) execSeq(stmts []Stmt, st *psState, k func(*psState) error) error {
+	if len(stmts) == 0 {
+		return k(st)
+	}
+	return r.exec(stmts[0], st, func(next *psState) error {
+		return r.execSeq(stmts[1:], next, k)
+	})
+}
+
+// execIf implements PS-TCOND and PS-FCOND: fork, extend π, and update
+// τΔ[π] with P_cond on each side.
+func (r *analysisRun) execIf(v *If, st *psState, k func(*psState) error) error {
+	if r.res.Paths >= r.an.opts.MaxPaths {
+		return fmt.Errorf("priml: analyzer: path budget exhausted (%d)", r.an.opts.MaxPaths)
+	}
+	cond, err := r.eval(v.Cond, st)
+	if err != nil {
+		return err
+	}
+	condTruth := sym.Truth(cond)
+	condTaint := sym.TaintOf(cond)
+
+	// A condition that folded to a constant takes exactly one branch,
+	// per the concrete TCOND/FCOND rules.
+	if c, ok := condTruth.(sym.IntConst); ok {
+		body := v.Then
+		if c.V == 0 {
+			body = v.Else
+		}
+		r.traceRow(v.String(), st, nil)
+		return r.exec(body, st, k)
+	}
+
+	takeBranch := func(base *psState, formula sym.Expr, body Stmt) error {
+		branch := base.clone()
+		branch.pi = branch.pi.And(formula)
+		branch.tau.SetPi(condTaint.Join(base.tau.Pi())) // P_cond(t', τΔ[π])
+		if r.an.opts.PruneInfeasible && !r.an.solver.Feasible(branch.pi) {
+			return nil // infeasible side: no path
+		}
+		r.traceRow(v.String(), branch, nil)
+		return r.exec(body, branch, k)
+	}
+
+	if err := takeBranch(st, condTruth, v.Then); err != nil {
+		return err
+	}
+	return takeBranch(st, sym.Negate(condTruth), v.Else)
+}
+
+// eval implements the PS expression rules, returning the symbolic value.
+// Taint is derived from the expression's free secret symbols.
+func (r *analysisRun) eval(e Exp, st *psState) (sym.Expr, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		return sym.IntConst{V: v.V}, nil // PS-CONST
+	case *Var:
+		if val, ok := st.delta[v.Name]; ok {
+			return val, nil // PS-VAR
+		}
+		return sym.IntConst{V: 0}, nil
+	case *Paren:
+		return r.eval(v.X, st)
+	case *GetSecret:
+		// PS-INPUT: one fresh symbol per syntactic occurrence so all
+		// paths agree on identity.
+		s, ok := r.secrets[v.Index]
+		if !ok {
+			s = r.builder.FreshSecret("")
+			r.secrets[v.Index] = s
+		}
+		return s, nil
+	case *Unop:
+		x, err := r.eval(v.X, st)
+		if err != nil {
+			return nil, err
+		}
+		return sym.NewUnary(v.Op, x), nil // PS-UNOP
+	case *Binop:
+		l, err := r.eval(v.L, st)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := r.eval(v.R, st)
+		if err != nil {
+			return nil, err
+		}
+		return sym.NewBinary(v.Op, l, rhs), nil // PS-BINOP
+	case *Declassify:
+		val, err := r.eval(v.X, st)
+		if err != nil {
+			return nil, err
+		}
+		r.declassifyCheck(v, val, st) // PS-DECLASS
+		return val, nil
+	default:
+		return nil, fmt.Errorf("priml: analyzer: unknown expression %T", e)
+	}
+}
+
+// declassifyCheck is Alg. 1.
+func (r *analysisRun) declassifyCheck(d *Declassify, val sym.Expr, st *psState) {
+	label := sym.TaintOf(val)
+	if policy := r.an.opts.CustomPolicy; policy != nil {
+		if msg := policy(val, label, st.pi); msg != "" {
+			if !r.dedupeCustom(d.Site, msg) {
+				r.res.Findings = append(r.res.Findings, Finding{
+					Kind:    CustomLeak,
+					Site:    d.Site,
+					Pos:     d.Pos,
+					Value:   val,
+					Path:    st.pi,
+					Message: msg,
+				})
+				r.aborted = true
+			}
+		}
+	}
+	if tag, single := label.Tag(); single {
+		f := Finding{
+			Kind:   ExplicitLeak,
+			Site:   d.Site,
+			Pos:    d.Pos,
+			Secret: tag,
+			Value:  val,
+			Path:   st.pi,
+		}
+		if secretSym := r.symbolForTag(tag); secretSym != nil {
+			if inv, ok := sym.InvertFor(val, secretSym.ID); ok {
+				f.Inversion = inv
+			}
+		}
+		f.Message = explicitMessage(f)
+		r.res.Findings = append(r.res.Findings, f)
+		r.aborted = true
+		return
+	}
+	if !r.an.opts.ImplicitCheck {
+		return
+	}
+	piTag, single := st.pi.Taint().Tag()
+	if !single {
+		return
+	}
+	entry, ok := r.hm[piTag]
+	switch {
+	case !ok:
+		r.hm[piTag] = &hmEntry{value: val, site: d.Site, pos: d.Pos, pi: st.pi}
+	case !sym.Equal(entry.value, val):
+		if !entry.reported {
+			f := Finding{
+				Kind:   ImplicitLeak,
+				Site:   d.Site,
+				Pos:    d.Pos,
+				Secret: piTag,
+				Values: [2]sym.Expr{entry.value, val},
+				Path:   st.pi,
+			}
+			f.Message = implicitMessage(f)
+			r.res.Findings = append(r.res.Findings, f)
+			entry.reported = true
+			r.aborted = true
+		}
+	default:
+		// Sibling path revealed the same value: the pair carries no
+		// information about the secret; consume the entry.
+		delete(r.hm, piTag)
+	}
+}
+
+// finish performs the end-of-last-path check of Alg. 1: any unmatched,
+// unreported hm entry is an implicit violation (output presence itself
+// depends on the secret).
+func (r *analysisRun) finish() {
+	tags := make([]taint.Tag, 0, len(r.hm))
+	for tag := range r.hm {
+		tags = append(tags, tag)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	for _, tag := range tags {
+		entry := r.hm[tag]
+		if entry.reported || r.res.Paths < 2 {
+			continue
+		}
+		f := Finding{
+			Kind:   ImplicitLeak,
+			Site:   entry.site,
+			Pos:    entry.pos,
+			Secret: tag,
+			Values: [2]sym.Expr{entry.value, nil},
+			Path:   entry.pi,
+		}
+		f.Message = fmt.Sprintf(
+			"implicit nonreversibility violation: declassify at site %d executes only on paths where π depends on secret %v; observing output presence reveals the secret",
+			entry.site, tag)
+		r.res.Findings = append(r.res.Findings, f)
+	}
+}
+
+func (r *analysisRun) symbolForTag(tag taint.Tag) *sym.Symbol {
+	for _, s := range r.secrets {
+		if s.Tag == tag {
+			return s
+		}
+	}
+	return nil
+}
+
+func explicitMessage(f Finding) string {
+	msg := fmt.Sprintf(
+		"explicit nonreversibility violation at site %d: declassified value %s is tainted only by secret %v",
+		f.Site, f.Value, f.Secret)
+	if f.Inversion != nil && f.Inversion.Exact {
+		msg += "; attacker recovers it via " + f.Inversion.Formula()
+	}
+	return msg
+}
+
+func implicitMessage(f Finding) string {
+	return fmt.Sprintf(
+		"implicit nonreversibility violation at site %d: paths branching on secret %v declassify different values (%s vs %s)",
+		f.Site, f.Secret, f.Values[0], f.Values[1])
+}
+
+// traceRow records one simulation-table row if tracing is enabled.
+func (r *analysisRun) traceRow(stmt string, st *psState, _ error) {
+	if !r.an.opts.RecordTrace {
+		r.aborted = false
+		return
+	}
+	row := Row{
+		Statement: stmt,
+		Delta:     snapshotDelta(st.delta),
+		Pi:        st.pi.String(),
+		Tau:       snapshotTau(st.tau),
+		Hm:        r.snapshotHm(),
+		Abort:     r.aborted,
+	}
+	r.res.Trace.Append(row)
+	r.aborted = false
+}
+
+func snapshotDelta(delta map[string]sym.Expr) map[string]string {
+	out := make(map[string]string, len(delta))
+	for k, v := range delta {
+		out[k] = trimOuterParens(v.String())
+	}
+	return out
+}
+
+func snapshotTau(tau *taint.Map) map[string]string {
+	out := make(map[string]string)
+	for k, v := range tau.Entries() {
+		out[k] = v.String()
+	}
+	return out
+}
+
+func (r *analysisRun) snapshotHm() map[string]string {
+	out := make(map[string]string, len(r.hm))
+	for tag, e := range r.hm {
+		out[tag.String()] = e.value.String()
+	}
+	return out
+}
+
+func trimOuterParens(s string) string {
+	for len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		depth := 0
+		balanced := true
+		for i := 0; i < len(s)-1; i++ {
+			switch s[i] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			if depth == 0 {
+				balanced = false
+				break
+			}
+		}
+		if !balanced {
+			return s
+		}
+		s = s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package priml
+
+import (
+	"strings"
+
+	"privacyscope/internal/sym"
+)
+
+// Stmt is a PRIML statement per the grammar of §V-A:
+//
+//	stmt s ::= skip | var := exp | s1 ; s2 | if exp then s1 else s2
+//
+// Sequencing is flattened into Seq for convenience; a bare declassify(exp)
+// in statement position parses to ExprStmt.
+type Stmt interface {
+	isStmt()
+	// String renders the statement in PRIML concrete syntax.
+	String() string
+}
+
+// Skip is the no-op statement.
+type Skip struct {
+	Pos Pos
+}
+
+func (*Skip) isStmt() {}
+
+// String implements Stmt.
+func (*Skip) String() string { return "skip" }
+
+// Assign is var := exp.
+type Assign struct {
+	Var string
+	Exp Exp
+	Pos Pos
+}
+
+func (*Assign) isStmt() {}
+
+// String implements Stmt.
+func (a *Assign) String() string { return a.Var + " := " + a.Exp.String() }
+
+// Seq is a sequence of statements (s1 ; s2 ; …).
+type Seq struct {
+	Stmts []Stmt
+}
+
+func (*Seq) isStmt() {}
+
+// String implements Stmt.
+func (s *Seq) String() string {
+	parts := make([]string, len(s.Stmts))
+	for i, st := range s.Stmts {
+		parts[i] = st.String()
+	}
+	return strings.Join(parts, ";\n")
+}
+
+// If is if exp then s1 else s2.
+type If struct {
+	Cond Exp
+	Then Stmt
+	Else Stmt
+	Pos  Pos
+}
+
+func (*If) isStmt() {}
+
+// String implements Stmt.
+func (i *If) String() string {
+	return "if " + i.Cond.String() + " then " + i.Then.String() + " else " + i.Else.String()
+}
+
+// ExprStmt is an expression evaluated for its declassify effect, e.g. a bare
+// declassify(x) in statement position.
+type ExprStmt struct {
+	Exp Exp
+	Pos Pos
+}
+
+func (*ExprStmt) isStmt() {}
+
+// String implements Stmt.
+func (e *ExprStmt) String() string { return e.Exp.String() }
+
+// Exp is a PRIML expression:
+//
+//	exp e ::= exp ⊙b exp | ⊙u exp | var | get_secret(secret) | v | declassify(exp)
+type Exp interface {
+	isExp()
+	String() string
+}
+
+// Var references a variable.
+type Var struct {
+	Name string
+	Pos  Pos
+}
+
+func (*Var) isExp() {}
+
+// String implements Exp.
+func (v *Var) String() string { return v.Name }
+
+// IntLit is a 32-bit integer literal.
+type IntLit struct {
+	V   int32
+	Pos Pos
+}
+
+func (*IntLit) isExp() {}
+
+// String implements Exp.
+func (l *IntLit) String() string { return sym.IntConst{V: l.V}.String() }
+
+// Binop applies a binary operator.
+type Binop struct {
+	Op   sym.Op
+	L, R Exp
+	Pos  Pos
+}
+
+func (*Binop) isExp() {}
+
+// String implements Exp.
+func (b *Binop) String() string {
+	return b.L.String() + " " + b.Op.String() + " " + b.R.String()
+}
+
+// Unop applies a unary operator.
+type Unop struct {
+	Op  sym.Op
+	X   Exp
+	Pos Pos
+}
+
+func (*Unop) isExp() {}
+
+// String implements Exp.
+func (u *Unop) String() string { return u.Op.String() + u.X.String() }
+
+// GetSecret is get_secret(source): reads the next high input from the named
+// source. Index numbers the syntactic occurrence (1-based); the analyzer
+// mints exactly one secret symbol per occurrence so forked paths agree on
+// symbol identity.
+type GetSecret struct {
+	Source string
+	Index  int
+	Pos    Pos
+}
+
+func (*GetSecret) isExp() {}
+
+// String implements Exp.
+func (g *GetSecret) String() string { return "get_secret(" + g.Source + ")" }
+
+// Declassify is declassify(exp): reveals a value to the outside world.
+// Site identifies the syntactic occurrence; the analyzer keys the implicit
+// leak hashmap hm on it.
+type Declassify struct {
+	X    Exp
+	Site int
+	Pos  Pos
+}
+
+func (*Declassify) isExp() {}
+
+// String implements Exp.
+func (d *Declassify) String() string { return "declassify(" + d.X.String() + ")" }
+
+// Paren preserves explicit parentheses for faithful re-rendering.
+type Paren struct {
+	X   Exp
+	Pos Pos
+}
+
+func (*Paren) isExp() {}
+
+// String implements Exp.
+func (p *Paren) String() string { return "(" + p.X.String() + ")" }
+
+// Program is a parsed PRIML program.
+type Program struct {
+	Body Stmt
+	// DeclassifySites is the number of syntactic declassify occurrences.
+	DeclassifySites int
+	// SecretInputs is the number of syntactic get_secret occurrences.
+	SecretInputs int
+}
+
+// String renders the program.
+func (p *Program) String() string { return p.Body.String() }
+
+// Statements flattens the body into a statement list.
+func (p *Program) Statements() []Stmt {
+	if s, ok := p.Body.(*Seq); ok {
+		return s.Stmts
+	}
+	return []Stmt{p.Body}
+}

@@ -1,0 +1,190 @@
+package priml
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpStraightLine(t *testing.T) {
+	p := MustParse(`h1 := 2 * get_secret(secret);
+h2 := 3 * get_secret(secret);
+x := h1 + h2;
+declassify(x);
+declassify(h1)`)
+	res, err := NewInterp().Run(p, []int32{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Declassified) != 2 {
+		t.Fatalf("declassified = %v", res.Declassified)
+	}
+	if res.Declassified[0] != 80 || res.Declassified[1] != 20 {
+		t.Errorf("declassified = %v, want [80 20]", res.Declassified)
+	}
+	if res.Delta["x"] != 80 || res.Delta["h1"] != 20 || res.Delta["h2"] != 60 {
+		t.Errorf("delta = %v", res.Delta)
+	}
+	if res.DeclassifySites[0] != 1 || res.DeclassifySites[1] != 2 {
+		t.Errorf("sites = %v", res.DeclassifySites)
+	}
+}
+
+func TestInterpBranches(t *testing.T) {
+	p := MustParse(`h := 2 * get_secret(secret);
+if h - 5 == 14 then declassify(0) else declassify(1)`)
+	in := NewInterp()
+
+	// 2*s - 5 == 14 has no integer solution, so with any integer secret
+	// the else branch runs. Secret 12 → h=24, 24-5=19 != 14 → 1.
+	res, err := in.Run(p, []int32{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Declassified) != 1 || res.Declassified[0] != 1 {
+		t.Errorf("declassified = %v, want [1]", res.Declassified)
+	}
+
+	// A satisfiable variant: if h == 14.
+	p2 := MustParse(`h := 2 * get_secret(secret);
+if h == 14 then declassify(0) else declassify(1)`)
+	res, err = in.Run(p2, []int32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declassified[0] != 0 {
+		t.Errorf("then-branch value = %v", res.Declassified[0])
+	}
+}
+
+func TestInterpSecretsExhausted(t *testing.T) {
+	p := MustParse("x := get_secret(secret) + get_secret(secret)")
+	_, err := NewInterp().Run(p, []int32{1})
+	if !errors.Is(err, ErrSecretsExhausted) {
+		t.Errorf("err = %v, want ErrSecretsExhausted", err)
+	}
+}
+
+func TestInterpRunWithInputs(t *testing.T) {
+	p := MustParse(`a := get_secret(secret);
+b := get_secret(secret);
+declassify(a - b)`)
+	res, err := NewInterp().RunWithInputs(p, map[int]int32{1: 50, 2: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declassified[0] != 42 {
+		t.Errorf("declassified = %v, want [42]", res.Declassified)
+	}
+	// Missing occurrences read zero.
+	res, err = NewInterp().RunWithInputs(p, map[int]int32{1: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declassified[0] != 5 {
+		t.Errorf("declassified = %v, want [5]", res.Declassified)
+	}
+}
+
+func TestInterpSkipAndUnknownVar(t *testing.T) {
+	p := MustParse("skip; declassify(nosuch)")
+	res, err := NewInterp().Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declassified[0] != 0 {
+		t.Error("unknown variable must read 0")
+	}
+}
+
+func TestInterpOperators(t *testing.T) {
+	tests := []struct {
+		src     string
+		secrets []int32
+		want    int32
+	}{
+		{"declassify(7 % 3)", nil, 1},
+		{"declassify(6 / 2)", nil, 3},
+		{"declassify(1 << 4)", nil, 16},
+		{"declassify(5 & 3)", nil, 1},
+		{"declassify(5 | 2)", nil, 7},
+		{"declassify(5 ^ 1)", nil, 4},
+		{"declassify(3 < 4)", nil, 1},
+		{"declassify(4 <= 3)", nil, 0},
+		{"declassify(!0)", nil, 1},
+		{"declassify(~0)", nil, -1},
+		{"declassify(-5)", nil, -5},
+		{"declassify(1 && 2)", nil, 1},
+		{"declassify(0 || 0)", nil, 0},
+	}
+	in := NewInterp()
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			res, err := in.Run(MustParse(tt.src), tt.secrets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Declassified[0] != tt.want {
+				t.Errorf("got %d, want %d", res.Declassified[0], tt.want)
+			}
+		})
+	}
+}
+
+func TestInterpShortCircuitSkipsGetSecret(t *testing.T) {
+	// 0 && get_secret() must not consume a secret.
+	p := MustParse("x := 0 && get_secret(secret); declassify(x)")
+	res, err := NewInterp().Run(p, nil) // empty stream: would fail if consumed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Declassified[0] != 0 {
+		t.Errorf("got %d", res.Declassified[0])
+	}
+}
+
+func TestInterpDivideByZero(t *testing.T) {
+	p := MustParse("x := 1 / 0")
+	if _, err := NewInterp().Run(p, nil); err == nil {
+		t.Error("expected divide-by-zero error")
+	}
+}
+
+// Property (§IV): for l := h1 + 4, the attacker function l-4 recovers h1
+// for every input — the program is reversible, hence insecure.
+func TestReversibilityOfSection4Example(t *testing.T) {
+	p := MustParse("l := get_secret(secret) + 4; declassify(l)")
+	in := NewInterp()
+	f := func(h1 int32) bool {
+		res, err := in.Run(p, []int32{h1})
+		if err != nil {
+			return false
+		}
+		return res.Declassified[0]-4 == h1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (§IV): for l := h1 + 4 + h2, two runs with the same h1 but
+// different h2 produce different outputs, so h1 cannot be recovered from l
+// alone — the program is nonreversible-secure.
+func TestNonreversibilityOfSection4Example(t *testing.T) {
+	p := MustParse("l := get_secret(secret) + 4 + get_secret(secret); declassify(l)")
+	in := NewInterp()
+	f := func(h1, h2a, h2b int32) bool {
+		if h2a == h2b {
+			return true
+		}
+		r1, err1 := in.Run(p, []int32{h1, h2a})
+		r2, err2 := in.Run(p, []int32{h1, h2b})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Declassified[0] != r2.Declassified[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

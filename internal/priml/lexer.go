@@ -1,0 +1,199 @@
+package priml
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// SyntaxError reports a lexical or parse error with its source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("priml: %s: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() rune {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next lexes one token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var text []rune
+		for l.off < len(l.src) {
+			c := l.peek()
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				break
+			}
+			text = append(text, l.advance())
+		}
+		s := string(text)
+		if kw, ok := keywords[s]; ok {
+			return Token{Kind: kw, Text: s, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: s, Pos: start}, nil
+	case unicode.IsDigit(r):
+		var text []rune
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			text = append(text, l.advance())
+		}
+		v, err := strconv.ParseInt(string(text), 10, 64)
+		if err != nil {
+			return Token{}, &SyntaxError{Pos: start, Msg: "bad integer literal"}
+		}
+		return Token{Kind: TokInt, Text: string(text), Int: int32(v), Pos: start}, nil
+	}
+	two := func(kind TokKind, text string) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+	}
+	one := func(kind TokKind, text string) (Token, error) {
+		l.advance()
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+	}
+	switch r {
+	case ':':
+		if l.peek2() == '=' {
+			return two(TokAssign, ":=")
+		}
+	case ';':
+		return one(TokSemi, ";")
+	case '(':
+		return one(TokLParen, "(")
+	case ')':
+		return one(TokRParen, ")")
+	case '+':
+		return one(TokPlus, "+")
+	case '-':
+		return one(TokMinus, "-")
+	case '*':
+		return one(TokStar, "*")
+	case '/':
+		return one(TokSlash, "/")
+	case '%':
+		return one(TokPercent, "%")
+	case '^':
+		return one(TokCaret, "^")
+	case '~':
+		return one(TokTilde, "~")
+	case '&':
+		if l.peek2() == '&' {
+			return two(TokAndAnd, "&&")
+		}
+		return one(TokAmp, "&")
+	case '|':
+		if l.peek2() == '|' {
+			return two(TokOrOr, "||")
+		}
+		return one(TokPipe, "|")
+	case '<':
+		switch l.peek2() {
+		case '<':
+			return two(TokShl, "<<")
+		case '=':
+			return two(TokLe, "<=")
+		}
+		return one(TokLt, "<")
+	case '>':
+		switch l.peek2() {
+		case '>':
+			return two(TokShr, ">>")
+		case '=':
+			return two(TokGe, ">=")
+		}
+		return one(TokGt, ">")
+	case '=':
+		if l.peek2() == '=' {
+			return two(TokEq, "==")
+		}
+	case '!':
+		if l.peek2() == '=' {
+			return two(TokNe, "!=")
+		}
+		return one(TokBang, "!")
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+// Lex tokenizes an entire PRIML source.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

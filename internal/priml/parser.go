@@ -1,0 +1,282 @@
+package priml
+
+import (
+	"fmt"
+
+	"privacyscope/internal/sym"
+)
+
+// Parse parses a PRIML program. Statements are separated by semicolons;
+// a trailing semicolon is allowed.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	body, err := p.parseSeq(func(k TokKind) bool { return k == TokEOF })
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokEOF); err != nil {
+		return nil, err
+	}
+	return &Program{Body: body, DeclassifySites: p.sites, SecretInputs: p.secretInputs}, nil
+}
+
+// MustParse parses src and panics on error; for tests and fixed fixtures.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks         []Token
+	off          int
+	sites        int
+	secretInputs int
+}
+
+func (p *parser) cur() Token { return p.toks[p.off] }
+func (p *parser) advance()   { p.off++ }
+func (p *parser) at(k TokKind) bool {
+	return p.cur().Kind == k
+}
+
+func (p *parser) expect(k TokKind) error {
+	if !p.at(k) {
+		return &SyntaxError{Pos: p.cur().Pos, Msg: fmt.Sprintf("expected %v, found %v", k, p.cur().Kind)}
+	}
+	p.advance()
+	return nil
+}
+
+// parseSeq parses statements until the terminator predicate matches.
+func (p *parser) parseSeq(end func(TokKind) bool) (Stmt, error) {
+	var stmts []Stmt
+	for !end(p.cur().Kind) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if p.at(TokSemi) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	switch len(stmts) {
+	case 0:
+		return &Skip{}, nil
+	case 1:
+		return stmts[0], nil
+	default:
+		return &Seq{Stmts: stmts}, nil
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokSkip:
+		p.advance()
+		return &Skip{Pos: tok.Pos}, nil
+	case TokIf:
+		return p.parseIf()
+	case TokIdent:
+		// var := exp
+		name := tok.Text
+		p.advance()
+		if err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExp()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Var: name, Exp: e, Pos: tok.Pos}, nil
+	case TokDeclassify:
+		e, err := p.parseExp()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Exp: e, Pos: tok.Pos}, nil
+	default:
+		return nil, &SyntaxError{Pos: tok.Pos, Msg: fmt.Sprintf("expected statement, found %v", tok.Kind)}
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.cur().Pos
+	p.advance() // if
+	cond, err := p.parseExp()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokThen); err != nil {
+		return nil, err
+	}
+	thenStmt, err := p.parseBranch()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokElse); err != nil {
+		return nil, err
+	}
+	elseStmt, err := p.parseBranch()
+	if err != nil {
+		return nil, err
+	}
+	return &If{Cond: cond, Then: thenStmt, Else: elseStmt, Pos: pos}, nil
+}
+
+// parseBranch parses a branch body: either a parenthesized sequence
+// "( s1; s2 )" or a single statement.
+func (p *parser) parseBranch() (Stmt, error) {
+	if p.at(TokLParen) {
+		p.advance()
+		s, err := p.parseSeq(func(k TokKind) bool { return k == TokRParen })
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return p.parseStmt()
+}
+
+// Operator precedence, loosest to tightest: || ; && ; | ; ^ ; & ;
+// == != ; < <= > >= ; << >> ; + - ; * / % ; unary.
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+var binOps = map[TokKind]sym.Op{
+	TokOrOr: sym.OpLOr, TokAndAnd: sym.OpLAnd,
+	TokPipe: sym.OpOr, TokCaret: sym.OpXor, TokAmp: sym.OpAnd,
+	TokEq: sym.OpEq, TokNe: sym.OpNe,
+	TokLt: sym.OpLt, TokLe: sym.OpLe, TokGt: sym.OpGt, TokGe: sym.OpGe,
+	TokShl: sym.OpShl, TokShr: sym.OpShr,
+	TokPlus: sym.OpAdd, TokMinus: sym.OpSub,
+	TokStar: sym.OpMul, TokSlash: sym.OpDiv, TokPercent: sym.OpRem,
+}
+
+func (p *parser) parseExp() (Exp, error) {
+	return p.parseBin(1)
+}
+
+func (p *parser) parseBin(minPrec int) (Exp, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.cur()
+		prec, ok := binPrec[tok.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseBin(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binop{Op: binOps[tok.Kind], L: left, R: right, Pos: tok.Pos}
+	}
+}
+
+func (p *parser) parseUnary() (Exp, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unop{Op: sym.OpNeg, X: x, Pos: tok.Pos}, nil
+	case TokBang:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unop{Op: sym.OpLNot, X: x, Pos: tok.Pos}, nil
+	case TokTilde:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unop{Op: sym.OpNot, X: x, Pos: tok.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Exp, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{V: tok.Int, Pos: tok.Pos}, nil
+	case TokIdent:
+		p.advance()
+		return &Var{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokGetSecret:
+		p.advance()
+		if err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		src := "secret"
+		if p.at(TokIdent) {
+			src = p.cur().Text
+			p.advance()
+		}
+		if err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		p.secretInputs++
+		return &GetSecret{Source: src, Index: p.secretInputs, Pos: tok.Pos}, nil
+	case TokDeclassify:
+		p.advance()
+		if err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExp()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		p.sites++
+		return &Declassify{X: x, Site: p.sites, Pos: tok.Pos}, nil
+	case TokLParen:
+		p.advance()
+		x, err := p.parseExp()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &Paren{X: x, Pos: tok.Pos}, nil
+	default:
+		return nil, &SyntaxError{Pos: tok.Pos, Msg: fmt.Sprintf("expected expression, found %v", tok.Kind)}
+	}
+}

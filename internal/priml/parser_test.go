@@ -1,0 +1,193 @@
+package priml
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("h1 := 2 * get_secret(secret); // comment\nif h1 == 4 then skip else declassify(h1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []TokKind{
+		TokIdent, TokAssign, TokInt, TokStar, TokGetSecret, TokLParen, TokIdent, TokRParen, TokSemi,
+		TokIf, TokIdent, TokEq, TokInt, TokThen, TokSkip, TokElse,
+		TokDeclassify, TokLParen, TokIdent, TokRParen, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "+ - * / % & | ^ << >> == != < <= > >= && || ! ~ := ; ( )"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF")
+	}
+	if len(toks) != 25 { // 24 operator tokens + EOF
+		t.Errorf("token count = %d, want 25", len(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("x @ y"); err == nil {
+		t.Error("expected error for @")
+	}
+	var serr *SyntaxError
+	_, err := Lex("x @")
+	if !errors.As(err, &serr) {
+		t.Fatalf("error type = %T", err)
+	}
+	if serr.Pos.Line != 1 || serr.Pos.Col != 3 {
+		t.Errorf("error pos = %v", serr.Pos)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("x\ny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 {
+		t.Errorf("positions = %v, %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestParseExample1(t *testing.T) {
+	src := `h1 := 2 * get_secret(secret);
+h2 := 3 * get_secret(secret);
+x := h1 + h2;
+declassify(x);
+declassify(h1)`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.Statements()
+	if len(stmts) != 5 {
+		t.Fatalf("statement count = %d, want 5", len(stmts))
+	}
+	if p.DeclassifySites != 2 {
+		t.Errorf("DeclassifySites = %d, want 2", p.DeclassifySites)
+	}
+	if p.SecretInputs != 2 {
+		t.Errorf("SecretInputs = %d, want 2", p.SecretInputs)
+	}
+	if _, ok := stmts[0].(*Assign); !ok {
+		t.Errorf("stmt 0 = %T, want *Assign", stmts[0])
+	}
+	if _, ok := stmts[3].(*ExprStmt); !ok {
+		t.Errorf("stmt 3 = %T, want *ExprStmt", stmts[3])
+	}
+}
+
+func TestParseExample2(t *testing.T) {
+	src := `h := 2 * get_secret(secret);
+if h - 5 == 14 then declassify(0) else declassify(1)`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.Statements()
+	if len(stmts) != 2 {
+		t.Fatalf("statement count = %d", len(stmts))
+	}
+	ifStmt, ok := stmts[1].(*If)
+	if !ok {
+		t.Fatalf("stmt 1 = %T, want *If", stmts[1])
+	}
+	if got := ifStmt.Cond.String(); got != "h - 5 == 14" {
+		t.Errorf("cond = %q", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := MustParse("x := 1 + 2 * 3")
+	a := p.Body.(*Assign)
+	bin := a.Exp.(*Binop)
+	if bin.Op.String() != "+" {
+		t.Fatalf("top op = %v", bin.Op)
+	}
+	if _, ok := bin.R.(*Binop); !ok {
+		t.Error("2*3 must bind tighter than +")
+	}
+}
+
+func TestParseParenBranch(t *testing.T) {
+	p := MustParse("if x == 0 then (a := 1; b := 2) else skip")
+	ifStmt := p.Body.(*If)
+	seq, ok := ifStmt.Then.(*Seq)
+	if !ok || len(seq.Stmts) != 2 {
+		t.Errorf("then branch = %T", ifStmt.Then)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	p := MustParse("x := -y; z := !w; q := ~v")
+	seq := p.Body.(*Seq)
+	ops := []string{"-", "!", "~"}
+	for i, want := range ops {
+		u := seq.Stmts[i].(*Assign).Exp.(*Unop)
+		if u.Op.String() != want {
+			t.Errorf("unary %d = %v, want %s", i, u.Op, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x :=",
+		"if x then skip",     // missing else
+		"x = 3",              // = not :=
+		"declassify x",       // missing parens
+		"get_secret(secret)", // expression alone is not a statement
+		"x := (1 + 2",        // unclosed paren
+		"if then skip else skip",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	src := "h1 := 2 * get_secret(secret);\nif h1 - 5 == 14 then declassify(0) else declassify(1)"
+	p := MustParse(src)
+	rendered := p.String()
+	// The rendering must itself re-parse to the same shape.
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if p2.String() != rendered {
+		t.Errorf("round-trip unstable:\n%s\nvs\n%s", rendered, p2.String())
+	}
+	if !strings.Contains(rendered, "get_secret(secret)") {
+		t.Error("rendering lost get_secret")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("x :=")
+}

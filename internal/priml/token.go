@@ -1,0 +1,99 @@
+// Package priml implements PRIML, the PrivacyScope InterMediate Language of
+// §V of the paper: a small side-effect-free imperative language over 32-bit
+// integers with get_secret and declassify primitives.
+//
+// The package provides the concrete interpreter implementing the base
+// operational semantics (ASSIGN/TCOND/FCOND/COMP/DECLASS rules), and the
+// PrivacyScope analyzer implementing the PS-* instrumented semantics:
+// symbolic values, the τΔ taint map, the path condition π and the
+// declassify_check policy of Alg. 1. The analyzer reproduces the trace
+// tables of Table II (explicit leakage) and Table III (implicit leakage).
+package priml
+
+import "fmt"
+
+// TokKind enumerates PRIML token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokInt
+	TokAssign // :=
+	TokSemi   // ;
+	TokLParen
+	TokRParen
+
+	TokSkip
+	TokIf
+	TokThen
+	TokElse
+	TokGetSecret
+	TokDeclassify
+
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+	TokTilde
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer",
+	TokAssign: ":=", TokSemi: ";", TokLParen: "(", TokRParen: ")",
+	TokSkip: "skip", TokIf: "if", TokThen: "then", TokElse: "else",
+	TokGetSecret: "get_secret", TokDeclassify: "declassify",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!", TokTilde: "~",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Token is a lexed PRIML token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int32 // valid when Kind == TokInt
+	Pos  Pos
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+var keywords = map[string]TokKind{
+	"skip":       TokSkip,
+	"if":         TokIf,
+	"then":       TokThen,
+	"else":       TokElse,
+	"get_secret": TokGetSecret,
+	"declassify": TokDeclassify,
+}

@@ -1,0 +1,76 @@
+package priml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trace is the simulation table produced by the analyzer: one Row per
+// interpreted statement, mirroring Tables II and III of the paper.
+type Trace struct {
+	rows []Row
+}
+
+// Row is one line of a simulation table.
+type Row struct {
+	// Statement is the PRIML statement interpreted at this step.
+	Statement string
+	// Delta is the variable context snapshot (variable → symbolic value).
+	Delta map[string]string
+	// Pi is the rendered path condition.
+	Pi string
+	// Tau is the τΔ snapshot (variable or π → taint label).
+	Tau map[string]string
+	// Hm is the hashmap hm snapshot (secret tag → stored value).
+	Hm map[string]string
+	// Abort reports whether declassify_check fired at this step.
+	Abort bool
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Append adds a row.
+func (t *Trace) Append(r Row) { t.rows = append(t.rows, r) }
+
+// Rows returns the recorded rows in order.
+func (t *Trace) Rows() []Row {
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Len returns the number of rows.
+func (t *Trace) Len() int { return len(t.rows) }
+
+// Render pretty-prints the trace in the paper's tabular style, with
+// deterministic column content (map entries sorted by key).
+func (t *Trace) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-45s | %-40s | %-25s | %-25s | %-15s | %s\n",
+		"Statement", "Δ", "π", "τΔ", "hm", "abort")
+	sb.WriteString(strings.Repeat("-", 165))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&sb, "%-45s | %-40s | %-25s | %-25s | %-15s | %v\n",
+			r.Statement, renderMap(r.Delta), r.Pi, renderMap(r.Tau), renderMap(r.Hm), r.Abort)
+	}
+	return sb.String()
+}
+
+func renderMap(m map[string]string) string {
+	if len(m) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "→" + m[k]
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,271 @@
+package sgx
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"privacyscope/internal/edl"
+	"privacyscope/internal/interp"
+	"privacyscope/internal/minic"
+)
+
+// Enclave errors.
+var (
+	ErrNoECall     = errors.New("sgx: no such ECALL")
+	ErrPrivateCall = errors.New("sgx: ECALL is not public")
+	ErrMarshal     = errors.New("sgx: marshalling error")
+)
+
+// OCallEvent records one OCALL observed crossing the enclave boundary:
+// everything in it is visible to the untrusted host.
+type OCallEvent struct {
+	Func string
+	Args []interp.Value
+}
+
+// OCallHandler is a host-side implementation of an EDL untrusted function.
+type OCallHandler func(args []interp.Value) (interp.Value, error)
+
+// Enclave is a loaded enclave: measured code plus its EDL boundary,
+// executing on the concrete MiniC interpreter. Global state persists across
+// ECALLs, as in a real enclave.
+type Enclave struct {
+	platform    *Platform
+	file        *minic.File
+	iface       *edl.Interface
+	measurement [32]byte
+	machine     *interp.Machine
+	dataKey     [32]byte
+	sealCounter uint64
+	ocallLog    []OCallEvent
+	handlers    map[string]OCallHandler
+}
+
+// LoadEnclave parses, checks and measures enclave code. The measurement is
+// the SHA-256 of the C source and the EDL text — the simulator's MRENCLAVE.
+func (p *Platform) LoadEnclave(cSource, edlSource string) (*Enclave, error) {
+	file, err := minic.Parse(cSource)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: load: %w", err)
+	}
+	iface, err := edl.Parse(edlSource)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: load: %w", err)
+	}
+	// Enclave code may call any EDL-declared untrusted function.
+	builtins := append(append([]string(nil), minic.DefaultBuiltins...), iface.OCallNames()...)
+	if err := minic.NewChecker(builtins).Check(file); err != nil {
+		return nil, fmt.Errorf("sgx: load: %w", err)
+	}
+	for _, sig := range iface.Trusted {
+		fn, ok := file.Function(sig.Name)
+		if !ok || fn.Body == nil {
+			return nil, fmt.Errorf("sgx: load: ECALL %s has no definition", sig.Name)
+		}
+		if len(fn.Params) != len(sig.Params) {
+			return nil, fmt.Errorf("sgx: load: ECALL %s: EDL declares %d params, code has %d",
+				sig.Name, len(sig.Params), len(fn.Params))
+		}
+	}
+	machine, err := interp.NewMachine(file)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: load: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(cSource))
+	h.Write([]byte{0})
+	h.Write([]byte(edlSource))
+	enc := &Enclave{
+		platform: p, file: file, iface: iface, machine: machine,
+		handlers: make(map[string]OCallHandler),
+	}
+	copy(enc.measurement[:], h.Sum(nil))
+	enc.dataKey = p.deriveKey("data", enc.measurement)
+	// Dispatch EDL-declared OCALLs across the boundary: every call is
+	// logged (it is host-observable by definition) and routed to a
+	// registered host handler when one exists.
+	ocalls := make(map[string]bool)
+	for _, name := range iface.OCallNames() {
+		ocalls[name] = true
+	}
+	machine.OCallHandler = func(name string, args []interp.Value) (interp.Value, bool, error) {
+		if !ocalls[name] {
+			return interp.Value{}, false, nil
+		}
+		enc.ocallLog = append(enc.ocallLog, OCallEvent{Func: name, Args: args})
+		if h, ok := enc.handlers[name]; ok {
+			result, err := h(args)
+			return result, true, err
+		}
+		return interp.IntValue(0), true, nil
+	}
+	return enc, nil
+}
+
+// RegisterOCall installs a host-side implementation for an EDL-declared
+// untrusted function. Returns an error for undeclared names.
+func (e *Enclave) RegisterOCall(name string, h OCallHandler) error {
+	for _, n := range e.iface.OCallNames() {
+		if n == name {
+			e.handlers[name] = h
+			return nil
+		}
+	}
+	return fmt.Errorf("sgx: %s is not declared untrusted in the EDL", name)
+}
+
+// Measurement returns the enclave's MRENCLAVE-equivalent.
+func (e *Enclave) Measurement() [32]byte { return e.measurement }
+
+// Quote produces an attestation quote over the given report data.
+func (e *Enclave) Quote(reportData []byte) Quote {
+	return e.platform.GenerateQuote(e.measurement, reportData)
+}
+
+// Seal seals data to this enclave's identity.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	e.sealCounter++
+	return e.platform.Seal(e.measurement, e.sealCounter, data)
+}
+
+// Unseal recovers data sealed by this enclave.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	return e.platform.Unseal(e.measurement, blob)
+}
+
+// Arg is one ECALL argument from the untrusted host.
+type Arg struct {
+	// Scalar is the value for non-pointer parameters.
+	Scalar interp.Value
+	// Buffer carries the cells marshalled in for an [in] pointer
+	// parameter (plaintext).
+	Buffer []interp.Value
+	// Encrypted carries ciphertext produced by EncryptInput for an [in]
+	// parameter of char type; the runtime decrypts it at the boundary,
+	// modeling in-enclave IPP decryption.
+	Encrypted []byte
+	// Len is the element count to allocate for [out]-only parameters.
+	Len int
+}
+
+// ScalarArg wraps a scalar argument.
+func ScalarArg(v interp.Value) Arg { return Arg{Scalar: v} }
+
+// BufArg wraps a plaintext [in] buffer.
+func BufArg(cells []interp.Value) Arg { return Arg{Buffer: cells} }
+
+// OutArg allocates an [out] buffer of n elements.
+func OutArg(n int) Arg { return Arg{Len: n} }
+
+// ECallResult is what crosses back to the untrusted host: exactly the
+// observables PrivacyScope reasons about.
+type ECallResult struct {
+	Return interp.Value
+	// Outs holds the final contents of each [out] (and [in,out])
+	// buffer, by parameter name.
+	Outs map[string][]interp.Value
+	// Printed is the printf/ocall_print output emitted during the call.
+	Printed []string
+	// OCalls lists the EDL-declared untrusted calls made during the
+	// call, with their (host-observable) arguments.
+	OCalls []OCallEvent
+}
+
+// ECall dispatches a trusted call with EDL-driven marshalling.
+func (e *Enclave) ECall(name string, args []Arg) (*ECallResult, error) {
+	sig, ok := e.iface.ECall(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoECall, name)
+	}
+	if !sig.Public {
+		return nil, fmt.Errorf("%w: %s", ErrPrivateCall, name)
+	}
+	fn, _ := e.file.Function(name)
+	if len(args) != len(sig.Params) {
+		return nil, fmt.Errorf("%w: %s expects %d args, got %d", ErrMarshal, name, len(sig.Params), len(args))
+	}
+
+	vals := make([]interp.Value, len(args))
+	type outBuf struct {
+		name string
+		obj  *interp.Object
+	}
+	var outs []outBuf
+	for i, p := range sig.Params {
+		if !p.Pointer {
+			vals[i] = args[i].Scalar
+			continue
+		}
+		cells := args[i].Buffer
+		if len(args[i].Encrypted) > 0 {
+			if !p.In {
+				return nil, fmt.Errorf("%w: encrypted data for non-[in] param %s", ErrMarshal, p.Name)
+			}
+			plain, err := DecryptInput(e.dataKey, args[i].Encrypted)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrMarshal, p.Name, err)
+			}
+			cells = make([]interp.Value, len(plain))
+			for j, b := range plain {
+				cells[j] = interp.CharValue(int64(int8(b)))
+			}
+		}
+		n := len(cells)
+		if args[i].Len > n {
+			n = args[i].Len
+		}
+		if n == 0 {
+			n = 1
+		}
+		kind := cellKindFor(fn.Params[i].Type)
+		buf := interp.NewBuffer(p.Name, kind, n)
+		if p.In {
+			if err := buf.SetCells(cells); err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrMarshal, p.Name, err)
+			}
+		}
+		// Non-[in] buffers enter zeroed: the proxy never copies host
+		// memory in for [out]-only parameters.
+		vals[i] = interp.PtrValue(interp.Pointer{Obj: buf})
+		if p.Out {
+			outs = append(outs, outBuf{name: p.Name, obj: buf})
+		}
+	}
+
+	printedBefore := len(e.machine.Printed)
+	ocallsBefore := len(e.ocallLog)
+	ret, err := e.machine.Call(name, vals)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: ecall %s: %w", name, err)
+	}
+	res := &ECallResult{Return: ret, Outs: make(map[string][]interp.Value, len(outs))}
+	for _, ob := range outs {
+		res.Outs[ob.name] = ob.obj.Cells()
+	}
+	res.Printed = append(res.Printed, e.machine.Printed[printedBefore:]...)
+	res.OCalls = append(res.OCalls, e.ocallLog[ocallsBefore:]...)
+	return res, nil
+}
+
+func cellKindFor(t minic.Type) interp.CellKind {
+	elem, ok := minic.ElemType(t)
+	if !ok {
+		return interp.CellInt
+	}
+	if b, ok := elem.(minic.Basic); ok {
+		switch b.Kind {
+		case minic.Char:
+			return interp.CellChar
+		case minic.Float, minic.Double:
+			return interp.CellFloat
+		}
+	}
+	return interp.CellInt
+}
+
+// Interface exposes the parsed EDL boundary (the analyzer consumes it).
+func (e *Enclave) Interface() *edl.Interface { return e.iface }
+
+// File exposes the parsed enclave code (the analyzer consumes it).
+func (e *Enclave) File() *minic.File { return e.file }

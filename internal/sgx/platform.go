@@ -1,0 +1,177 @@
+// Package sgx is a software simulator of the Intel SGX primitives the
+// paper's workflow depends on: enclave loading with code measurement,
+// ECALL dispatch with EDL-driven [in]/[out] marshalling, sealing, remote
+// attestation quotes, and provisioning of data-encryption keys to attested
+// enclaves.
+//
+// The simulator substitutes for SGX hardware (see DESIGN.md §2): it runs
+// enclave MiniC code on the concrete interpreter and enforces the boundary
+// the analyzer reasons about — only [out] buffers, return values and OCALL
+// output cross back to the untrusted host. It deliberately does NOT enforce
+// anything about what the code writes into those channels; that is exactly
+// PrivacyScope's job.
+package sgx
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Platform errors.
+var (
+	ErrUnseal      = errors.New("sgx: unsealing failed (wrong enclave or corrupted blob)")
+	ErrBadQuote    = errors.New("sgx: quote verification failed")
+	ErrNotAttested = errors.New("sgx: enclave not attested; provisioning refused")
+)
+
+// Platform models one SGX-capable machine: it owns the fused root secret
+// from which sealing and attestation keys derive.
+type Platform struct {
+	rootKey [32]byte
+}
+
+// NewPlatform creates a platform whose root secret derives from seed
+// (deterministic, for reproducible tests and benchmarks).
+func NewPlatform(seed []byte) *Platform {
+	p := &Platform{}
+	p.rootKey = sha256.Sum256(append([]byte("sgx-root-key:"), seed...))
+	return p
+}
+
+// deriveKey derives a purpose-bound 256-bit key for an enclave
+// measurement, mimicking EGETKEY's key-derivation role.
+func (p *Platform) deriveKey(purpose string, measurement [32]byte) [32]byte {
+	mac := hmac.New(sha256.New, p.rootKey[:])
+	mac.Write([]byte(purpose))
+	mac.Write(measurement[:])
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// Seal encrypts data so that only an enclave with the same measurement on
+// the same platform can recover it (MRENCLAVE sealing policy). The blob is
+// AES-256-GCM with a deterministic per-call nonce counter.
+func (p *Platform) Seal(measurement [32]byte, nonceCounter uint64, data []byte) ([]byte, error) {
+	key := p.deriveKey("seal", measurement)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], nonceCounter)
+	blob := gcm.Seal(nil, nonce, data, measurement[:])
+	return append(nonce, blob...), nil
+}
+
+// Unseal reverses Seal for the same measurement.
+func (p *Platform) Unseal(measurement [32]byte, blob []byte) ([]byte, error) {
+	key := p.deriveKey("seal", measurement)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: unseal: %w", err)
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, ErrUnseal
+	}
+	out, err := gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], measurement[:])
+	if err != nil {
+		return nil, ErrUnseal
+	}
+	return out, nil
+}
+
+// Quote is a simulated attestation quote binding report data to an enclave
+// measurement on a platform.
+type Quote struct {
+	Measurement [32]byte
+	ReportData  []byte
+	MAC         [32]byte
+}
+
+// GenerateQuote produces a quote for a loaded enclave (EREPORT+QE in one
+// step; the MAC stands in for the EPID/ECDSA signature).
+func (p *Platform) GenerateQuote(measurement [32]byte, reportData []byte) Quote {
+	qk := p.deriveKey("quote", measurement)
+	mac := hmac.New(sha256.New, qk[:])
+	mac.Write(reportData)
+	q := Quote{Measurement: measurement, ReportData: bytes.Clone(reportData)}
+	copy(q.MAC[:], mac.Sum(nil))
+	return q
+}
+
+// VerifyQuote checks a quote against an expected measurement, playing the
+// remote verifier (IAS) role.
+func (p *Platform) VerifyQuote(q Quote, expected [32]byte) error {
+	if q.Measurement != expected {
+		return fmt.Errorf("%w: measurement mismatch", ErrBadQuote)
+	}
+	qk := p.deriveKey("quote", q.Measurement)
+	mac := hmac.New(sha256.New, qk[:])
+	mac.Write(q.ReportData)
+	if !hmac.Equal(mac.Sum(nil), q.MAC[:]) {
+		return fmt.Errorf("%w: bad MAC", ErrBadQuote)
+	}
+	return nil
+}
+
+// ProvisionDataKey releases the per-enclave input-encryption key to a user
+// after quote verification — the provisioning step of the TEE-based secure
+// computation workflow (§III). Users encrypt their private data under this
+// key; only the attested enclave's runtime can decrypt it.
+func (p *Platform) ProvisionDataKey(q Quote, expected [32]byte) ([32]byte, error) {
+	if err := p.VerifyQuote(q, expected); err != nil {
+		return [32]byte{}, fmt.Errorf("%w: %v", ErrNotAttested, err)
+	}
+	return p.deriveKey("data", q.Measurement), nil
+}
+
+// EncryptInput encrypts user private data under a provisioned data key.
+func EncryptInput(key [32]byte, nonceCounter uint64, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], nonceCounter)
+	return append(nonce, gcm.Seal(nil, nonce, plaintext, nil)...), nil
+}
+
+// DecryptInput reverses EncryptInput; the enclave runtime calls it when
+// marshalling encrypted [in] parameters.
+func DecryptInput(key [32]byte, blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, ErrUnseal
+	}
+	out, err := gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, ErrUnseal
+	}
+	return out, nil
+}

@@ -1,0 +1,420 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"privacyscope/internal/interp"
+)
+
+const testEnclaveC = `
+int calls = 0;
+int enclave_process_data(char *secrets, char *output)
+{
+    calls = calls + 1;
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0)
+        return 0;
+    else
+        return 1;
+}
+int get_calls(void) { return calls; }
+`
+
+const testEnclaveEDL = `
+enclave {
+    trusted {
+        public int enclave_process_data([in] char *secrets, [out] char *output);
+        public int get_calls();
+    };
+};
+`
+
+func loadTestEnclave(t *testing.T) (*Platform, *Enclave) {
+	t.Helper()
+	p := NewPlatform([]byte("test-platform"))
+	e, err := p.LoadEnclave(testEnclaveC, testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e
+}
+
+func TestLoadAndMeasure(t *testing.T) {
+	p, e := loadTestEnclave(t)
+	m1 := e.Measurement()
+	// Same code → same measurement.
+	e2, err := p.LoadEnclave(testEnclaveC, testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Measurement() != m1 {
+		t.Error("measurement must be deterministic")
+	}
+	// One changed byte → different measurement.
+	e3, err := p.LoadEnclave(testEnclaveC+" ", testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Measurement() == m1 {
+		t.Error("measurement must change with the code")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	p := NewPlatform(nil)
+	if _, err := p.LoadEnclave("int f(", testEnclaveEDL); err == nil {
+		t.Error("bad C must fail")
+	}
+	if _, err := p.LoadEnclave(testEnclaveC, "enclave {"); err == nil {
+		t.Error("bad EDL must fail")
+	}
+	// EDL references a function the code does not define.
+	edl := `enclave { trusted { public int missing([in] int *x); }; };`
+	if _, err := p.LoadEnclave(testEnclaveC, edl); err == nil {
+		t.Error("undefined ECALL must fail")
+	}
+	// Arity mismatch between EDL and code.
+	edl2 := `enclave { trusted { public int enclave_process_data([in] char *secrets); }; };`
+	if _, err := p.LoadEnclave(testEnclaveC, edl2); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	// Code failing the semantic checker must fail.
+	if _, err := p.LoadEnclave("int f(void) { return g(); }", "enclave { trusted { public int f(); }; };"); err == nil {
+		t.Error("sema failure must fail load")
+	}
+}
+
+func TestECallMarshalling(t *testing.T) {
+	_, e := loadTestEnclave(t)
+	res, err := e.ECall("enclave_process_data", []Arg{
+		BufArg([]interp.Value{interp.CharValue(7), interp.CharValue(0)}),
+		OutArg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.Int() != 0 {
+		t.Errorf("return = %v", res.Return)
+	}
+	out := res.Outs["output"]
+	if len(out) != 1 || out[0].Int() != 108 {
+		t.Errorf("output = %v", out)
+	}
+
+	// Different secrets[1] → observable return flips (the implicit leak,
+	// running for real).
+	res2, err := e.ECall("enclave_process_data", []Arg{
+		BufArg([]interp.Value{interp.CharValue(7), interp.CharValue(9)}),
+		OutArg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Return.Int() != 1 {
+		t.Errorf("return = %v", res2.Return)
+	}
+}
+
+func TestEnclaveStatePersistsAcrossECalls(t *testing.T) {
+	_, e := loadTestEnclave(t)
+	for i := 0; i < 3; i++ {
+		if _, err := e.ECall("enclave_process_data", []Arg{
+			BufArg([]interp.Value{interp.CharValue(1), interp.CharValue(1)}),
+			OutArg(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.ECall("get_calls", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.Int() != 3 {
+		t.Errorf("calls = %v, want 3", res.Return)
+	}
+}
+
+func TestECallErrors(t *testing.T) {
+	_, e := loadTestEnclave(t)
+	if _, err := e.ECall("nope", nil); !errors.Is(err, ErrNoECall) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := e.ECall("enclave_process_data", nil); !errors.Is(err, ErrMarshal) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p, e := loadTestEnclave(t)
+	data := []byte("user ratings: 5 4 3")
+	blob, err := e.Seal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Error("sealed blob contains plaintext")
+	}
+	out, err := e.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Error("unseal mismatch")
+	}
+	// A different enclave (different measurement) cannot unseal.
+	other, err := p.LoadEnclave(testEnclaveC+"\n", testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Unseal(blob); !errors.Is(err, ErrUnseal) {
+		t.Errorf("cross-enclave unseal err = %v", err)
+	}
+	// Corruption is detected.
+	blob[len(blob)-1] ^= 0xFF
+	if _, err := e.Unseal(blob); !errors.Is(err, ErrUnseal) {
+		t.Errorf("corrupted unseal err = %v", err)
+	}
+}
+
+func TestAttestationAndProvisioning(t *testing.T) {
+	p, e := loadTestEnclave(t)
+	q := e.Quote([]byte("session-nonce"))
+	if err := p.VerifyQuote(q, e.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong expected measurement fails.
+	var wrong [32]byte
+	if err := p.VerifyQuote(q, wrong); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("err = %v", err)
+	}
+	// Tampered report data fails.
+	q2 := q
+	q2.ReportData = []byte("evil")
+	if err := p.VerifyQuote(q2, e.Measurement()); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("err = %v", err)
+	}
+	// Provisioning succeeds only with a valid quote.
+	key, err := p.ProvisionDataKey(q, e.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProvisionDataKey(q2, e.Measurement()); !errors.Is(err, ErrNotAttested) {
+		t.Errorf("err = %v", err)
+	}
+	if key == [32]byte{} {
+		t.Error("empty key")
+	}
+}
+
+func TestEncryptedInputFlow(t *testing.T) {
+	// Full §III workflow: attest, provision, encrypt private data,
+	// ECALL with ciphertext; the runtime decrypts at the boundary.
+	p, e := loadTestEnclave(t)
+	key, err := p.ProvisionDataKey(e.Quote(nil), e.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := EncryptInput(key, 1, []byte{7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ECall("enclave_process_data", []Arg{
+		{Encrypted: ct},
+		OutArg(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outs["output"][0].Int() != 108 {
+		t.Errorf("output = %v", res.Outs["output"])
+	}
+	// Garbage ciphertext is rejected at the boundary.
+	if _, err := e.ECall("enclave_process_data", []Arg{
+		{Encrypted: []byte("junk")},
+		OutArg(1),
+	}); err == nil {
+		t.Error("bad ciphertext must fail")
+	}
+	// Ciphertext under the wrong key is rejected.
+	wrongKey := [32]byte{1}
+	ct2, _ := EncryptInput(wrongKey, 1, []byte{7, 0})
+	if _, err := e.ECall("enclave_process_data", []Arg{
+		{Encrypted: ct2},
+		OutArg(1),
+	}); err == nil {
+		t.Error("wrong-key ciphertext must fail")
+	}
+}
+
+func TestOutBufferNotCopiedIn(t *testing.T) {
+	// [out]-only buffers must enter the enclave zeroed, not with host
+	// contents.
+	src := `
+int probe(int *output) {
+    int v = output[0];
+    output[0] = v + 1;
+    return v;
+}
+`
+	edlSrc := `enclave { trusted { public int probe([out] int *output); }; };`
+	p := NewPlatform(nil)
+	e, err := p.LoadEnclave(src, edlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ECall("probe", []Arg{{
+		Buffer: []interp.Value{interp.IntValue(99)}, // host tries to smuggle
+		Len:    1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Return.Int() != 0 {
+		t.Errorf("enclave saw host memory: %v", res.Return)
+	}
+	if res.Outs["output"][0].Int() != 1 {
+		t.Errorf("out = %v", res.Outs["output"])
+	}
+}
+
+func TestSealDeterministicPlatformSeparation(t *testing.T) {
+	// Two platforms with different seeds cannot unseal each other's
+	// blobs.
+	p1 := NewPlatform([]byte("a"))
+	p2 := NewPlatform([]byte("b"))
+	e1, err := p1.LoadEnclave(testEnclaveC, testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e1.Seal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Unseal(e1.Measurement(), blob); !errors.Is(err, ErrUnseal) {
+		t.Errorf("cross-platform unseal err = %v", err)
+	}
+}
+
+func TestQuoteFromOtherPlatformRejected(t *testing.T) {
+	p1 := NewPlatform([]byte("a"))
+	p2 := NewPlatform([]byte("b"))
+	e1, err := p1.LoadEnclave(testEnclaveC, testEnclaveEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e1.Quote(nil)
+	if err := p2.VerifyQuote(q, e1.Measurement()); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPrintedOcallOutput(t *testing.T) {
+	src := `
+int f(int *x) {
+    printf("got %d", x[0]);
+    return 0;
+}
+`
+	edlSrc := `enclave { trusted { public int f([in] int *x); }; };`
+	p := NewPlatform(nil)
+	e, err := p.LoadEnclave(src, edlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ECall("f", []Arg{BufArg([]interp.Value{interp.IntValue(5)})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Printed) != 1 || res.Printed[0] != "got 5" {
+		t.Errorf("printed = %v", res.Printed)
+	}
+}
+
+func TestCustomOCallDispatch(t *testing.T) {
+	src := `
+int f(int *secrets) {
+    report_metric(secrets[0] * 2);
+    report_metric(7);
+    return 0;
+}
+`
+	edlSrc := `
+enclave {
+    trusted {
+        public int f([in] int *secrets);
+    };
+    untrusted {
+        void report_metric(int v);
+    };
+};
+`
+	p := NewPlatform(nil)
+	e, err := p.LoadEnclave(src, edlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int64
+	if err := e.RegisterOCall("report_metric", func(args []interp.Value) (interp.Value, error) {
+		seen = append(seen, args[0].Int())
+		return interp.IntValue(0), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ECall("f", []Arg{BufArg([]interp.Value{interp.IntValue(21)})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The host handler observed the secret-derived value — exactly the
+	// leak channel PrivacyScope's OCALL sink models.
+	if len(seen) != 2 || seen[0] != 42 || seen[1] != 7 {
+		t.Errorf("handler saw %v", seen)
+	}
+	if len(res.OCalls) != 2 || res.OCalls[0].Func != "report_metric" {
+		t.Errorf("OCalls = %+v", res.OCalls)
+	}
+	if res.OCalls[0].Args[0].Int() != 42 {
+		t.Errorf("logged arg = %v", res.OCalls[0].Args[0])
+	}
+}
+
+func TestOCallWithoutHandlerStillLogged(t *testing.T) {
+	src := `int f(void) { notify(3); return 0; }`
+	edlSrc := `
+enclave {
+    trusted { public int f(); };
+    untrusted { void notify(int v); };
+};
+`
+	p := NewPlatform(nil)
+	e, err := p.LoadEnclave(src, edlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ECall("f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OCalls) != 1 || res.OCalls[0].Args[0].Int() != 3 {
+		t.Errorf("OCalls = %+v", res.OCalls)
+	}
+}
+
+func TestRegisterOCallRejectsUndeclared(t *testing.T) {
+	_, e := loadTestEnclave(t)
+	if err := e.RegisterOCall("undeclared", nil); err == nil {
+		t.Error("undeclared OCALL registration must fail")
+	}
+}
+
+func TestUndeclaredExternFailsLoad(t *testing.T) {
+	// Calling a function neither defined, builtin, nor EDL-untrusted
+	// fails the load-time check.
+	src := `int f(void) { rogue(); return 0; }`
+	edlSrc := `enclave { trusted { public int f(); }; };`
+	if _, err := NewPlatform(nil).LoadEnclave(src, edlSrc); err == nil {
+		t.Error("undeclared extern must fail load")
+	}
+}

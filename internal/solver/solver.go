@@ -1,0 +1,424 @@
+package solver
+
+import (
+	"math"
+
+	"privacyscope/internal/sym"
+)
+
+// Result is the solver's three-valued verdict on a path condition.
+type Result int
+
+// Verdicts. Unknown means the solver could not decide; callers treating the
+// path as feasible stay sound (no feasible path is pruned).
+const (
+	Unsat Result = iota + 1
+	Sat
+	Unknown
+)
+
+// String names the verdict.
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// interval is a closed float64 interval with optional excluded points
+// (from != constraints).
+type interval struct {
+	lo, hi   float64
+	excluded map[float64]bool
+	isInt    bool
+}
+
+func fullInterval() *interval {
+	return &interval{lo: math.Inf(-1), hi: math.Inf(1), excluded: make(map[float64]bool)}
+}
+
+func (iv *interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	if iv.isInt {
+		lo, hi := math.Ceil(iv.lo), math.Floor(iv.hi)
+		if lo > hi {
+			return true
+		}
+		// A finite integer interval fully covered by exclusions is empty.
+		if hi-lo < 64 {
+			for v := lo; v <= hi; v++ {
+				if !iv.excluded[v] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if iv.lo == iv.hi && iv.excluded[iv.lo] {
+		return true
+	}
+	return false
+}
+
+// clampLo raises the lower bound.
+func (iv *interval) clampLo(v float64) bool {
+	if v > iv.lo {
+		iv.lo = v
+		return true
+	}
+	return false
+}
+
+// clampHi lowers the upper bound.
+func (iv *interval) clampHi(v float64) bool {
+	if v < iv.hi {
+		iv.hi = v
+		return true
+	}
+	return false
+}
+
+// Solver decides satisfiability of path conditions via affine
+// normalization plus interval propagation over the symbols. The zero value
+// is ready to use.
+type Solver struct{}
+
+// New returns a Solver.
+func New() *Solver { return &Solver{} }
+
+// Check returns Unsat when the conjunction is provably unsatisfiable, Sat
+// when interval propagation finds a verified model, and Unknown otherwise.
+func (s *Solver) Check(pc *PathCondition) Result {
+	ivs, res := s.propagate(pc)
+	if res == Unsat {
+		return Unsat
+	}
+	if _, ok := s.model(pc, ivs); ok {
+		return Sat
+	}
+	return Unknown
+}
+
+// Feasible reports whether the path may be satisfiable (everything except a
+// proven Unsat). This is the engine's pruning predicate: sound, possibly
+// exploring a few infeasible paths. It runs interval propagation only — the
+// model search of Check would be wasted work on the hot pruning path.
+func (s *Solver) Feasible(pc *PathCondition) bool {
+	_, res := s.propagate(pc)
+	return res != Unsat
+}
+
+// Model attempts to produce a concrete binding of all symbols in pc (plus
+// any extra symbols supplied) that satisfies every conjunct. Used by the
+// checker to construct replayable leak witnesses.
+func (s *Solver) Model(pc *PathCondition, extra []*sym.Symbol) (sym.Binding, bool) {
+	ivs, res := s.propagate(pc)
+	if res == Unsat {
+		return nil, false
+	}
+	b, ok := s.model(pc, ivs)
+	if !ok {
+		return nil, false
+	}
+	for _, x := range extra {
+		if _, bound := b[x.ID]; !bound {
+			b[x.ID] = sym.IntVal(0)
+		}
+	}
+	return b, true
+}
+
+// propagate runs interval propagation to a fixpoint (bounded rounds) and
+// returns the per-symbol intervals, or Unsat if a contradiction is proven.
+func (s *Solver) propagate(pc *PathCondition) (map[int]*interval, Result) {
+	ivs := make(map[int]*interval)
+	get := func(sm *sym.Symbol) *interval {
+		iv, ok := ivs[sm.ID]
+		if !ok {
+			iv = fullInterval()
+			iv.isInt = true // symbols range over 32-bit ints by default
+			iv.clampLo(math.MinInt32)
+			iv.clampHi(math.MaxInt32)
+			ivs[sm.ID] = iv
+		}
+		return iv
+	}
+
+	atoms := flatten(pc.Conjuncts())
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, a := range atoms {
+			switch applyAtom(a, get) {
+			case atomUnsat:
+				return ivs, Unsat
+			case atomChanged:
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, iv := range ivs {
+		if iv.empty() {
+			return ivs, Unsat
+		}
+	}
+	return ivs, Unknown
+}
+
+// flatten splits top-level && conjuncts and strips double negation.
+func flatten(conj []sym.Expr) []sym.Expr {
+	var out []sym.Expr
+	var walk func(e sym.Expr)
+	walk = func(e sym.Expr) {
+		if b, ok := e.(*sym.Binary); ok && b.Op == sym.OpLAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if u, ok := e.(*sym.Unary); ok && u.Op == sym.OpLNot {
+			out = append(out, sym.Negate(u.X))
+			return
+		}
+		out = append(out, e)
+	}
+	for _, e := range conj {
+		walk(e)
+	}
+	return out
+}
+
+type atomResult int
+
+const (
+	atomNoop atomResult = iota
+	atomChanged
+	atomUnsat
+)
+
+// applyAtom interprets one boolean conjunct, tightening intervals where the
+// conjunct is a comparison of an affine form over a single symbol.
+func applyAtom(e sym.Expr, get func(*sym.Symbol) *interval) atomResult {
+	// Constant conjuncts decide immediately.
+	if c, ok := e.(sym.IntConst); ok {
+		if c.V == 0 {
+			return atomUnsat
+		}
+		return atomNoop
+	}
+	b, ok := e.(*sym.Binary)
+	if !ok || !b.Op.IsComparison() {
+		return atomNoop // opaque conjunct; stay sound by ignoring it
+	}
+	// Normalize to (L - R) OP 0 as an affine form.
+	diff := sym.ExtractAffine(&sym.Binary{Op: sym.OpSub, L: b.L, R: b.R})
+	if diff == nil {
+		return atomNoop
+	}
+	if diff.IsConstant() {
+		if constHolds(b.Op, diff.Const) {
+			return atomNoop
+		}
+		return atomUnsat
+	}
+	syms := diff.Symbols()
+	if len(syms) != 1 {
+		return atomNoop
+	}
+	sm := syms[0]
+	a := diff.Coef[sm.ID]
+	c := -diff.Const / a // a·s + const OP 0  ⇒  s OP' c
+	op := b.Op
+	if a < 0 {
+		op = flipOp(op)
+	}
+	iv := get(sm)
+	changed := false
+	switch op {
+	case sym.OpEq:
+		changed = iv.clampLo(c) || changed
+		changed = iv.clampHi(c) || changed
+	case sym.OpNe:
+		if !iv.excluded[c] {
+			iv.excluded[c] = true
+			changed = true
+		}
+	case sym.OpLt:
+		bound := c
+		if iv.isInt {
+			bound = math.Ceil(c) - 1
+		}
+		changed = iv.clampHi(bound)
+	case sym.OpLe:
+		bound := c
+		if iv.isInt {
+			bound = math.Floor(c)
+		}
+		changed = iv.clampHi(bound)
+	case sym.OpGt:
+		bound := c
+		if iv.isInt {
+			bound = math.Floor(c) + 1
+		}
+		changed = iv.clampLo(bound)
+	case sym.OpGe:
+		bound := c
+		if iv.isInt {
+			bound = math.Ceil(c)
+		}
+		changed = iv.clampLo(bound)
+	}
+	if iv.empty() {
+		return atomUnsat
+	}
+	if changed {
+		return atomChanged
+	}
+	return atomNoop
+}
+
+func constHolds(op sym.Op, d float64) bool {
+	switch op {
+	case sym.OpEq:
+		return d == 0
+	case sym.OpNe:
+		return d != 0
+	case sym.OpLt:
+		return d < 0
+	case sym.OpLe:
+		return d <= 0
+	case sym.OpGt:
+		return d > 0
+	case sym.OpGe:
+		return d >= 0
+	}
+	return true
+}
+
+func flipOp(op sym.Op) sym.Op {
+	switch op {
+	case sym.OpLt:
+		return sym.OpGt
+	case sym.OpLe:
+		return sym.OpGe
+	case sym.OpGt:
+		return sym.OpLt
+	case sym.OpGe:
+		return sym.OpLe
+	default:
+		return op
+	}
+}
+
+// model picks candidate values within the propagated intervals and verifies
+// them against every conjunct, with a small amount of per-symbol candidate
+// search.
+func (s *Solver) model(pc *PathCondition, ivs map[int]*interval) (sym.Binding, bool) {
+	var symbols []*sym.Symbol
+	seen := make(map[int]bool)
+	for _, e := range pc.Conjuncts() {
+		for _, sm := range sym.FreeSymbols(e) {
+			if !seen[sm.ID] {
+				seen[sm.ID] = true
+				symbols = append(symbols, sm)
+			}
+		}
+	}
+	binding := make(sym.Binding, len(symbols))
+	budget := searchBudget
+	if try(pc, symbols, ivs, binding, 0, &budget) {
+		return binding, true
+	}
+	return nil, false
+}
+
+// searchBudget bounds the candidate combinations the model search tries;
+// without it, many nonlinear symbols make the DFS exponential.
+const searchBudget = 4096
+
+// try assigns candidates to symbols[idx:] depth-first; verifies once all
+// symbols are bound.
+func try(pc *PathCondition, symbols []*sym.Symbol, ivs map[int]*interval, b sym.Binding, idx int, budget *int) bool {
+	if *budget <= 0 {
+		return false
+	}
+	if idx == len(symbols) {
+		*budget--
+		return verify(pc, b)
+	}
+	sm := symbols[idx]
+	for _, cand := range candidates(ivs[sm.ID]) {
+		b[sm.ID] = sym.IntVal(cand)
+		if try(pc, symbols, ivs, b, idx+1, budget) {
+			return true
+		}
+		if *budget <= 0 {
+			break
+		}
+	}
+	delete(b, sm.ID)
+	return false
+}
+
+// candidates enumerates a handful of values inside the interval, skipping
+// excluded points.
+func candidates(iv *interval) []int32 {
+	if iv == nil {
+		return []int32{0, 1, -1, 2}
+	}
+	lo := clampToInt32(math.Ceil(iv.lo))
+	hi := clampToInt32(math.Floor(iv.hi))
+	if lo > hi {
+		return nil
+	}
+	// Small magnitudes first: witness replays prefer values that stay
+	// clear of narrow-type wraparound.
+	raw := []int64{0, 1, -1, 2, -2, int64(lo), int64(hi), int64(lo) + 1, int64(hi) - 1, (int64(lo) + int64(hi)) / 2}
+	var out []int32
+	seenC := make(map[int64]bool)
+	for _, v := range raw {
+		if v < int64(lo) || v > int64(hi) || seenC[v] || iv.excluded[float64(v)] {
+			continue
+		}
+		seenC[v] = true
+		out = append(out, int32(v))
+	}
+	// If every candidate is excluded, scan a short window.
+	if len(out) == 0 {
+		for v := int64(lo); v <= int64(hi) && v < int64(lo)+256; v++ {
+			if !iv.excluded[float64(v)] {
+				out = append(out, int32(v))
+				break
+			}
+		}
+	}
+	return out
+}
+
+func clampToInt32(v float64) int32 {
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(v)
+}
+
+// verify evaluates every conjunct under the binding.
+func verify(pc *PathCondition, b sym.Binding) bool {
+	for _, e := range pc.Conjuncts() {
+		v, err := sym.Eval(e, b)
+		if err != nil || v.IsZero() {
+			return false
+		}
+	}
+	return true
+}

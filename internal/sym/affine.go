@@ -1,0 +1,222 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements affine (linear) form extraction over symbolic
+// expressions. The nonreversibility checker uses it to produce the concrete
+// inversion witness for an explicit leak: if a sink value is a·s + b with
+// a ≠ 0 and s the only secret involved, the attacker recovers
+// s = (out − b) / a — exactly the "divide the observed value by 2" argument
+// of Example 1 in the paper.
+
+// Affine is Σ coefᵢ·symᵢ + Const with float64 coefficients (exact for the
+// small integer coefficients appearing in practice).
+type Affine struct {
+	Coef  map[int]float64 // symbol ID → coefficient (non-zero entries only)
+	Const float64
+	syms  map[int]*Symbol
+}
+
+func newAffine() *Affine {
+	return &Affine{Coef: make(map[int]float64), syms: make(map[int]*Symbol)}
+}
+
+func (a *Affine) addSym(s *Symbol, c float64) {
+	a.Coef[s.ID] += c
+	a.syms[s.ID] = s
+	if a.Coef[s.ID] == 0 {
+		delete(a.Coef, s.ID)
+		delete(a.syms, s.ID)
+	}
+}
+
+func (a *Affine) scale(k float64) {
+	for id := range a.Coef {
+		a.Coef[id] *= k
+		if a.Coef[id] == 0 {
+			delete(a.Coef, id)
+			delete(a.syms, id)
+		}
+	}
+	a.Const *= k
+}
+
+func (a *Affine) add(b *Affine, sign float64) {
+	for id, c := range b.Coef {
+		a.Coef[id] += sign * c
+		a.syms[id] = b.syms[id]
+		if a.Coef[id] == 0 {
+			delete(a.Coef, id)
+			delete(a.syms, id)
+		}
+	}
+	a.Const += sign * b.Const
+}
+
+// Symbols returns the symbols with non-zero coefficients, ordered by ID.
+func (a *Affine) Symbols() []*Symbol {
+	out := make([]*Symbol, 0, len(a.syms))
+	for _, s := range a.syms {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IsConstant reports whether the form has no symbolic part.
+func (a *Affine) IsConstant() bool { return len(a.Coef) == 0 }
+
+// clone returns an independent copy (callers mutate forms in place).
+func (a *Affine) clone() *Affine {
+	c := newAffine()
+	c.Const = a.Const
+	for id, coef := range a.Coef {
+		c.Coef[id] = coef
+		c.syms[id] = a.syms[id]
+	}
+	return c
+}
+
+// ExtractAffine attempts to view e as an affine combination of symbols.
+// It returns nil when e contains a non-linear construct (symbol·symbol,
+// division by a symbol, bitwise/comparison operators, …). Shared subtrees
+// are extracted once (the memo keeps the walk linear in the DAG).
+func ExtractAffine(e Expr) *Affine {
+	return affineMemo(e, make(map[Expr]*Affine), make(map[Expr]bool))
+}
+
+func affineMemo(e Expr, memo map[Expr]*Affine, seen map[Expr]bool) *Affine {
+	switch e.(type) {
+	case *Binary, *Unary:
+		if seen[e] {
+			if f := memo[e]; f != nil {
+				return f.clone()
+			}
+			return nil
+		}
+		f := extractAffineNode(e, memo, seen)
+		seen[e] = true
+		if f != nil {
+			memo[e] = f.clone()
+		}
+		return f
+	default:
+		return extractAffineNode(e, memo, seen)
+	}
+}
+
+func extractAffineNode(e Expr, memo map[Expr]*Affine, seen map[Expr]bool) *Affine {
+	switch v := e.(type) {
+	case IntConst:
+		a := newAffine()
+		a.Const = float64(v.V)
+		return a
+	case FloatConst:
+		a := newAffine()
+		a.Const = v.V
+		return a
+	case *Symbol:
+		a := newAffine()
+		a.addSym(v, 1)
+		return a
+	case *Unary:
+		if v.Op != OpNeg {
+			return nil
+		}
+		a := affineMemo(v.X, memo, seen)
+		if a == nil {
+			return nil
+		}
+		a.scale(-1)
+		return a
+	case *Binary:
+		switch v.Op {
+		case OpAdd, OpSub:
+			l := affineMemo(v.L, memo, seen)
+			r := affineMemo(v.R, memo, seen)
+			if l == nil || r == nil {
+				return nil
+			}
+			sign := 1.0
+			if v.Op == OpSub {
+				sign = -1
+			}
+			l.add(r, sign)
+			return l
+		case OpMul:
+			l := affineMemo(v.L, memo, seen)
+			r := affineMemo(v.R, memo, seen)
+			if l == nil || r == nil {
+				return nil
+			}
+			switch {
+			case l.IsConstant():
+				r.scale(l.Const)
+				return r
+			case r.IsConstant():
+				l.scale(r.Const)
+				return l
+			default:
+				return nil
+			}
+		case OpDiv:
+			l := affineMemo(v.L, memo, seen)
+			r := affineMemo(v.R, memo, seen)
+			if l == nil || r == nil || !r.IsConstant() || r.Const == 0 {
+				return nil
+			}
+			l.scale(1 / r.Const)
+			return l
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Inversion describes how an attacker recovers a secret from an observed
+// output value: secret = (observed − Offset) / Scale.
+type Inversion struct {
+	Secret  *Symbol
+	Scale   float64 // never zero
+	Offset  float64
+	Exact   bool // true when no other symbols appear in the expression
+	Masking []*Symbol
+}
+
+// Formula renders the inversion in human-readable form for the Box-1 style
+// report, e.g. "s1 = (observed - 101) / 1".
+func (inv *Inversion) Formula() string {
+	return fmt.Sprintf("%s = (observed - %g) / %g", inv.Secret.Name, inv.Offset, inv.Scale)
+}
+
+// InvertFor attempts to derive the inversion recovering the secret with the
+// given taint tag from expression e. It succeeds when e is affine and the
+// target secret's coefficient is non-zero. Exact is true when the secret is
+// the only symbol in e (deterministic recovery); otherwise Masking lists the
+// other symbols the attacker would additionally need to know.
+func InvertFor(e Expr, secretID int) (*Inversion, bool) {
+	a := ExtractAffine(e)
+	if a == nil {
+		return nil, false
+	}
+	coef, ok := a.Coef[secretID]
+	if !ok || coef == 0 {
+		return nil, false
+	}
+	inv := &Inversion{
+		Secret: a.syms[secretID],
+		Scale:  coef,
+		Offset: a.Const,
+	}
+	for _, s := range a.Symbols() {
+		if s.ID != secretID {
+			inv.Masking = append(inv.Masking, s)
+		}
+	}
+	inv.Exact = len(inv.Masking) == 0
+	return inv, true
+}

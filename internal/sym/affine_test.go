@@ -1,0 +1,163 @@
+package sym
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractAffineBasics(t *testing.T) {
+	b := newTestBuilder()
+	s1 := b.FreshSecret("")
+	s2 := b.FreshSecret("")
+
+	// 2*s1 + 3*s2 + 7
+	e := NewBinary(OpAdd,
+		NewBinary(OpAdd,
+			NewBinary(OpMul, IntConst{V: 2}, s1),
+			NewBinary(OpMul, IntConst{V: 3}, s2)),
+		IntConst{V: 7})
+	a := ExtractAffine(e)
+	if a == nil {
+		t.Fatal("affine extraction failed")
+	}
+	if a.Const != 7 || a.Coef[s1.ID] != 2 || a.Coef[s2.ID] != 3 {
+		t.Errorf("form = %+v", a)
+	}
+	if len(a.Symbols()) != 2 {
+		t.Errorf("Symbols = %v", a.Symbols())
+	}
+}
+
+func TestExtractAffineCancellation(t *testing.T) {
+	b := newTestBuilder()
+	s := b.FreshSecret("")
+	// (s + 5) - s = 5 — coefficient cancels to zero.
+	e := &Binary{Op: OpSub, L: &Binary{Op: OpAdd, L: s, R: IntConst{V: 5}}, R: s}
+	a := ExtractAffine(e)
+	if a == nil {
+		t.Fatal("extraction failed")
+	}
+	if !a.IsConstant() || a.Const != 5 {
+		t.Errorf("form = %+v, want constant 5", a)
+	}
+}
+
+func TestExtractAffineRejectsNonLinear(t *testing.T) {
+	b := newTestBuilder()
+	s1 := b.FreshSecret("")
+	s2 := b.FreshSecret("")
+	tests := []struct {
+		name string
+		e    Expr
+	}{
+		{"sym*sym", &Binary{Op: OpMul, L: s1, R: s2}},
+		{"div-by-sym", &Binary{Op: OpDiv, L: IntConst{V: 1}, R: s1}},
+		{"bitand", &Binary{Op: OpAnd, L: s1, R: IntConst{V: 3}}},
+		{"comparison", NewBinary(OpLt, s1, IntConst{V: 3})},
+		{"lnot", NewUnary(OpLNot, s1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if a := ExtractAffine(tt.e); a != nil {
+				t.Errorf("ExtractAffine(%s) = %+v, want nil", tt.e, a)
+			}
+		})
+	}
+}
+
+func TestExtractAffineDivByConst(t *testing.T) {
+	b := newTestBuilder()
+	s := b.FreshSecret("")
+	e := &Binary{Op: OpDiv, L: NewBinary(OpMul, IntConst{V: 4}, s), R: IntConst{V: 2}}
+	a := ExtractAffine(e)
+	if a == nil || a.Coef[s.ID] != 2 {
+		t.Fatalf("form = %+v, want coef 2", a)
+	}
+}
+
+func TestInvertForExample1(t *testing.T) {
+	// Paper Example 1: h1 = 2*s1 leaks; x = 2*s1 + 3*s2 does not leak
+	// deterministically but is invertible given s2.
+	b := newTestBuilder()
+	s1 := b.FreshSecret("")
+	s2 := b.FreshSecret("")
+
+	h1 := NewBinary(OpMul, IntConst{V: 2}, s1)
+	inv, ok := InvertFor(h1, s1.ID)
+	if !ok {
+		t.Fatal("h1 must be invertible for s1")
+	}
+	if !inv.Exact || inv.Scale != 2 || inv.Offset != 0 {
+		t.Errorf("inversion = %+v", inv)
+	}
+
+	x := NewBinary(OpAdd, h1, NewBinary(OpMul, IntConst{V: 3}, s2))
+	inv, ok = InvertFor(x, s1.ID)
+	if !ok {
+		t.Fatal("x must be affine in s1")
+	}
+	if inv.Exact {
+		t.Error("x involves s2, inversion must not be Exact")
+	}
+	if len(inv.Masking) != 1 || inv.Masking[0] != s2 {
+		t.Errorf("Masking = %v, want [s2]", inv.Masking)
+	}
+}
+
+func TestInvertForListing1(t *testing.T) {
+	// output[0] = secrets[0] + 101 from the paper's Listing 1.
+	b := newTestBuilder()
+	s0 := b.FreshSecret("secrets[0]")
+	e := NewBinary(OpAdd, s0, IntConst{V: 101})
+	inv, ok := InvertFor(e, s0.ID)
+	if !ok || !inv.Exact {
+		t.Fatalf("inversion = %+v, %v", inv, ok)
+	}
+	if inv.Scale != 1 || inv.Offset != 101 {
+		t.Errorf("scale/offset = %g/%g, want 1/101", inv.Scale, inv.Offset)
+	}
+	if inv.Formula() != "secrets[0] = (observed - 101) / 1" {
+		t.Errorf("Formula = %q", inv.Formula())
+	}
+}
+
+func TestInvertForFailures(t *testing.T) {
+	b := newTestBuilder()
+	s1 := b.FreshSecret("")
+	s2 := b.FreshSecret("")
+	if _, ok := InvertFor(NewBinary(OpMul, s1, s2), s1.ID); ok {
+		t.Error("non-linear expression must not invert")
+	}
+	if _, ok := InvertFor(NewBinary(OpMul, IntConst{V: 2}, s2), s1.ID); ok {
+		t.Error("expression without s1 must not invert for s1")
+	}
+}
+
+// Property: for a random affine expression a·s + b (a ≠ 0), InvertFor
+// recovers s from the evaluated output.
+func TestInversionRoundTrip(t *testing.T) {
+	f := func(a int8, bb int16, secret int16) bool {
+		if a == 0 {
+			return true
+		}
+		builder := newTestBuilder()
+		s := builder.FreshSecret("")
+		e := NewBinary(OpAdd,
+			NewBinary(OpMul, IntConst{V: int32(a)}, s),
+			IntConst{V: int32(bb)})
+		inv, ok := InvertFor(e, s.ID)
+		if !ok || !inv.Exact {
+			return false
+		}
+		out, err := Eval(e, Binding{s.ID: IntVal(int32(secret))})
+		if err != nil {
+			return false
+		}
+		recovered := (out.AsFloat() - inv.Offset) / inv.Scale
+		return math.Abs(recovered-float64(secret)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,370 @@
+package sym
+
+// This file implements constant folding and algebraic simplification. The
+// constructors NewBinary and NewUnary simplify on construction, so the
+// engine always holds expressions in a lightly-normalized form; the paper's
+// trace tables (e.g. "2*s1 + 3*s2") come out of String() directly.
+
+// NewBinary builds op(l, r), folding constants and applying cheap algebraic
+// identities. Integer arithmetic wraps at 32 bits; division by a concrete
+// zero is left symbolic (the engine reports it as a path error separately).
+func NewBinary(op Op, l, r Expr) Expr {
+	if lc, ok := l.(IntConst); ok {
+		if rc, ok := r.(IntConst); ok {
+			if v, ok := foldInt(op, lc.V, rc.V); ok {
+				return IntConst{V: v}
+			}
+		}
+		if rc, ok := r.(FloatConst); ok {
+			if v, ok := foldFloat(op, float64(lc.V), rc.V); ok {
+				return v
+			}
+		}
+	}
+	if lc, ok := l.(FloatConst); ok {
+		switch rv := r.(type) {
+		case FloatConst:
+			if v, ok := foldFloat(op, lc.V, rv.V); ok {
+				return v
+			}
+		case IntConst:
+			if v, ok := foldFloat(op, lc.V, float64(rv.V)); ok {
+				return v
+			}
+		}
+	}
+	if e, ok := identity(op, l, r); ok {
+		return e
+	}
+	return &Binary{Op: op, L: l, R: r}
+}
+
+// NewUnary builds op(x) with constant folding.
+func NewUnary(op Op, x Expr) Expr {
+	switch v := x.(type) {
+	case IntConst:
+		switch op {
+		case OpNeg:
+			return IntConst{V: -v.V}
+		case OpNot:
+			return IntConst{V: ^v.V}
+		case OpLNot:
+			if v.V == 0 {
+				return IntConst{V: 1}
+			}
+			return IntConst{V: 0}
+		}
+	case FloatConst:
+		switch op {
+		case OpNeg:
+			return FloatConst{V: -v.V}
+		case OpLNot:
+			if v.V == 0 {
+				return IntConst{V: 1}
+			}
+			return IntConst{V: 0}
+		}
+	case *Unary:
+		// --x = x, ~~x = x, but !!x is NOT x (it normalizes to 0/1).
+		if v.Op == op && (op == OpNeg || op == OpNot) {
+			return v.X
+		}
+	}
+	return &Unary{Op: op, X: x}
+}
+
+func boolInt(b bool) (int32, bool) {
+	if b {
+		return 1, true
+	}
+	return 0, true
+}
+
+func foldInt(op Op, a, b int32) (int32, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		return a << (uint32(b) & 31), true
+	case OpShr:
+		return a >> (uint32(b) & 31), true
+	case OpEq:
+		return boolInt(a == b)
+	case OpNe:
+		return boolInt(a != b)
+	case OpLt:
+		return boolInt(a < b)
+	case OpLe:
+		return boolInt(a <= b)
+	case OpGt:
+		return boolInt(a > b)
+	case OpGe:
+		return boolInt(a >= b)
+	case OpLAnd:
+		return boolInt(a != 0 && b != 0)
+	case OpLOr:
+		return boolInt(a != 0 || b != 0)
+	}
+	return 0, false
+}
+
+func foldFloat(op Op, a, b float64) (Expr, bool) {
+	switch op {
+	case OpAdd:
+		return FloatConst{V: a + b}, true
+	case OpSub:
+		return FloatConst{V: a - b}, true
+	case OpMul:
+		return FloatConst{V: a * b}, true
+	case OpDiv:
+		if b == 0 {
+			return nil, false
+		}
+		return FloatConst{V: a / b}, true
+	case OpEq:
+		v, _ := boolInt(a == b)
+		return IntConst{V: v}, true
+	case OpNe:
+		v, _ := boolInt(a != b)
+		return IntConst{V: v}, true
+	case OpLt:
+		v, _ := boolInt(a < b)
+		return IntConst{V: v}, true
+	case OpLe:
+		v, _ := boolInt(a <= b)
+		return IntConst{V: v}, true
+	case OpGt:
+		v, _ := boolInt(a > b)
+		return IntConst{V: v}, true
+	case OpGe:
+		v, _ := boolInt(a >= b)
+		return IntConst{V: v}, true
+	}
+	return nil, false
+}
+
+func isIntZero(e Expr) bool {
+	c, ok := e.(IntConst)
+	return ok && c.V == 0
+}
+
+// isAnyZero matches both integer and float zero constants (additive
+// identities are safe for either).
+func isAnyZero(e Expr) bool {
+	if isIntZero(e) {
+		return true
+	}
+	c, ok := e.(FloatConst)
+	return ok && c.V == 0
+}
+
+func isIntOne(e Expr) bool {
+	c, ok := e.(IntConst)
+	return ok && c.V == 1
+}
+
+// identity applies algebraic identities that are safe for both symbolic and
+// concrete operands. Returns the simplified expression and true on a hit.
+func identity(op Op, l, r Expr) (Expr, bool) {
+	switch op {
+	case OpAdd:
+		if isAnyZero(l) {
+			return r, true
+		}
+		if isAnyZero(r) {
+			return l, true
+		}
+		// Reassociate trailing constants: (x ± c1) + c2 → x + (c1±…+c2),
+		// so Listing 1's temporary+1 renders as secrets[0] + 101.
+		if rc, ok := r.(IntConst); ok {
+			if lb, ok := l.(*Binary); ok {
+				if lc, ok := lb.R.(IntConst); ok {
+					switch lb.Op {
+					case OpAdd:
+						return NewBinary(OpAdd, lb.L, IntConst{V: lc.V + rc.V}), true
+					case OpSub:
+						return NewBinary(OpAdd, lb.L, IntConst{V: rc.V - lc.V}), true
+					}
+				}
+			}
+		}
+		if lc, ok := l.(IntConst); ok {
+			if rb, ok := r.(*Binary); ok && rb.Op == OpAdd {
+				if rc, ok := rb.R.(IntConst); ok {
+					return NewBinary(OpAdd, rb.L, IntConst{V: lc.V + rc.V}), true
+				}
+			}
+		}
+	case OpSub:
+		if isAnyZero(r) {
+			return l, true
+		}
+		if Equal(l, r) && !containsFloat(l) {
+			return IntConst{V: 0}, true
+		}
+		// (x + c1) - c2 → x + (c1-c2).
+		if rc, ok := r.(IntConst); ok {
+			if lb, ok := l.(*Binary); ok {
+				if lc, ok := lb.R.(IntConst); ok {
+					switch lb.Op {
+					case OpAdd:
+						return NewBinary(OpAdd, lb.L, IntConst{V: lc.V - rc.V}), true
+					case OpSub:
+						return NewBinary(OpSub, lb.L, IntConst{V: lc.V + rc.V}), true
+					}
+				}
+			}
+		}
+	case OpMul:
+		if isIntZero(l) || isIntZero(r) {
+			// x*0 = 0 is safe here: expressions are side-effect
+			// free (PRIML §V-A) and float operands cannot be NaN
+			// sources in this domain.
+			return IntConst{V: 0}, true
+		}
+		if isIntOne(l) {
+			return r, true
+		}
+		if isIntOne(r) {
+			return l, true
+		}
+	case OpDiv:
+		if isIntOne(r) {
+			return l, true
+		}
+	case OpXor:
+		if isIntZero(l) {
+			return r, true
+		}
+		if isIntZero(r) {
+			return l, true
+		}
+		if Equal(l, r) {
+			return IntConst{V: 0}, true
+		}
+	case OpOr:
+		if isIntZero(l) {
+			return r, true
+		}
+		if isIntZero(r) {
+			return l, true
+		}
+	case OpAnd:
+		if isIntZero(l) || isIntZero(r) {
+			return IntConst{V: 0}, true
+		}
+	case OpEq:
+		if Equal(l, r) {
+			return IntConst{V: 1}, true
+		}
+	case OpNe:
+		if Equal(l, r) {
+			return IntConst{V: 0}, true
+		}
+	case OpLAnd:
+		if isIntZero(l) || isIntZero(r) {
+			return IntConst{V: 0}, true
+		}
+		if c, ok := l.(IntConst); ok && c.V != 0 {
+			return truthOf(r), true
+		}
+		if c, ok := r.(IntConst); ok && c.V != 0 {
+			return truthOf(l), true
+		}
+	case OpLOr:
+		if c, ok := l.(IntConst); ok {
+			if c.V != 0 {
+				return IntConst{V: 1}, true
+			}
+			return truthOf(r), true
+		}
+		if c, ok := r.(IntConst); ok {
+			if c.V != 0 {
+				return IntConst{V: 1}, true
+			}
+			return truthOf(l), true
+		}
+	}
+	return nil, false
+}
+
+// truthOf normalizes an expression used in boolean position: comparisons
+// pass through, everything else becomes (e != 0).
+func truthOf(e Expr) Expr {
+	if b, ok := e.(*Binary); ok && (b.Op.IsComparison() || b.Op.IsLogical()) {
+		return e
+	}
+	if u, ok := e.(*Unary); ok && u.Op == OpLNot {
+		return e
+	}
+	return NewBinary(OpNe, e, IntConst{V: 0})
+}
+
+// Truth exposes truthOf for engine callers that need to coerce a value into
+// a path-condition formula.
+func Truth(e Expr) Expr { return truthOf(e) }
+
+// Negate returns the logical negation of a boolean-position expression,
+// flipping comparison operators where possible so path conditions stay
+// readable (reg0[1] == 0 vs reg0[1] != 0, as in Table IV).
+func Negate(e Expr) Expr {
+	if b, ok := e.(*Binary); ok {
+		var flipped Op
+		switch b.Op {
+		case OpEq:
+			flipped = OpNe
+		case OpNe:
+			flipped = OpEq
+		case OpLt:
+			flipped = OpGe
+		case OpLe:
+			flipped = OpGt
+		case OpGt:
+			flipped = OpLe
+		case OpGe:
+			flipped = OpLt
+		default:
+			return NewUnary(OpLNot, truthOf(e))
+		}
+		return NewBinary(flipped, b.L, b.R)
+	}
+	if u, ok := e.(*Unary); ok && u.Op == OpLNot {
+		return truthOf(u.X)
+	}
+	return NewUnary(OpLNot, truthOf(e))
+}
+
+func containsFloat(e Expr) bool {
+	switch v := e.(type) {
+	case FloatConst:
+		return true
+	case *Binary:
+		return containsFloat(v.L) || containsFloat(v.R)
+	case *Unary:
+		return containsFloat(v.X)
+	case *Call:
+		return true // math builtins return floats
+	default:
+		return false
+	}
+}

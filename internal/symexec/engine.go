@@ -1,0 +1,688 @@
+package symexec
+
+import (
+	"errors"
+	"fmt"
+
+	"privacyscope/internal/mem"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/taint"
+)
+
+// Engine errors.
+var (
+	ErrNoSuchFunc = errors.New("symexec: no such function")
+	ErrPathBudget = errors.New("symexec: path budget exhausted")
+)
+
+// Engine symbolically executes MiniC functions. Create one per analysis
+// run; it is not safe for concurrent use.
+type Engine struct {
+	file    *minic.File
+	opts    Options
+	mgr     *mem.Manager
+	builder *sym.Builder
+	sv      *solver.Solver
+
+	// inputSyms memoizes conjured input values per region key so every
+	// path sees the same symbol for the same memory.
+	inputSyms map[string]mem.SVal
+	// secretRoots marks region roots whose unbound elements must conjure
+	// *secret* symbols (SymRegions of [in] params and re-symbolized
+	// decrypt destinations).
+	secretRoots map[string]bool
+	// rootDisplay maps region-root keys to source-level display names.
+	rootDisplay map[string]string
+	// outRoots maps [out]-parameter root keys to parameter names.
+	outRoots map[string]string
+
+	frameSeq int
+	steps    int
+	res      *Result
+	env      *mem.Env
+}
+
+// New returns an engine over the file.
+func New(file *minic.File, opts Options) *Engine {
+	var alloc taint.Allocator
+	return &Engine{
+		file:        file,
+		opts:        opts,
+		mgr:         mem.NewManager(),
+		builder:     sym.NewBuilder(&alloc),
+		sv:          solver.New(),
+		inputSyms:   make(map[string]mem.SVal),
+		secretRoots: make(map[string]bool),
+		rootDisplay: make(map[string]string),
+		outRoots:    make(map[string]string),
+		env:         mem.NewEnv(),
+	}
+}
+
+// Builder exposes the engine's symbol builder (the checker needs it for
+// witness models).
+func (e *Engine) Builder() *sym.Builder { return e.builder }
+
+// AnalyzeFunction explores every path of the named entry point under the
+// given parameter classification.
+func (e *Engine) AnalyzeFunction(name string, params []ParamSpec) (*Result, error) {
+	fn, ok := e.file.Function(name)
+	if !ok || fn.Body == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFunc, name)
+	}
+	classes := make(map[string]ParamClass, len(params))
+	for _, p := range params {
+		classes[p.Name] = p.Class
+	}
+
+	e.res = &Result{
+		Function:      name,
+		Builder:       e.builder,
+		SecretSymbols: make(map[string]*sym.Symbol),
+	}
+	if e.opts.TrackTrace {
+		e.res.Trace = NewTrace()
+	}
+
+	st := &state{
+		pc:    solver.True(),
+		store: mem.NewStore(),
+	}
+	// Seed globals with constant initializers; globals with dynamic or
+	// absent initializers stay symbolic (conjured on first read).
+	for _, g := range e.file.Globals {
+		if c, ok := constInit(g.Init); ok {
+			reg := e.mgr.Var("::"+g.Name, 0)
+			e.rootDisplay[reg.Key()] = g.Name
+			st.store.Bind(reg, coerceSVal(mem.Scalar{E: c}, g.Type))
+		}
+	}
+	fr := e.pushFrame(st, fn)
+	for _, p := range fn.Params {
+		cls, ok := classes[p.Name]
+		if !ok {
+			cls = ParamPublic
+		}
+		if err := e.bindParam(st, fr, p, cls); err != nil {
+			return nil, err
+		}
+	}
+	e.snapshot(st, "entry "+name)
+
+	err := e.execBlock(st, fn.Body, func(end *state, c ctl) error {
+		ret := c.ret
+		if c.kind != ctlReturn {
+			ret = nil
+		}
+		return e.completePath(end, ret, c.retPos)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.res.Regions = e.mgr.RegionCount()
+	return e.res, nil
+}
+
+// bindParam sets up one entry parameter per its EDL class.
+func (e *Engine) bindParam(st *state, fr *sframe, p *minic.VarDecl, cls ParamClass) error {
+	reg := e.mgr.Var(p.Name, fr.id)
+	fr.declare(p.Name, reg, p.Type)
+	e.env.Bind(p.Name, reg)
+
+	if _, isPtr := p.Type.(minic.Pointer); isPtr {
+		secret := cls == ParamSecret || cls == ParamInOut
+		pointee := e.builder.FreshPublic(p.Name + "_blk")
+		blk := e.mgr.SymBlock(pointee, p.Name, secret)
+		e.rootDisplay[blk.Key()] = p.Name
+		if secret {
+			e.secretRoots[blk.Key()] = true
+		}
+		if cls == ParamOut || cls == ParamInOut {
+			e.outRoots[blk.Key()] = p.Name
+		}
+		st.store.Bind(reg, mem.Loc{R: blk})
+		return nil
+	}
+	// Scalar parameter.
+	var val sym.Expr
+	if cls == ParamSecret || cls == ParamInOut {
+		s := e.builder.FreshSecret(p.Name)
+		e.res.SecretSymbols[p.Name] = s
+		val = s
+	} else {
+		val = e.builder.FreshPublic(p.Name)
+	}
+	st.store.Bind(reg, mem.Scalar{E: val})
+	return nil
+}
+
+// completePath records one finished path's observable outcome.
+func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
+	if len(e.res.Paths) >= e.opts.maxPaths() {
+		return fmt.Errorf("%w (%d)", ErrPathBudget, e.opts.maxPaths())
+	}
+	pr := &PathResult{
+		PC:         st.pc,
+		Return:     ret,
+		ReturnPos:  retPos,
+		Ocalls:     st.ocalls,
+		Incomplete: st.incomplete,
+		Cost:       st.cost,
+	}
+	for _, b := range st.store.Bindings() {
+		rootKey := mem.Root(b.Region).Key()
+		param, isOut := e.outRoots[rootKey]
+		if !isOut || b.Region == mem.Root(b.Region) {
+			continue
+		}
+		sc, isScalar := b.Val.(mem.Scalar)
+		if !isScalar {
+			continue
+		}
+		pr.Outs = append(pr.Outs, OutWrite{
+			Param:   param,
+			Region:  b.Region,
+			Display: e.displayName(b.Region),
+			Value:   sc.E,
+		})
+	}
+	e.res.Paths = append(e.res.Paths, pr)
+	e.snapshot(st, "path end")
+	return nil
+}
+
+// state is one exploded node: π, σ, call stack and per-path observations.
+type state struct {
+	pc         *solver.PathCondition
+	store      *mem.Store
+	frames     []*sframe
+	ocalls     []SinkEvent
+	incomplete bool
+	// cost counts executed statements (the abstract time model).
+	cost int
+}
+
+func (st *state) clone() *state {
+	frames := make([]*sframe, len(st.frames))
+	for i, f := range st.frames {
+		frames[i] = f.clone()
+	}
+	ocalls := make([]SinkEvent, len(st.ocalls))
+	copy(ocalls, st.ocalls)
+	return &state{
+		pc:         st.pc,
+		store:      st.store.Clone(),
+		frames:     frames,
+		ocalls:     ocalls,
+		incomplete: st.incomplete,
+		cost:       st.cost,
+	}
+}
+
+func (st *state) frame() *sframe { return st.frames[len(st.frames)-1] }
+
+type varBind struct {
+	region mem.Region
+	ty     minic.Type
+}
+
+type sframe struct {
+	fn     *minic.FuncDecl
+	id     int
+	scopes []map[string]varBind
+}
+
+func (f *sframe) clone() *sframe {
+	scopes := make([]map[string]varBind, len(f.scopes))
+	for i, sc := range f.scopes {
+		c := make(map[string]varBind, len(sc))
+		for k, v := range sc {
+			c[k] = v
+		}
+		scopes[i] = c
+	}
+	return &sframe{fn: f.fn, id: f.id, scopes: scopes}
+}
+
+func (f *sframe) push() { f.scopes = append(f.scopes, make(map[string]varBind)) }
+func (f *sframe) pop()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *sframe) declare(name string, r mem.Region, ty minic.Type) {
+	f.scopes[len(f.scopes)-1][name] = varBind{region: r, ty: ty}
+}
+
+func (f *sframe) lookup(name string) (varBind, bool) {
+	for i := len(f.scopes) - 1; i >= 0; i-- {
+		if b, ok := f.scopes[i][name]; ok {
+			return b, true
+		}
+	}
+	return varBind{}, false
+}
+
+func (e *Engine) pushFrame(st *state, fn *minic.FuncDecl) *sframe {
+	e.frameSeq++
+	fr := &sframe{fn: fn, id: e.frameSeq}
+	fr.push()
+	st.frames = append(st.frames, fr)
+	return fr
+}
+
+type ctlKind int
+
+const (
+	ctlNext ctlKind = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+type ctl struct {
+	kind   ctlKind
+	ret    sym.Expr
+	retPos minic.Pos
+}
+
+var ctlFallthrough = ctl{}
+
+// cont is the continuation invoked with the state after a statement.
+type cont func(*state, ctl) error
+
+func (e *Engine) step() error {
+	e.steps++
+	if e.steps > e.opts.maxSteps() {
+		return fmt.Errorf("symexec: step budget exhausted (%d)", e.opts.maxSteps())
+	}
+	return nil
+}
+
+func (e *Engine) execBlock(st *state, b *minic.Block, k cont) error {
+	st.frame().push()
+	return e.execSeq(st, b.Stmts, func(end *state, c ctl) error {
+		end.frame().pop()
+		return k(end, c)
+	})
+}
+
+func (e *Engine) execSeq(st *state, stmts []minic.Stmt, k cont) error {
+	if len(stmts) == 0 {
+		return k(st, ctlFallthrough)
+	}
+	return e.exec(st, stmts[0], func(next *state, c ctl) error {
+		if c.kind != ctlNext {
+			return k(next, c)
+		}
+		return e.execSeq(next, stmts[1:], k)
+	})
+}
+
+func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
+	if err := e.step(); err != nil {
+		return err
+	}
+	st.cost++
+	e.snapshot(st, minic.StmtString(s))
+	switch v := s.(type) {
+	case *minic.Block:
+		return e.execBlock(st, v, k)
+	case *minic.EmptyStmt:
+		return k(st, ctlFallthrough)
+	case *minic.DeclStmt:
+		for _, d := range v.Decls {
+			reg := e.mgr.Var(d.Name+"#"+fmt.Sprint(st.frame().id), st.frame().id)
+			st.frame().declare(d.Name, reg, d.Type)
+			e.env.Bind(d.Name, reg)
+			e.rootDisplay[reg.Key()] = d.Name
+			if d.Init != nil {
+				val, _, err := e.eval(st, d.Init)
+				if err != nil {
+					return err
+				}
+				st.store.Bind(reg, coerceSVal(val, d.Type))
+			}
+		}
+		return k(st, ctlFallthrough)
+	case *minic.ExprStmt:
+		// A bare call to a user function in statement position is
+		// executed with full path sensitivity: forks inside the callee
+		// propagate to the caller's continuation. (Calls in expression
+		// position fall back to inlineCall's first-path approximation.)
+		if call, ok := v.X.(*minic.CallExpr); ok {
+			if fn, defined := e.file.Function(call.Fun); defined && fn.Body != nil &&
+				!e.opts.OCallFuncs[call.Fun] && !isIntrinsic(e.opts, call.Fun) {
+				return e.execCallStmt(st, fn, call, k)
+			}
+		}
+		if _, _, err := e.eval(st, v.X); err != nil {
+			return err
+		}
+		return k(st, ctlFallthrough)
+	case *minic.IfStmt:
+		return e.execIf(st, v, k)
+	case *minic.WhileStmt:
+		return e.execLoop(st, v.Cond, nil, v.Body, k)
+	case *minic.ForStmt:
+		st.frame().push()
+		inner := func(end *state, c ctl) error {
+			end.frame().pop()
+			return k(end, c)
+		}
+		if v.Init != nil {
+			return e.exec(st, v.Init, func(next *state, c ctl) error {
+				if c.kind != ctlNext {
+					return inner(next, c)
+				}
+				return e.execLoop(next, v.Cond, v.Post, v.Body, inner)
+			})
+		}
+		return e.execLoop(st, v.Cond, v.Post, v.Body, inner)
+	case *minic.DoWhileStmt:
+		// do S while (c) ≡ S; while (c) S — with break in the first
+		// S exiting the loop.
+		return e.exec(st, v.Body, func(next *state, c ctl) error {
+			switch c.kind {
+			case ctlReturn:
+				return k(next, c)
+			case ctlBreak:
+				return k(next, ctlFallthrough)
+			}
+			return e.execLoop(next, v.Cond, nil, v.Body, k)
+		})
+	case *minic.SwitchStmt:
+		return e.execSwitch(st, v, k)
+	case *minic.ReturnStmt:
+		var ret sym.Expr
+		if v.X != nil {
+			val, _, err := e.eval(st, v.X)
+			if err != nil {
+				return err
+			}
+			ret = scalarOf(val)
+		}
+		return k(st, ctl{kind: ctlReturn, ret: ret, retPos: v.Pos})
+	case *minic.BreakStmt:
+		return k(st, ctl{kind: ctlBreak})
+	case *minic.ContinueStmt:
+		return k(st, ctl{kind: ctlContinue})
+	}
+	return fmt.Errorf("symexec: unknown statement %T", s)
+}
+
+func (e *Engine) execIf(st *state, v *minic.IfStmt, k cont) error {
+	condVal, _, err := e.eval(st, v.Cond)
+	if err != nil {
+		return err
+	}
+	cond := sym.Truth(scalarOf(condVal))
+	if c, ok := cond.(sym.IntConst); ok {
+		if c.V != 0 {
+			return e.exec(st, v.Then, k)
+		}
+		if v.Else != nil {
+			return e.exec(st, v.Else, k)
+		}
+		return k(st, ctlFallthrough)
+	}
+	// Fork (PS-TCOND / PS-FCOND).
+	thenSt := st.clone()
+	thenSt.pc = thenSt.pc.And(cond)
+	if e.feasible(thenSt.pc) {
+		if err := e.exec(thenSt, v.Then, k); err != nil {
+			return err
+		}
+	}
+	elseSt := st.clone()
+	elseSt.pc = elseSt.pc.And(sym.Negate(cond))
+	if e.feasible(elseSt.pc) {
+		if v.Else != nil {
+			return e.exec(elseSt, v.Else, k)
+		}
+		return k(elseSt, ctlFallthrough)
+	}
+	return nil
+}
+
+func (e *Engine) feasible(pc *solver.PathCondition) bool {
+	if !e.opts.PruneInfeasible {
+		return true
+	}
+	return e.sv.Feasible(pc)
+}
+
+// execLoop handles while (post == nil) and for loops. Concrete conditions
+// iterate without forking (bounded by the step budget); symbolic conditions
+// fork per iteration up to LoopBound.
+func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body minic.Stmt, k cont) error {
+	var iter func(cur *state, remaining int) error
+
+	afterBody := func(next *state, c ctl, remaining int) error {
+		switch c.kind {
+		case ctlReturn:
+			return k(next, c)
+		case ctlBreak:
+			return k(next, ctlFallthrough)
+		}
+		// ctlNext or ctlContinue: run post then loop.
+		if post != nil {
+			if _, _, err := e.eval(next, post); err != nil {
+				return err
+			}
+		}
+		return iter(next, remaining)
+	}
+
+	iter = func(cur *state, remaining int) error {
+		if err := e.step(); err != nil {
+			return err
+		}
+		if cond == nil {
+			// for(;;): only break/return exits; bound it.
+			if remaining <= 0 {
+				cur.incomplete = true
+				e.warn("infinite loop cut at bound")
+				return k(cur, ctlFallthrough)
+			}
+			return e.exec(cur, body, func(next *state, c ctl) error {
+				return afterBody(next, c, remaining-1)
+			})
+		}
+		condVal, _, err := e.eval(cur, cond)
+		if err != nil {
+			return err
+		}
+		truth := sym.Truth(scalarOf(condVal))
+		if c, ok := truth.(sym.IntConst); ok {
+			if c.V == 0 {
+				return k(cur, ctlFallthrough)
+			}
+			return e.exec(cur, body, func(next *state, cc ctl) error {
+				return afterBody(next, cc, remaining)
+			})
+		}
+		// Symbolic condition: fork enter/exit.
+		if remaining <= 0 {
+			// Bound hit: assume exit, mark incomplete.
+			cur.incomplete = true
+			cur.pc = cur.pc.And(sym.Negate(truth))
+			e.warn("symbolic loop cut at bound " + fmt.Sprint(e.opts.loopBound()))
+			return k(cur, ctlFallthrough)
+		}
+		enter := cur.clone()
+		enter.pc = enter.pc.And(truth)
+		if e.feasible(enter.pc) {
+			if err := e.exec(enter, body, func(next *state, cc ctl) error {
+				return afterBody(next, cc, remaining-1)
+			}); err != nil {
+				return err
+			}
+		}
+		exit := cur.clone()
+		exit.pc = exit.pc.And(sym.Negate(truth))
+		if e.feasible(exit.pc) {
+			return k(exit, ctlFallthrough)
+		}
+		return nil
+	}
+	return iter(st, e.opts.loopBound())
+}
+
+func (e *Engine) warn(msg string) {
+	for _, w := range e.res.Warnings {
+		if w == msg {
+			return
+		}
+	}
+	e.res.Warnings = append(e.res.Warnings, msg)
+}
+
+// scalarOf extracts a scalar expression from an SVal; locations degrade to
+// an opaque non-secret constant (pointer values are not secrets).
+func scalarOf(v mem.SVal) sym.Expr {
+	switch s := v.(type) {
+	case mem.Scalar:
+		return s.E
+	default:
+		return sym.IntConst{V: 1}
+	}
+}
+
+// coerceSVal applies C narrowing when the declared type is integral and the
+// value folded to a float constant.
+func coerceSVal(v mem.SVal, ty minic.Type) mem.SVal {
+	sc, ok := v.(mem.Scalar)
+	if !ok {
+		return v
+	}
+	if b, isBasic := ty.(minic.Basic); isBasic && b.IsInteger() {
+		if f, isF := sc.E.(sym.FloatConst); isF {
+			return mem.Scalar{E: sym.IntConst{V: int32(f.V)}}
+		}
+	}
+	return sc
+}
+
+// constInit folds a literal (optionally negated) global initializer.
+func constInit(e minic.Expr) (sym.Expr, bool) {
+	switch v := e.(type) {
+	case *minic.IntLitExpr:
+		return sym.IntConst{V: int32(v.V)}, true
+	case *minic.FloatLitExpr:
+		return sym.FloatConst{V: v.V}, true
+	case *minic.UnExpr:
+		if v.Op != sym.OpNeg {
+			return nil, false
+		}
+		inner, ok := constInit(v.X)
+		if !ok {
+			return nil, false
+		}
+		return sym.NewUnary(sym.OpNeg, inner), true
+	default:
+		return nil, false
+	}
+}
+
+// execSwitch symbolically executes a C switch. A concrete tag with concrete
+// case values selects the entry statically; a symbolic tag forks one state
+// per case (with the preceding cases excluded from π) plus a default state.
+// Fallthrough is honored: from the entry case, statements of all later
+// cases run until a break.
+func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
+	tagVal, _, err := e.eval(st, v.Tag)
+	if err != nil {
+		return err
+	}
+	tag := scalarOf(tagVal)
+
+	// runFrom executes case bodies from entry onward with switch-scoped
+	// break handling.
+	runFrom := func(cur *state, entry int, kk cont) error {
+		var stmts []minic.Stmt
+		for i := entry; i < len(v.Cases); i++ {
+			stmts = append(stmts, v.Cases[i].Body...)
+		}
+		return e.execSeq(cur, stmts, func(end *state, c ctl) error {
+			if c.kind == ctlBreak {
+				return kk(end, ctlFallthrough)
+			}
+			return kk(end, c)
+		})
+	}
+
+	// Evaluate case values (side-effect-free constants in C).
+	caseVals := make([]sym.Expr, len(v.Cases))
+	defaultIdx := -1
+	for i, c := range v.Cases {
+		if c.IsDefault {
+			defaultIdx = i
+			continue
+		}
+		cv, _, err := e.eval(st, c.Value)
+		if err != nil {
+			return err
+		}
+		caseVals[i] = scalarOf(cv)
+	}
+
+	if tc, concrete := tag.(sym.IntConst); concrete {
+		allConcrete := true
+		entry := -1
+		for i, c := range v.Cases {
+			if c.IsDefault {
+				continue
+			}
+			cc, ok := caseVals[i].(sym.IntConst)
+			if !ok {
+				allConcrete = false
+				break
+			}
+			if cc.V == tc.V {
+				entry = i
+				break
+			}
+		}
+		if allConcrete {
+			if entry < 0 {
+				entry = defaultIdx
+			}
+			if entry < 0 {
+				return k(st, ctlFallthrough)
+			}
+			return runFrom(st, entry, k)
+		}
+	}
+
+	// Symbolic tag: fork per case.
+	var excluded []sym.Expr
+	for i, c := range v.Cases {
+		if c.IsDefault {
+			continue
+		}
+		match := sym.NewBinary(sym.OpEq, tag, caseVals[i])
+		branch := st.clone()
+		branch.pc = branch.pc.And(match)
+		for _, ex := range excluded {
+			branch.pc = branch.pc.And(sym.Negate(ex))
+		}
+		if e.feasible(branch.pc) {
+			if err := runFrom(branch, i, k); err != nil {
+				return err
+			}
+		}
+		excluded = append(excluded, match)
+	}
+	// No-match state: default case, or fall past the switch.
+	rest := st.clone()
+	for _, ex := range excluded {
+		rest.pc = rest.pc.And(sym.Negate(ex))
+	}
+	if !e.feasible(rest.pc) {
+		return nil
+	}
+	if defaultIdx >= 0 {
+		return runFrom(rest, defaultIdx, k)
+	}
+	return k(rest, ctlFallthrough)
+}

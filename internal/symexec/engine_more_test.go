@@ -1,0 +1,566 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/sym"
+)
+
+// TestStatementCallForksPropagate exercises execCallStmt: a forking callee
+// invoked in statement position must contribute every path to the caller
+// (the km_assign pattern of the Kmeans port).
+func TestStatementCallForksPropagate(t *testing.T) {
+	src := `
+void classify(int *secrets, int *labels) {
+    if (secrets[0] > 0) { labels[0] = 1; }
+    else { labels[0] = 0; }
+}
+int f(int *secrets, int *output) {
+    int labels[1];
+    classify(secrets, labels);
+    output[0] = labels[0] * 10;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (fork inside callee)", len(res.Paths))
+	}
+	values := map[string]bool{}
+	for _, p := range res.Paths {
+		if len(p.Outs) != 1 {
+			t.Fatalf("outs = %+v", p.Outs)
+		}
+		values[p.Outs[0].Value.String()] = true
+	}
+	if !values["10"] || !values["0"] {
+		t.Errorf("out values = %v, want 10 and 0", values)
+	}
+}
+
+func TestStatementCallReturnDoesNotExitCaller(t *testing.T) {
+	src := `
+int helper(int *output) {
+    output[0] = 1;
+    return 99;
+}
+int f(int *secrets, int *output) {
+    helper(output);
+    output[1] = 2;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	p := res.Paths[0]
+	if p.Return.String() != "0" {
+		t.Errorf("caller return = %s, want 0 (callee return must not escape)", p.Return)
+	}
+	if len(p.Outs) != 2 {
+		t.Errorf("outs = %+v, want both writes", p.Outs)
+	}
+}
+
+func TestInlineDepthOnStatementCall(t *testing.T) {
+	src := `
+void spin(int *output) {
+    spin(output);
+}
+int f(int *secrets, int *output) {
+    spin(output);
+    return 0;
+}
+`
+	opts := DefaultOptions()
+	opts.InlineDepth = 4
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), opts)
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "inline depth exceeded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestCalleeWithAllPathsInfeasible(t *testing.T) {
+	src := `
+int weird(int x) {
+    if (x > 0) {
+        if (x < 0) { return 1; }
+        return 2;
+    }
+    return 3;
+}
+int f(int *secrets, int *output) {
+    output[0] = weird(5) + 0 * secrets[0];
+    return 0;
+}
+`
+	// weird(5) is concrete: only the x>0, !(x<0) path is live → 2.
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "2" {
+		t.Errorf("value = %s, want 2", got)
+	}
+}
+
+func TestArrowMemberThroughStructPointer(t *testing.T) {
+	src := `
+struct Sample { float v; float w; };
+float f(struct Sample *s, float *output) {
+    output[0] = s->v * 2.0;
+    return s->w;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "s", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("taint = %v", sym.TaintOf(o.Value))
+	}
+	if !strings.Contains(o.Value.String(), "s.v") {
+		t.Errorf("value = %s, want s.v involved", o.Value)
+	}
+	if !sym.TaintOf(res.Paths[0].Return).IsSingle() {
+		t.Error("s->w must be a distinct secret")
+	}
+}
+
+func TestCondExprConcreteSelector(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    output[0] = 1 > 0 ? secrets[0] : 99;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "secrets[0]" {
+		t.Errorf("value = %s", got)
+	}
+}
+
+func TestSizeofAndCast(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    output[0] = sizeof(int) + sizeof(double);
+    float x = 3.9;
+    output[1] = (int)x;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	outs := map[string]string{}
+	for _, o := range res.Paths[0].Outs {
+		outs[o.Display] = o.Value.String()
+	}
+	if outs["output[0]"] != "12" {
+		t.Errorf("sizeof sum = %s, want 12", outs["output[0]"])
+	}
+	if outs["output[1]"] != "3" {
+		t.Errorf("cast = %s, want 3", outs["output[1]"])
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int i = 0;
+    int total = 0;
+    while (1) {
+        i++;
+        if (i == 2) continue;
+        if (i > 4) break;
+        total += i;
+    }
+    output[0] = total;
+    return 0;
+}
+`
+	// i: 1,3,4 summed = 8 (2 skipped, loop breaks at 5).
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "8" {
+		t.Errorf("total = %s, want 8", got)
+	}
+}
+
+func TestMallocFreeSrandModeled(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int *buf = malloc(4);
+    buf[0] = secrets[0];
+    output[0] = buf[0];
+    srand(7);
+    free(buf);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("heap round-trip lost taint: %v", sym.TaintOf(o.Value))
+	}
+}
+
+func TestUnknownExternWarns(t *testing.T) {
+	src := `
+int mystery(int x);
+int f(int *secrets, int *output) {
+    output[0] = mystery(secrets[0]);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "unmodeled function mystery") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+	// The opaque result is public: conservative for nonreversibility
+	// (documented unsoundness for externs, caught by the sema whitelist
+	// in normal operation).
+	if !sym.TaintOf(res.Paths[0].Outs[0].Value).IsBottom() {
+		t.Error("extern result should be an unconstrained public symbol")
+	}
+}
+
+func TestGlobalMutationVisibleAcrossStatements(t *testing.T) {
+	src := `
+int counter = 3;
+int f(int *secrets, int *output) {
+    counter = counter + secrets[0];
+    output[0] = counter;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if o.Value.String() != "(3 + secrets[0])" {
+		t.Errorf("value = %s", o.Value)
+	}
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("taint = %v", sym.TaintOf(o.Value))
+	}
+}
+
+func Test2DArrayFlow(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int m[2][2];
+    m[0][1] = secrets[0];
+    m[1][0] = 7;
+    output[0] = m[0][1] + m[1][0];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if o.Value.String() != "(secrets[0] + 7)" {
+		t.Errorf("value = %s", o.Value)
+	}
+}
+
+func TestMemcpySymbolicLengthSummarized(t *testing.T) {
+	src := `
+int f(int *secrets, int n, int *output) {
+    int tmp[4];
+    memcpy(tmp, secrets, n);
+    output[0] = tmp[0];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "n", Class: ParamPublic},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "memcpy with symbolic length") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+	// The summary read still carries secret taint.
+	if sym.TaintOf(res.Paths[0].Outs[0].Value).IsBottom() {
+		t.Error("summarized copy lost taint")
+	}
+}
+
+func TestMemsetSymbolicLengthSummarized(t *testing.T) {
+	src := `
+int f(int *secrets, int n, int *output) {
+    int tmp[4];
+    tmp[0] = secrets[0];
+    memset(tmp, 0, n);
+    output[0] = 1;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "n", Class: ParamPublic},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "memset with symbolic length") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	res := analyzeSrc(t, listing1, "enclave_process_data", listing1Params(), DefaultOptions())
+	s0 := res.SecretSymbols["secrets[0]"]
+	if got := res.SecretSymbolByTag(int(s0.Tag)); got != s0 {
+		t.Error("SecretSymbolByTag lookup failed")
+	}
+	if res.SecretSymbolByTag(999) != nil {
+		t.Error("unknown tag must return nil")
+	}
+	if ParamSecret.String() != "[in]" || ParamOut.String() != "[out]" ||
+		ParamInOut.String() != "[in,out]" || ParamPublic.String() != "public" {
+		t.Error("ParamClass strings wrong")
+	}
+}
+
+func TestTraceRowsAndLabels(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TrackTrace = true
+	res := analyzeSrc(t, listing1, "enclave_process_data", listing1Params(), opts)
+	rows := res.Trace.Rows()
+	if len(rows) != res.Trace.Len() {
+		t.Error("Rows/Len mismatch")
+	}
+	if rows[0].State != "A" || rows[1].State != "B" {
+		t.Errorf("labels = %s, %s", rows[0].State, rows[1].State)
+	}
+	if stateLabel(30) != "S30" {
+		t.Errorf("stateLabel(30) = %s", stateLabel(30))
+	}
+}
+
+func TestEngineBuilderExposed(t *testing.T) {
+	e := New(minic.MustParse("int f(void) { return 0; }"), DefaultOptions())
+	if e.Builder() == nil {
+		t.Fatal("Builder must be non-nil")
+	}
+}
+
+func TestStringLiteralArgOpaque(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    printf("all good");
+    output[0] = 1;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths[0].Ocalls) != 1 {
+		t.Fatalf("ocalls = %+v", res.Paths[0].Ocalls)
+	}
+	for _, a := range res.Paths[0].Ocalls[0].Args {
+		if !sym.TaintOf(a).IsBottom() {
+			t.Error("string literal must be untainted")
+		}
+	}
+}
+
+func TestSymbolicSwitchForks(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    switch (secrets[0]) {
+    case 1:
+        output[0] = 10;
+        break;
+    case 2:
+        output[0] = 20;
+        break;
+    default:
+        output[0] = 30;
+    }
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 3 {
+		t.Fatalf("paths = %d, want 3 (case 1, case 2, default)", len(res.Paths))
+	}
+	values := map[string]string{}
+	for _, p := range res.Paths {
+		values[p.PC.String()] = p.Outs[0].Value.String()
+	}
+	sawDefault := false
+	for pc, v := range values {
+		switch {
+		case strings.Contains(pc, "== 1") && !strings.Contains(pc, "!="):
+			if v != "10" {
+				t.Errorf("case 1 value = %s on %s", v, pc)
+			}
+		case strings.Contains(pc, "== 2"):
+			if v != "20" {
+				t.Errorf("case 2 value = %s on %s", v, pc)
+			}
+		default:
+			sawDefault = true
+			if v != "30" {
+				t.Errorf("default value = %s on %s", v, pc)
+			}
+		}
+	}
+	if !sawDefault {
+		t.Error("default path missing")
+	}
+}
+
+func TestSymbolicSwitchImplicitLeakDetected(t *testing.T) {
+	// The switch on a single secret revealing different constants is an
+	// implicit leak — checked through the full checker.
+	src := `
+int f(int *secrets, int *output) {
+    switch (secrets[0]) {
+    case 7:
+        output[0] = 1;
+        break;
+    default:
+        output[0] = 0;
+    }
+    return 0;
+}
+`
+	file := minic.MustParse(src)
+	report, err := coreCheck(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) == 0 {
+		t.Fatal("switch-based implicit leak missed")
+	}
+}
+
+func TestConcreteSwitchSelectsStatically(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int x = 2;
+    switch (x) {
+    case 1:
+        output[0] = secrets[0];
+        break;
+    case 2:
+        output[0] = 5;
+        break;
+    }
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(res.Paths))
+	}
+	if res.Paths[0].Outs[0].Value.String() != "5" {
+		t.Errorf("value = %s (dead case executed?)", res.Paths[0].Outs[0].Value)
+	}
+}
+
+func TestSwitchFallthroughSymbolic(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int x = 1;
+    int r = 0;
+    switch (x) {
+    case 1:
+        r += 1;
+    case 2:
+        r += 2;
+        break;
+    case 3:
+        r += 100;
+    }
+    output[0] = r;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "3" {
+		t.Errorf("fallthrough value = %s, want 3", got)
+	}
+}
+
+func TestDoWhileSymbolic(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int i = 0;
+    int total = 0;
+    do {
+        total += i;
+        i++;
+    } while (i < 4);
+    output[0] = total;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "6" {
+		t.Errorf("do-while total = %s, want 6", got)
+	}
+}
+
+func TestDoWhileBodyRunsOnceSymbolic(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int i = 9;
+    do {
+        output[0] = 42;
+    } while (i < 0);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if got := res.Paths[0].Outs[0].Value.String(); got != "42" {
+		t.Errorf("value = %s", got)
+	}
+}
+
+func TestSgxReadRandFillsEntropy(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int noise[2];
+    sgx_read_rand(noise, 2);
+    output[0] = secrets[0] + noise[0];
+    output[1] = noise[1];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	outs := map[string]sym.Expr{}
+	for _, o := range res.Paths[0].Outs {
+		outs[o.Display] = o.Value
+	}
+	if !sym.HasEntropy(outs["output[0]"]) {
+		t.Errorf("output[0] = %s, want entropy-bearing", outs["output[0]"])
+	}
+	// Taint-wise output[0] is single (one secret + entropy).
+	if !sym.TaintOf(outs["output[0]"]).IsSingle() {
+		t.Errorf("taint = %v", sym.TaintOf(outs["output[0]"]))
+	}
+	if !sym.HasEntropy(outs["output[1]"]) {
+		t.Errorf("output[1] = %s, want entropy", outs["output[1]"])
+	}
+}

@@ -1,0 +1,585 @@
+package symexec
+
+import (
+	"strings"
+	"testing"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/taint"
+)
+
+const listing1 = `
+int enclave_process_data(char *secrets, char *output)
+{
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0)
+        return 0;
+    else
+        return 1;
+}
+`
+
+func listing1Params() []ParamSpec {
+	return []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+}
+
+func analyzeSrc(t *testing.T, src, fn string, params []ParamSpec, opts Options) *Result {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(file, opts).AnalyzeFunction(fn, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTableIVExploration reproduces Table IV: the symbolic exploration of
+// Listing 1 forks into two states with opposite constraints on secrets[1],
+// and the store carries output[0] → secrets[0] + 101 on both paths.
+func TestTableIVExploration(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TrackTrace = true
+	res := analyzeSrc(t, listing1, "enclave_process_data", listing1Params(), opts)
+
+	if len(res.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (states D and E)", len(res.Paths))
+	}
+
+	// Path conditions are the two opposite constraints of Table IV.
+	pcs := []string{res.Paths[0].PC.String(), res.Paths[1].PC.String()}
+	joined := strings.Join(pcs, " / ")
+	if !strings.Contains(joined, "secrets[1] == 0") || !strings.Contains(joined, "secrets[1] != 0") {
+		t.Errorf("path conditions = %v", pcs)
+	}
+
+	// Returns are 0 and 1 respectively.
+	rets := map[string]string{}
+	for _, p := range res.Paths {
+		rets[p.PC.String()] = p.Return.String()
+	}
+	for pc, ret := range rets {
+		if strings.Contains(pc, "== 0") && ret != "0" {
+			t.Errorf("then-path return = %s, want 0", ret)
+		}
+		if strings.Contains(pc, "!= 0") && ret != "1" {
+			t.Errorf("else-path return = %s, want 1", ret)
+		}
+	}
+
+	// Both paths observe output[0] = secrets[0] + 101.
+	for _, p := range res.Paths {
+		if len(p.Outs) != 1 {
+			t.Fatalf("outs = %+v", p.Outs)
+		}
+		o := p.Outs[0]
+		if o.Param != "output" || o.Display != "output[0]" {
+			t.Errorf("out write = %+v", o)
+		}
+		if o.Value.String() != "(secrets[0] + 101)" {
+			t.Errorf("out value = %s, want (secrets[0] + 101)", o.Value)
+		}
+		// Taint of the out value is the single tag of secrets[0].
+		s0 := res.SecretSymbols["secrets[0]"]
+		if s0 == nil {
+			t.Fatal("secrets[0] symbol missing")
+		}
+		if !sym.TaintOf(o.Value).Equal(taint.Single(s0.Tag)) {
+			t.Errorf("out taint = %v", sym.TaintOf(o.Value))
+		}
+		// π is tainted by the single tag of secrets[1].
+		s1 := res.SecretSymbols["secrets[1]"]
+		if s1 == nil {
+			t.Fatal("secrets[1] symbol missing")
+		}
+		if !p.PC.Taint().Equal(taint.Single(s1.Tag)) {
+			t.Errorf("π taint = %v", p.PC.Taint())
+		}
+	}
+
+	// The exploration visited at least the five states A–E of Table IV.
+	if res.States < 5 {
+		t.Errorf("states = %d, want ≥ 5", res.States)
+	}
+	if res.Trace == nil || res.Trace.Len() < 5 {
+		t.Fatalf("trace rows = %v", res.Trace)
+	}
+	rendered := res.Trace.Render()
+	for _, want := range []string{"state A", "π", "secrets", "output"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("trace missing %q:\n%s", want, rendered)
+		}
+	}
+	// Regions: at least secrets block, output block, their elements and
+	// the locals (Table IV creates reg0..reg3).
+	if res.Regions < 4 {
+		t.Errorf("regions = %d, want ≥ 4", res.Regions)
+	}
+}
+
+func TestScalarSecretParam(t *testing.T) {
+	src := `int f(int secret_x, int pub_y) { return secret_x * 2 + pub_y; }`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secret_x", Class: ParamSecret},
+		{Name: "pub_y", Class: ParamPublic},
+	}, DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	ret := res.Paths[0].Return
+	sx := res.SecretSymbols["secret_x"]
+	if sx == nil {
+		t.Fatal("secret_x symbol missing")
+	}
+	if !sym.TaintOf(ret).Equal(taint.Single(sx.Tag)) {
+		t.Errorf("return taint = %v", sym.TaintOf(ret))
+	}
+	// And the affine inversion exists.
+	if _, ok := sym.InvertFor(ret, sx.ID); !ok {
+		t.Error("return must be affine in secret_x")
+	}
+}
+
+func TestConcreteLoopRunsToCompletion(t *testing.T) {
+	src := `
+#define N 6
+int f(int *secrets, int *output) {
+    int total = 0;
+    for (int i = 0; i < N; i++) total += secrets[i];
+    output[0] = total;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1 (no symbolic forks)", len(res.Paths))
+	}
+	out := res.Paths[0].Outs
+	if len(out) != 1 {
+		t.Fatalf("outs = %+v", out)
+	}
+	// Sum over six distinct secrets is ⊤ — masked.
+	if !sym.TaintOf(out[0].Value).IsTop() {
+		t.Errorf("taint = %v, want ⊤", sym.TaintOf(out[0].Value))
+	}
+	if len(res.SecretSymbols) != 6 {
+		t.Errorf("secret symbols = %d, want 6", len(res.SecretSymbols))
+	}
+}
+
+func TestSymbolicLoopForksUpToBound(t *testing.T) {
+	src := `
+int f(int n, int *output) {
+    int i = 0;
+    while (i < n) { i++; }
+    output[0] = i;
+    return 0;
+}
+`
+	opts := DefaultOptions()
+	opts.LoopBound = 3
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "n", Class: ParamPublic},
+		{Name: "output", Class: ParamOut},
+	}, opts)
+	// Exits after 0, 1, 2, 3 iterations; the bound-cut path is marked
+	// incomplete.
+	if len(res.Paths) != 4 {
+		t.Fatalf("paths = %d, want 4", len(res.Paths))
+	}
+	var incomplete int
+	for _, p := range res.Paths {
+		if p.Incomplete {
+			incomplete++
+		}
+	}
+	if incomplete != 1 {
+		t.Errorf("incomplete paths = %d, want 1", incomplete)
+	}
+	if len(res.Warnings) == 0 {
+		t.Error("expected a loop-bound warning")
+	}
+}
+
+func TestStructFlow(t *testing.T) {
+	src := `
+struct Model { float w; float b; };
+int train(float *secrets, float *output) {
+    struct Model m;
+    m.w = secrets[0] * 2.0;
+    m.b = secrets[1];
+    output[0] = m.w;
+    output[1] = m.b + m.w;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "train", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	outs := map[string]sym.Expr{}
+	for _, o := range res.Paths[0].Outs {
+		outs[o.Display] = o.Value
+	}
+	if !sym.TaintOf(outs["output[0]"]).IsSingle() {
+		t.Errorf("output[0] taint = %v, want single", sym.TaintOf(outs["output[0]"]))
+	}
+	if !sym.TaintOf(outs["output[1]"]).IsTop() {
+		t.Errorf("output[1] taint = %v, want ⊤", sym.TaintOf(outs["output[1]"]))
+	}
+}
+
+func TestInlineCall(t *testing.T) {
+	src := `
+float scale(float x) { return x * 3.0; }
+int f(float *secrets, float *output) {
+    output[0] = scale(secrets[0]);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("taint through call = %v", sym.TaintOf(o.Value))
+	}
+	if o.Value.String() != "(secrets[0] * 3)" {
+		t.Errorf("value = %s", o.Value)
+	}
+}
+
+func TestMathBuiltinPreservesTaint(t *testing.T) {
+	src := `
+int f(float *secrets, float *output) {
+    output[0] = sqrt(secrets[0]);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("sqrt taint = %v, want single", sym.TaintOf(o.Value))
+	}
+}
+
+func TestOcallSink(t *testing.T) {
+	src := `
+int f(int *secrets) {
+    printf("%d", secrets[0]);
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{{Name: "secrets", Class: ParamSecret}}, DefaultOptions())
+	oc := res.Paths[0].Ocalls
+	if len(oc) != 1 || oc[0].Func != "printf" {
+		t.Fatalf("ocalls = %+v", oc)
+	}
+	var tainted bool
+	for _, a := range oc[0].Args {
+		if sym.TaintOf(a).IsSingle() {
+			tainted = true
+		}
+	}
+	if !tainted {
+		t.Error("printf argument must carry the secret's taint")
+	}
+}
+
+func TestDecryptResymbolization(t *testing.T) {
+	src := `
+int f(char *ciphertext, char *output) {
+    char plain[4];
+    sgx_rijndael128GCM_decrypt(plain, ciphertext, 4);
+    output[0] = plain[0];
+    return 0;
+}
+`
+	// ciphertext is NOT marked secret — it is opaque encrypted bytes —
+	// yet the decrypted plaintext must be treated as secret.
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "ciphertext", Class: ParamPublic},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("decrypted data taint = %v, want single secret", sym.TaintOf(o.Value))
+	}
+}
+
+func TestMemcpyPropagatesTaint(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int tmp[3];
+    memcpy(tmp, secrets, 3);
+    output[0] = tmp[1];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("memcpy'd taint = %v", sym.TaintOf(o.Value))
+	}
+	if o.Value.String() != "secrets[1]" {
+		t.Errorf("value = %s, want secrets[1]", o.Value)
+	}
+}
+
+func TestMemsetClearsToConstant(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int tmp[2];
+    tmp[0] = secrets[0];
+    memset(tmp, 0, 2);
+    output[0] = tmp[0];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsBottom() {
+		t.Errorf("after memset taint = %v, want ⊥", sym.TaintOf(o.Value))
+	}
+}
+
+func TestSymbolicIndexSummarized(t *testing.T) {
+	src := `
+int f(int *secrets, int idx, int *output) {
+    output[0] = secrets[idx];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "idx", Class: ParamPublic},
+		{Name: "output", Class: ParamOut},
+	}, DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	// A summarized read still carries secret taint — no false negative.
+	if sym.TaintOf(o.Value).IsBottom() {
+		t.Error("summarized secret read lost its taint")
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "symbolic array index") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestInfeasiblePathPruned(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int x = 5;
+    if (x > 10) { output[0] = secrets[0]; }
+    else { output[0] = 0; }
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1 (concrete condition)", len(res.Paths))
+	}
+	if !sym.TaintOf(res.Paths[0].Outs[0].Value).IsBottom() {
+		t.Error("dead branch leaked taint")
+	}
+}
+
+func listing1ParamsInt() []ParamSpec {
+	return []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+}
+
+func TestSolverPruningOfSymbolicBranch(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int a = secrets[0];
+    if (a > 0) {
+        if (a < 0) { output[0] = a; }
+        else { output[0] = 0; }
+    }
+    else { output[0] = 0; }
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	// a>0 ∧ a<0 is pruned: 2 paths, none leaking.
+	if len(res.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		for _, o := range p.Outs {
+			if !sym.TaintOf(o.Value).IsBottom() {
+				t.Errorf("leak on pc %s", p.PC)
+			}
+		}
+	}
+
+	// Ablation: with pruning off, the contradictory path is explored.
+	opts := DefaultOptions()
+	opts.PruneInfeasible = false
+	res2 := analyzeSrc(t, src, "f", listing1ParamsInt(), opts)
+	if len(res2.Paths) != 3 {
+		t.Errorf("unpruned paths = %d, want 3", len(res2.Paths))
+	}
+}
+
+func TestGlobalVariables(t *testing.T) {
+	src := `
+int bias = 10;
+int f(int *secrets, int *output) {
+    output[0] = secrets[0] + bias;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if !sym.TaintOf(o.Value).IsSingle() {
+		t.Errorf("taint = %v", sym.TaintOf(o.Value))
+	}
+}
+
+func TestInOutParam(t *testing.T) {
+	src := `
+int f(int *buf) {
+    buf[0] = buf[0] * 2;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", []ParamSpec{{Name: "buf", Class: ParamInOut}}, DefaultOptions())
+	o := res.Paths[0].Outs
+	if len(o) != 1 {
+		t.Fatalf("outs = %+v", o)
+	}
+	if !sym.TaintOf(o[0].Value).IsSingle() {
+		t.Errorf("in/out taint = %v", sym.TaintOf(o[0].Value))
+	}
+}
+
+func TestPointerArithmeticAndDeref(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int *p = secrets + 1;
+    output[0] = *p;
+    output[1] = p[1];
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	outs := map[string]string{}
+	for _, o := range res.Paths[0].Outs {
+		outs[o.Display] = o.Value.String()
+	}
+	if outs["output[0]"] != "secrets[1]" {
+		t.Errorf("output[0] = %s, want secrets[1]", outs["output[0]"])
+	}
+	if outs["output[1]"] != "secrets[2]" {
+		t.Errorf("output[1] = %s, want secrets[2]", outs["output[1]"])
+	}
+}
+
+func TestReturnVoidPath(t *testing.T) {
+	src := `
+void f(int *secrets, int *output) {
+    output[0] = 1;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	if len(res.Paths) != 1 {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	if res.Paths[0].Return != nil {
+		t.Errorf("void return = %v", res.Paths[0].Return)
+	}
+}
+
+func TestUnknownEntryFunction(t *testing.T) {
+	file := minic.MustParse("int f(void) { return 0; }")
+	if _, err := New(file, DefaultOptions()).AnalyzeFunction("nope", nil); err == nil {
+		t.Error("expected error for unknown function")
+	}
+}
+
+func TestPathBudget(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int acc = 0;
+    if (secrets[0] > 0) acc++; else acc--;
+    if (secrets[1] > 0) acc++; else acc--;
+    if (secrets[2] > 0) acc++; else acc--;
+    if (secrets[3] > 0) acc++; else acc--;
+    output[0] = 7;
+    return acc;
+}
+`
+	opts := DefaultOptions()
+	opts.MaxPaths = 8
+	file := minic.MustParse(src)
+	if _, err := New(file, opts).AnalyzeFunction("f", listing1ParamsInt()); err == nil {
+		t.Error("expected path budget error (16 paths > 8)")
+	}
+}
+
+func TestTernarySymbolicKeepsTaint(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    output[0] = secrets[0] > 0 ? 1 : 0;
+    return 0;
+}
+`
+	res := analyzeSrc(t, src, "f", listing1ParamsInt(), DefaultOptions())
+	o := res.Paths[0].Outs[0]
+	if sym.TaintOf(o.Value).IsBottom() {
+		t.Error("ternary on secret must keep taint")
+	}
+}
+
+func TestWitnessModelFromPath(t *testing.T) {
+	// The solver can produce a model satisfying a path condition, which
+	// drives the concrete replay.
+	res := analyzeSrc(t, listing1, "enclave_process_data", listing1Params(), DefaultOptions())
+	for _, p := range res.Paths {
+		model, ok := newTestSolver().Model(p.PC, nil)
+		if !ok {
+			t.Fatalf("no model for %s", p.PC)
+		}
+		for _, c := range p.PC.Conjuncts() {
+			v, err := sym.Eval(c, model)
+			if err != nil || v.IsZero() {
+				t.Errorf("model does not satisfy %s", c)
+			}
+		}
+	}
+}
+
+func newTestSolver() *solver.Solver { return solver.New() }

@@ -1,0 +1,80 @@
+package symexec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Trace records exploded-state snapshots in the style of Table IV: for each
+// visited statement, the environment (lvalue → region), the store
+// (region → symbolic value) and the path condition π.
+type Trace struct {
+	rows []TraceRow
+}
+
+// TraceRow is one state snapshot.
+type TraceRow struct {
+	// State is the sequence label (A, B, C, … then S26 past 26).
+	State string
+	// Stmt is the statement about to be evaluated.
+	Stmt string
+	// Env lists "lvalue → region" bindings.
+	Env []string
+	// Store lists "region → value" bindings.
+	Store []string
+	// PC is the rendered path condition.
+	PC string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Rows returns the snapshots in exploration order.
+func (t *Trace) Rows() []TraceRow {
+	out := make([]TraceRow, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// Len returns the number of snapshots.
+func (t *Trace) Len() int { return len(t.rows) }
+
+// Render pretty-prints the trace.
+func (t *Trace) Render() string {
+	var sb strings.Builder
+	for _, r := range t.rows {
+		fmt.Fprintf(&sb, "state %s: %s\n", r.State, r.Stmt)
+		fmt.Fprintf(&sb, "  env:   %s\n", strings.Join(r.Env, ", "))
+		fmt.Fprintf(&sb, "  store: %s\n", strings.Join(r.Store, ", "))
+		fmt.Fprintf(&sb, "  π:     %s\n", r.PC)
+	}
+	return sb.String()
+}
+
+func stateLabel(i int) string {
+	if i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("S%d", i)
+}
+
+// snapshot records the current state if tracing is on; it always counts the
+// state for the Table IV state metric.
+func (e *Engine) snapshot(st *state, stmt string) {
+	e.res.States++
+	if e.res.Trace == nil || e.res.Trace.Len() >= TraceCap {
+		return
+	}
+	row := TraceRow{
+		State: stateLabel(e.res.Trace.Len()),
+		Stmt:  stmt,
+		PC:    st.pc.String(),
+	}
+	for _, b := range e.env.Bindings() {
+		row.Env = append(row.Env, b.LValue+" → "+b.Region.String())
+	}
+	for _, b := range st.store.Bindings() {
+		row.Store = append(row.Store, b.Region.String()+" → "+b.Val.String())
+	}
+	e.res.Trace.rows = append(e.res.Trace.rows, row)
+}

@@ -1,0 +1,300 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinTable(t *testing.T) {
+	t1, t2 := Single(1), Single(2)
+	tests := []struct {
+		name string
+		a, b Label
+		want Label
+	}{
+		{"bottom-bottom", Bottom(), Bottom(), Bottom()},
+		{"bottom-single", Bottom(), t1, t1},
+		{"single-bottom", t1, Bottom(), t1},
+		{"bottom-top", Bottom(), Top(), Top()},
+		{"top-bottom", Top(), Bottom(), Top()},
+		{"same-single", t1, t1, t1},
+		{"diff-single", t1, t2, Top()},
+		{"single-top", t1, Top(), Top()},
+		{"top-single", Top(), t2, Top()},
+		{"top-top", Top(), Top(), Top()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Join(tt.b); !got.Equal(tt.want) {
+				t.Errorf("Join(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLabelPredicates(t *testing.T) {
+	if !Bottom().IsBottom() || Bottom().IsTop() || Bottom().IsSingle() {
+		t.Error("Bottom predicates wrong")
+	}
+	if Top().IsBottom() || !Top().IsTop() || Top().IsSingle() {
+		t.Error("Top predicates wrong")
+	}
+	l := Single(7)
+	if l.IsBottom() || l.IsTop() || !l.IsSingle() {
+		t.Error("Single predicates wrong")
+	}
+	tag, ok := l.Tag()
+	if !ok || tag != 7 {
+		t.Errorf("Tag() = %v, %v; want 7, true", tag, ok)
+	}
+	if _, ok := Top().Tag(); ok {
+		t.Error("Top().Tag() should not be ok")
+	}
+	if _, ok := Bottom().Tag(); ok {
+		t.Error("Bottom().Tag() should not be ok")
+	}
+}
+
+func TestZeroValueIsBottom(t *testing.T) {
+	var l Label
+	if !l.IsBottom() {
+		t.Error("zero Label must be ⊥")
+	}
+}
+
+func TestLessOrEqual(t *testing.T) {
+	t1, t2 := Single(1), Single(2)
+	tests := []struct {
+		a, b Label
+		want bool
+	}{
+		{Bottom(), Bottom(), true},
+		{Bottom(), t1, true},
+		{Bottom(), Top(), true},
+		{t1, t1, true},
+		{t1, t2, false},
+		{t1, Top(), true},
+		{Top(), t1, false},
+		{Top(), Top(), true},
+		{t1, Bottom(), false},
+		{Top(), Bottom(), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.LessOrEqual(tt.b); got != tt.want {
+			t.Errorf("%v ⊑ %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if Bottom().String() != "⊥" {
+		t.Errorf("Bottom().String() = %q", Bottom().String())
+	}
+	if Top().String() != "⊤" {
+		t.Errorf("Top().String() = %q", Top().String())
+	}
+	if Single(3).String() != "t3" {
+		t.Errorf("Single(3).String() = %q", Single(3).String())
+	}
+}
+
+func TestFromTags(t *testing.T) {
+	tests := []struct {
+		name string
+		tags []Tag
+		want Label
+	}{
+		{"none", nil, Bottom()},
+		{"one", []Tag{4}, Single(4)},
+		{"same-twice", []Tag{4, 4}, Single(4)},
+		{"two-distinct", []Tag{1, 2}, Top()},
+		{"many", []Tag{1, 1, 2, 3}, Top()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromTags(tt.tags); !got.Equal(tt.want) {
+				t.Errorf("FromTags(%v) = %v, want %v", tt.tags, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	var a Allocator
+	if a.Count() != 0 {
+		t.Fatalf("fresh allocator Count = %d", a.Count())
+	}
+	first := a.Fresh()
+	second := a.Fresh()
+	if first == second {
+		t.Error("Fresh returned duplicate tags")
+	}
+	if first != 1 || second != 2 {
+		t.Errorf("tags = %v, %v; want t1, t2", first, second)
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want 2", a.Count())
+	}
+}
+
+func TestPolicyTableI(t *testing.T) {
+	var alloc Allocator
+	p := NewPolicy(&alloc)
+
+	if got := p.Const(); !got.IsBottom() {
+		t.Errorf("P_const() = %v, want ⊥", got)
+	}
+	s1 := p.GetSecret()
+	s2 := p.GetSecret()
+	if !s1.IsSingle() || !s2.IsSingle() || s1.Equal(s2) {
+		t.Errorf("P_get_secret must return distinct single tags, got %v, %v", s1, s2)
+	}
+	if got := p.Unop(s1); !got.Equal(s1) {
+		t.Errorf("P_unop(t) = %v, want %v", got, s1)
+	}
+	if got := p.Assign(s1); !got.Equal(s1) {
+		t.Errorf("P_assign(t) = %v, want %v", got, s1)
+	}
+	if got := p.Binop(s1, s2); !got.IsTop() {
+		t.Errorf("P_binop(t1,t2) = %v, want ⊤", got)
+	}
+	if got := p.Binop(s1, Bottom()); !got.Equal(s1) {
+		t.Errorf("P_binop(t1,⊥) = %v, want t1", got)
+	}
+	if got := p.Cond(s1, Bottom()); !got.Equal(s1) {
+		t.Errorf("P_cond(t1,⊥) = %v, want t1", got)
+	}
+	if got := p.Cond(s1, s2); !got.IsTop() {
+		t.Errorf("P_cond(t1,t2) = %v, want ⊤", got)
+	}
+}
+
+func TestMap(t *testing.T) {
+	m := NewMap()
+	if !m.Get("x").IsBottom() {
+		t.Error("unknown variable must be ⊥")
+	}
+	m.Set("x", Single(1))
+	if !m.Get("x").Equal(Single(1)) {
+		t.Error("Set/Get mismatch")
+	}
+	m.SetPi(Top())
+	if !m.Pi().IsTop() {
+		t.Error("SetPi/Pi mismatch")
+	}
+	c := m.Clone()
+	c.Set("x", Top())
+	if !m.Get("x").Equal(Single(1)) {
+		t.Error("Clone must be independent")
+	}
+	if c.Len() != m.Len() {
+		t.Errorf("clone Len %d != %d", c.Len(), m.Len())
+	}
+	entries := m.Entries()
+	if len(entries) != 2 {
+		t.Errorf("Entries len = %d, want 2", len(entries))
+	}
+	entries["x"] = Top()
+	if !m.Get("x").Equal(Single(1)) {
+		t.Error("Entries must return a copy")
+	}
+}
+
+// genLabel maps an arbitrary byte onto a lattice element so testing/quick
+// can explore the whole (small) label space.
+func genLabel(b byte) Label {
+	switch b % 5 {
+	case 0:
+		return Bottom()
+	case 1:
+		return Top()
+	default:
+		return Single(Tag(b%3 + 1))
+	}
+}
+
+func TestJoinPropertyCommutative(t *testing.T) {
+	f := func(a, b byte) bool {
+		x, y := genLabel(a), genLabel(b)
+		return x.Join(y).Equal(y.Join(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinPropertyAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		x, y, z := genLabel(a), genLabel(b), genLabel(c)
+		return x.Join(y).Join(z).Equal(x.Join(y.Join(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinPropertyIdempotent(t *testing.T) {
+	f := func(a byte) bool {
+		x := genLabel(a)
+		return x.Join(x).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinPropertyUpperBound(t *testing.T) {
+	f := func(a, b byte) bool {
+		x, y := genLabel(a), genLabel(b)
+		j := x.Join(y)
+		return x.LessOrEqual(j) && y.LessOrEqual(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinPropertyLeastUpperBound(t *testing.T) {
+	// For every upper bound u of {x, y}, join(x,y) ⊑ u.
+	f := func(a, b, c byte) bool {
+		x, y, u := genLabel(a), genLabel(b), genLabel(c)
+		if !x.LessOrEqual(u) || !y.LessOrEqual(u) {
+			return true // u is not an upper bound; vacuous
+		}
+		return x.Join(y).LessOrEqual(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderPropertyAntisymmetric(t *testing.T) {
+	f := func(a, b byte) bool {
+		x, y := genLabel(a), genLabel(b)
+		if x.LessOrEqual(y) && y.LessOrEqual(x) {
+			return x.Equal(y)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromTagsMatchesIteratedJoin(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		tags := make([]Tag, len(raw))
+		joined := Bottom()
+		for i, b := range raw {
+			tags[i] = Tag(b%3 + 1)
+			joined = joined.Join(Single(tags[i]))
+		}
+		return FromTags(tags).Equal(joined)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

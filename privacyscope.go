@@ -1,0 +1,344 @@
+// Package privacyscope is the public API of the PrivacyScope reproduction:
+// a static analyzer that detects leakage of private data by code intended
+// to run inside a TEE (Intel SGX) enclave, by finding violations of the
+// nonreversibility property (ICDCS 2020).
+//
+// Quick start:
+//
+//	report, err := privacyscope.AnalyzeEnclave(cSource, edlSource)
+//	if err != nil { ... }
+//	fmt.Print(report.Render())
+//
+// AnalyzeEnclave parses the enclave C code and its EDL interface file,
+// symbolically executes every public ECALL with [in] parameters treated as
+// secrets and [out] parameters (plus return values and OCALLs) treated as
+// observable, and reports every explicit and implicit nonreversibility
+// violation, each with a recovery formula and — where possible — a
+// concretely replayed two-run witness.
+package privacyscope
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"privacyscope/internal/core"
+	"privacyscope/internal/edl"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/priml"
+	"privacyscope/internal/symexec"
+)
+
+// Re-exported result types. See the internal/core documentation for field
+// details.
+type (
+	// Report is the per-entry-point analysis outcome.
+	Report = core.Report
+	// Finding is one nonreversibility violation.
+	Finding = core.Finding
+	// Witness is a replayed two-run leak confirmation.
+	Witness = core.Witness
+	// ParamSpec classifies one entry parameter.
+	ParamSpec = symexec.ParamSpec
+)
+
+// Leak kinds and sink kinds, re-exported.
+const (
+	ExplicitLeak      = core.ExplicitLeak
+	ImplicitLeak      = core.ImplicitLeak
+	TimingLeak        = core.TimingLeak
+	ProbabilisticLeak = core.ProbabilisticLeak
+
+	SinkOutParam = core.SinkOutParam
+	SinkReturn   = core.SinkReturn
+	SinkOCall    = core.SinkOCall
+)
+
+// Parameter classes, re-exported.
+const (
+	ParamPublic = symexec.ParamPublic
+	ParamSecret = symexec.ParamSecret
+	ParamOut    = symexec.ParamOut
+	ParamInOut  = symexec.ParamInOut
+)
+
+// ErrNoECalls is returned when the EDL declares no public trusted calls.
+var ErrNoECalls = errors.New("privacyscope: EDL declares no public ECALLs")
+
+// Option configures an analysis.
+type Option func(*config)
+
+type config struct {
+	checker     core.Options
+	configXML   []byte
+	parallelism int
+}
+
+func defaultConfig() *config {
+	return &config{checker: core.DefaultOptions(), parallelism: 1}
+}
+
+// WithConfigXML supplies the user rule file (§V-C): per-function parameter
+// overrides, extra decrypt functions, extra OCALL sinks.
+func WithConfigXML(data []byte) Option {
+	return func(c *config) { c.configXML = append([]byte(nil), data...) }
+}
+
+// WithLoopBound overrides the symbolic loop unrolling bound.
+func WithLoopBound(n int) Option {
+	return func(c *config) { c.checker.Engine.LoopBound = n }
+}
+
+// WithMaxPaths overrides the path budget.
+func WithMaxPaths(n int) Option {
+	return func(c *config) { c.checker.Engine.MaxPaths = n }
+}
+
+// WithoutWitnessReplay disables concrete witness construction.
+func WithoutWitnessReplay() Option {
+	return func(c *config) { c.checker.ReplayWitness = false }
+}
+
+// WithoutImplicitCheck disables the hashmap-hm implicit detection (the
+// ablation of Alg. 1).
+func WithoutImplicitCheck() Option {
+	return func(c *config) { c.checker.ImplicitCheck = false }
+}
+
+// WithoutPruning disables solver-based infeasible-path pruning.
+func WithoutPruning() Option {
+	return func(c *config) { c.checker.Engine.PruneInfeasible = false }
+}
+
+// WithKnownInputs declares secrets the attacker already knows (the §VIII-B
+// prior-knowledge extension), by display name (e.g. "secrets[1]").
+func WithKnownInputs(names ...string) Option {
+	return func(c *config) {
+		c.checker.KnownInputs = append(c.checker.KnownInputs, names...)
+	}
+}
+
+// WithTrace enables Table-IV-style exploration snapshots.
+func WithTrace() Option {
+	return func(c *config) { c.checker.Engine.TrackTrace = true }
+}
+
+// WithTimingCheck enables the §VIII-A timing-channel extension: paths that
+// differ only in one secret's branch constraints but execute a different
+// number of statements are reported as timing leaks.
+func WithTimingCheck() Option {
+	return func(c *config) { c.checker.TimingCheck = true }
+}
+
+// WithProbabilisticCheck enables the §VIII-A probabilistic channel:
+// observable single-secret values masked only by in-enclave entropy are
+// reported (the output distribution over repeated calls reveals the
+// secret, even though no single run does).
+func WithProbabilisticCheck() Option {
+	return func(c *config) { c.checker.ProbabilisticCheck = true }
+}
+
+// WithConservativeExterns treats results of unmodeled external functions as
+// fresh secrets, so unmodeled code cannot launder taint (high-assurance
+// mode; expect additional findings wherever extern results reach sinks).
+func WithConservativeExterns() Option {
+	return func(c *config) { c.checker.Engine.ConservativeExterns = true }
+}
+
+// WithParallelism analyzes up to n ECALLs concurrently (each entry point
+// gets an independent engine, so this is safe); n ≤ 1 keeps sequential
+// analysis.
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n > 1 {
+			c.parallelism = n
+		}
+	}
+}
+
+// EnclaveReport aggregates the per-ECALL reports of one enclave module.
+type EnclaveReport struct {
+	// Reports holds one entry per analyzed public ECALL, in EDL order.
+	Reports []*Report
+}
+
+// Secure reports whether no ECALL has any violation.
+func (e *EnclaveReport) Secure() bool {
+	for _, r := range e.Reports {
+		if !r.Secure() {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalFindings counts violations across all entry points.
+func (e *EnclaveReport) TotalFindings() int {
+	n := 0
+	for _, r := range e.Reports {
+		n += len(r.Findings)
+	}
+	return n
+}
+
+// Findings returns all violations across all entry points.
+func (e *EnclaveReport) Findings() []Finding {
+	var out []Finding
+	for _, r := range e.Reports {
+		out = append(out, r.Findings...)
+	}
+	return out
+}
+
+// Render concatenates the per-ECALL Box-1-style reports.
+func (e *EnclaveReport) Render() string {
+	var sb strings.Builder
+	for i, r := range e.Reports {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(r.Render())
+	}
+	return sb.String()
+}
+
+// AnalyzeEnclave analyzes every public ECALL of an enclave module. The EDL
+// attributes provide the default classification ([in]→secret, [out]→sink);
+// an XML rule file supplied via WithConfigXML overrides it.
+func AnalyzeEnclave(cSource, edlSource string, opts ...Option) (*EnclaveReport, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	file, err := minic.Parse(cSource)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	iface, err := edl.Parse(edlSource)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	// Enclave code may call any EDL-declared untrusted function.
+	builtins := append(append([]string(nil), minic.DefaultBuiltins...), iface.OCallNames()...)
+	if err := minic.NewChecker(builtins).Check(file); err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	var rules *edl.Config
+	if len(cfg.configXML) > 0 {
+		rules, err = edl.ParseConfig(cfg.configXML)
+		if err != nil {
+			return nil, fmt.Errorf("privacyscope: %w", err)
+		}
+		cfg.checker.Engine = rules.EngineOptions(cfg.checker.Engine)
+	}
+	// Every EDL-declared untrusted function is an OCALL: its arguments
+	// escape the enclave and are observable sinks.
+	if names := iface.OCallNames(); len(names) > 0 {
+		merged := make(map[string]bool, len(cfg.checker.Engine.OCallFuncs)+len(names))
+		for k, v := range cfg.checker.Engine.OCallFuncs {
+			merged[k] = v
+		}
+		for _, n := range names {
+			merged[n] = true
+		}
+		cfg.checker.Engine.OCallFuncs = merged
+	}
+	// Collect the public ECALLs to analyze.
+	type job struct {
+		name  string
+		specs []ParamSpec
+	}
+	var jobs []job
+	for _, sig := range iface.Trusted {
+		if !sig.Public {
+			continue
+		}
+		var rule *edl.FunctionRule
+		if rules != nil {
+			if r, ok := rules.Rule(sig.Name); ok {
+				rule = r
+			}
+		}
+		jobs = append(jobs, job{name: sig.Name, specs: edl.ParamSpecs(sig, rule)})
+	}
+	if len(jobs) == 0 {
+		return nil, ErrNoECalls
+	}
+
+	out := &EnclaveReport{Reports: make([]*Report, len(jobs))}
+	errs := make([]error, len(jobs))
+	runJob := func(i int) {
+		// Each job parses its own file: engines annotate nothing on the
+		// AST, but an independent parse removes any possibility of
+		// shared mutable state between concurrent analyses.
+		jfile := file
+		if cfg.parallelism > 1 {
+			jfile, errs[i] = minic.Parse(cSource)
+			if errs[i] != nil {
+				return
+			}
+		}
+		out.Reports[i], errs[i] = core.New(cfg.checker).CheckFunction(jfile, jobs[i].name, jobs[i].specs)
+	}
+	if cfg.parallelism <= 1 || len(jobs) == 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		sem := make(chan struct{}, cfg.parallelism)
+		var wg sync.WaitGroup
+		for i := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runJob(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("privacyscope: %s: %w", jobs[i].name, err)
+		}
+	}
+	return out, nil
+}
+
+// AnalyzeFunction analyzes a single C function with an explicit parameter
+// classification (no EDL required).
+func AnalyzeFunction(cSource, fn string, params []ParamSpec, opts ...Option) (*Report, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(cfg)
+	}
+	file, err := minic.Parse(cSource)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	report, err := core.New(cfg.checker).CheckFunction(file, fn, params)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	return report, nil
+}
+
+// PRIMLAnalysis is the result of analyzing a PRIML program.
+type PRIMLAnalysis = priml.Analysis
+
+// AnalyzePRIML parses and analyzes a PRIML program with the PS-*
+// instrumented semantics of §V, producing the Tables II/III-style trace and
+// the findings of declassify_check.
+func AnalyzePRIML(src string) (*PRIMLAnalysis, error) {
+	prog, err := priml.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	res, err := priml.NewAnalyzer(priml.DefaultOptions()).Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	return res, nil
+}
