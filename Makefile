@@ -1,0 +1,21 @@
+# Tier 1: the seed gate — everything must build and pass.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier 1.5: vet + race detector (exercises the concurrent telemetry paths
+# and WithParallelism).
+.PHONY: check
+check:
+	go vet ./...
+	go test -race ./...
+
+# Regenerate the paper's evaluation report.
+.PHONY: bench-report
+bench-report:
+	go run ./cmd/benchreport
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...

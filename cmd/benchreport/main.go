@@ -2,20 +2,59 @@
 // evaluation (Fig. 1/2, Tables II–VI, Box 1, the two case studies, and the
 // design-choice ablations) and prints them, paper numbers alongside the
 // measured ones. See EXPERIMENTS.md for the reading guide.
+//
+// With -json, the measured rows (Table V with engine counters, the §VIII-C
+// scalability study) are written as a machine-readable report instead of
+// the rendered text.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"privacyscope/internal/bench"
 )
 
+// jsonReport is the -json payload: the quantitative rows of the evaluation
+// with their engine-level counter snapshots.
+type jsonReport struct {
+	TableV      []bench.TableVRow      `json:"tableV"`
+	Scalability []bench.ScalabilityRow `json:"scalability"`
+}
+
 func main() {
-	out, err := bench.RunAll()
-	if err != nil {
+	asJSON := flag.Bool("json", false, "emit the measured rows as JSON")
+	flag.Parse()
+	if err := run(*asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
-	fmt.Print(out)
+}
+
+func run(asJSON bool) error {
+	if !asJSON {
+		out, err := bench.RunAll()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	rows, err := bench.TableV()
+	if err != nil {
+		return err
+	}
+	sc, err := bench.Scalability()
+	if err != nil {
+		return err
+	}
+	deep, err := bench.DeepKmeans()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep)})
 }

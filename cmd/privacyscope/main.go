@@ -6,6 +6,8 @@
 //
 //	privacyscope -c enclave.c -edl enclave.edl [-config rules.xml]
 //	             [-fn name] [-loop-bound n] [-no-witness] [-json]
+//	             [-metrics-json metrics.json] [-verbose]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Exit status is 0 when the module is secure, 2 when violations were
 // found, and 1 on usage or analysis errors.
@@ -17,6 +19,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"privacyscope"
 )
@@ -40,6 +45,17 @@ type jsonFinding struct {
 	Verified bool   `json:"witnessVerified"`
 }
 
+// jsonReport is the -json envelope: the findings plus run-level facts and,
+// when telemetry is on, the full metrics snapshot.
+type jsonReport struct {
+	Findings   []jsonFinding                 `json:"findings"`
+	Secure     bool                          `json:"secure"`
+	DurationMs float64                       `json:"durationMs"`
+	Paths      int                           `json:"paths"`
+	States     int                           `json:"states"`
+	Metrics    *privacyscope.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("privacyscope", flag.ContinueOnError)
 	var (
@@ -54,6 +70,10 @@ func run(args []string, out io.Writer) (int, error) {
 		prob       = fs.Bool("probabilistic", false, "enable the probabilistic-channel extension (§VIII-A)")
 		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
 		asJSON     = fs.Bool("json", false, "emit findings as JSON")
+		metricsOut = fs.String("metrics-json", "", "write a metrics snapshot (counters, spans, dists) to this file")
+		verbose    = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -97,7 +117,32 @@ func run(args []string, out io.Writer) (int, error) {
 		opts = append(opts, privacyscope.WithConservativeExterns())
 	}
 
+	// Telemetry: one Metrics observer serves -json, -metrics-json and
+	// -verbose; absent all three the analysis runs with the no-op observer.
+	var metrics *privacyscope.Metrics
+	if *asJSON || *metricsOut != "" || *verbose {
+		var mopts []privacyscope.MetricsOption
+		if *verbose {
+			mopts = append(mopts, privacyscope.WithEventWriter(os.Stderr))
+		}
+		metrics = privacyscope.NewMetrics(mopts...)
+		opts = append(opts, privacyscope.WithObserver(metrics))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return 1, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
 	rep, err := privacyscope.AnalyzeEnclave(string(cSrc), string(edlSrc), opts...)
+	elapsed := time.Since(start)
 	if err != nil {
 		return 1, err
 	}
@@ -114,9 +159,43 @@ func run(args []string, out io.Writer) (int, error) {
 		rep.Reports = filtered
 	}
 
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return 1, err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return 1, err
+		}
+		if err := metrics.WriteJSON(f); err != nil {
+			f.Close()
+			return 1, err
+		}
+		if err := f.Close(); err != nil {
+			return 1, err
+		}
+	}
+
 	if *asJSON {
-		var all []jsonFinding
+		env := jsonReport{
+			Findings:   []jsonFinding{},
+			Secure:     rep.Secure(),
+			DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
+		}
 		for _, r := range rep.Reports {
+			env.Paths += r.Paths
+			env.States += r.States
 			for _, f := range r.Findings {
 				jf := jsonFinding{
 					Function: r.Function,
@@ -129,12 +208,16 @@ func run(args []string, out io.Writer) (int, error) {
 				if f.Witness != nil {
 					jf.Verified = f.Witness.Verified
 				}
-				all = append(all, jf)
+				env.Findings = append(env.Findings, jf)
 			}
+		}
+		if metrics != nil {
+			snap := metrics.Snapshot()
+			env.Metrics = &snap
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(all); err != nil {
+		if err := enc.Encode(env); err != nil {
 			return 1, err
 		}
 	} else {

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"privacyscope/internal/mlsuite"
 )
 
 const testC = `
@@ -68,15 +71,15 @@ func TestRunJSONOutput(t *testing.T) {
 	if code != 2 {
 		t.Errorf("exit code = %d", code)
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out.String())
 	}
-	if len(findings) != 2 {
-		t.Fatalf("findings = %+v", findings)
+	if len(env.Findings) != 2 {
+		t.Fatalf("findings = %+v", env.Findings)
 	}
 	var verified bool
-	for _, f := range findings {
+	for _, f := range env.Findings {
 		if f.Function != "enclave_process_data" {
 			t.Errorf("function = %q", f.Function)
 		}
@@ -86,6 +89,22 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if !verified {
 		t.Error("no witness-verified finding in JSON")
+	}
+	if env.Secure {
+		t.Error("secure = true despite findings")
+	}
+	if env.Paths == 0 || env.States == 0 {
+		t.Errorf("envelope paths=%d states=%d, want non-zero", env.Paths, env.States)
+	}
+	if env.DurationMs <= 0 {
+		t.Errorf("durationMs = %v, want > 0", env.DurationMs)
+	}
+	if env.Metrics == nil {
+		t.Fatal("envelope missing metrics snapshot")
+	}
+	if env.Metrics.Counters["symexec.paths.completed"] == 0 {
+		t.Errorf("metrics counters = %+v, want non-zero symexec.paths.completed",
+			env.Metrics.Counters)
 	}
 }
 
@@ -155,23 +174,23 @@ func TestRunFlagsAndErrors(t *testing.T) {
 	if err != nil || code != 2 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 1 || findings[0].Kind != "explicit" {
-		t.Errorf("findings = %+v", findings)
+	if len(env.Findings) != 1 || env.Findings[0].Kind != "explicit" {
+		t.Errorf("findings = %+v", env.Findings)
 	}
 	// -no-witness skips replay.
 	out.Reset()
 	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-no-witness", "-loop-bound", "4", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	findings = nil
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	env = jsonReport{}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range findings {
+	for _, f := range env.Findings {
 		if f.Verified {
 			t.Error("witness built despite -no-witness")
 		}
@@ -204,18 +223,18 @@ int f(int *secrets, int *output) {
 	if code != 2 {
 		t.Errorf("exit code = %d", code)
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
 	var timing bool
-	for _, f := range findings {
+	for _, f := range env.Findings {
 		if f.Kind == "timing-channel" {
 			timing = true
 		}
 	}
 	if !timing {
-		t.Errorf("no timing finding: %+v", findings)
+		t.Errorf("no timing finding: %+v", env.Findings)
 	}
 }
 
@@ -242,11 +261,120 @@ int f(int *secrets, int *output) {
 	if code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 1 || findings[0].Kind != "probabilistic-channel" {
-		t.Errorf("findings = %+v", findings)
+	if len(env.Findings) != 1 || env.Findings[0].Kind != "probabilistic-channel" {
+		t.Errorf("findings = %+v", env.Findings)
+	}
+}
+
+// TestRunMetricsJSON drives the full Recommender case study and checks the
+// -metrics-json snapshot: per-phase spans and non-zero engine counters.
+func TestRunMetricsJSON(t *testing.T) {
+	cPath := writeTemp(t, "rec.c", mlsuite.RecommenderC)
+	edlPath := writeTemp(t, "rec.edl", mlsuite.RecommenderEDL)
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-metrics-json", metricsPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (Recommender leaks)", code)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    map[string]struct {
+			Count      int64 `json:"count"`
+			TotalNanos int64 `json:"totalNanos"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, data)
+	}
+	for _, span := range []string{"parse", "check", "check/symexec", "check/explicit", "check/implicit", "check/witness"} {
+		s, ok := snap.Spans[span]
+		if !ok || s.Count == 0 {
+			t.Errorf("span %q missing or empty (spans: %v)", span, snap.Spans)
+		}
+	}
+	for _, counter := range []string{
+		"symexec.paths.completed", "symexec.forks", "symexec.steps",
+		"symexec.states", "solver.queries", "core.witness.replays",
+	} {
+		if snap.Counters[counter] == 0 {
+			t.Errorf("counter %q is zero", counter)
+		}
+	}
+}
+
+// TestRunVerboseStreamsEvents checks that -verbose emits JSON event lines on
+// stderr without corrupting stdout.
+func TestRunVerboseStreamsEvents(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+
+	// -verbose writes to os.Stderr; capture it via a pipe.
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	var out bytes.Buffer
+	code, runErr := run([]string{"-c", cPath, "-edl", edlPath, "-verbose", "-json"}, &out)
+	w.Close()
+	os.Stderr = old
+	captured, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(string(captured)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no event lines on stderr")
+	}
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event line is not JSON: %v\n%s", err, line)
+		}
+		if ev["kind"] == nil || ev["name"] == nil {
+			t.Errorf("event missing kind/name: %s", line)
+		}
+	}
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("stdout corrupted by -verbose: %v", err)
+	}
+}
+
+// TestRunProfiles checks -cpuprofile/-memprofile produce non-empty files.
+func TestRunProfiles(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }

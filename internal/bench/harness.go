@@ -16,6 +16,7 @@ import (
 	"privacyscope/internal/edl"
 	"privacyscope/internal/minic"
 	"privacyscope/internal/mlsuite"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/priml"
 	"privacyscope/internal/symexec"
 	"privacyscope/internal/taint"
@@ -181,19 +182,25 @@ func Box1() (string, error) {
 	return report.Render(), nil
 }
 
-// TableVRow is one measured row of the performance table.
+// TableVRow is one measured row of the performance table, extended with the
+// engine-level counter snapshot of the run (states explored, solver queries
+// issued, infeasible paths pruned, solver-cache hits).
 type TableVRow struct {
-	Name         string
-	LoC          int
-	PaperLoC     int
-	Seconds      float64
-	PaperSeconds float64
-	Findings     int
-	Paths        int
+	Name          string
+	LoC           int
+	PaperLoC      int
+	Seconds       float64
+	PaperSeconds  float64
+	Findings      int
+	Paths         int
+	States        int64
+	SolverQueries int64
+	PathsPruned   int64
+	CacheHits     int64
 }
 
 // TableV analyzes the three ML modules and measures wall-clock analysis
-// time, the paper's Table V metric.
+// time, the paper's Table V metric, plus the engine counters per module.
 func TableV() ([]TableVRow, error) {
 	var rows []TableVRow
 	for _, m := range mlsuite.Modules() {
@@ -211,13 +218,16 @@ func TableV() ([]TableVRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.Name, err)
 		}
+		metrics := obs.NewMetrics()
+		opts := core.DefaultOptions()
+		opts.Observer = metrics
 		start := time.Now()
 		for _, ecall := range m.ECalls {
 			sig, ok := iface.ECall(ecall)
 			if !ok {
 				return nil, fmt.Errorf("%s: no ECALL %s", m.Name, ecall)
 			}
-			report, err := core.New(core.DefaultOptions()).CheckFunction(file, ecall, edl.ParamSpecs(sig, nil))
+			report, err := core.New(opts).CheckFunction(file, ecall, edl.ParamSpecs(sig, nil))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", m.Name, ecall, err)
 			}
@@ -225,6 +235,10 @@ func TableV() ([]TableVRow, error) {
 			row.Paths += report.Paths
 		}
 		row.Seconds = time.Since(start).Seconds()
+		row.States = metrics.Counter("symexec.states")
+		row.SolverQueries = metrics.Counter("solver.queries")
+		row.PathsPruned = metrics.Counter("symexec.paths.pruned")
+		row.CacheHits = metrics.Counter("solver.cache.hits")
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -234,11 +248,13 @@ func TableV() ([]TableVRow, error) {
 func RenderTableV(rows []TableVRow) string {
 	var sb strings.Builder
 	sb.WriteString("Table V — performance evaluation (paper vs. measured)\n")
-	sb.WriteString(fmt.Sprintf("%-18s %9s %9s %12s %14s %9s %7s\n",
-		"Module", "LoC", "paperLoC", "time(s)", "paper-time(s)", "findings", "paths"))
+	sb.WriteString(fmt.Sprintf("%-18s %9s %9s %12s %14s %9s %7s %8s %8s %7s %7s\n",
+		"Module", "LoC", "paperLoC", "time(s)", "paper-time(s)", "findings", "paths",
+		"states", "queries", "pruned", "cached"))
 	for _, r := range rows {
-		sb.WriteString(fmt.Sprintf("%-18s %9d %9d %12.6f %14.3f %9d %7d\n",
-			r.Name, r.LoC, r.PaperLoC, r.Seconds, r.PaperSeconds, r.Findings, r.Paths))
+		sb.WriteString(fmt.Sprintf("%-18s %9d %9d %12.6f %14.3f %9d %7d %8d %8d %7d %7d\n",
+			r.Name, r.LoC, r.PaperLoC, r.Seconds, r.PaperSeconds, r.Findings, r.Paths,
+			r.States, r.SolverQueries, r.PathsPruned, r.CacheHits))
 	}
 	return sb.String()
 }

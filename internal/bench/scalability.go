@@ -8,6 +8,7 @@ import (
 	"privacyscope/internal/core"
 	"privacyscope/internal/minic"
 	"privacyscope/internal/mlsuite"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/symexec"
 )
 
@@ -39,13 +40,16 @@ func ScalabilityProgram(branches, straight int) string {
 	return sb.String()
 }
 
-// ScalabilityRow is one measurement of the study.
+// ScalabilityRow is one measurement of the study, with the solver-side
+// counters that explain where exploration time goes.
 type ScalabilityRow struct {
-	Branches int
-	Straight int
-	Paths    int
-	States   int
-	Seconds  float64
+	Branches      int
+	Straight      int
+	Paths         int
+	States        int
+	SolverQueries int64
+	PathsPruned   int64
+	Seconds       float64
 }
 
 // Scalability sweeps branch counts (path explosion) and straight-line
@@ -56,43 +60,43 @@ func Scalability() ([]ScalabilityRow, error) {
 		{Name: "secrets", Class: symexec.ParamSecret},
 		{Name: "output", Class: symexec.ParamOut},
 	}
-	opts := core.DefaultOptions()
-	opts.ReplayWitness = false // measure pure exploration
-	opts.Engine.MaxPaths = 1 << 12
-
-	for _, branches := range []int{1, 2, 4, 6, 8, 10} {
-		src := ScalabilityProgram(branches, 4)
+	measure := func(branches, straight int) (ScalabilityRow, error) {
+		src := ScalabilityProgram(branches, straight)
 		file, err := minic.Parse(src)
 		if err != nil {
-			return nil, err
+			return ScalabilityRow{}, err
 		}
+		metrics := obs.NewMetrics()
+		opts := core.DefaultOptions()
+		opts.ReplayWitness = false // measure pure exploration
+		opts.Engine.MaxPaths = 1 << 12
+		opts.Observer = metrics
 		start := time.Now()
 		report, err := core.New(opts).CheckFunction(file, "f", params)
 		if err != nil {
+			return ScalabilityRow{}, err
+		}
+		return ScalabilityRow{
+			Branches: branches, Straight: straight,
+			Paths: report.Paths, States: report.States,
+			SolverQueries: metrics.Counter("solver.queries"),
+			PathsPruned:   metrics.Counter("symexec.paths.pruned"),
+			Seconds:       time.Since(start).Seconds(),
+		}, nil
+	}
+	for _, branches := range []int{1, 2, 4, 6, 8, 10} {
+		row, err := measure(branches, 4)
+		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, ScalabilityRow{
-			Branches: branches, Straight: 4,
-			Paths: report.Paths, States: report.States,
-			Seconds: time.Since(start).Seconds(),
-		})
+		rows = append(rows, row)
 	}
 	for _, straight := range []int{16, 64, 256} {
-		src := ScalabilityProgram(2, straight)
-		file, err := minic.Parse(src)
+		row, err := measure(2, straight)
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		report, err := core.New(opts).CheckFunction(file, "f", params)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ScalabilityRow{
-			Branches: 2, Straight: straight,
-			Paths: report.Paths, States: report.States,
-			Seconds: time.Since(start).Seconds(),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -101,10 +105,11 @@ func Scalability() ([]ScalabilityRow, error) {
 func RenderScalability(rows []ScalabilityRow) string {
 	var sb strings.Builder
 	sb.WriteString("Scalability (§VIII-C) — path explosion vs. program size\n")
-	sb.WriteString(fmt.Sprintf("%-9s %-9s %7s %8s %12s\n", "branches", "straight", "paths", "states", "time(s)"))
+	sb.WriteString(fmt.Sprintf("%-9s %-9s %7s %8s %8s %7s %12s\n",
+		"branches", "straight", "paths", "states", "queries", "pruned", "time(s)"))
 	for _, r := range rows {
-		sb.WriteString(fmt.Sprintf("%-9d %-9d %7d %8d %12.6f\n",
-			r.Branches, r.Straight, r.Paths, r.States, r.Seconds))
+		sb.WriteString(fmt.Sprintf("%-9d %-9d %7d %8d %8d %7d %12.6f\n",
+			r.Branches, r.Straight, r.Paths, r.States, r.SolverQueries, r.PathsPruned, r.Seconds))
 	}
 	sb.WriteString("paths double per secret branch (2^n); straight-line growth is linear —\n")
 	sb.WriteString("the scalability limitation the paper acknowledges for symbolic execution.\n")
@@ -125,9 +130,11 @@ func DeepKmeans() (ScalabilityRow, error) {
 	if err != nil {
 		return ScalabilityRow{}, err
 	}
+	metrics := obs.NewMetrics()
 	opts := core.DefaultOptions()
 	opts.ReplayWitness = false
 	opts.Engine.MaxPaths = 1 << 12
+	opts.Observer = metrics
 	start := time.Now()
 	report, err := core.New(opts).CheckFunction(file, "enclave_train_kmeans", []symexec.ParamSpec{
 		{Name: "points", Class: symexec.ParamSecret},
@@ -139,6 +146,8 @@ func DeepKmeans() (ScalabilityRow, error) {
 	return ScalabilityRow{
 		Branches: 8, Straight: 0,
 		Paths: report.Paths, States: report.States,
-		Seconds: time.Since(start).Seconds(),
+		SolverQueries: metrics.Counter("solver.queries"),
+		PathsPruned:   metrics.Counter("symexec.paths.pruned"),
+		Seconds:       time.Since(start).Seconds(),
 	}, nil
 }

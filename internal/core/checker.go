@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/solver"
 	"privacyscope/internal/sym"
 	"privacyscope/internal/symexec"
@@ -36,6 +37,12 @@ type Options struct {
 	// — the paper's threat model covers deterministic leakage only, and
 	// entropy genuinely blocks deterministic recovery.
 	ProbabilisticCheck bool
+	// Observer receives checker telemetry: per-phase spans
+	// (check/symexec, check/explicit, check/implicit, check/witness),
+	// findings-by-kind counters, and — threaded into Engine and the
+	// solver unless Engine.Obs is already set — the engine-level
+	// counters. Nil means the no-op observer.
+	Observer obs.Observer
 }
 
 // DefaultOptions returns the standard checker configuration.
@@ -51,19 +58,29 @@ func DefaultOptions() Options {
 type Checker struct {
 	opts Options
 	sv   *solver.Solver
+	obs  obs.Observer
 }
 
 // New returns a checker.
 func New(opts Options) *Checker {
-	return &Checker{opts: opts, sv: solver.New()}
+	o := obs.Or(opts.Observer)
+	if opts.Engine.Obs == nil {
+		opts.Engine.Obs = o
+	}
+	return &Checker{opts: opts, sv: solver.NewObserved(o), obs: o}
 }
 
 // CheckFunction analyzes one entry point of the file under the given
 // parameter classification and returns the leak report.
 func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.ParamSpec) (*Report, error) {
 	start := time.Now()
+	span := c.obs.StartSpan("check")
+	defer span.End()
+
+	sx := span.Child("symexec")
 	engine := symexec.New(file, c.opts.Engine)
 	res, err := engine.AnalyzeFunction(fn, params)
+	sx.End()
 	if err != nil {
 		return nil, fmt.Errorf("check %s: %w", fn, err)
 	}
@@ -76,15 +93,28 @@ func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.Pa
 		Warnings: res.Warnings,
 	}
 	run := &checkRun{checker: c, file: file, res: res, report: report, known: c.knownIDs(res)}
+
+	ph := span.Child("explicit")
 	run.explicitChecks(file, params)
+	ph.End()
 	if c.opts.ImplicitCheck {
+		ph = span.Child("implicit")
 		run.implicitChecks()
+		ph.End()
 	}
 	if c.opts.TimingCheck {
+		ph = span.Child("timing")
 		run.timingChecks()
+		ph.End()
 	}
 	sortFindings(report.Findings)
 	report.Duration = time.Since(start)
+	for _, f := range report.Findings {
+		c.obs.Add("core.findings."+f.Kind.String(), 1)
+	}
+	c.obs.Event("check.done",
+		obs.F("function", fn),
+		obs.F("findings", fmt.Sprint(len(report.Findings))))
 	return report, nil
 }
 
@@ -123,7 +153,7 @@ func (r *checkRun) dedupe(key string) bool {
 // discounting attacker-known inputs (§VIII-B). It returns the label and
 // whether prior knowledge was needed to reach a single tag.
 func (r *checkRun) effectiveTaint(e sym.Expr) (taint.Label, bool) {
-	full := sym.TaintOf(e)
+	full := taint.FromTagsObserved(r.checker.obs, sym.SecretTags(e))
 	if full.IsSingle() || full.IsBottom() || len(r.known) == 0 {
 		return full, false
 	}
@@ -133,7 +163,7 @@ func (r *checkRun) effectiveTaint(e sym.Expr) (taint.Label, bool) {
 			tags = append(tags, s.Tag)
 		}
 	}
-	eff := taint.FromTags(tags)
+	eff := taint.FromTagsObserved(r.checker.obs, tags)
 	return eff, eff.IsSingle()
 }
 
@@ -330,7 +360,7 @@ func (r *checkRun) implicitChecks() {
 				if exprEqual(a.value, b.value) {
 					continue
 				}
-				tag, single := pcDiffTaint(a.pc, b.pc)
+				tag, single := r.pcDiffTaint(a.pc, b.pc)
 				if !single {
 					continue
 				}
@@ -356,7 +386,7 @@ func exprEqual(a, b sym.Expr) bool {
 // pcDiffTaint computes the taint of the conjuncts on which two path
 // conditions disagree. A single tag means the two executions differ only in
 // how one secret steered control flow.
-func pcDiffTaint(a, b *solver.PathCondition) (taint.Tag, bool) {
+func (r *checkRun) pcDiffTaint(a, b *solver.PathCondition) (taint.Tag, bool) {
 	inA := make(map[string]sym.Expr)
 	for _, c := range a.Conjuncts() {
 		inA[sym.Key(c)] = c
@@ -391,7 +421,7 @@ func pcDiffTaint(a, b *solver.PathCondition) (taint.Tag, bool) {
 	if !diff {
 		return 0, false
 	}
-	return taint.FromTags(tags).Tag()
+	return taint.FromTagsObserved(r.checker.obs, tags).Tag()
 }
 
 func (r *checkRun) emitImplicit(tag taint.Tag, sink SinkKind, where string, pos minic.Pos, values [2]sym.Expr, pc, pcSibling *solver.PathCondition) {
@@ -444,7 +474,7 @@ func (r *checkRun) timingChecks() {
 			if a.Cost == b.Cost {
 				continue
 			}
-			tag, single := pcDiffTaint(a.PC, b.PC)
+			tag, single := r.pcDiffTaint(a.PC, b.PC)
 			if !single {
 				continue
 			}

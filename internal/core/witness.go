@@ -18,6 +18,9 @@ import (
 // apply the inversion); when the sink or inputs cannot be concretized it
 // falls back to evaluating the symbolic sink value.
 func (c *Checker) replay(file *minic.File, res *symexec.Result, params []symexec.ParamSpec, f *Finding) *Witness {
+	span := c.obs.StartSpan("check/witness")
+	defer span.End()
+	c.obs.Add("core.witness.replays", 1)
 	w := &Witness{}
 	secretSym := res.SecretSymbolByTag(int(f.Tag))
 	if secretSym == nil || f.Inversion == nil || !f.Inversion.Exact {
@@ -81,6 +84,7 @@ func (c *Checker) finishWitness(f *Finding, secretSym *sym.Symbol, bindA, bindB 
 		w.Note = mode + " replay did not confirm the inversion"
 	} else {
 		w.Note = mode + " replay"
+		c.obs.Add("core.witness.verified", 1)
 	}
 }
 
@@ -266,6 +270,9 @@ func cellKindOf(t minic.Type) interp.CellKind {
 // per sibling path, with every input shared except the deciding secret.
 // The observed sink values (or output presence) must differ.
 func (c *Checker) replayImplicit(file *minic.File, res *symexec.Result, f *Finding, pcA, pcB *solver.PathCondition) *Witness {
+	span := c.obs.StartSpan("check/witness")
+	defer span.End()
+	c.obs.Add("core.witness.replays", 1)
 	w := &Witness{}
 	secretSym := res.SecretSymbolByTag(int(f.Tag))
 	if secretSym == nil {
@@ -310,6 +317,7 @@ func (c *Checker) replayImplicit(file *minic.File, res *symexec.Result, f *Findi
 	w.Verified = obsA != obsB
 	if w.Verified {
 		w.Note = "concrete replay: sibling observations differ"
+		c.obs.Add("core.witness.verified", 1)
 	} else {
 		w.Note = "concrete replay did not distinguish the paths"
 	}

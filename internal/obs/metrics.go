@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the aggregating Observer: counters, span durations and value
+// distributions accumulate in memory and export as a Snapshot. Safe for
+// concurrent use. The zero value is not ready; use NewMetrics.
+type Metrics struct {
+	start    time.Time
+	counters sync.Map // string → *int64
+
+	mu    sync.Mutex
+	dists map[string]*Dist
+	spans map[string]*SpanStats
+
+	evMu   sync.Mutex
+	events io.Writer
+	nEv    int64
+}
+
+// MetricsOption configures a Metrics.
+type MetricsOption func(*Metrics)
+
+// WithEventWriter mirrors structured events and span completions to w as
+// JSON lines — the -verbose progress stream of cmd/privacyscope. Writes are
+// serialized; w need not be concurrency-safe.
+func WithEventWriter(w io.Writer) MetricsOption {
+	return func(m *Metrics) { m.events = w }
+}
+
+// NewMetrics returns an empty aggregating observer.
+func NewMetrics(opts ...MetricsOption) *Metrics {
+	m := &Metrics{
+		start: time.Now(),
+		dists: make(map[string]*Dist),
+		spans: make(map[string]*SpanStats),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Add bumps a monotonic counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if c, ok := m.counters.Load(name); ok {
+		atomic.AddInt64(c.(*int64), delta)
+		return
+	}
+	c, _ := m.counters.LoadOrStore(name, new(int64))
+	atomic.AddInt64(c.(*int64), delta)
+}
+
+// Counter returns the current value of a counter (0 when never bumped).
+func (m *Metrics) Counter(name string) int64 {
+	if c, ok := m.counters.Load(name); ok {
+		return atomic.LoadInt64(c.(*int64))
+	}
+	return 0
+}
+
+// Observe records one sample of a value distribution.
+func (m *Metrics) Observe(name string, value int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.dists[name]
+	if !ok {
+		d = &Dist{Min: value, Max: value}
+		m.dists[name] = d
+	}
+	d.Count++
+	d.Sum += value
+	if value < d.Min {
+		d.Min = value
+	}
+	if value > d.Max {
+		d.Max = value
+	}
+}
+
+// StartSpan begins a timed operation.
+func (m *Metrics) StartSpan(name string) Span {
+	return &metricsSpan{m: m, name: name, start: time.Now()}
+}
+
+// Event emits a structured event: counted, and mirrored to the event
+// writer when one is configured.
+func (m *Metrics) Event(name string, fields ...Field) {
+	atomic.AddInt64(&m.nEv, 1)
+	m.emit("event", name, 0, fields)
+}
+
+type metricsSpan struct {
+	m     *Metrics
+	name  string
+	start time.Time
+}
+
+func (s *metricsSpan) Child(name string) Span {
+	return &metricsSpan{m: s.m, name: s.name + "/" + name, start: time.Now()}
+}
+
+func (s *metricsSpan) End() {
+	dur := time.Since(s.start).Nanoseconds()
+	m := s.m
+	m.mu.Lock()
+	st, ok := m.spans[s.name]
+	if !ok {
+		st = &SpanStats{MinNanos: dur, MaxNanos: dur}
+		m.spans[s.name] = st
+	}
+	st.Count++
+	st.TotalNanos += dur
+	if dur < st.MinNanos {
+		st.MinNanos = dur
+	}
+	if dur > st.MaxNanos {
+		st.MaxNanos = dur
+	}
+	m.mu.Unlock()
+	m.emit("span", s.name, dur, nil)
+}
+
+// eventLine is one JSON line of the -verbose stream.
+type eventLine struct {
+	// T is the offset since observer creation, in milliseconds.
+	T float64 `json:"tMs"`
+	// Kind is "event" or "span".
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// DurMs is the span duration (spans only).
+	DurMs  float64 `json:"durMs,omitempty"`
+	Fields []Field `json:"fields,omitempty"`
+}
+
+func (m *Metrics) emit(kind, name string, durNanos int64, fields []Field) {
+	if m.events == nil {
+		return
+	}
+	line := eventLine{
+		T:      float64(time.Since(m.start).Microseconds()) / 1000,
+		Kind:   kind,
+		Name:   name,
+		DurMs:  float64(durNanos) / 1e6,
+		Fields: fields,
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	m.evMu.Lock()
+	m.events.Write(append(buf, '\n'))
+	m.evMu.Unlock()
+}
+
+// SpanStats aggregates the completions of one span name.
+type SpanStats struct {
+	Count      int64 `json:"count"`
+	TotalNanos int64 `json:"totalNanos"`
+	MinNanos   int64 `json:"minNanos"`
+	MaxNanos   int64 `json:"maxNanos"`
+}
+
+// Dist aggregates the samples of one value distribution.
+type Dist struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every aggregate, suitable for JSON
+// export (the -metrics-json file and the -json envelope's "metrics" key).
+type Snapshot struct {
+	// Counters maps counter name → value.
+	Counters map[string]int64 `json:"counters"`
+	// Spans maps slash-path span name → duration stats.
+	Spans map[string]SpanStats `json:"spans"`
+	// Dists maps distribution name → sample stats.
+	Dists map[string]Dist `json:"distributions,omitempty"`
+	// Events counts structured events emitted.
+	Events int64 `json:"events"`
+}
+
+// Snapshot copies the current aggregates.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Spans:    make(map[string]SpanStats),
+		Dists:    make(map[string]Dist),
+		Events:   atomic.LoadInt64(&m.nEv),
+	}
+	m.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	m.mu.Lock()
+	for k, v := range m.spans {
+		s.Spans[k] = *v
+	}
+	for k, v := range m.dists {
+		s.Dists[k] = *v
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// CounterNames returns the sorted names of all counters bumped so far —
+// convenient for tests and table renderers.
+func (m *Metrics) CounterNames() []string {
+	var names []string
+	m.counters.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,77 @@
+// Package obs is the analyzer's telemetry layer: a lightweight,
+// dependency-free observer with wall-clock spans, monotonic counters, value
+// distributions, and structured events.
+//
+// Instrumented code talks to the Observer interface only. The default
+// observer is a no-op that costs one interface dispatch and zero
+// allocations per call, so the engine's hot paths (one counter bump per
+// evaluated statement) pay ~nothing when observability is off. The Metrics
+// implementation aggregates everything in memory, is safe for concurrent
+// use (WithParallelism analyses share one observer), and exports a
+// JSON-serializable Snapshot.
+//
+// Span hierarchy is encoded in the span name: a child span started with
+// Span.Child("symexec") under a span named "check" aggregates under
+// "check/symexec". Names are slash-paths rather than an in-memory tree so
+// spans may start and end on different goroutines without shared stacks.
+//
+// See docs/OBSERVABILITY.md for the metric-name registry.
+package obs
+
+// Field is one key/value attribute of a structured event.
+type Field struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// F constructs a Field.
+func F(key, value string) Field { return Field{Key: key, Value: value} }
+
+// Span is an in-flight timed operation. End records the duration under the
+// span's slash-path name; Child starts a nested span named
+// "<parent>/<name>".
+type Span interface {
+	Child(name string) Span
+	End()
+}
+
+// Observer receives telemetry from the analyzer. Implementations must be
+// safe for concurrent use. All methods must be cheap enough to call from
+// the symbolic engine's statement loop.
+type Observer interface {
+	// StartSpan begins a timed operation. The returned Span must be
+	// ended exactly once.
+	StartSpan(name string) Span
+	// Add bumps a monotonic counter.
+	Add(name string, delta int64)
+	// Observe records one sample of a value distribution (count, sum,
+	// min, max).
+	Observe(name string, value int64)
+	// Event emits a structured progress event.
+	Event(name string, fields ...Field)
+}
+
+// Nop returns the shared no-op observer: every method does nothing and
+// allocates nothing.
+func Nop() Observer { return nop{} }
+
+// Or returns o, or the no-op observer when o is nil, so instrumented code
+// never needs a nil check at the call site.
+func Or(o Observer) Observer {
+	if o == nil {
+		return nop{}
+	}
+	return o
+}
+
+type nop struct{}
+
+type nopSpan struct{}
+
+func (nop) StartSpan(string) Span  { return nopSpan{} }
+func (nop) Add(string, int64)      {}
+func (nop) Observe(string, int64)  {}
+func (nop) Event(string, ...Field) {}
+
+func (nopSpan) Child(string) Span { return nopSpan{} }
+func (nopSpan) End()              {}

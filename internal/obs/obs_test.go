@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	m := NewMetrics()
+	m.Add("a", 1)
+	m.Add("a", 2)
+	m.Add("b", 5)
+	if got := m.Counter("a"); got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	if got := m.Counter("b"); got != 5 {
+		t.Errorf("b = %d, want 5", got)
+	}
+	if got := m.Counter("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := m.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// TestCounterConcurrent exercises counter atomicity; run under -race (the
+// tier-1.5 target) to catch unsynchronized access.
+func TestCounterConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Add("hits", 1)
+				m.Observe("dist", int64(i))
+				sp := m.StartSpan("work")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("hits"); got != workers*perWorker {
+		t.Errorf("hits = %d, want %d", got, workers*perWorker)
+	}
+	snap := m.Snapshot()
+	if snap.Dists["dist"].Count != workers*perWorker {
+		t.Errorf("dist count = %d", snap.Dists["dist"].Count)
+	}
+	if snap.Spans["work"].Count != workers*perWorker {
+		t.Errorf("span count = %d", snap.Spans["work"].Count)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	m := NewMetrics()
+	check := m.StartSpan("check")
+	sx := check.Child("symexec")
+	inner := sx.Child("solver")
+	inner.End()
+	sx.End()
+	check.End()
+	snap := m.Snapshot()
+	for _, name := range []string{"check", "check/symexec", "check/symexec/solver"} {
+		st, ok := snap.Spans[name]
+		if !ok {
+			t.Fatalf("missing span %q in %v", name, snap.Spans)
+		}
+		if st.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, st.Count)
+		}
+		if st.TotalNanos < 0 || st.MinNanos > st.MaxNanos {
+			t.Errorf("%s stats inconsistent: %+v", name, st)
+		}
+	}
+}
+
+func TestDistStats(t *testing.T) {
+	m := NewMetrics()
+	for _, v := range []int64{4, -2, 9, 9} {
+		m.Observe("depth", v)
+	}
+	d := m.Snapshot().Dists["depth"]
+	if d.Count != 4 || d.Sum != 20 || d.Min != -2 || d.Max != 9 {
+		t.Errorf("dist = %+v", d)
+	}
+}
+
+// TestNopAllocationFree pins the tentpole's "pays ~nothing when off"
+// property: every no-op observer call is allocation-free.
+func TestNopAllocationFree(t *testing.T) {
+	o := Nop()
+	allocs := testing.AllocsPerRun(200, func() {
+		o.Add("symexec.steps", 1)
+		o.Observe("symexec.path.depth", 7)
+		sp := o.StartSpan("check")
+		sp.Child("symexec").End()
+		sp.End()
+		o.Event("warning")
+	})
+	if allocs != 0 {
+		t.Errorf("no-op observer allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) == nil {
+		t.Fatal("Or(nil) must return the no-op observer")
+	}
+	m := NewMetrics()
+	if Or(m) != Observer(m) {
+		t.Error("Or must pass a non-nil observer through")
+	}
+	// The nil-wrapped observer must behave as a no-op, not panic.
+	Or(nil).Add("x", 1)
+	Or(nil).StartSpan("x").End()
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Add("solver.queries", 42)
+	m.Observe("symexec.path.depth", 3)
+	sp := m.StartSpan("check")
+	sp.End()
+	m.Event("done", F("fn", "f"))
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["solver.queries"] != 42 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Dists["symexec.path.depth"].Count != 1 {
+		t.Errorf("dists = %v", snap.Dists)
+	}
+	if snap.Spans["check"].Count != 1 {
+		t.Errorf("spans = %v", snap.Spans)
+	}
+	if snap.Events != 1 {
+		t.Errorf("events = %d", snap.Events)
+	}
+}
+
+func TestEventWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(WithEventWriter(&buf))
+	m.Event("phase", F("name", "parse"))
+	sp := m.StartSpan("check")
+	sp.End()
+
+	sc := bufio.NewScanner(&buf)
+	var lines []eventLine
+	for sc.Scan() {
+		var l eventLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if lines[0].Kind != "event" || lines[0].Name != "phase" ||
+		len(lines[0].Fields) != 1 || lines[0].Fields[0].Value != "parse" {
+		t.Errorf("event line = %+v", lines[0])
+	}
+	if lines[1].Kind != "span" || lines[1].Name != "check" {
+		t.Errorf("span line = %+v", lines[1])
+	}
+}
+
+func TestEventWithoutWriterDoesNotPanic(t *testing.T) {
+	m := NewMetrics()
+	m.Event("x", F("k", strings.Repeat("v", 10)))
+	if m.Snapshot().Events != 1 {
+		t.Error("event not counted")
+	}
+}

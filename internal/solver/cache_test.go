@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"testing"
+
+	"privacyscope/internal/obs"
+	"privacyscope/internal/sym"
+)
+
+func TestFeasibleMemoization(t *testing.T) {
+	b := newBuilder()
+	s1 := b.FreshSecret("s1")
+	m := obs.NewMetrics()
+	sv := NewObserved(m)
+
+	pc := True().And(cmp(sym.OpGt, s1, sym.IntConst{V: 0}))
+	if !sv.Feasible(pc) {
+		t.Fatal("s1 > 0 must be feasible")
+	}
+	if !sv.Feasible(pc) {
+		t.Fatal("cached verdict must agree")
+	}
+	if hits := m.Counter("solver.cache.hits"); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	if misses := m.Counter("solver.cache.misses"); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+	if q := m.Counter("solver.queries"); q != 2 {
+		t.Errorf("queries = %d, want 2", q)
+	}
+
+	// Unsat verdicts are memoized too, and counted each time they prune.
+	contra := pc.And(cmp(sym.OpLt, s1, sym.IntConst{V: 0}))
+	for i := 0; i < 2; i++ {
+		if sv.Feasible(contra) {
+			t.Fatal("s1 > 0 ∧ s1 < 0 must be infeasible")
+		}
+	}
+	if unsat := m.Counter("solver.unsat"); unsat != 2 {
+		t.Errorf("unsat = %d, want 2", unsat)
+	}
+}
+
+// TestFeasibleCacheOrderIndependent pins the canonicalization: the same
+// conjunct set reached through a different branch order shares one entry.
+func TestFeasibleCacheOrderIndependent(t *testing.T) {
+	b := newBuilder()
+	s1 := b.FreshSecret("s1")
+	s2 := b.FreshSecret("s2")
+	a := cmp(sym.OpGt, s1, sym.IntConst{V: 0})
+	c := cmp(sym.OpLt, s2, sym.IntConst{V: 10})
+
+	m := obs.NewMetrics()
+	sv := NewObserved(m)
+	sv.Feasible(True().And(a).And(c))
+	sv.Feasible(True().And(c).And(a))
+	if hits := m.Counter("solver.cache.hits"); hits != 1 {
+		t.Errorf("cache hits = %d, want 1 (order-independent key)", hits)
+	}
+}
+
+// TestZeroValueSolverStillWorks guards the documented zero-value contract
+// after the observer and cache fields were added.
+func TestZeroValueSolverStillWorks(t *testing.T) {
+	b := newBuilder()
+	s1 := b.FreshSecret("s1")
+	var sv Solver
+	pc := True().And(cmp(sym.OpEq, s1, sym.IntConst{V: 3}))
+	if !sv.Feasible(pc) {
+		t.Error("zero-value solver must stay usable")
+	}
+	if sv.Check(pc) != Sat {
+		t.Error("zero-value Check must find the model")
+	}
+}
+
+func TestCheckCountsVerdicts(t *testing.T) {
+	b := newBuilder()
+	s1 := b.FreshSecret("s1")
+	m := obs.NewMetrics()
+	sv := NewObserved(m)
+	sv.Check(True().And(cmp(sym.OpEq, s1, sym.IntConst{V: 5})))
+	sv.Check(True().
+		And(cmp(sym.OpGt, s1, sym.IntConst{V: 0})).
+		And(cmp(sym.OpLt, s1, sym.IntConst{V: 0})))
+	if m.Counter("solver.sat") != 1 || m.Counter("solver.unsat") != 1 {
+		t.Errorf("sat=%d unsat=%d, want 1/1",
+			m.Counter("solver.sat"), m.Counter("solver.unsat"))
+	}
+}

@@ -2,7 +2,11 @@ package solver
 
 import (
 	"math"
+	"sort"
+	"strings"
+	"sync"
 
+	"privacyscope/internal/obs"
 	"privacyscope/internal/sym"
 )
 
@@ -84,40 +88,104 @@ func (iv *interval) clampHi(v float64) bool {
 	return false
 }
 
+// feasCacheCap bounds the memoization map so adversarially branchy inputs
+// cannot grow it without limit; past the cap, queries still run, they just
+// stop being recorded.
+const feasCacheCap = 1 << 16
+
 // Solver decides satisfiability of path conditions via affine
 // normalization plus interval propagation over the symbols. The zero value
 // is ready to use.
-type Solver struct{}
+//
+// Feasibility verdicts are memoized per canonicalized path condition: the
+// engine re-derives the same prefix condition at every statement of a
+// branch's suite, so sibling queries hit the cache (counters
+// solver.cache.hits / solver.cache.misses make the win measurable).
+type Solver struct {
+	obs obs.Observer
+
+	mu   sync.Mutex
+	feas map[string]bool // canonical π → (propagate != Unsat)
+}
 
 // New returns a Solver.
 func New() *Solver { return &Solver{} }
 
+// NewObserved returns a Solver reporting query and cache counters to o.
+func NewObserved(o obs.Observer) *Solver { return &Solver{obs: obs.Or(o)} }
+
+// o returns the observer, keeping the zero-value Solver usable.
+func (s *Solver) o() obs.Observer { return obs.Or(s.obs) }
+
+// canonicalKey renders π order-independently: the sorted structural keys of
+// its conjuncts. Two conditions with the same conjunct set — regardless of
+// the order branches were taken in — share one cache entry.
+func canonicalKey(pc *PathCondition) string {
+	keys := make([]string, len(pc.conj))
+	for i, c := range pc.conj {
+		keys[i] = sym.Key(c)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
 // Check returns Unsat when the conjunction is provably unsatisfiable, Sat
 // when interval propagation finds a verified model, and Unknown otherwise.
 func (s *Solver) Check(pc *PathCondition) Result {
+	s.o().Add("solver.queries", 1)
 	ivs, res := s.propagate(pc)
 	if res == Unsat {
+		s.o().Add("solver.unsat", 1)
 		return Unsat
 	}
 	if _, ok := s.model(pc, ivs); ok {
+		s.o().Add("solver.sat", 1)
 		return Sat
 	}
+	s.o().Add("solver.unknown", 1)
 	return Unknown
 }
 
 // Feasible reports whether the path may be satisfiable (everything except a
 // proven Unsat). This is the engine's pruning predicate: sound, possibly
 // exploring a few infeasible paths. It runs interval propagation only — the
-// model search of Check would be wasted work on the hot pruning path.
+// model search of Check would be wasted work on the hot pruning path — and
+// memoizes the verdict per canonical condition.
 func (s *Solver) Feasible(pc *PathCondition) bool {
+	s.o().Add("solver.queries", 1)
+	key := canonicalKey(pc)
+	s.mu.Lock()
+	cached, hit := s.feas[key]
+	s.mu.Unlock()
+	if hit {
+		s.o().Add("solver.cache.hits", 1)
+		if !cached {
+			s.o().Add("solver.unsat", 1)
+		}
+		return cached
+	}
+	s.o().Add("solver.cache.misses", 1)
 	_, res := s.propagate(pc)
-	return res != Unsat
+	ok := res != Unsat
+	if !ok {
+		s.o().Add("solver.unsat", 1)
+	}
+	s.mu.Lock()
+	if s.feas == nil {
+		s.feas = make(map[string]bool)
+	}
+	if len(s.feas) < feasCacheCap {
+		s.feas[key] = ok
+	}
+	s.mu.Unlock()
+	return ok
 }
 
 // Model attempts to produce a concrete binding of all symbols in pc (plus
 // any extra symbols supplied) that satisfies every conjunct. Used by the
 // checker to construct replayable leak witnesses.
 func (s *Solver) Model(pc *PathCondition, extra []*sym.Symbol) (sym.Binding, bool) {
+	s.o().Add("solver.queries", 1)
 	ivs, res := s.propagate(pc)
 	if res == Unsat {
 		return nil, false

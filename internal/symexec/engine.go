@@ -6,6 +6,7 @@ import (
 
 	"privacyscope/internal/mem"
 	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/solver"
 	"privacyscope/internal/sym"
 	"privacyscope/internal/taint"
@@ -42,22 +43,25 @@ type Engine struct {
 	steps    int
 	res      *Result
 	env      *mem.Env
+	obs      obs.Observer
 }
 
 // New returns an engine over the file.
 func New(file *minic.File, opts Options) *Engine {
 	var alloc taint.Allocator
+	o := obs.Or(opts.Obs)
 	return &Engine{
 		file:        file,
 		opts:        opts,
 		mgr:         mem.NewManager(),
 		builder:     sym.NewBuilder(&alloc),
-		sv:          solver.New(),
+		sv:          solver.NewObserved(o),
 		inputSyms:   make(map[string]mem.SVal),
 		secretRoots: make(map[string]bool),
 		rootDisplay: make(map[string]string),
 		outRoots:    make(map[string]string),
 		env:         mem.NewEnv(),
+		obs:         o,
 	}
 }
 
@@ -122,6 +126,13 @@ func (e *Engine) AnalyzeFunction(name string, params []ParamSpec) (*Result, erro
 		return nil, err
 	}
 	e.res.Regions = e.mgr.RegionCount()
+	if e.res.Trace != nil {
+		e.res.TraceTruncated = e.res.Trace.Dropped()
+	}
+	e.obs.Event("symexec.done",
+		obs.F("function", name),
+		obs.F("paths", fmt.Sprint(len(e.res.Paths))),
+		obs.F("states", fmt.Sprint(e.res.States)))
 	return e.res, nil
 }
 
@@ -161,8 +172,15 @@ func (e *Engine) bindParam(st *state, fr *sframe, p *minic.VarDecl, cls ParamCla
 // completePath records one finished path's observable outcome.
 func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
 	if len(e.res.Paths) >= e.opts.maxPaths() {
+		e.obs.Add("symexec.truncations.max_paths", 1)
 		return fmt.Errorf("%w (%d)", ErrPathBudget, e.opts.maxPaths())
 	}
+	e.obs.Add("symexec.paths.completed", 1)
+	if st.incomplete {
+		e.obs.Add("symexec.paths.incomplete", 1)
+	}
+	e.obs.Observe("symexec.path.depth", int64(st.pc.Len()))
+	e.obs.Observe("symexec.path.cost", int64(st.cost))
 	pr := &PathResult{
 		PC:         st.pc,
 		Return:     ret,
@@ -292,7 +310,9 @@ type cont func(*state, ctl) error
 
 func (e *Engine) step() error {
 	e.steps++
+	e.obs.Add("symexec.steps", 1)
 	if e.steps > e.opts.maxSteps() {
+		e.obs.Add("symexec.truncations.max_steps", 1)
 		return fmt.Errorf("symexec: step budget exhausted (%d)", e.opts.maxSteps())
 	}
 	return nil
@@ -426,6 +446,7 @@ func (e *Engine) execIf(st *state, v *minic.IfStmt, k cont) error {
 		return k(st, ctlFallthrough)
 	}
 	// Fork (PS-TCOND / PS-FCOND).
+	e.obs.Add("symexec.forks", 1)
 	thenSt := st.clone()
 	thenSt.pc = thenSt.pc.And(cond)
 	if e.feasible(thenSt.pc) {
@@ -448,7 +469,11 @@ func (e *Engine) feasible(pc *solver.PathCondition) bool {
 	if !e.opts.PruneInfeasible {
 		return true
 	}
-	return e.sv.Feasible(pc)
+	ok := e.sv.Feasible(pc)
+	if !ok {
+		e.obs.Add("symexec.paths.pruned", 1)
+	}
+	return ok
 }
 
 // execLoop handles while (post == nil) and for loops. Concrete conditions
@@ -481,6 +506,7 @@ func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body mini
 			// for(;;): only break/return exits; bound it.
 			if remaining <= 0 {
 				cur.incomplete = true
+				e.obs.Add("symexec.loop.bound_hits", 1)
 				e.warn("infinite loop cut at bound")
 				return k(cur, ctlFallthrough)
 			}
@@ -506,9 +532,11 @@ func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body mini
 			// Bound hit: assume exit, mark incomplete.
 			cur.incomplete = true
 			cur.pc = cur.pc.And(sym.Negate(truth))
+			e.obs.Add("symexec.loop.bound_hits", 1)
 			e.warn("symbolic loop cut at bound " + fmt.Sprint(e.opts.loopBound()))
 			return k(cur, ctlFallthrough)
 		}
+		e.obs.Add("symexec.forks", 1)
 		enter := cur.clone()
 		enter.pc = enter.pc.And(truth)
 		if e.feasible(enter.pc) {
@@ -535,6 +563,7 @@ func (e *Engine) warn(msg string) {
 		}
 	}
 	e.res.Warnings = append(e.res.Warnings, msg)
+	e.obs.Event("symexec.warning", obs.F("msg", msg))
 }
 
 // scalarOf extracts a scalar expression from an SVal; locations degrade to
@@ -655,6 +684,7 @@ func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
 	}
 
 	// Symbolic tag: fork per case.
+	e.obs.Add("symexec.forks", 1)
 	var excluded []sym.Expr
 	for i, c := range v.Cases {
 		if c.IsDefault {

@@ -10,6 +10,7 @@ package symexec
 import (
 	"privacyscope/internal/mem"
 	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/solver"
 	"privacyscope/internal/sym"
 )
@@ -84,6 +85,10 @@ type Options struct {
 	// extern result reaching a sink), but available for high-assurance
 	// audits where unmodeled code must not silently launder taint.
 	ConservativeExterns bool
+	// Obs receives engine telemetry (symexec.* counters, path-depth
+	// distributions). Nil means the no-op observer: instrumentation stays
+	// in place but costs nothing. See docs/OBSERVABILITY.md.
+	Obs obs.Observer
 }
 
 // Defaults.
@@ -187,6 +192,9 @@ type Result struct {
 	// Trace is the Table-IV-style exploration snapshot log (nil unless
 	// TrackTrace).
 	Trace *Trace
+	// TraceTruncated counts state snapshots dropped past TraceCap; when
+	// non-zero, Trace.Render appends an "… (N rows omitted)" footer.
+	TraceTruncated int
 	// States counts exploded states (trace rows would show them).
 	States int
 	// Regions counts distinct memory regions created.

@@ -7,9 +7,11 @@ import (
 
 // Trace records exploded-state snapshots in the style of Table IV: for each
 // visited statement, the environment (lvalue → region), the store
-// (region → symbolic value) and the path condition π.
+// (region → symbolic value) and the path condition π. Recording stops at
+// TraceCap rows; further snapshots are counted, not silently discarded.
 type Trace struct {
-	rows []TraceRow
+	rows    []TraceRow
+	dropped int
 }
 
 // TraceRow is one state snapshot.
@@ -39,7 +41,11 @@ func (t *Trace) Rows() []TraceRow {
 // Len returns the number of snapshots.
 func (t *Trace) Len() int { return len(t.rows) }
 
-// Render pretty-prints the trace.
+// Dropped returns the number of snapshots discarded past TraceCap.
+func (t *Trace) Dropped() int { return t.dropped }
+
+// Render pretty-prints the trace. Truncation is made visible: when rows
+// were dropped past TraceCap, a footer reports how many.
 func (t *Trace) Render() string {
 	var sb strings.Builder
 	for _, r := range t.rows {
@@ -47,6 +53,9 @@ func (t *Trace) Render() string {
 		fmt.Fprintf(&sb, "  env:   %s\n", strings.Join(r.Env, ", "))
 		fmt.Fprintf(&sb, "  store: %s\n", strings.Join(r.Store, ", "))
 		fmt.Fprintf(&sb, "  π:     %s\n", r.PC)
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(&sb, "… (%d rows omitted)\n", t.dropped)
 	}
 	return sb.String()
 }
@@ -59,10 +68,17 @@ func stateLabel(i int) string {
 }
 
 // snapshot records the current state if tracing is on; it always counts the
-// state for the Table IV state metric.
+// state for the Table IV state metric. Rows past TraceCap are counted as
+// dropped rather than silently discarded.
 func (e *Engine) snapshot(st *state, stmt string) {
 	e.res.States++
-	if e.res.Trace == nil || e.res.Trace.Len() >= TraceCap {
+	e.obs.Add("symexec.states", 1)
+	if e.res.Trace == nil {
+		return
+	}
+	if e.res.Trace.Len() >= TraceCap {
+		e.res.Trace.dropped++
+		e.obs.Add("symexec.trace.dropped", 1)
 		return
 	}
 	row := TraceRow{

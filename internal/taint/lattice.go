@@ -16,6 +16,8 @@ package taint
 import (
 	"fmt"
 	"strconv"
+
+	"privacyscope/internal/obs"
 )
 
 // Tag identifies one secret source (t1, t2, … in the paper). Tags are
@@ -122,6 +124,21 @@ func (l Label) String() string {
 	}
 }
 
+// FromTagsObserved is FromTags with lattice telemetry: it counts one
+// taint.joins per tag folded beyond the first and a taint.top_saturations
+// when the fold reaches ⊤ — the engine-side equivalents of the Policy
+// counters.
+func FromTagsObserved(o obs.Observer, tags []Tag) Label {
+	if len(tags) > 1 {
+		o.Add("taint.joins", int64(len(tags)-1))
+	}
+	l := FromTags(tags)
+	if l.IsTop() {
+		o.Add("taint.top_saturations", 1)
+	}
+	return l
+}
+
 // FromTags builds the label describing a value that depends on exactly the
 // given set of secret sources: ⊥ for none, tᵢ for one, ⊤ for several. This
 // is the bridge used by the symbolic engine, where taint is derived from the
@@ -162,11 +179,30 @@ func (a *Allocator) Count() int { return int(a.next) }
 // components (P_const, P_unop, …).
 type Policy struct {
 	alloc *Allocator
+	obs   obs.Observer
 }
 
 // NewPolicy returns a policy drawing fresh tags from alloc.
 func NewPolicy(alloc *Allocator) *Policy {
-	return &Policy{alloc: alloc}
+	return &Policy{alloc: alloc, obs: obs.Nop()}
+}
+
+// Instrument routes lattice telemetry (taint.joins, taint.top_saturations)
+// to o and returns the policy for chaining.
+func (p *Policy) Instrument(o obs.Observer) *Policy {
+	p.obs = obs.Or(o)
+	return p
+}
+
+// countJoin records one join and its ⊤-saturation (a join whose inputs were
+// both below ⊤ but whose output is ⊤ — the moment a value stops being
+// reversible to any single secret).
+func (p *Policy) countJoin(a, b, out Label) Label {
+	p.obs.Add("taint.joins", 1)
+	if out.IsTop() && !a.IsTop() && !b.IsTop() {
+		p.obs.Add("taint.top_saturations", 1)
+	}
+	return out
 }
 
 // Const labels a literal constant: always ⊥.
@@ -184,11 +220,11 @@ func (p *Policy) Assign(t Label) Label { return t }
 
 // Binop propagates taint through a binary operator (Fig. 2): the join of the
 // operand labels.
-func (p *Policy) Binop(t1, t2 Label) Label { return t1.Join(t2) }
+func (p *Policy) Binop(t1, t2 Label) Label { return p.countJoin(t1, t2, t1.Join(t2)) }
 
 // Cond propagates taint into the path-condition variable π when a branch is
 // taken (Fig. 2): the join of the condition's label and the current π label.
-func (p *Policy) Cond(cond, pi Label) Label { return cond.Join(pi) }
+func (p *Policy) Cond(cond, pi Label) Label { return p.countJoin(cond, pi, cond.Join(pi)) }
 
 // Map tracks the taint status of named program variables, i.e. the τΔ
 // mapping of the paper's PS-* semantics. The special name PiVar holds the

@@ -1,0 +1,62 @@
+package taint
+
+import (
+	"testing"
+
+	"privacyscope/internal/obs"
+)
+
+func TestPolicyInstrumentCountsJoins(t *testing.T) {
+	var alloc Allocator
+	m := obs.NewMetrics()
+	p := NewPolicy(&alloc).Instrument(m)
+	t1 := p.GetSecret()
+	t2 := p.GetSecret()
+
+	if out := p.Binop(t1, Bottom()); !out.Equal(t1) {
+		t.Errorf("Binop(t1,⊥) = %s", out)
+	}
+	if out := p.Binop(t1, t2); !out.IsTop() {
+		t.Errorf("Binop(t1,t2) = %s", out)
+	}
+	if out := p.Cond(Top(), t1); !out.IsTop() {
+		t.Errorf("Cond(⊤,t1) = %s", out)
+	}
+
+	if joins := m.Counter("taint.joins"); joins != 3 {
+		t.Errorf("taint.joins = %d, want 3", joins)
+	}
+	// Only t1 ⊔ t2 newly saturated; ⊤ ⊔ t1 was already at top.
+	if sat := m.Counter("taint.top_saturations"); sat != 1 {
+		t.Errorf("taint.top_saturations = %d, want 1", sat)
+	}
+}
+
+func TestUninstrumentedPolicyIsNop(t *testing.T) {
+	var alloc Allocator
+	p := NewPolicy(&alloc)
+	t1 := p.GetSecret()
+	// Must not panic and must preserve semantics.
+	if out := p.Binop(t1, t1); !out.Equal(t1) {
+		t.Errorf("Binop(t1,t1) = %s", out)
+	}
+}
+
+func TestFromTagsObserved(t *testing.T) {
+	m := obs.NewMetrics()
+	if l := FromTagsObserved(m, nil); !l.IsBottom() {
+		t.Errorf("no tags = %s", l)
+	}
+	if l := FromTagsObserved(m, []Tag{1}); !l.IsSingle() {
+		t.Errorf("one tag = %s", l)
+	}
+	if l := FromTagsObserved(m, []Tag{1, 2, 3}); !l.IsTop() {
+		t.Errorf("three tags = %s", l)
+	}
+	if joins := m.Counter("taint.joins"); joins != 2 {
+		t.Errorf("taint.joins = %d, want 2", joins)
+	}
+	if sat := m.Counter("taint.top_saturations"); sat != 1 {
+		t.Errorf("taint.top_saturations = %d, want 1", sat)
+	}
+}

@@ -1,0 +1,98 @@
+package privacyscope
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/mlsuite"
+)
+
+// TestWithObserverOnRecommender runs the §VI-D-1 case study with a Metrics
+// observer attached through the public facade and checks that every
+// pipeline layer reported in.
+func TestWithObserverOnRecommender(t *testing.T) {
+	m := NewMetrics()
+	rep, err := AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Secure() {
+		t.Fatal("Recommender must have violations")
+	}
+	for _, counter := range []string{
+		"symexec.paths.completed", // engine
+		"symexec.steps",
+		"symexec.states",
+		"solver.queries",       // solver
+		"taint.joins",          // lattice
+		"core.witness.replays", // checker
+		"parse.functions",      // facade
+	} {
+		if m.Counter(counter) == 0 {
+			t.Errorf("counter %q is zero after a full analysis", counter)
+		}
+	}
+	snap := m.Snapshot()
+	for _, span := range []string{"parse", "check", "check/symexec", "check/explicit"} {
+		if s, ok := snap.Spans[span]; !ok || s.Count == 0 {
+			t.Errorf("span %q missing or empty", span)
+		}
+	}
+	if snap.Counters["core.findings.explicit"] == 0 {
+		t.Error("no explicit findings counted despite an insecure module")
+	}
+}
+
+// TestObserverUnderParallelism asserts the shared Metrics observer survives
+// concurrent per-ECALL analyses (run under -race in tier 1.5).
+func TestObserverUnderParallelism(t *testing.T) {
+	m := NewMetrics()
+	seq, err := AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL, WithObserver(NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL,
+		WithObserver(m), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.TotalFindings() != par.TotalFindings() {
+		t.Errorf("findings differ: sequential %d, parallel %d",
+			seq.TotalFindings(), par.TotalFindings())
+	}
+	if m.Counter("symexec.paths.completed") == 0 {
+		t.Error("no paths counted under parallel analysis")
+	}
+}
+
+// TestEventStreamThroughFacade checks WithEventWriter delivers parseable
+// JSON event lines via the public API.
+func TestEventStreamThroughFacade(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewMetrics(WithEventWriter(&buf))
+	if _, err := AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL, WithObserver(m)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no events emitted")
+	}
+	var sawCheckDone bool
+	for _, line := range lines {
+		var ev struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Name == "check.done" {
+			sawCheckDone = true
+		}
+	}
+	if !sawCheckDone {
+		t.Error("no check.done event in the stream")
+	}
+}

@@ -20,12 +20,14 @@ package privacyscope
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
 	"privacyscope/internal/core"
 	"privacyscope/internal/edl"
 	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
 	"privacyscope/internal/priml"
 	"privacyscope/internal/symexec"
 )
@@ -42,6 +44,32 @@ type (
 	// ParamSpec classifies one entry parameter.
 	ParamSpec = symexec.ParamSpec
 )
+
+// Telemetry types, re-exported from internal/obs so callers can receive
+// spans, counters and events without importing internal packages. See
+// docs/OBSERVABILITY.md for the metric-name registry.
+type (
+	// Observer receives analysis telemetry; pass one via WithObserver.
+	Observer = obs.Observer
+	// Span is one timed phase of the analysis.
+	Span = obs.Span
+	// Field is a key/value attachment on an event.
+	Field = obs.Field
+	// Metrics is the standard in-memory Observer implementation.
+	Metrics = obs.Metrics
+	// MetricsOption configures NewMetrics.
+	MetricsOption = obs.MetricsOption
+	// MetricsSnapshot is a point-in-time JSON-marshalable metrics view.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetrics returns a concurrency-safe in-memory Observer that aggregates
+// counters, span timings and distributions.
+func NewMetrics(opts ...MetricsOption) *Metrics { return obs.NewMetrics(opts...) }
+
+// WithEventWriter makes a Metrics observer stream structured JSON event
+// lines to w as the analysis runs.
+func WithEventWriter(w io.Writer) MetricsOption { return obs.WithEventWriter(w) }
 
 // Leak kinds and sink kinds, re-exported.
 const (
@@ -146,6 +174,15 @@ func WithConservativeExterns() Option {
 	return func(c *config) { c.checker.Engine.ConservativeExterns = true }
 }
 
+// WithObserver attaches a telemetry observer to the analysis: per-phase
+// spans (parse, check/symexec, check/explicit, check/implicit,
+// check/witness), engine and solver counters, and structured events. Use
+// NewMetrics for the standard implementation; the observer must be safe for
+// concurrent use when combined with WithParallelism (Metrics is).
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.checker.Observer = o }
+}
+
 // WithParallelism analyzes up to n ECALLs concurrently (each entry point
 // gets an independent engine, so this is safe); n ≤ 1 keeps sequential
 // analysis.
@@ -211,19 +248,26 @@ func AnalyzeEnclave(cSource, edlSource string, opts ...Option) (*EnclaveReport, 
 	for _, o := range opts {
 		o(cfg)
 	}
+	ob := obs.Or(cfg.checker.Observer)
+	parseSpan := ob.StartSpan("parse")
 	file, err := minic.Parse(cSource)
 	if err != nil {
+		parseSpan.End()
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
 	iface, err := edl.Parse(edlSource)
 	if err != nil {
+		parseSpan.End()
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
 	// Enclave code may call any EDL-declared untrusted function.
 	builtins := append(append([]string(nil), minic.DefaultBuiltins...), iface.OCallNames()...)
 	if err := minic.NewChecker(builtins).Check(file); err != nil {
+		parseSpan.End()
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
+	parseSpan.End()
+	ob.Add("parse.functions", int64(len(file.Functions)))
 	var rules *edl.Config
 	if len(cfg.configXML) > 0 {
 		rules, err = edl.ParseConfig(cfg.configXML)
@@ -314,7 +358,10 @@ func AnalyzeFunction(cSource, fn string, params []ParamSpec, opts ...Option) (*R
 	for _, o := range opts {
 		o(cfg)
 	}
+	ob := obs.Or(cfg.checker.Observer)
+	parseSpan := ob.StartSpan("parse")
 	file, err := minic.Parse(cSource)
+	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
