@@ -5,11 +5,20 @@ test:
 	go test ./...
 
 # Tier 1.5: vet + race detector (exercises the concurrent telemetry paths
-# and WithParallelism).
+# and WithParallelism), plus a short fuzz pass over the parser and the
+# fail-soft engine invariant.
 .PHONY: check
-check:
+check: fuzz-smoke
 	go vet ./...
 	go test -race ./...
+
+# Short native-fuzzer runs: the parser must never crash on arbitrary bytes,
+# and budget exhaustion must always degrade coverage instead of erroring
+# (docs/ROBUSTNESS.md). The go tool runs one target per invocation.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	go test ./internal/minic -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
+	go test ./internal/symexec -run '^$$' -fuzz '^FuzzFailSoft$$' -fuzztime 10s
 
 # Regenerate the paper's evaluation report.
 .PHONY: bench-report

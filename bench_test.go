@@ -10,6 +10,7 @@ package privacyscope
 // which analysis catches what) live in the unit tests.
 
 import (
+	"context"
 	"testing"
 
 	"privacyscope/internal/baseline"
@@ -85,7 +86,7 @@ func BenchmarkTableIVListing1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := symexec.DefaultOptions()
 		opts.TrackTrace = true
-		if _, err := symexec.New(file, opts).AnalyzeFunction("enclave_process_data", params); err != nil {
+		if _, err := symexec.New(file, opts).AnalyzeFunction(context.Background(), "enclave_process_data", params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkBox1Report(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		report, err := core.New(core.DefaultOptions()).CheckFunction(file, "enclave_process_data", params)
+		report, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "enclave_process_data", params)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +166,7 @@ int f(int *secrets, int *output) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, f := range files {
-				if _, err := core.New(core.DefaultOptions()).CheckFunction(f, "f", params); err != nil {
+				if _, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), f, "f", params); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -242,7 +243,7 @@ func BenchmarkAblationPathSensitivity(b *testing.B) {
 	b.Run("symbolic", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.New(core.DefaultOptions()).CheckFunction(file, "recommender_train", params); err != nil {
+			if _, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "recommender_train", params); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -278,7 +279,7 @@ int f(int *secrets, int n, int *output) {
 			opts.Engine.LoopBound = bound
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.New(opts).CheckFunction(file, "f", params); err != nil {
+				if _, err := core.New(opts).CheckFunction(context.Background(), file, "f", params); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -315,7 +316,7 @@ int f(int *secrets, int *output) {
 			opts.Engine.PruneInfeasible = on
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.New(opts).CheckFunction(file, "f", params); err != nil {
+				if _, err := core.New(opts).CheckFunction(context.Background(), file, "f", params); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -341,7 +342,7 @@ func BenchmarkAblationImplicitCheck(b *testing.B) {
 			opts.ImplicitCheck = on
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.New(opts).CheckFunction(file, "enclave_process_data", params); err != nil {
+				if _, err := core.New(opts).CheckFunction(context.Background(), file, "enclave_process_data", params); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -378,7 +379,7 @@ func BenchmarkScalability(b *testing.B) {
 		b.Run("branches-"+itoa(branches), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.New(opts).CheckFunction(file, "f", params); err != nil {
+				if _, err := core.New(opts).CheckFunction(context.Background(), file, "f", params); err != nil {
 					b.Fatal(err)
 				}
 			}

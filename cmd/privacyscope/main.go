@@ -5,15 +5,20 @@
 // Usage:
 //
 //	privacyscope -c enclave.c -edl enclave.edl [-config rules.xml]
-//	             [-fn name] [-loop-bound n] [-no-witness] [-json]
-//	             [-metrics-json metrics.json] [-verbose]
+//	             [-fn name] [-loop-bound n] [-timeout d] [-no-witness]
+//	             [-json] [-metrics-json metrics.json] [-verbose]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
-// Exit status is 0 when the module is secure, 2 when violations were
-// found, and 1 on usage or analysis errors.
+// Exit status encodes the module verdict: 0 when the module is proved
+// secure with full coverage, 2 when violations were found, 3 when the
+// analysis was inconclusive (a timeout or budget cut left paths unexplored
+// without finding a leak — see docs/ROBUSTNESS.md), and 1 on usage errors,
+// module-level analysis errors, or a failed (panicked/errored) entry point
+// that found nothing.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,11 +50,24 @@ type jsonFinding struct {
 	Verified bool   `json:"witnessVerified"`
 }
 
+// jsonFunction is the per-entry-point slice of the envelope: verdict,
+// coverage, and the failure cause when the function's analysis died.
+type jsonFunction struct {
+	Function string                `json:"function"`
+	Verdict  string                `json:"verdict"`
+	Error    string                `json:"error,omitempty"`
+	Coverage privacyscope.Coverage `json:"coverage"`
+}
+
 // jsonReport is the -json envelope: the findings plus run-level facts and,
-// when telemetry is on, the full metrics snapshot.
+// when telemetry is on, the full metrics snapshot. Secure means *proved*
+// secure: a degraded (truncated/errored) run is not secure even with zero
+// findings — check verdict and the per-function coverage.
 type jsonReport struct {
 	Findings   []jsonFinding                 `json:"findings"`
 	Secure     bool                          `json:"secure"`
+	Verdict    string                        `json:"verdict"`
+	Functions  []jsonFunction                `json:"functions"`
 	DurationMs float64                       `json:"durationMs"`
 	Paths      int                           `json:"paths"`
 	States     int                           `json:"states"`
@@ -64,6 +82,7 @@ func run(args []string, out io.Writer) (int, error) {
 		configPath = fs.String("config", "", "XML rule file (optional)")
 		fnName     = fs.String("fn", "", "analyze only this ECALL")
 		loopBound  = fs.Int("loop-bound", 0, "symbolic loop unrolling bound (0 = default)")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole module, e.g. 30s (0 = none); expiry degrades coverage instead of failing")
 		noWitness  = fs.Bool("no-witness", false, "skip concrete witness replay")
 		noImplicit = fs.Bool("no-implicit", false, "disable implicit-leak detection")
 		timing     = fs.Bool("timing", false, "enable the timing-channel extension (§VIII-A)")
@@ -140,8 +159,14 @@ func run(args []string, out io.Writer) (int, error) {
 		defer pprof.StopCPUProfile()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	rep, err := privacyscope.AnalyzeEnclave(string(cSrc), string(edlSrc), opts...)
+	rep, err := privacyscope.AnalyzeEnclaveContext(ctx, string(cSrc), string(edlSrc), opts...)
 	elapsed := time.Since(start)
 	if err != nil {
 		return 1, err
@@ -191,9 +216,16 @@ func run(args []string, out io.Writer) (int, error) {
 		env := jsonReport{
 			Findings:   []jsonFinding{},
 			Secure:     rep.Secure(),
+			Verdict:    rep.Verdict().String(),
 			DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
 		}
 		for _, r := range rep.Reports {
+			env.Functions = append(env.Functions, jsonFunction{
+				Function: r.Function,
+				Verdict:  r.Verdict().String(),
+				Error:    r.Err,
+				Coverage: r.Coverage,
+			})
 			env.Paths += r.Paths
 			env.States += r.States
 			for _, f := range r.Findings {
@@ -223,8 +255,14 @@ func run(args []string, out io.Writer) (int, error) {
 	} else {
 		fmt.Fprint(out, rep.Render())
 	}
-	if rep.Secure() {
+	switch rep.Verdict() {
+	case privacyscope.VerdictSecure:
 		return 0, nil
+	case privacyscope.VerdictFindings:
+		return 2, nil
+	case privacyscope.VerdictError:
+		return 1, nil
+	default: // VerdictInconclusive
+		return 3, nil
 	}
-	return 2, nil
 }

@@ -357,6 +357,110 @@ func TestRunVerboseStreamsEvents(t *testing.T) {
 	}
 }
 
+// branchySecureC has 16 paths with identical observables: secure under full
+// exploration, inconclusive under a tight budget or timeout.
+const branchySecureC = `
+int branchy(char *secrets, char *output) {
+    int acc = 0;
+    if (secrets[0] > 0) acc = acc + 1; else acc = acc - 1;
+    if (secrets[1] > 0) acc = acc + 1; else acc = acc - 1;
+    if (secrets[2] > 0) acc = acc + 1; else acc = acc - 1;
+    if (secrets[3] > 0) acc = acc + 1; else acc = acc - 1;
+    output[0] = 5;
+    return 0;
+}
+`
+
+const branchySecureEDL = `
+enclave {
+    trusted {
+        public int branchy([in] char *secrets, [out] char *output);
+    };
+};
+`
+
+// TestRunInconclusiveExitCode: a truncated clean run exits 3, not 0, and
+// the JSON envelope carries the verdict and per-function coverage.
+func TestRunInconclusiveExitCode(t *testing.T) {
+	cPath := writeTemp(t, "e.c", branchySecureC)
+	edlPath := writeTemp(t, "e.edl", branchySecureEDL)
+
+	// Full exploration: secure, exit 0, and the envelope says so.
+	var out bytes.Buffer
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Verdict != "secure" || !env.Secure {
+		t.Errorf("verdict=%q secure=%v, want secure/true", env.Verdict, env.Secure)
+	}
+	if len(env.Functions) != 1 || env.Functions[0].Coverage.Truncated {
+		t.Errorf("functions = %+v, want one fully-covered entry", env.Functions)
+	}
+
+	// Immediate timeout: degraded, exit 3, never 0.
+	out.Reset()
+	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns", "-json"}, &out)
+	if err != nil {
+		t.Fatalf("timeout must degrade, not fail: %v", err)
+	}
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3 (inconclusive)", code)
+	}
+	env = jsonReport{}
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Verdict != "inconclusive" || env.Secure {
+		t.Errorf("verdict=%q secure=%v, want inconclusive/false", env.Verdict, env.Secure)
+	}
+	f := env.Functions[0]
+	if f.Verdict != "inconclusive" || !f.Coverage.Truncated || f.Coverage.Reason == "" {
+		t.Errorf("function entry = %+v, want truncated coverage with a reason", f)
+	}
+
+	// Human-readable mode surfaces the partial coverage too.
+	out.Reset()
+	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns"}, &out)
+	if err != nil || code != 3 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "INCONCLUSIVE") || !strings.Contains(text, "coverage: PARTIAL") {
+		t.Errorf("text report must flag partial coverage:\n%s", text)
+	}
+	if strings.Contains(text, "no nonreversibility violations detected") {
+		t.Errorf("truncated run must not claim a clean bill of health:\n%s", text)
+	}
+}
+
+// TestRunTimeoutKeepsFindings: findings collected before the cut still
+// dominate — exit 2, not 3.
+func TestRunTimeoutKeepsFindings(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	var out bytes.Buffer
+	// A generous timeout that won't fire: behavior identical to no flag.
+	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1m", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	var env jsonReport
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Verdict != "findings" {
+		t.Errorf("verdict = %q, want findings", env.Verdict)
+	}
+}
+
 // TestRunProfiles checks -cpuprofile/-memprofile produce non-empty files.
 func TestRunProfiles(t *testing.T) {
 	cPath := writeTemp(t, "e.c", testC)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"privacyscope/internal/core"
@@ -83,7 +84,7 @@ func TestNoninterferenceRejectsMaskedML(t *testing.T) {
 	if ni.Secure() {
 		t.Error("noninterference must reject the masked aggregate")
 	}
-	ps, err := core.New(core.DefaultOptions()).CheckFunction(file, "f", secretOutParams())
+	ps, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "f", secretOutParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestDFAMissesImplicit(t *testing.T) {
 		t.Errorf("DFA unexpectedly caught the implicit leak: %+v", r.Violations)
 	}
 	// PrivacyScope catches it.
-	ps, err := core.New(core.DefaultOptions()).CheckFunction(file, "f", secretOutParams())
+	ps, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "f", secretOutParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestTableVIDetectionMatrix(t *testing.T) {
 			file := minic.MustParse(suite[caseName])
 			switch name {
 			case "privacyscope":
-				r, err := core.New(core.DefaultOptions()).CheckFunction(file, "f", secretOutParams())
+				r, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "f", secretOutParams())
 				if err != nil {
 					t.Fatal(err)
 				}

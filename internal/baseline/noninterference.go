@@ -16,6 +16,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"privacyscope/internal/minic"
@@ -55,7 +56,7 @@ func NewNoninterference(opts symexec.Options) *NoninterferenceChecker {
 // Check analyzes one entry point under the classical policy.
 func (c *NoninterferenceChecker) Check(file *minic.File, fn string, params []symexec.ParamSpec) (*NIReport, error) {
 	engine := symexec.New(file, c.opts)
-	res, err := engine.AnalyzeFunction(fn, params)
+	res, err := engine.AnalyzeFunction(context.Background(), fn, params)
 	if err != nil {
 		return nil, fmt.Errorf("noninterference %s: %w", fn, err)
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -151,7 +152,7 @@ func TableIV() (string, error) {
 	opts := symexec.DefaultOptions()
 	opts.TrackTrace = true
 	engine := symexec.New(file, opts)
-	res, err := engine.AnalyzeFunction("enclave_process_data", []symexec.ParamSpec{
+	res, err := engine.AnalyzeFunction(context.Background(), "enclave_process_data", []symexec.ParamSpec{
 		{Name: "secrets", Class: symexec.ParamSecret},
 		{Name: "output", Class: symexec.ParamOut},
 	})
@@ -171,7 +172,7 @@ func Box1() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	report, err := core.New(core.DefaultOptions()).CheckFunction(file, "enclave_process_data",
+	report, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "enclave_process_data",
 		[]symexec.ParamSpec{
 			{Name: "secrets", Class: symexec.ParamSecret},
 			{Name: "output", Class: symexec.ParamOut},
@@ -227,7 +228,7 @@ func TableV() ([]TableVRow, error) {
 			if !ok {
 				return nil, fmt.Errorf("%s: no ECALL %s", m.Name, ecall)
 			}
-			report, err := core.New(opts).CheckFunction(file, ecall, edl.ParamSpecs(sig, nil))
+			report, err := core.New(opts).CheckFunction(context.Background(), file, ecall, edl.ParamSpecs(sig, nil))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", m.Name, ecall, err)
 			}
@@ -307,7 +308,7 @@ func TableVI() ([]TableVICell, error) {
 		if err != nil {
 			return nil, err
 		}
-		ps, err := core.New(core.DefaultOptions()).CheckFunction(file, "f", tableVIParams())
+		ps, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, "f", tableVIParams())
 		if err != nil {
 			return nil, err
 		}
@@ -381,7 +382,7 @@ func CaseStudies() (string, error) {
 	}
 	for _, ecall := range mlsuite.RecommenderECalls {
 		sig, _ := recIface.ECall(ecall)
-		report, err := core.New(core.DefaultOptions()).CheckFunction(recFile, ecall, edl.ParamSpecs(sig, nil))
+		report, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), recFile, ecall, edl.ParamSpecs(sig, nil))
 		if err != nil {
 			return "", err
 		}
@@ -402,7 +403,7 @@ func CaseStudies() (string, error) {
 		return "", err
 	}
 	sig, _ := evilIface.ECall("enclave_train_kmeans")
-	report, err := core.New(core.DefaultOptions()).CheckFunction(evilFile, "enclave_train_kmeans", edl.ParamSpecs(sig, nil))
+	report, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), evilFile, "enclave_train_kmeans", edl.ParamSpecs(sig, nil))
 	if err != nil {
 		return "", err
 	}
@@ -432,7 +433,7 @@ func Ablations() ([]AblationRow, error) {
 			return err
 		}
 		start := time.Now()
-		report, err := core.New(opts).CheckFunction(file, fn, params)
+		report, err := core.New(opts).CheckFunction(context.Background(), file, fn, params)
 		if err != nil {
 			return err
 		}
@@ -556,5 +557,11 @@ func RunAll() (string, error) {
 	}
 	sb.WriteString(RenderScalability(append(sc, deep)))
 	sb.WriteString(fmt.Sprintf("(last row: Kmeans with ITERS=2 — %d paths through the full checker)\n", deep.Paths))
+	sb.WriteByte('\n')
+	fsRows, err := Failsoft()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderFailsoft(fsRows))
 	return sb.String(), nil
 }

@@ -196,6 +196,7 @@ func TestRunAll(t *testing.T) {
 	for _, want := range []string{
 		"Fig. 1", "Fig. 2", "Table II", "Table III", "Table IV",
 		"Table V", "Table VI", "Case study 1", "Case study 2", "Ablations",
+		"Fail-soft",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RunAll missing %q", want)
@@ -245,5 +246,39 @@ func TestDeepKmeansScales(t *testing.T) {
 	}
 	if row.Seconds > 30 {
 		t.Errorf("deep kmeans took %.2fs", row.Seconds)
+	}
+}
+
+func TestFailsoftTable(t *testing.T) {
+	rows, err := Failsoft()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 degraded rows, got %d", len(rows))
+	}
+	wantReason := map[string]string{
+		"path-budget": "path-budget",
+		"step-budget": "step-budget",
+		"deadline":    "deadline",
+	}
+	for _, r := range rows {
+		if r.Verdict != "inconclusive" {
+			t.Errorf("%s: verdict = %q, want inconclusive", r.Mode, r.Verdict)
+		}
+		if r.Reason != wantReason[r.Mode] {
+			t.Errorf("%s: reason = %q, want %q", r.Mode, r.Reason, wantReason[r.Mode])
+		}
+		if r.Degraded != 1 {
+			t.Errorf("%s: check.degraded = %d, want 1", r.Mode, r.Degraded)
+		}
+	}
+	// The path-budget cut keeps exactly its budget's worth of paths.
+	if rows[0].Completed != 32 {
+		t.Errorf("path-budget: completed = %d, want 32", rows[0].Completed)
+	}
+	out := RenderFailsoft(rows)
+	if !strings.Contains(out, "Fail-soft") || !strings.Contains(out, "inconclusive") {
+		t.Errorf("render:\n%s", out)
 	}
 }

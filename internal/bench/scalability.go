@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -72,7 +73,7 @@ func Scalability() ([]ScalabilityRow, error) {
 		opts.Engine.MaxPaths = 1 << 12
 		opts.Observer = metrics
 		start := time.Now()
-		report, err := core.New(opts).CheckFunction(file, "f", params)
+		report, err := core.New(opts).CheckFunction(context.Background(), file, "f", params)
 		if err != nil {
 			return ScalabilityRow{}, err
 		}
@@ -136,7 +137,7 @@ func DeepKmeans() (ScalabilityRow, error) {
 	opts.Engine.MaxPaths = 1 << 12
 	opts.Observer = metrics
 	start := time.Now()
-	report, err := core.New(opts).CheckFunction(file, "enclave_train_kmeans", []symexec.ParamSpec{
+	report, err := core.New(opts).CheckFunction(context.Background(), file, "enclave_train_kmeans", []symexec.ParamSpec{
 		{Name: "points", Class: symexec.ParamSecret},
 		{Name: "centroids", Class: symexec.ParamOut},
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,6 +38,11 @@ type Options struct {
 	// — the paper's threat model covers deterministic leakage only, and
 	// entropy genuinely blocks deterministic recovery.
 	ProbabilisticCheck bool
+	// Deadline bounds each CheckFunction call's wall-clock time. When it
+	// expires mid-exploration the checker returns the paths completed so
+	// far with an Inconclusive verdict instead of an error. Zero means no
+	// per-function deadline (the caller's context still applies).
+	Deadline time.Duration
 	// Observer receives checker telemetry: per-phase spans
 	// (check/symexec, check/explicit, check/implicit, check/witness),
 	// findings-by-kind counters, and — threaded into Engine and the
@@ -72,14 +78,29 @@ func New(opts Options) *Checker {
 
 // CheckFunction analyzes one entry point of the file under the given
 // parameter classification and returns the leak report.
-func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.ParamSpec) (*Report, error) {
+//
+// The analysis is fail-soft: budget exhaustion, a Deadline expiry or a ctx
+// cancellation degrade the report (partial Coverage, Inconclusive verdict
+// when nothing was found on the explored paths) instead of returning an
+// error. Errors are reserved for genuine failures such as an unknown entry
+// point.
+func (c *Checker) CheckFunction(ctx context.Context, file *minic.File, fn string, params []symexec.ParamSpec) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Deadline)
+		defer cancel()
+	}
 	start := time.Now()
+	c.obs.Event("check.start", obs.F("function", fn))
 	span := c.obs.StartSpan("check")
 	defer span.End()
 
 	sx := span.Child("symexec")
 	engine := symexec.New(file, c.opts.Engine)
-	res, err := engine.AnalyzeFunction(fn, params)
+	res, err := engine.AnalyzeFunction(ctx, fn, params)
 	sx.End()
 	if err != nil {
 		return nil, fmt.Errorf("check %s: %w", fn, err)
@@ -90,7 +111,15 @@ func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.Pa
 		States:   res.States,
 		Regions:  res.Regions,
 		Secrets:  len(res.SecretSymbols),
+		Coverage: res.Coverage,
 		Warnings: res.Warnings,
+	}
+	if res.Coverage.Truncated {
+		c.obs.Add("check.degraded", 1)
+		switch res.Coverage.Reason {
+		case symexec.TruncCancelled, symexec.TruncDeadline:
+			c.obs.Add("check.cancelled", 1)
+		}
 	}
 	run := &checkRun{checker: c, file: file, res: res, report: report, known: c.knownIDs(res)}
 
@@ -114,7 +143,8 @@ func (c *Checker) CheckFunction(file *minic.File, fn string, params []symexec.Pa
 	}
 	c.obs.Event("check.done",
 		obs.F("function", fn),
-		obs.F("findings", fmt.Sprint(len(report.Findings))))
+		obs.F("findings", fmt.Sprint(len(report.Findings))),
+		obs.F("verdict", report.Verdict().String()))
 	return report, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func check(t *testing.T, src, fn string, params []symexec.ParamSpec, opts Option
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := New(opts).CheckFunction(file, fn, params)
+	report, err := New(opts).CheckFunction(context.Background(), file, fn, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ int f(float *secrets, float *output) {
 
 func TestCheckErrors(t *testing.T) {
 	file := minic.MustParse("int f(void) { return 0; }")
-	if _, err := New(DefaultOptions()).CheckFunction(file, "missing", nil); err == nil {
+	if _, err := New(DefaultOptions()).CheckFunction(context.Background(), file, "missing", nil); err == nil {
 		t.Error("expected error for missing function")
 	}
 }
@@ -522,7 +523,7 @@ int f(int *secrets, int *output) {
 		}
 		opts := DefaultOptions()
 		opts.ReplayWitness = false
-		report, err := New(opts).CheckFunction(file, "f", listing1Params())
+		report, err := New(opts).CheckFunction(context.Background(), file, "f", listing1Params())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -644,7 +645,7 @@ func TestCheckerCompletesOnLargePathCount(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Engine.MaxPaths = 2048
 	start := time.Now()
-	report, err := New(opts).CheckFunction(file, "f", listing1Params())
+	report, err := New(opts).CheckFunction(context.Background(), file, "f", listing1Params())
 	if err != nil {
 		t.Fatal(err)
 	}

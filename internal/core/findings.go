@@ -26,6 +26,7 @@ import (
 	"privacyscope/internal/minic"
 	"privacyscope/internal/solver"
 	"privacyscope/internal/sym"
+	"privacyscope/internal/symexec"
 	"privacyscope/internal/taint"
 )
 
@@ -136,6 +137,42 @@ type Witness struct {
 	Note string
 }
 
+// Verdict is the four-valued outcome of checking one entry point. The
+// crucial distinction is Inconclusive vs Secure: a truncated exploration
+// that found nothing must never be reported as "no leaks found".
+type Verdict int
+
+// Verdicts, ordered by severity for aggregation.
+const (
+	// VerdictSecure: the exploration was exhaustive and found no
+	// violation.
+	VerdictSecure Verdict = iota + 1
+	// VerdictInconclusive: no violation found, but coverage was partial
+	// (budget, deadline or cancellation cut the exploration).
+	VerdictInconclusive
+	// VerdictError: the analysis itself failed (panic, unknown entry
+	// point, semantic error); Report.Err carries the description.
+	VerdictError
+	// VerdictFindings: at least one violation was detected. Findings on
+	// the explored paths are real regardless of truncation.
+	VerdictFindings
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSecure:
+		return "secure"
+	case VerdictInconclusive:
+		return "inconclusive"
+	case VerdictError:
+		return "error"
+	case VerdictFindings:
+		return "findings"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
 // Report is the outcome of checking one enclave entry point.
 type Report struct {
 	Function string
@@ -146,13 +183,46 @@ type Report struct {
 	Regions int
 	// Secrets is the number of distinct secret sources observed.
 	Secrets int
+	// Coverage records how much of the path space was explored; when
+	// Coverage.Truncated the verdict downgrades to Inconclusive unless
+	// findings were detected anyway.
+	Coverage symexec.Coverage
+	// Err is the analysis failure description for error entries produced
+	// by the fail-soft facade (a panicking or failing entry point keeps
+	// its slot in the enclave report instead of aborting the module).
+	Err string
 	// Duration is the wall-clock analysis time (Table V's metric).
 	Duration time.Duration
 	Warnings []string
 }
 
-// Secure reports whether no violation was found.
-func (r *Report) Secure() bool { return len(r.Findings) == 0 }
+// ErrorReport builds the per-function placeholder for an entry point whose
+// analysis failed outright (panic or hard error). It keeps the function's
+// slot in the enclave report so sibling entry points still get analyzed.
+func ErrorReport(fn, errMsg string) *Report {
+	return &Report{Function: fn, Err: errMsg}
+}
+
+// Verdict classifies the report: findings beat everything (a leak found on
+// a truncated run is still a leak), then error, then inconclusive, then
+// secure.
+func (r *Report) Verdict() Verdict {
+	switch {
+	case len(r.Findings) > 0:
+		return VerdictFindings
+	case r.Err != "":
+		return VerdictError
+	case r.Coverage.Truncated:
+		return VerdictInconclusive
+	default:
+		return VerdictSecure
+	}
+}
+
+// Secure reports whether the entry point was *proved* free of violations:
+// no findings, no analysis failure, and exhaustive coverage. A truncated
+// or failed run is never secure.
+func (r *Report) Secure() bool { return r.Verdict() == VerdictSecure }
 
 // Explicit returns the explicit findings.
 func (r *Report) Explicit() []Finding { return r.filter(ExplicitLeak) }
@@ -174,10 +244,23 @@ func (r *Report) filter(k LeakKind) []Finding {
 func (r *Report) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== PrivacyScope report: %s ===\n", r.Function)
+	if r.Err != "" {
+		fmt.Fprintf(&sb, "ANALYSIS ERROR: %s\n", r.Err)
+		fmt.Fprintf(&sb, "verdict: %s — this entry point was not analyzed; sibling entry points were\n", r.Verdict())
+		return sb.String()
+	}
 	fmt.Fprintf(&sb, "paths explored: %d, states: %d, regions: %d, secrets: %d, time: %s\n",
 		r.Paths, r.States, r.Regions, r.Secrets, r.Duration.Round(time.Microsecond))
-	if r.Secure() {
+	if r.Coverage.Truncated {
+		fmt.Fprintf(&sb, "coverage: PARTIAL — exploration truncated (%s) after %d completed paths, %d steps\n",
+			r.Coverage.Reason, r.Coverage.CompletedPaths, r.Coverage.StepsUsed)
+	}
+	switch r.Verdict() {
+	case VerdictSecure:
 		sb.WriteString("no nonreversibility violations detected\n")
+	case VerdictInconclusive:
+		sb.WriteString("verdict: INCONCLUSIVE — no violations on the explored paths, but coverage\n")
+		sb.WriteString("is partial; unexplored paths may still leak\n")
 	}
 	for i, f := range r.Findings {
 		fmt.Fprintf(&sb, "\nWARNING %d: %s information leakage via %s\n", i+1, f.Kind, f.Sink)

@@ -1,0 +1,43 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the parser and, when they parse, at
+// the semantic checker: neither may panic or hang, whatever the input. The
+// seed corpus covers the syntax the analyzer's frontend accepts. Run via
+// `make fuzz-smoke`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"int f(void) { return 0; }",
+		"int f(int *secrets, int *output) { output[0] = secrets[0] + 1; return 0; }",
+		`int f(int *s, int *o) {
+    int acc = 0;
+    if (s[0] > 3) { acc += 2; } else { acc -= 2; }
+    while (acc < 10) { acc++; }
+    for (int i = 0; i < 4; i++) { o[i] = acc * i; }
+    return acc > 0 ? acc : -acc;
+}`,
+		"#define N 4\nint f(int *o) { o[0] = N; return N; }",
+		"char g(char *p) { return p[1]; }\nint f(char *p) { return g(p); }",
+		"int f(", // unbalanced: must error, not crash
+		"int f(void) { int x = 077; return x ^ 0x1f; }",
+		strings.Repeat("((((", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is correct; crashing is not
+		}
+		if file == nil {
+			t.Fatal("nil file with nil error")
+		}
+		// Accepted programs must also survive semantic checking.
+		_ = NewChecker(DefaultBuiltins).Check(file)
+	})
+}

@@ -1,6 +1,7 @@
 package mlsuite
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,7 +79,7 @@ func analyzeModule(t *testing.T, cSrc, edlSrc, ecall string) *core.Report {
 	if !ok {
 		t.Fatalf("no ECALL %s", ecall)
 	}
-	report, err := core.New(core.DefaultOptions()).CheckFunction(file, ecall, edl.ParamSpecs(sig, nil))
+	report, err := core.New(core.DefaultOptions()).CheckFunction(context.Background(), file, ecall, edl.ParamSpecs(sig, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

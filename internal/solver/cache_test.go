@@ -75,6 +75,45 @@ func TestZeroValueSolverStillWorks(t *testing.T) {
 	}
 }
 
+// TestFeasibleCacheEviction pins the bounded-cache contract: at the cap,
+// inserts evict rather than stop recording, the counter reports every
+// eviction, and the map never exceeds the cap.
+func TestFeasibleCacheEviction(t *testing.T) {
+	old := feasCacheCap
+	feasCacheCap = 4
+	defer func() { feasCacheCap = old }()
+
+	b := newBuilder()
+	s1 := b.FreshSecret("s1")
+	m := obs.NewMetrics()
+	sv := NewObserved(m)
+
+	const inserts = 10
+	for i := 0; i < inserts; i++ {
+		pc := True().And(cmp(sym.OpGt, s1, sym.IntConst{V: int32(i)}))
+		if !sv.Feasible(pc) {
+			t.Fatalf("s1 > %d must be feasible", i)
+		}
+	}
+	sv.mu.Lock()
+	size := len(sv.feas)
+	sv.mu.Unlock()
+	if size > feasCacheCap {
+		t.Errorf("cache size %d exceeds cap %d", size, feasCacheCap)
+	}
+	if ev := m.Counter("solver.cache.evicted"); ev != inserts-int64(feasCacheCap) {
+		t.Errorf("evicted = %d, want %d", ev, inserts-feasCacheCap)
+	}
+	// New conditions are still recorded after the cap was reached: a repeat
+	// of the most recent insert must hit.
+	pc := True().And(cmp(sym.OpGt, s1, sym.IntConst{V: inserts - 1}))
+	hitsBefore := m.Counter("solver.cache.hits")
+	sv.Feasible(pc)
+	if m.Counter("solver.cache.hits") != hitsBefore+1 {
+		t.Error("most recent insert must still be cached after evictions")
+	}
+}
+
 func TestCheckCountsVerdicts(t *testing.T) {
 	b := newBuilder()
 	s1 := b.FreshSecret("s1")

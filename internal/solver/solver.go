@@ -89,9 +89,11 @@ func (iv *interval) clampHi(v float64) bool {
 }
 
 // feasCacheCap bounds the memoization map so adversarially branchy inputs
-// cannot grow it without limit; past the cap, queries still run, they just
-// stop being recorded.
-const feasCacheCap = 1 << 16
+// cannot grow it without limit; at the cap an arbitrary entry is evicted
+// per insert (counted as solver.cache.evicted), so recent conditions — the
+// ones the engine is about to re-derive — stay warm. A var, not a const,
+// so tests can shrink it.
+var feasCacheCap = 1 << 16
 
 // Solver decides satisfiability of path conditions via affine
 // normalization plus interval propagation over the symbols. The zero value
@@ -174,9 +176,18 @@ func (s *Solver) Feasible(pc *PathCondition) bool {
 	if s.feas == nil {
 		s.feas = make(map[string]bool)
 	}
-	if len(s.feas) < feasCacheCap {
-		s.feas[key] = ok
+	if len(s.feas) >= feasCacheCap {
+		// Evict one arbitrary entry. Map iteration order varies, so over
+		// many inserts this approximates random replacement — cheap, O(1),
+		// and immune to the scan-wipeout worst case of LRU under the
+		// engine's breadth-first condition churn.
+		for k := range s.feas {
+			delete(s.feas, k)
+			s.o().Add("solver.cache.evicted", 1)
+			break
+		}
 	}
+	s.feas[key] = ok
 	s.mu.Unlock()
 	return ok
 }

@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -15,8 +16,12 @@ import (
 // Engine errors.
 var (
 	ErrNoSuchFunc = errors.New("symexec: no such function")
-	ErrPathBudget = errors.New("symexec: path budget exhausted")
 )
+
+// ctxCheckInterval is how many steps may pass between cooperative
+// context checks: a cancelled or expired context stops the exploration
+// within this many statement evaluations.
+const ctxCheckInterval = 32
 
 // Engine symbolically executes MiniC functions. Create one per analysis
 // run; it is not safe for concurrent use.
@@ -44,6 +49,13 @@ type Engine struct {
 	res      *Result
 	env      *mem.Env
 	obs      obs.Observer
+
+	// ctx is the run's cancellation context; trunc records why the
+	// exploration stopped early (TruncNone while it is still exhaustive);
+	// pruned counts infeasible branches dropped by the solver.
+	ctx    context.Context
+	trunc  TruncReason
+	pruned int
 }
 
 // New returns an engine over the file.
@@ -70,8 +82,16 @@ func New(file *minic.File, opts Options) *Engine {
 func (e *Engine) Builder() *sym.Builder { return e.builder }
 
 // AnalyzeFunction explores every path of the named entry point under the
-// given parameter classification.
-func (e *Engine) AnalyzeFunction(name string, params []ParamSpec) (*Result, error) {
+// given parameter classification. Exploration is fail-soft: when the path
+// or step budget is exhausted, or ctx is cancelled or reaches its deadline,
+// the engine stops and returns the paths completed so far with
+// Result.Coverage recording the truncation — not an error. Errors are
+// reserved for analysis failures (unknown entry point, semantic errors).
+func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []ParamSpec) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
 	fn, ok := e.file.Function(name)
 	if !ok || fn.Body == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFunc, name)
@@ -122,8 +142,25 @@ func (e *Engine) AnalyzeFunction(name string, params []ParamSpec) (*Result, erro
 		}
 		return e.completePath(end, ret, c.retPos)
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, errStopExploration) {
 		return nil, err
+	}
+	if e.trunc != TruncNone {
+		e.warn("exploration truncated: " + string(e.trunc))
+	}
+	incomplete := 0
+	for _, p := range e.res.Paths {
+		if p.Incomplete {
+			incomplete++
+		}
+	}
+	e.res.Coverage = Coverage{
+		CompletedPaths:  len(e.res.Paths),
+		IncompletePaths: incomplete,
+		PrunedPaths:     e.pruned,
+		StepsUsed:       e.steps,
+		Truncated:       e.trunc != TruncNone,
+		Reason:          e.trunc,
 	}
 	e.res.Regions = e.mgr.RegionCount()
 	if e.res.Trace != nil {
@@ -132,7 +169,8 @@ func (e *Engine) AnalyzeFunction(name string, params []ParamSpec) (*Result, erro
 	e.obs.Event("symexec.done",
 		obs.F("function", name),
 		obs.F("paths", fmt.Sprint(len(e.res.Paths))),
-		obs.F("states", fmt.Sprint(e.res.States)))
+		obs.F("states", fmt.Sprint(e.res.States)),
+		obs.F("truncated", string(e.trunc)))
 	return e.res, nil
 }
 
@@ -173,7 +211,7 @@ func (e *Engine) bindParam(st *state, fr *sframe, p *minic.VarDecl, cls ParamCla
 func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
 	if len(e.res.Paths) >= e.opts.maxPaths() {
 		e.obs.Add("symexec.truncations.max_paths", 1)
-		return fmt.Errorf("%w (%d)", ErrPathBudget, e.opts.maxPaths())
+		return e.stop(TruncPathBudget)
 	}
 	e.obs.Add("symexec.paths.completed", 1)
 	if st.incomplete {
@@ -313,7 +351,17 @@ func (e *Engine) step() error {
 	e.obs.Add("symexec.steps", 1)
 	if e.steps > e.opts.maxSteps() {
 		e.obs.Add("symexec.truncations.max_steps", 1)
-		return fmt.Errorf("symexec: step budget exhausted (%d)", e.opts.maxSteps())
+		return e.stop(TruncStepBudget)
+	}
+	if e.steps%ctxCheckInterval == 0 {
+		if err := e.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				e.obs.Add("symexec.truncations.deadline", 1)
+				return e.stop(TruncDeadline)
+			}
+			e.obs.Add("symexec.truncations.cancelled", 1)
+			return e.stop(TruncCancelled)
+		}
 	}
 	return nil
 }
@@ -471,6 +519,7 @@ func (e *Engine) feasible(pc *solver.PathCondition) bool {
 	}
 	ok := e.sv.Feasible(pc)
 	if !ok {
+		e.pruned++
 		e.obs.Add("symexec.paths.pruned", 1)
 	}
 	return ok

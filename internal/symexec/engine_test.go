@@ -1,8 +1,10 @@
 package symexec
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"privacyscope/internal/minic"
 	"privacyscope/internal/solver"
@@ -35,7 +37,7 @@ func analyzeSrc(t *testing.T, src, fn string, params []ParamSpec, opts Options) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(file, opts).AnalyzeFunction(fn, params)
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), fn, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -525,7 +527,7 @@ void f(int *secrets, int *output) {
 
 func TestUnknownEntryFunction(t *testing.T) {
 	file := minic.MustParse("int f(void) { return 0; }")
-	if _, err := New(file, DefaultOptions()).AnalyzeFunction("nope", nil); err == nil {
+	if _, err := New(file, DefaultOptions()).AnalyzeFunction(context.Background(), "nope", nil); err == nil {
 		t.Error("expected error for unknown function")
 	}
 }
@@ -545,8 +547,100 @@ int f(int *secrets, int *output) {
 	opts := DefaultOptions()
 	opts.MaxPaths = 8
 	file := minic.MustParse(src)
-	if _, err := New(file, opts).AnalyzeFunction("f", listing1ParamsInt()); err == nil {
-		t.Error("expected path budget error (16 paths > 8)")
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", listing1ParamsInt())
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not fail: %v", err)
+	}
+	if len(res.Paths) != 8 {
+		t.Errorf("want the 8 in-budget paths kept, got %d", len(res.Paths))
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncPathBudget {
+		t.Errorf("want Coverage{Truncated, path-budget}, got %+v", res.Coverage)
+	}
+	if res.Coverage.CompletedPaths != 8 {
+		t.Errorf("want CompletedPaths=8, got %d", res.Coverage.CompletedPaths)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "truncated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a truncation warning, got %q", res.Warnings)
+	}
+}
+
+func TestStepBudgetTruncates(t *testing.T) {
+	src := `
+int f(int *secrets, int *output) {
+    int i = 0;
+    int acc = 0;
+    while (i < 100000) { acc = acc + i; i++; }
+    output[0] = 7;
+    return acc;
+}
+`
+	opts := DefaultOptions()
+	opts.MaxSteps = 200
+	file := minic.MustParse(src)
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", listing1ParamsInt())
+	if err != nil {
+		t.Fatalf("step exhaustion must degrade, not fail: %v", err)
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncStepBudget {
+		t.Errorf("want Coverage{Truncated, step-budget}, got %+v", res.Coverage)
+	}
+	if res.Coverage.StepsUsed == 0 {
+		t.Error("want StepsUsed recorded")
+	}
+}
+
+func TestCancelledContextTruncates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the engine must stop within one check interval
+	src := `
+int f(int *secrets, int *output) {
+    int i = 0;
+    int acc = 0;
+    while (i < 100000) { acc = acc + i; i++; }
+    output[0] = 7;
+    return acc;
+}
+`
+	file := minic.MustParse(src)
+	res, err := New(file, DefaultOptions()).AnalyzeFunction(ctx, "f", listing1ParamsInt())
+	if err != nil {
+		t.Fatalf("cancellation must degrade, not fail: %v", err)
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncCancelled {
+		t.Errorf("want Coverage{Truncated, cancelled}, got %+v", res.Coverage)
+	}
+	if res.Coverage.StepsUsed > ctxCheckInterval {
+		t.Errorf("pre-cancelled ctx must stop within one check interval (%d steps), used %d",
+			ctxCheckInterval, res.Coverage.StepsUsed)
+	}
+}
+
+func TestDeadlineTruncates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done() // guarantee expiry before the engine starts
+	src := `
+int f(int *secrets, int *output) {
+    int i = 0;
+    while (i < 100000) { i++; }
+    output[0] = 7;
+    return 0;
+}
+`
+	file := minic.MustParse(src)
+	res, err := New(file, DefaultOptions()).AnalyzeFunction(ctx, "f", listing1ParamsInt())
+	if err != nil {
+		t.Fatalf("deadline expiry must degrade, not fail: %v", err)
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncDeadline {
+		t.Errorf("want Coverage{Truncated, deadline}, got %+v", res.Coverage)
 	}
 }
 

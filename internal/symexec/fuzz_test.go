@@ -8,6 +8,7 @@ package symexec
 // the symbolic semantics and the concrete interpreter fails it.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -110,6 +111,47 @@ func (g *pgen) program() string {
 	return sb.String()
 }
 
+// FuzzFailSoft is the native-fuzzer form of the fail-soft invariant: for
+// any generated program and any (tiny) budget, exploration must return a
+// degraded-but-valid Result — never an error, never a panic, and a
+// truncated Coverage always carries its reason. Run via `make fuzz-smoke`.
+func FuzzFailSoft(f *testing.F) {
+	f.Add([]byte("seed-one-branchy-program-bytes--"), uint8(2), uint8(50))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint8(1), uint8(1))
+	f.Add([]byte(strings.Repeat("\xa5", 96)), uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, maxPaths, maxSteps uint8) {
+		g := &pgen{bytes: raw}
+		src := g.program()
+		file, err := minic.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program must parse: %v\n%s", err, src)
+		}
+		opts := DefaultOptions()
+		opts.MaxPaths = int(maxPaths%32) + 1
+		opts.MaxSteps = int(maxSteps) + 1
+		res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", []ParamSpec{
+			{Name: "secrets", Class: ParamSecret},
+			{Name: "output", Class: ParamOut},
+		})
+		if err != nil {
+			t.Fatalf("budget exhaustion must degrade, not fail: %v\n%s", err, src)
+		}
+		cov := res.Coverage
+		if cov.Truncated && cov.Reason == TruncNone {
+			t.Fatalf("truncated coverage without a reason: %+v\n%s", cov, src)
+		}
+		if !cov.Truncated && cov.Reason != TruncNone {
+			t.Fatalf("untruncated coverage with reason %q\n%s", cov.Reason, src)
+		}
+		if cov.CompletedPaths != len(res.Paths) {
+			t.Fatalf("CompletedPaths %d != len(Paths) %d\n%s", cov.CompletedPaths, len(res.Paths), src)
+		}
+		if cov.CompletedPaths > opts.MaxPaths {
+			t.Fatalf("kept %d paths over budget %d\n%s", cov.CompletedPaths, opts.MaxPaths, src)
+		}
+	})
+}
+
 // TestFuzzCrossValidation generates programs from fixed seeds (so failures
 // are reproducible) and cross-validates every explored path.
 func TestFuzzCrossValidation(t *testing.T) {
@@ -134,12 +176,14 @@ func TestFuzzCrossValidation(t *testing.T) {
 		opts := DefaultOptions()
 		opts.MaxPaths = 256
 		engine := New(file, opts)
-		res, err := engine.AnalyzeFunction("f", []ParamSpec{
+		res, err := engine.AnalyzeFunction(context.Background(), "f", []ParamSpec{
 			{Name: "secrets", Class: ParamSecret},
 			{Name: "output", Class: ParamOut},
 		})
 		if err != nil {
-			continue // path budget exhausted: skip, not a failure
+			// Budget exhaustion degrades instead of erroring now, so any
+			// error here is a real engine failure.
+			t.Fatalf("seed %d: exploration failed: %v\n%s", seed, err, src)
 		}
 		for pi, p := range res.Paths {
 			model, ok := sv.Model(p.PC, res.Builder.Symbols())

@@ -199,6 +199,11 @@ type Result struct {
 	States int
 	// Regions counts distinct memory regions created.
 	Regions int
+	// Coverage records how much of the path space the exploration visited
+	// and why it stopped, when it stopped early. Budget exhaustion,
+	// deadlines and cancellation truncate the exploration instead of
+	// failing it: Paths holds everything completed before the cut.
+	Coverage Coverage
 	// Warnings lists soft diagnostics (loop bounds hit, budget cuts).
 	Warnings []string
 }

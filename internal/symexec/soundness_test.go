@@ -8,6 +8,7 @@ package symexec
 // soundness check underpinning all checker findings.
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func crossValidate(t *testing.T, src string, secretParam, outParam string, secre
 	t.Helper()
 	file := minic.MustParse(src)
 	engine := New(file, DefaultOptions())
-	res, err := engine.AnalyzeFunction("f", []ParamSpec{
+	res, err := engine.AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: secretParam, Class: ParamSecret},
 		{Name: outParam, Class: ParamOut},
 	})
@@ -181,7 +182,7 @@ int f(int *secrets, int *output) {
 // pairwise comparison over this package's results.
 func coreCheck(file *minic.File) ([]string, error) {
 	engine := New(file, DefaultOptions())
-	res, err := engine.AnalyzeFunction("f", []ParamSpec{
+	res, err := engine.AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: "secrets", Class: ParamSecret},
 		{Name: "output", Class: ParamOut},
 	})

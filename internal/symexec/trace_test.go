@@ -1,6 +1,7 @@
 package symexec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestTraceTruncationIsVisible(t *testing.T) {
 	opts := DefaultOptions()
 	opts.TrackTrace = true
 	opts.Obs = m
-	res, err := New(file, opts).AnalyzeFunction("f", []ParamSpec{
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: "secrets", Class: ParamSecret},
 		{Name: "output", Class: ParamOut},
 	})
@@ -62,7 +63,7 @@ func TestShortTraceHasNoFooter(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.TrackTrace = true
-	res, err := New(file, opts).AnalyzeFunction("f", []ParamSpec{
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: "secrets", Class: ParamSecret},
 		{Name: "output", Class: ParamOut},
 	})
@@ -95,7 +96,7 @@ int f(int *secrets, int *output) {
 	m := obs.NewMetrics()
 	opts := DefaultOptions()
 	opts.Obs = m
-	res, err := New(file, opts).AnalyzeFunction("f", []ParamSpec{
+	res, err := New(file, opts).AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: "secrets", Class: ParamSecret},
 		{Name: "output", Class: ParamOut},
 	})
@@ -141,7 +142,7 @@ int f(int *secrets, int n, int *output) {
 	opts := DefaultOptions()
 	opts.LoopBound = 3
 	opts.Obs = m
-	_, err = New(file, opts).AnalyzeFunction("f", []ParamSpec{
+	_, err = New(file, opts).AnalyzeFunction(context.Background(), "f", []ParamSpec{
 		{Name: "secrets", Class: ParamSecret},
 		{Name: "n", Class: ParamPublic},
 		{Name: "output", Class: ParamOut},

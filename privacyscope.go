@@ -18,11 +18,13 @@
 package privacyscope
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"privacyscope/internal/core"
 	"privacyscope/internal/edl"
@@ -43,6 +45,33 @@ type (
 	Witness = core.Witness
 	// ParamSpec classifies one entry parameter.
 	ParamSpec = symexec.ParamSpec
+	// Verdict is the four-valued per-function outcome; see the constants
+	// below and docs/ROBUSTNESS.md.
+	Verdict = core.Verdict
+	// Coverage summarizes how much of the path space an analysis explored
+	// and why it stopped early, when it did.
+	Coverage = symexec.Coverage
+	// TruncReason says why an exploration was cut (path budget, step
+	// budget, deadline, cancellation).
+	TruncReason = symexec.TruncReason
+)
+
+// Verdicts, re-exported. A truncated exploration that found nothing is
+// Inconclusive, never Secure.
+const (
+	VerdictSecure       = core.VerdictSecure
+	VerdictInconclusive = core.VerdictInconclusive
+	VerdictError        = core.VerdictError
+	VerdictFindings     = core.VerdictFindings
+)
+
+// Truncation reasons, re-exported.
+const (
+	TruncNone       = symexec.TruncNone
+	TruncPathBudget = symexec.TruncPathBudget
+	TruncStepBudget = symexec.TruncStepBudget
+	TruncDeadline   = symexec.TruncDeadline
+	TruncCancelled  = symexec.TruncCancelled
 )
 
 // Telemetry types, re-exported from internal/obs so callers can receive
@@ -118,9 +147,26 @@ func WithLoopBound(n int) Option {
 	return func(c *config) { c.checker.Engine.LoopBound = n }
 }
 
-// WithMaxPaths overrides the path budget.
+// WithMaxPaths overrides the path budget. Exhausting it degrades the
+// affected function's report (partial Coverage, Inconclusive verdict when
+// nothing was found) instead of failing the analysis.
 func WithMaxPaths(n int) Option {
 	return func(c *config) { c.checker.Engine.MaxPaths = n }
+}
+
+// WithMaxSteps overrides the statement-evaluation budget, with the same
+// fail-soft behavior as WithMaxPaths.
+func WithMaxSteps(n int) Option {
+	return func(c *config) { c.checker.Engine.MaxSteps = n }
+}
+
+// WithDeadline bounds each entry point's analysis wall-clock time. A
+// function that exceeds it keeps every path completed so far and is
+// reported as Inconclusive (or with its findings, if any were already
+// detected) — the remaining entry points still analyze with their own full
+// budget.
+func WithDeadline(d time.Duration) Option {
+	return func(c *config) { c.checker.Deadline = d }
 }
 
 // WithoutWitnessReplay disables concrete witness construction.
@@ -196,11 +242,16 @@ func WithParallelism(n int) Option {
 
 // EnclaveReport aggregates the per-ECALL reports of one enclave module.
 type EnclaveReport struct {
-	// Reports holds one entry per analyzed public ECALL, in EDL order.
+	// Reports holds one entry per analyzed public ECALL, in EDL order. An
+	// entry point whose analysis failed (panic, hard error) keeps its slot
+	// as an error report (Err non-empty) rather than aborting the module.
 	Reports []*Report
 }
 
-// Secure reports whether no ECALL has any violation.
+// Secure reports whether every ECALL was *proved* free of violations: no
+// findings anywhere, no analysis failures, and exhaustive coverage. A
+// module with a truncated, cancelled or panicked entry point is not secure
+// — its verdict is Inconclusive or Error, never Secure.
 func (e *EnclaveReport) Secure() bool {
 	for _, r := range e.Reports {
 		if !r.Secure() {
@@ -208,6 +259,43 @@ func (e *EnclaveReport) Secure() bool {
 		}
 	}
 	return true
+}
+
+// Verdict aggregates the per-function verdicts: findings anywhere dominate
+// (a leak is a leak no matter what happened to sibling functions), then
+// error, then inconclusive, then secure.
+func (e *EnclaveReport) Verdict() Verdict {
+	agg := VerdictSecure
+	for _, r := range e.Reports {
+		if v := r.Verdict(); v > agg {
+			agg = v
+		}
+	}
+	return agg
+}
+
+// Errors lists the entry points whose analysis failed, as "function: cause"
+// strings. Empty when every entry point produced an analysis result.
+func (e *EnclaveReport) Errors() []string {
+	var out []string
+	for _, r := range e.Reports {
+		if r.Err != "" {
+			out = append(out, r.Function+": "+r.Err)
+		}
+	}
+	return out
+}
+
+// Degraded lists the entry points with partial coverage (budget, deadline
+// or cancellation truncation).
+func (e *EnclaveReport) Degraded() []*Report {
+	var out []*Report
+	for _, r := range e.Reports {
+		if r.Coverage.Truncated {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // TotalFindings counts violations across all entry points.
@@ -242,8 +330,25 @@ func (e *EnclaveReport) Render() string {
 
 // AnalyzeEnclave analyzes every public ECALL of an enclave module. The EDL
 // attributes provide the default classification ([in]→secret, [out]→sink);
-// an XML rule file supplied via WithConfigXML overrides it.
+// an XML rule file supplied via WithConfigXML overrides it. It is
+// AnalyzeEnclaveContext with a background context.
 func AnalyzeEnclave(cSource, edlSource string, opts ...Option) (*EnclaveReport, error) {
+	return AnalyzeEnclaveContext(context.Background(), cSource, edlSource, opts...)
+}
+
+// AnalyzeEnclaveContext is AnalyzeEnclave under a cancellation context.
+//
+// The per-function pipeline is fail-soft: ctx cancellation, deadline expiry
+// (the ctx's or WithDeadline's) and budget exhaustion degrade the affected
+// function's report instead of failing the call, and a panicking or
+// hard-failing entry point is isolated — it yields an error entry naming
+// the function while every other ECALL still analyzes. Only module-level
+// problems (unparseable C or EDL, a bad rule file, no public ECALLs) return
+// an error.
+func AnalyzeEnclaveContext(ctx context.Context, cSource, edlSource string, opts ...Option) (*EnclaveReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(cfg)
@@ -311,19 +416,40 @@ func AnalyzeEnclave(cSource, edlSource string, opts ...Option) (*EnclaveReport, 
 	}
 
 	out := &EnclaveReport{Reports: make([]*Report, len(jobs))}
-	errs := make([]error, len(jobs))
 	runJob := func(i int) {
+		// Panic isolation: a crashing entry point (engine bug, pathological
+		// input) must not take down the sibling analyses or the caller. Its
+		// slot becomes an error report instead.
+		defer func() {
+			if p := recover(); p != nil {
+				ob.Add("check.panics", 1)
+				ob.Event("check.panic",
+					obs.F("function", jobs[i].name),
+					obs.F("panic", fmt.Sprint(p)))
+				out.Reports[i] = core.ErrorReport(jobs[i].name,
+					fmt.Sprintf("panic during analysis: %v", p))
+			}
+		}()
 		// Each job parses its own file: engines annotate nothing on the
 		// AST, but an independent parse removes any possibility of
 		// shared mutable state between concurrent analyses.
 		jfile := file
 		if cfg.parallelism > 1 {
-			jfile, errs[i] = minic.Parse(cSource)
-			if errs[i] != nil {
+			var perr error
+			jfile, perr = minic.Parse(cSource)
+			if perr != nil {
+				ob.Add("check.errors", 1)
+				out.Reports[i] = core.ErrorReport(jobs[i].name, perr.Error())
 				return
 			}
 		}
-		out.Reports[i], errs[i] = core.New(cfg.checker).CheckFunction(jfile, jobs[i].name, jobs[i].specs)
+		rep, err := core.New(cfg.checker).CheckFunction(ctx, jfile, jobs[i].name, jobs[i].specs)
+		if err != nil {
+			ob.Add("check.errors", 1)
+			out.Reports[i] = core.ErrorReport(jobs[i].name, err.Error())
+			return
+		}
+		out.Reports[i] = rep
 	}
 	if cfg.parallelism <= 1 || len(jobs) == 1 {
 		for i := range jobs {
@@ -343,17 +469,22 @@ func AnalyzeEnclave(cSource, edlSource string, opts ...Option) (*EnclaveReport, 
 		}
 		wg.Wait()
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("privacyscope: %s: %w", jobs[i].name, err)
-		}
-	}
 	return out, nil
 }
 
 // AnalyzeFunction analyzes a single C function with an explicit parameter
-// classification (no EDL required).
+// classification (no EDL required). It is AnalyzeFunctionContext with a
+// background context.
 func AnalyzeFunction(cSource, fn string, params []ParamSpec, opts ...Option) (*Report, error) {
+	return AnalyzeFunctionContext(context.Background(), cSource, fn, params, opts...)
+}
+
+// AnalyzeFunctionContext is AnalyzeFunction under a cancellation context:
+// cancellation, deadline expiry and budget exhaustion degrade the report
+// (partial Coverage, Inconclusive verdict) instead of returning an error.
+// Errors are reserved for module-level problems: unparseable source or an
+// unknown entry function.
+func AnalyzeFunctionContext(ctx context.Context, cSource, fn string, params []ParamSpec, opts ...Option) (*Report, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(cfg)
@@ -365,7 +496,7 @@ func AnalyzeFunction(cSource, fn string, params []ParamSpec, opts ...Option) (*R
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
-	report, err := core.New(cfg.checker).CheckFunction(file, fn, params)
+	report, err := core.New(cfg.checker).CheckFunction(ctx, file, fn, params)
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
