@@ -20,8 +20,9 @@ import (
 // jsonReport is the -json payload: the quantitative rows of the evaluation
 // with their engine-level counter snapshots.
 type jsonReport struct {
-	TableV      []bench.TableVRow      `json:"tableV"`
-	Scalability []bench.ScalabilityRow `json:"scalability"`
+	TableV        []bench.TableVRow        `json:"tableV"`
+	Scalability   []bench.ScalabilityRow   `json:"scalability"`
+	WorkerScaling []bench.WorkerScalingRow `json:"workerScaling"`
 }
 
 func main() {
@@ -54,7 +55,11 @@ func run(asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	ws, err := bench.WorkerScaling()
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep)})
+	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep), WorkerScaling: ws})
 }

@@ -5,9 +5,9 @@
 // Usage:
 //
 //	privacyscope -c enclave.c -edl enclave.edl [-config rules.xml]
-//	             [-fn name] [-loop-bound n] [-timeout d] [-no-witness]
-//	             [-json] [-metrics-json metrics.json] [-verbose]
-//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	             [-fn name] [-loop-bound n] [-path-workers n] [-timeout d]
+//	             [-no-witness] [-json] [-metrics-json metrics.json]
+//	             [-verbose] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Exit status encodes the module verdict: 0 when the module is proved
 // secure with full coverage, 2 when violations were found, 3 when the
@@ -88,6 +88,7 @@ func run(args []string, out io.Writer) (int, error) {
 		timing     = fs.Bool("timing", false, "enable the timing-channel extension (§VIII-A)")
 		prob       = fs.Bool("probabilistic", false, "enable the probabilistic-channel extension (§VIII-A)")
 		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
+		pathWork   = fs.Int("path-workers", 0, "goroutines exploring each ECALL's paths concurrently (<=1 = sequential; results are deterministic)")
 		asJSON     = fs.Bool("json", false, "emit findings as JSON")
 		metricsOut = fs.String("metrics-json", "", "write a metrics snapshot (counters, spans, dists) to this file")
 		verbose    = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
@@ -134,6 +135,9 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if *conserv {
 		opts = append(opts, privacyscope.WithConservativeExterns())
+	}
+	if *pathWork > 1 {
+		opts = append(opts, privacyscope.WithPathWorkers(*pathWork))
 	}
 
 	// Telemetry: one Metrics observer serves -json, -metrics-json and

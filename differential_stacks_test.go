@@ -1,0 +1,199 @@
+package privacyscope
+
+import (
+	"testing"
+
+	"privacyscope/internal/priml"
+)
+
+// These tests are the cross-stack differential suite: the same program
+// expressed once in PRIML (§V) and once in MiniC (§VI) must get the same
+// verdict and the same leak classification from both front ends, now that
+// both lower to the shared analysis IR and run the shared engine + Alg. 1
+// kernel. Message wording differs by design (each front end renders its own
+// report format); what must agree is the structure — secure or not, which
+// kinds of leaks, and whether the explicit leak carries an exact inversion.
+
+func analyzePRIMLSrc(t *testing.T, src string) *priml.Analysis {
+	t.Helper()
+	res, err := AnalyzePRIML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func analyzeCSrc(t *testing.T, src, fn string, opts ...Option) *Report {
+	t.Helper()
+	rep, err := AnalyzeFunction(src, fn, []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func kinds(rep *Report) map[string]int {
+	out := map[string]int{}
+	for _, f := range rep.Findings {
+		out[f.Kind.String()]++
+	}
+	return out
+}
+
+func primlKinds(res *priml.Analysis) map[string]int {
+	out := map[string]int{}
+	for _, f := range res.Findings {
+		out[f.Kind.String()]++
+	}
+	return out
+}
+
+// TestDifferentialSectionIVInsecure: the paper's §IV example l := h1 + 4 is
+// insecure in both stacks — the observed value is invertible to the secret.
+func TestDifferentialSectionIVInsecure(t *testing.T) {
+	p := analyzePRIMLSrc(t, `l := get_secret(secret) + 4;
+declassify(l)`)
+	c := analyzeCSrc(t, `
+int leak(char *secrets, char *output)
+{
+    output[0] = secrets[0] + 4;
+    return 0;
+}
+`, "leak")
+
+	if p.Secure() || c.Secure() {
+		t.Fatalf("verdicts diverge or wrong: priml secure=%v, minic secure=%v (want both insecure)",
+			p.Secure(), c.Secure())
+	}
+	if !p.HasExplicit() {
+		t.Errorf("priml findings = %+v, want explicit", p.Findings)
+	}
+	ck := kinds(c)
+	if ck["explicit"] == 0 {
+		t.Errorf("minic kinds = %v, want explicit", ck)
+	}
+	// Both inversions must be exact: the +4 offset is recoverable.
+	if p.Findings[0].Inversion == nil || !p.Findings[0].Inversion.Exact {
+		t.Errorf("priml inversion = %+v, want exact", p.Findings[0].Inversion)
+	}
+	for _, f := range c.Findings {
+		if f.Kind.String() == "explicit" && (f.Inversion == nil || !f.Inversion.Exact) {
+			t.Errorf("minic inversion = %+v, want exact", f.Inversion)
+		}
+	}
+}
+
+// TestDifferentialSectionIVSecure: l := h1 + 4 + h2 is secure in both
+// stacks — two independent secrets mask each other (⊤ label).
+func TestDifferentialSectionIVSecure(t *testing.T) {
+	p := analyzePRIMLSrc(t, `h1 := get_secret(secret);
+h2 := get_secret(secret);
+l := h1 + 4 + h2;
+declassify(l)`)
+	c := analyzeCSrc(t, `
+int masked(char *secrets, char *output)
+{
+    output[0] = secrets[0] + 4 + secrets[1];
+    return 0;
+}
+`, "masked")
+
+	if !p.Secure() || !c.Secure() {
+		t.Errorf("verdicts diverge: priml secure=%v findings=%+v, minic secure=%v findings=%+v",
+			p.Secure(), p.Findings, c.Secure(), c.Findings)
+	}
+}
+
+// TestDifferentialExample1: the Table II program (one ⊤-masked declassify,
+// one single-tag declassify) finds exactly one explicit leak with a
+// scale-2 exact inversion in both stacks.
+func TestDifferentialExample1(t *testing.T) {
+	p := analyzePRIMLSrc(t, `h1 := 2 * get_secret(secret);
+h2 := 3 * get_secret(secret);
+x := h1 + h2;
+declassify(x);
+declassify(h1)`)
+	c := analyzeCSrc(t, `
+int example1(char *secrets, char *output)
+{
+    int h1 = 2 * secrets[0];
+    int h2 = 3 * secrets[1];
+    int x = h1 + h2;
+    output[0] = x;
+    output[1] = h1;
+    return 0;
+}
+`, "example1")
+
+	pk, ck := primlKinds(p), kinds(c)
+	if pk["explicit"] != 1 || len(p.Findings) != 1 {
+		t.Fatalf("priml kinds = %v (findings %+v), want exactly one explicit", pk, p.Findings)
+	}
+	if ck["explicit"] != 1 || len(c.Findings) != 1 {
+		t.Fatalf("minic kinds = %v (findings %+v), want exactly one explicit", ck, c.Findings)
+	}
+	pInv, cInv := p.Findings[0].Inversion, c.Findings[0].Inversion
+	if pInv == nil || cInv == nil || !pInv.Exact || !cInv.Exact {
+		t.Fatalf("inversions: priml=%+v minic=%+v, want both exact", pInv, cInv)
+	}
+	if pInv.Scale != cInv.Scale || pInv.Offset != cInv.Offset {
+		t.Errorf("inversion parameters diverge: priml scale=%v offset=%v, minic scale=%v offset=%v",
+			pInv.Scale, pInv.Offset, cInv.Scale, cInv.Offset)
+	}
+}
+
+// TestDifferentialExample2 is the Table III program: branching on a secret
+// and revealing different values per branch is an implicit leak in both
+// stacks. Two variants: a branch condition feasible on both sides under the
+// default options of both stacks, and the paper's integer-infeasible
+// condition with pruning disabled on the MiniC side to match PRIML's
+// unconditional PS-TCOND/PS-FCOND forking.
+func TestDifferentialExample2(t *testing.T) {
+	t.Run("feasible-branch", func(t *testing.T) {
+		p := analyzePRIMLSrc(t, `h := 2 * get_secret(secret);
+if h - 5 == 15 then declassify(0) else declassify(1)`)
+		c := analyzeCSrc(t, `
+int example2(char *secrets, char *output)
+{
+    int h = 2 * secrets[0];
+    if (h - 5 == 15)
+        output[0] = 0;
+    else
+        output[0] = 1;
+    return 0;
+}
+`, "example2")
+		pk, ck := primlKinds(p), kinds(c)
+		if pk["implicit"] != 1 || pk["explicit"] != 0 {
+			t.Errorf("priml kinds = %v, want one implicit", pk)
+		}
+		if ck["implicit"] == 0 || ck["explicit"] != 0 {
+			t.Errorf("minic kinds = %v, want implicit only", ck)
+		}
+	})
+	t.Run("paper-infeasible-branch", func(t *testing.T) {
+		p := analyzePRIMLSrc(t, `h := 2 * get_secret(secret);
+if h - 5 == 14 then declassify(0) else declassify(1)`)
+		c := analyzeCSrc(t, `
+int example2(char *secrets, char *output)
+{
+    int h = 2 * secrets[0];
+    if (h - 5 == 14)
+        output[0] = 0;
+    else
+        output[0] = 1;
+    return 0;
+}
+`, "example2", WithoutPruning())
+		pk, ck := primlKinds(p), kinds(c)
+		if pk["implicit"] != 1 {
+			t.Errorf("priml kinds = %v, want one implicit", pk)
+		}
+		if ck["implicit"] == 0 {
+			t.Errorf("minic kinds = %v, want implicit", ck)
+		}
+	})
+}

@@ -558,6 +558,12 @@ func RunAll() (string, error) {
 	sb.WriteString(RenderScalability(append(sc, deep)))
 	sb.WriteString(fmt.Sprintf("(last row: Kmeans with ITERS=2 — %d paths through the full checker)\n", deep.Paths))
 	sb.WriteByte('\n')
+	ws, err := WorkerScaling()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderWorkerScaling(ws))
+	sb.WriteByte('\n')
 	fsRows, err := Failsoft()
 	if err != nil {
 		return "", err

@@ -215,10 +215,15 @@ func (r *checkRun) explicitChecks(file *minic.File, params []symexec.ParamSpec) 
 	}
 }
 
+// symbolForTag adapts the engine result to the Alg. 1 kernel's resolver.
+func (r *checkRun) symbolForTag(tag taint.Tag) *sym.Symbol {
+	return r.res.SecretSymbolByTag(int(tag))
+}
+
 func (r *checkRun) explicitOne(sink SinkKind, where string, pos minic.Pos, value sym.Expr, pc *solver.PathCondition, file *minic.File, params []symexec.ParamSpec) {
 	label, viaPrior := r.effectiveTaint(value)
-	tag, single := label.Tag()
-	if !single {
+	tag, inversion, leak := SingleTagLeak(value, label, r.symbolForTag)
+	if !leak {
 		return
 	}
 	// In-enclave entropy blocks deterministic recovery: under the
@@ -271,11 +276,7 @@ func (r *checkRun) explicitOne(sink SinkKind, where string, pos minic.Pos, value
 		Value:          value,
 		Path:           pc,
 		PriorKnowledge: viaPrior,
-	}
-	if secretSym != nil {
-		if inv, ok := sym.InvertFor(value, secretSym.ID); ok {
-			f.Inversion = inv
-		}
+		Inversion:      inversion,
 	}
 	f.Message = fmt.Sprintf("explicit leak: %s %s reveals secret %s (value %s)",
 		f.Sink, f.Where, f.Secret, trim(value.String()))

@@ -1,0 +1,212 @@
+package ir
+
+import (
+	"sort"
+
+	"privacyscope/internal/minic"
+)
+
+// LowerMiniC lowers a parsed MiniC translation unit into the analysis IR.
+// Lowering is 1:1 — one op per source statement, Display carrying the
+// statement's source rendering — so engine trace snapshots are unchanged by
+// the IR migration.
+func LowerMiniC(file *minic.File) *Program {
+	prog := &Program{Module: file, Funcs: make(map[string]*Func, len(file.Functions))}
+	for _, fn := range file.Functions {
+		f := &Func{
+			Name:   fn.Name,
+			Params: fn.Params,
+			Return: fn.Return,
+			Pos:    fn.Pos,
+		}
+		if fn.Body != nil {
+			f.Body = lowerBlock(fn.Body)
+			f.Calls = collectCalls(f.Body)
+		}
+		prog.Funcs[fn.Name] = f
+	}
+	return prog
+}
+
+func lowerBlock(b *minic.Block) *BlockOp {
+	op := &BlockOp{
+		Meta: Meta{Src: minic.StmtString(b), Pos: b.Pos},
+		Ops:  make([]Op, 0, len(b.Stmts)),
+	}
+	for _, s := range b.Stmts {
+		op.Ops = append(op.Ops, lowerStmt(s))
+	}
+	return op
+}
+
+func lowerStmt(s minic.Stmt) Op {
+	meta := Meta{Src: minic.StmtString(s), Pos: stmtPos(s)}
+	switch v := s.(type) {
+	case *minic.Block:
+		return lowerBlock(v)
+	case *minic.EmptyStmt:
+		return &EmptyOp{Meta: meta}
+	case *minic.DeclStmt:
+		return &DeclOp{Meta: meta, Decls: v.Decls}
+	case *minic.ExprStmt:
+		return &ExprOp{Meta: meta, X: v.X}
+	case *minic.IfStmt:
+		op := &IfOp{Meta: meta, Cond: v.Cond, Then: lowerStmt(v.Then)}
+		if v.Else != nil {
+			op.Else = lowerStmt(v.Else)
+		}
+		return op
+	case *minic.WhileStmt:
+		return &LoopOp{Meta: meta, Cond: v.Cond, Body: lowerStmt(v.Body)}
+	case *minic.ForStmt:
+		op := &LoopOp{Meta: meta, Cond: v.Cond, Post: v.Post, Body: lowerStmt(v.Body), Scoped: true}
+		if v.Init != nil {
+			op.Init = lowerStmt(v.Init)
+		}
+		return op
+	case *minic.DoWhileStmt:
+		return &LoopOp{Meta: meta, Cond: v.Cond, Body: lowerStmt(v.Body), PostTest: true}
+	case *minic.SwitchStmt:
+		op := &SwitchOp{Meta: meta, Tag: v.Tag, Cases: make([]SwitchCase, len(v.Cases))}
+		for i, c := range v.Cases {
+			body := make([]Op, len(c.Body))
+			for j, cs := range c.Body {
+				body[j] = lowerStmt(cs)
+			}
+			op.Cases[i] = SwitchCase{Value: c.Value, IsDefault: c.IsDefault, Body: body, Pos: c.Pos}
+		}
+		return op
+	case *minic.ReturnStmt:
+		return &ReturnOp{Meta: meta, X: v.X}
+	case *minic.BreakStmt:
+		return &BreakOp{Meta: meta}
+	case *minic.ContinueStmt:
+		return &ContinueOp{Meta: meta}
+	default:
+		// The parser cannot produce other statement forms; lower to a no-op
+		// so a future AST extension degrades soft instead of crashing.
+		return &EmptyOp{Meta: meta}
+	}
+}
+
+func stmtPos(s minic.Stmt) minic.Pos {
+	switch v := s.(type) {
+	case *minic.Block:
+		return v.Pos
+	case *minic.EmptyStmt:
+		return v.Pos
+	case *minic.DeclStmt:
+		return v.Pos
+	case *minic.ExprStmt:
+		return v.Pos
+	case *minic.IfStmt:
+		return v.Pos
+	case *minic.WhileStmt:
+		return v.Pos
+	case *minic.ForStmt:
+		return v.Pos
+	case *minic.DoWhileStmt:
+		return v.Pos
+	case *minic.SwitchStmt:
+		return v.Pos
+	case *minic.ReturnStmt:
+		return v.Pos
+	case *minic.BreakStmt:
+		return v.Pos
+	case *minic.ContinueStmt:
+		return v.Pos
+	default:
+		return minic.Pos{}
+	}
+}
+
+// collectCalls walks the op tree and gathers the names of all syntactic
+// call targets, deduplicated and sorted.
+func collectCalls(body *BlockOp) []string {
+	seen := map[string]bool{}
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch v := e.(type) {
+		case nil:
+			return
+		case *minic.CallExpr:
+			seen[v.Fun] = true
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		case *minic.BinExpr:
+			walkExpr(v.L)
+			walkExpr(v.R)
+		case *minic.UnExpr:
+			walkExpr(v.X)
+		case *minic.AssignExpr:
+			walkExpr(v.LHS)
+			walkExpr(v.RHS)
+		case *minic.IncDecExpr:
+			walkExpr(v.X)
+		case *minic.IndexExpr:
+			walkExpr(v.X)
+			walkExpr(v.Index)
+		case *minic.MemberExpr:
+			walkExpr(v.X)
+		case *minic.DerefExpr:
+			walkExpr(v.X)
+		case *minic.AddrExpr:
+			walkExpr(v.X)
+		case *minic.CastExpr:
+			walkExpr(v.X)
+		case *minic.CondExpr:
+			walkExpr(v.Cond)
+			walkExpr(v.Then)
+			walkExpr(v.Else)
+		}
+	}
+	var walkOp func(op Op)
+	walkOps := func(ops []Op) {
+		for _, o := range ops {
+			walkOp(o)
+		}
+	}
+	walkOp = func(op Op) {
+		switch v := op.(type) {
+		case nil:
+			return
+		case *BlockOp:
+			walkOps(v.Ops)
+		case *DeclOp:
+			for _, d := range v.Decls {
+				walkExpr(d.Init)
+			}
+		case *ExprOp:
+			walkExpr(v.X)
+		case *IfOp:
+			walkExpr(v.Cond)
+			walkOp(v.Then)
+			if v.Else != nil {
+				walkOp(v.Else)
+			}
+		case *LoopOp:
+			if v.Init != nil {
+				walkOp(v.Init)
+			}
+			walkExpr(v.Cond)
+			walkExpr(v.Post)
+			walkOp(v.Body)
+		case *SwitchOp:
+			walkExpr(v.Tag)
+			for _, c := range v.Cases {
+				walkExpr(c.Value)
+				walkOps(c.Body)
+			}
+		case *ReturnOp:
+			walkExpr(v.X)
+		}
+	}
+	walkOp(body)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

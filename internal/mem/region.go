@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"privacyscope/internal/sym"
 )
@@ -120,8 +121,11 @@ func Root(r Region) Region {
 }
 
 // Manager hash-conses regions so identical denotations share one object.
-// It is not safe for concurrent use; each analysis run owns one.
+// It is safe for concurrent use: parallel path workers exploring one entry
+// point share a single manager, and region identity (pointer equality)
+// must hold across workers.
 type Manager struct {
+	mu     sync.Mutex
 	nextID int
 	vars   map[string]*VarRegion
 	symRgs map[string]*SymRegion
@@ -141,6 +145,8 @@ func NewManager() *Manager {
 
 // Var returns the region of variable name in the given frame.
 func (m *Manager) Var(name string, frame int) *VarRegion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k := name + "@" + strconv.Itoa(frame)
 	if r, ok := m.vars[k]; ok {
 		return r
@@ -153,6 +159,8 @@ func (m *Manager) Var(name string, frame int) *VarRegion {
 
 // SymBlock returns the SymRegion for the block identified by pointee.
 func (m *Manager) SymBlock(pointee *sym.Symbol, display string, secret bool) *SymRegion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k := strconv.Itoa(pointee.ID)
 	if r, ok := m.symRgs[k]; ok {
 		return r
@@ -165,6 +173,8 @@ func (m *Manager) SymBlock(pointee *sym.Symbol, display string, secret bool) *Sy
 
 // Element returns the ElementRegion super[index].
 func (m *Manager) Element(super Region, index int) *ElementRegion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k := super.Key() + "[" + strconv.Itoa(index) + "]"
 	if r, ok := m.elems[k]; ok {
 		return r
@@ -176,6 +186,8 @@ func (m *Manager) Element(super Region, index int) *ElementRegion {
 
 // Field returns the FieldRegion super.field.
 func (m *Manager) Field(super Region, field string) *FieldRegion {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k := super.Key() + "." + field
 	if r, ok := m.fields[k]; ok {
 		return r
@@ -188,6 +200,8 @@ func (m *Manager) Field(super Region, field string) *FieldRegion {
 // RegionCount returns how many distinct regions have been created, a metric
 // the Table IV bench reports.
 func (m *Manager) RegionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return len(m.vars) + len(m.symRgs) + len(m.elems) + len(m.fields)
 }
 
@@ -228,48 +242,147 @@ func (Undefined) isSVal() {}
 func (Undefined) String() string { return "undef" }
 
 // Store maps regions to SVals (σ in the paper's state 4-tuple). It is a
-// persistent-by-cloning map: Clone before forking.
+// persistent copy-on-write structure: Clone is O(1) in the number of
+// bindings, making state forks cheap enough for parallel path exploration.
+//
+// Internally a store is a chain of frozen layers (oldest first, shared
+// between forked states, never mutated again) plus one private mutable top
+// layer. Lookups scan top-down; deletions shadow older layers with a
+// tombstone (an entry with a nil val). A single store value is still owned
+// by exactly one exploration state at a time — only the *frozen* layers are
+// shared — so per-store operations need no lock.
 type Store struct {
-	vals map[string]entry
+	frozen []map[string]entry // immutable layers, oldest first
+	top    map[string]entry   // private mutable layer
+	count  int                // live bindings visible through all layers
 }
 
 type entry struct {
 	region Region
-	val    SVal
+	val    SVal // nil marks a tombstone shadowing a frozen binding
 }
+
+// flattenDepth is the frozen-chain length past which Clone collapses the
+// layers into one map, bounding lookup cost on deeply forked paths.
+const flattenDepth = 32
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{vals: make(map[string]entry)}
+	return &Store{top: make(map[string]entry)}
+}
+
+// lookupEntry finds the visible entry for key, newest layer first.
+func (s *Store) lookupEntry(k string) (entry, bool) {
+	if e, ok := s.top[k]; ok {
+		return e, true
+	}
+	for i := len(s.frozen) - 1; i >= 0; i-- {
+		if e, ok := s.frozen[i][k]; ok {
+			return e, true
+		}
+	}
+	return entry{}, false
 }
 
 // Bind records region → val.
 func (s *Store) Bind(r Region, v SVal) {
-	s.vals[r.Key()] = entry{region: r, val: v}
+	k := r.Key()
+	if e, ok := s.lookupEntry(k); !ok || e.val == nil {
+		s.count++
+	}
+	s.top[k] = entry{region: r, val: v}
 }
 
 // Lookup returns the value bound to r, or (nil, false).
 func (s *Store) Lookup(r Region) (SVal, bool) {
-	e, ok := s.vals[r.Key()]
-	if !ok {
+	e, ok := s.lookupEntry(r.Key())
+	if !ok || e.val == nil {
 		return nil, false
 	}
 	return e.val, true
 }
 
 // Remove deletes any binding for r.
-func (s *Store) Remove(r Region) { delete(s.vals, r.Key()) }
+func (s *Store) Remove(r Region) {
+	k := r.Key()
+	e, ok := s.lookupEntry(k)
+	if !ok || e.val == nil {
+		return
+	}
+	s.count--
+	delete(s.top, k)
+	// A frozen layer may still hold the binding; shadow it.
+	for i := len(s.frozen) - 1; i >= 0; i-- {
+		if fe, ok := s.frozen[i][k]; ok {
+			if fe.val != nil {
+				s.top[k] = entry{region: r, val: nil}
+			}
+			return
+		}
+	}
+}
 
 // Len returns the number of bindings.
-func (s *Store) Len() int { return len(s.vals) }
+func (s *Store) Len() int { return s.count }
 
-// Clone returns an independent copy for state forking.
+// Clone returns an independent copy for state forking. The receiver's top
+// layer is frozen (both stores keep reading it; neither writes it again)
+// and each store gets a fresh private top, so cloning costs O(layers)
+// rather than O(bindings).
 func (s *Store) Clone() *Store {
-	c := &Store{vals: make(map[string]entry, len(s.vals))}
-	for k, v := range s.vals {
-		c.vals[k] = v
+	if len(s.frozen) >= flattenDepth {
+		s.flatten()
 	}
+	if len(s.top) > 0 {
+		chain := make([]map[string]entry, len(s.frozen), len(s.frozen)+1)
+		copy(chain, s.frozen)
+		s.frozen = append(chain, s.top)
+		s.top = make(map[string]entry)
+	}
+	c := &Store{
+		frozen: make([]map[string]entry, len(s.frozen)),
+		top:    make(map[string]entry),
+		count:  s.count,
+	}
+	copy(c.frozen, s.frozen)
 	return c
+}
+
+// flatten merges the frozen chain into a single layer, applying tombstones.
+func (s *Store) flatten() {
+	merged := make(map[string]entry)
+	for _, layer := range s.frozen {
+		for k, e := range layer {
+			if e.val == nil {
+				delete(merged, k)
+			} else {
+				merged[k] = e
+			}
+		}
+	}
+	s.frozen = []map[string]entry{merged}
+}
+
+// visible merges all layers into the currently visible binding set.
+func (s *Store) visible() map[string]entry {
+	m := make(map[string]entry, s.count)
+	for _, layer := range s.frozen {
+		for k, e := range layer {
+			if e.val == nil {
+				delete(m, k)
+			} else {
+				m[k] = e
+			}
+		}
+	}
+	for k, e := range s.top {
+		if e.val == nil {
+			delete(m, k)
+		} else {
+			m[k] = e
+		}
+	}
+	return m
 }
 
 // Bindings returns all (region, value) pairs sorted by region key, for
@@ -278,8 +391,9 @@ func (s *Store) Bindings() []struct {
 	Region Region
 	Val    SVal
 } {
-	keys := make([]string, 0, len(s.vals))
-	for k := range s.vals {
+	vals := s.visible()
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -288,7 +402,7 @@ func (s *Store) Bindings() []struct {
 		Val    SVal
 	}, 0, len(keys))
 	for _, k := range keys {
-		e := s.vals[k]
+		e := vals[k]
 		out = append(out, struct {
 			Region Region
 			Val    SVal
@@ -301,7 +415,7 @@ func (s *Store) Bindings() []struct {
 // used to smear taint over a region when a symbolic index is written.
 func (s *Store) SubRegionsOf(root Region) []Region {
 	var out []Region
-	for _, e := range s.vals {
+	for _, e := range s.visible() {
 		if Root(e.region) == root && e.region != root {
 			out = append(out, e.region)
 		}
@@ -312,9 +426,12 @@ func (s *Store) SubRegionsOf(root Region) []Region {
 
 // Env is the environment mapping lvalue expressions (by display text) to
 // regions, as in the paper's state 4-tuple. It exists for rendering Table IV
-// and for debugging; the engine itself resolves lvalues structurally.
+// and for debugging; the engine itself resolves lvalues structurally. One
+// Env is shared across all path workers of an entry point, so it is
+// internally locked.
 type Env struct {
-	m map[string]Region
+	mu sync.Mutex
+	m  map[string]Region
 }
 
 // NewEnv returns an empty environment.
@@ -323,19 +440,31 @@ func NewEnv() *Env {
 }
 
 // Bind records lvalue text → region.
-func (e *Env) Bind(lvalue string, r Region) { e.m[lvalue] = r }
+func (e *Env) Bind(lvalue string, r Region) {
+	e.mu.Lock()
+	e.m[lvalue] = r
+	e.mu.Unlock()
+}
 
 // Lookup returns the region for an lvalue.
 func (e *Env) Lookup(lvalue string) (Region, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	r, ok := e.m[lvalue]
 	return r, ok
 }
 
 // Len returns the number of bindings.
-func (e *Env) Len() int { return len(e.m) }
+func (e *Env) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.m)
+}
 
 // Clone returns an independent copy.
 func (e *Env) Clone() *Env {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	c := &Env{m: make(map[string]Region, len(e.m))}
 	for k, v := range e.m {
 		c.m[k] = v
@@ -348,6 +477,8 @@ func (e *Env) Bindings() []struct {
 	LValue string
 	Region Region
 } {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	keys := make([]string, 0, len(e.m))
 	for k := range e.m {
 		keys = append(keys, k)
@@ -367,4 +498,8 @@ func (e *Env) Bindings() []struct {
 }
 
 // String renders a compact description.
-func (e *Env) String() string { return fmt.Sprintf("env(%d lvalues)", len(e.m)) }
+func (e *Env) String() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fmt.Sprintf("env(%d lvalues)", len(e.m))
+}

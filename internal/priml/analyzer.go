@@ -1,24 +1,27 @@
 package priml
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"privacyscope/internal/core"
 	"privacyscope/internal/solver"
 	"privacyscope/internal/sym"
+	"privacyscope/internal/symexec"
 	"privacyscope/internal/taint"
 )
 
-// This file implements the PrivacyScope program analysis for PRIML (§V-B):
-// the PS-* instrumented operational semantics. Values are pairs <v, τ> of a
-// symbolic expression and a taint label; the state carries the variable
-// context Δ, the taint map τΔ, and the path condition π. declassify_check
-// (Alg. 1) fires on every declassify: a single-tag value is an explicit
-// leak; under a single-tag π, values revealed on sibling paths are compared
-// through the hashmap hm and a mismatch is an implicit leak. At the end of
-// the last path, unmatched hm entries are reported as implicit violations
-// (one branch revealed, the sibling did not — observing *whether* output
-// happened leaks the secret).
+// This file implements the PrivacyScope program analysis for PRIML (§V-B) as
+// a thin adapter over the shared analysis stack: the program is lowered to
+// the analysis IR (lower.go), explored by the shared symbolic engine
+// (internal/symexec), and checked by the Alg. 1 kernel (internal/core). The
+// PS-* instrumented semantics fall out of the composition — values are pairs
+// <v, τ> because the engine's expressions carry their taint, Δ/τΔ/π are the
+// engine's store and path condition, and declassify_check fires from the
+// declassify intrinsic. The adapter owns only the PRIML-facing surface:
+// lowering, secret-symbol minting per get_secret occurrence, rendering the
+// Tables II/III simulation rows from NoteOp hooks, and phrasing findings.
 
 // LeakKind distinguishes explicit and implicit nonreversibility violations.
 type LeakKind int
@@ -132,8 +135,7 @@ func DefaultOptions() Options {
 
 // Analyzer detects nonreversibility violations in PRIML programs.
 type Analyzer struct {
-	opts   Options
-	solver *solver.Solver
+	opts Options
 }
 
 // NewAnalyzer returns an analyzer with the given options.
@@ -141,34 +143,62 @@ func NewAnalyzer(opts Options) *Analyzer {
 	if opts.MaxPaths <= 0 {
 		opts.MaxPaths = DefaultMaxPaths
 	}
-	return &Analyzer{opts: opts, solver: solver.New()}
+	return &Analyzer{opts: opts}
 }
 
-// Analyze symbolically explores the program and returns all findings.
+// Analyze lowers the program to the shared analysis IR, symbolically
+// explores it with the shared engine, and returns all findings.
 func (an *Analyzer) Analyze(p *Program) (*Analysis, error) {
+	low, err := LowerPRIML(p)
+	if err != nil {
+		return nil, err
+	}
 	var alloc taint.Allocator
-	run := &analysisRun{
-		an:      an,
+	run := &adapterRun{
 		builder: sym.NewBuilder(&alloc),
 		secrets: make(map[int]*sym.Symbol),
-		hm:      make(map[taint.Tag]*hmEntry),
+		low:     low,
 		res: &Analysis{
 			Trace:         NewTrace(),
 			SecretSymbols: make(map[int]*sym.Symbol),
 		},
 	}
-	init := &psState{
-		delta: make(map[string]sym.Expr),
-		tau:   taint.NewMap(),
-		pi:    solver.True(),
+	run.alg1 = core.NewAlg1()
+	run.alg1.ImplicitCheck = an.opts.ImplicitCheck
+	run.alg1.CustomPolicy = an.opts.CustomPolicy
+	run.alg1.SymbolForTag = run.symbolForTag
+	run.alg1.OnViolation = run.onViolation
+
+	engOpts := symexec.Options{
+		PruneInfeasible: an.opts.PruneInfeasible,
+		MaxPaths:        an.opts.MaxPaths,
+		// PRIML reads of never-assigned variables evaluate to 0 without
+		// entering Δ.
+		ZeroDefaultVars: true,
+		Intrinsics: map[string]symexec.IntrinsicFunc{
+			GetSecretIntrinsic:  run.getSecret,
+			DeclassifyIntrinsic: run.declassify,
+		},
 	}
-	if err := run.exec(p.Body, init, func(st *psState) error {
-		run.res.Paths++
-		return nil
-	}); err != nil {
+	if an.opts.RecordTrace {
+		engOpts.NoteHook = run.note
+	}
+	eng := symexec.NewIR(low.Prog, engOpts)
+	res, err := eng.AnalyzeFunction(context.Background(), EntryFunc, nil)
+	if err != nil {
 		return nil, err
 	}
-	run.finish()
+	if res.Coverage.Truncated {
+		// PRIML analyses are exhaustive or failed: a truncated exploration
+		// would make the end-of-last-path hm check unsound, so surface it
+		// as an error instead of a partial verdict.
+		if res.Coverage.Reason == symexec.TruncPathBudget {
+			return nil, fmt.Errorf("priml: analyzer: path budget exhausted (%d)", an.opts.MaxPaths)
+		}
+		return nil, fmt.Errorf("priml: analyzer: exploration truncated (%s)", res.Coverage.Reason)
+	}
+	run.res.Paths = len(res.Paths)
+	run.alg1.Finish(run.res.Paths)
 	run.res.Builder = run.builder
 	for idx, s := range run.secrets {
 		run.res.SecretSymbols[idx] = s
@@ -186,291 +216,142 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// psState is the per-path analysis state (Δ, τΔ, π).
-type psState struct {
-	delta map[string]sym.Expr
-	tau   *taint.Map
-	pi    *solver.PathCondition
+// adapterRun is the per-analysis state bridging the engine to the PRIML
+// surface: the secret-symbol table, the Alg. 1 kernel, and the trace
+// renderer. The engine explores PRIML programs sequentially (the NoteHook
+// and the hm protocol both require depth-first path order), so no locking
+// is needed here.
+type adapterRun struct {
+	builder *sym.Builder
+	secrets map[int]*sym.Symbol // get_secret occurrence → symbol
+	low     *Lowered
+	alg1    *core.Alg1
+	res     *Analysis
+	aborted bool // abort flag for the current trace row
 }
 
-func (st *psState) clone() *psState {
-	d := make(map[string]sym.Expr, len(st.delta))
-	for k, v := range st.delta {
-		d[k] = v
+// getSecret implements PS-INPUT: one fresh symbol per syntactic occurrence
+// so all paths agree on identity.
+func (r *adapterRun) getSecret(c symexec.IntrinsicCall) (sym.Expr, error) {
+	idx := intrinsicIndex(c.Args[0])
+	s, ok := r.secrets[idx]
+	if !ok {
+		s = r.builder.FreshSecret("")
+		r.secrets[idx] = s
 	}
-	return &psState{delta: d, tau: st.tau.Clone(), pi: st.pi}
+	return s, nil
 }
 
-// hmEntry is one slot of Alg. 1's hashmap hm, keyed by the secret tag the
-// path condition is tainted with.
-type hmEntry struct {
-	value    sym.Expr
-	site     int
-	pos      Pos
-	pi       *solver.PathCondition
-	reported bool
+// declassify implements PS-DECLASS: run Alg. 1 and return the value.
+func (r *adapterRun) declassify(c symexec.IntrinsicCall) (sym.Expr, error) {
+	val := c.Args[0]
+	site := intrinsicIndex(c.Args[1])
+	r.alg1.Declassify(site, c.Pos, val, c.PC)
+	return val, nil
 }
 
-type analysisRun struct {
-	an         *Analyzer
-	builder    *sym.Builder
-	secrets    map[int]*sym.Symbol // get_secret occurrence → symbol
-	hm         map[taint.Tag]*hmEntry
-	res        *Analysis
-	aborted    bool // abort flag for the current trace row
-	customSeen map[string]bool
+// intrinsicIndex extracts the concrete site / occurrence index the lowering
+// embedded as an integer-literal argument.
+func intrinsicIndex(e sym.Expr) int {
+	if c, ok := e.(sym.IntConst); ok {
+		return int(c.V)
+	}
+	return 0
 }
 
-// dedupeCustom reports whether the (site, message) custom finding was
-// already emitted on a sibling path.
-func (r *analysisRun) dedupeCustom(site int, msg string) bool {
-	if r.customSeen == nil {
-		r.customSeen = make(map[string]bool)
-	}
-	key := fmt.Sprintf("%d|%s", site, msg)
-	if r.customSeen[key] {
-		return true
-	}
-	r.customSeen[key] = true
-	return false
-}
-
-// exec walks stmt under state st and invokes k on every completed path.
-// Forking at conditionals duplicates the continuation.
-func (r *analysisRun) exec(s Stmt, st *psState, k func(*psState) error) error {
-	switch v := s.(type) {
-	case *Skip:
-		return k(st)
-	case *Seq:
-		return r.execSeq(v.Stmts, st, k)
-	case *Assign:
-		val, err := r.eval(v.Exp, st)
-		if err != nil {
-			return err
-		}
-		st.delta[v.Var] = val
-		st.tau.Set(v.Var, sym.TaintOf(val)) // PS-ASSIGN with P_assign
-		r.traceRow(v.String(), st, nil)
-		return k(st)
-	case *ExprStmt:
-		if _, err := r.eval(v.Exp, st); err != nil {
-			return err
-		}
-		r.traceRow(v.String(), st, nil)
-		return k(st)
-	case *If:
-		return r.execIf(v, st, k)
-	default:
-		return fmt.Errorf("priml: analyzer: unknown statement %T", s)
-	}
-}
-
-func (r *analysisRun) execSeq(stmts []Stmt, st *psState, k func(*psState) error) error {
-	if len(stmts) == 0 {
-		return k(st)
-	}
-	return r.exec(stmts[0], st, func(next *psState) error {
-		return r.execSeq(stmts[1:], next, k)
-	})
-}
-
-// execIf implements PS-TCOND and PS-FCOND: fork, extend π, and update
-// τΔ[π] with P_cond on each side.
-func (r *analysisRun) execIf(v *If, st *psState, k func(*psState) error) error {
-	if r.res.Paths >= r.an.opts.MaxPaths {
-		return fmt.Errorf("priml: analyzer: path budget exhausted (%d)", r.an.opts.MaxPaths)
-	}
-	cond, err := r.eval(v.Cond, st)
-	if err != nil {
-		return err
-	}
-	condTruth := sym.Truth(cond)
-	condTaint := sym.TaintOf(cond)
-
-	// A condition that folded to a constant takes exactly one branch,
-	// per the concrete TCOND/FCOND rules.
-	if c, ok := condTruth.(sym.IntConst); ok {
-		body := v.Then
-		if c.V == 0 {
-			body = v.Else
-		}
-		r.traceRow(v.String(), st, nil)
-		return r.exec(body, st, k)
-	}
-
-	takeBranch := func(base *psState, formula sym.Expr, body Stmt) error {
-		branch := base.clone()
-		branch.pi = branch.pi.And(formula)
-		branch.tau.SetPi(condTaint.Join(base.tau.Pi())) // P_cond(t', τΔ[π])
-		if r.an.opts.PruneInfeasible && !r.an.solver.Feasible(branch.pi) {
-			return nil // infeasible side: no path
-		}
-		r.traceRow(v.String(), branch, nil)
-		return r.exec(body, branch, k)
-	}
-
-	if err := takeBranch(st, condTruth, v.Then); err != nil {
-		return err
-	}
-	return takeBranch(st, sym.Negate(condTruth), v.Else)
-}
-
-// eval implements the PS expression rules, returning the symbolic value.
-// Taint is derived from the expression's free secret symbols.
-func (r *analysisRun) eval(e Exp, st *psState) (sym.Expr, error) {
-	switch v := e.(type) {
-	case *IntLit:
-		return sym.IntConst{V: v.V}, nil // PS-CONST
-	case *Var:
-		if val, ok := st.delta[v.Name]; ok {
-			return val, nil // PS-VAR
-		}
-		return sym.IntConst{V: 0}, nil
-	case *Paren:
-		return r.eval(v.X, st)
-	case *GetSecret:
-		// PS-INPUT: one fresh symbol per syntactic occurrence so all
-		// paths agree on identity.
-		s, ok := r.secrets[v.Index]
-		if !ok {
-			s = r.builder.FreshSecret("")
-			r.secrets[v.Index] = s
-		}
-		return s, nil
-	case *Unop:
-		x, err := r.eval(v.X, st)
-		if err != nil {
-			return nil, err
-		}
-		return sym.NewUnary(v.Op, x), nil // PS-UNOP
-	case *Binop:
-		l, err := r.eval(v.L, st)
-		if err != nil {
-			return nil, err
-		}
-		rhs, err := r.eval(v.R, st)
-		if err != nil {
-			return nil, err
-		}
-		return sym.NewBinary(v.Op, l, rhs), nil // PS-BINOP
-	case *Declassify:
-		val, err := r.eval(v.X, st)
-		if err != nil {
-			return nil, err
-		}
-		r.declassifyCheck(v, val, st) // PS-DECLASS
-		return val, nil
-	default:
-		return nil, fmt.Errorf("priml: analyzer: unknown expression %T", e)
-	}
-}
-
-// declassifyCheck is Alg. 1.
-func (r *analysisRun) declassifyCheck(d *Declassify, val sym.Expr, st *psState) {
-	label := sym.TaintOf(val)
-	if policy := r.an.opts.CustomPolicy; policy != nil {
-		if msg := policy(val, label, st.pi); msg != "" {
-			if !r.dedupeCustom(d.Site, msg) {
-				r.res.Findings = append(r.res.Findings, Finding{
-					Kind:    CustomLeak,
-					Site:    d.Site,
-					Pos:     d.Pos,
-					Value:   val,
-					Path:    st.pi,
-					Message: msg,
-				})
-				r.aborted = true
-			}
-		}
-	}
-	if tag, single := label.Tag(); single {
+// onViolation phrases one kernel violation as a PRIML finding.
+func (r *adapterRun) onViolation(v core.Alg1Violation) {
+	pos := Pos{Line: v.Pos.Line, Col: v.Pos.Col}
+	switch v.Kind {
+	case core.Alg1Custom:
+		r.res.Findings = append(r.res.Findings, Finding{
+			Kind:    CustomLeak,
+			Site:    v.Site,
+			Pos:     pos,
+			Value:   v.Value,
+			Path:    v.Pi,
+			Message: v.CustomMessage,
+		})
+		r.aborted = true
+	case core.Alg1Explicit:
 		f := Finding{
-			Kind:   ExplicitLeak,
-			Site:   d.Site,
-			Pos:    d.Pos,
-			Secret: tag,
-			Value:  val,
-			Path:   st.pi,
-		}
-		if secretSym := r.symbolForTag(tag); secretSym != nil {
-			if inv, ok := sym.InvertFor(val, secretSym.ID); ok {
-				f.Inversion = inv
-			}
+			Kind:      ExplicitLeak,
+			Site:      v.Site,
+			Pos:       pos,
+			Secret:    v.Tag,
+			Value:     v.Value,
+			Path:      v.Pi,
+			Inversion: v.Inversion,
 		}
 		f.Message = explicitMessage(f)
 		r.res.Findings = append(r.res.Findings, f)
 		r.aborted = true
-		return
-	}
-	if !r.an.opts.ImplicitCheck {
-		return
-	}
-	piTag, single := st.pi.Taint().Tag()
-	if !single {
-		return
-	}
-	entry, ok := r.hm[piTag]
-	switch {
-	case !ok:
-		r.hm[piTag] = &hmEntry{value: val, site: d.Site, pos: d.Pos, pi: st.pi}
-	case !sym.Equal(entry.value, val):
-		if !entry.reported {
-			f := Finding{
-				Kind:   ImplicitLeak,
-				Site:   d.Site,
-				Pos:    d.Pos,
-				Secret: piTag,
-				Values: [2]sym.Expr{entry.value, val},
-				Path:   st.pi,
-			}
-			f.Message = implicitMessage(f)
-			r.res.Findings = append(r.res.Findings, f)
-			entry.reported = true
-			r.aborted = true
-		}
-	default:
-		// Sibling path revealed the same value: the pair carries no
-		// information about the secret; consume the entry.
-		delete(r.hm, piTag)
-	}
-}
-
-// finish performs the end-of-last-path check of Alg. 1: any unmatched,
-// unreported hm entry is an implicit violation (output presence itself
-// depends on the secret).
-func (r *analysisRun) finish() {
-	tags := make([]taint.Tag, 0, len(r.hm))
-	for tag := range r.hm {
-		tags = append(tags, tag)
-	}
-	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
-	for _, tag := range tags {
-		entry := r.hm[tag]
-		if entry.reported || r.res.Paths < 2 {
-			continue
-		}
+	case core.Alg1Implicit:
 		f := Finding{
 			Kind:   ImplicitLeak,
-			Site:   entry.site,
-			Pos:    entry.pos,
-			Secret: tag,
-			Values: [2]sym.Expr{entry.value, nil},
-			Path:   entry.pi,
+			Site:   v.Site,
+			Pos:    pos,
+			Secret: v.Tag,
+			Values: v.Values,
+			Path:   v.Pi,
+		}
+		f.Message = implicitMessage(f)
+		r.res.Findings = append(r.res.Findings, f)
+		r.aborted = true
+	case core.Alg1Presence:
+		f := Finding{
+			Kind:   ImplicitLeak,
+			Site:   v.Site,
+			Pos:    pos,
+			Secret: v.Tag,
+			Values: v.Values,
+			Path:   v.Pi,
 		}
 		f.Message = fmt.Sprintf(
 			"implicit nonreversibility violation: declassify at site %d executes only on paths where π depends on secret %v; observing output presence reveals the secret",
-			entry.site, tag)
+			v.Site, v.Tag)
 		r.res.Findings = append(r.res.Findings, f)
 	}
 }
 
-func (r *analysisRun) symbolForTag(tag taint.Tag) *sym.Symbol {
+func (r *adapterRun) symbolForTag(tag taint.Tag) *sym.Symbol {
 	for _, s := range r.secrets {
 		if s.Tag == tag {
 			return s
 		}
 	}
 	return nil
+}
+
+// note renders one simulation-table row from the engine state at a NoteOp.
+// Δ and τΔ are recomputed from the store: a variable is in Δ exactly when
+// the path assigned it (ZeroDefaultVars never binds defaults), its label is
+// derivable from its value, and π's label is the join over the branch
+// conditions taken — the same values PS-ASSIGN/P_cond maintain
+// incrementally.
+func (r *adapterRun) note(view symexec.StateView, data any) {
+	stmt, _ := data.(string)
+	delta := make(map[string]string)
+	tau := make(map[string]string)
+	for _, name := range r.low.Vars {
+		if val, ok := view.Value(name); ok {
+			delta[name] = trimOuterParens(val.String())
+			tau[name] = sym.TaintOf(val).String()
+		}
+	}
+	pc := view.PC()
+	if pc.Len() > 0 {
+		tau[taint.PiVar] = pc.Taint().String()
+	}
+	r.res.Trace.Append(Row{
+		Statement: stmt,
+		Delta:     delta,
+		Pi:        pc.String(),
+		Tau:       tau,
+		Hm:        r.alg1.HmSnapshot(),
+		Abort:     r.aborted,
+	})
+	r.aborted = false
 }
 
 func explicitMessage(f Finding) string {
@@ -487,48 +368,6 @@ func implicitMessage(f Finding) string {
 	return fmt.Sprintf(
 		"implicit nonreversibility violation at site %d: paths branching on secret %v declassify different values (%s vs %s)",
 		f.Site, f.Secret, f.Values[0], f.Values[1])
-}
-
-// traceRow records one simulation-table row if tracing is enabled.
-func (r *analysisRun) traceRow(stmt string, st *psState, _ error) {
-	if !r.an.opts.RecordTrace {
-		r.aborted = false
-		return
-	}
-	row := Row{
-		Statement: stmt,
-		Delta:     snapshotDelta(st.delta),
-		Pi:        st.pi.String(),
-		Tau:       snapshotTau(st.tau),
-		Hm:        r.snapshotHm(),
-		Abort:     r.aborted,
-	}
-	r.res.Trace.Append(row)
-	r.aborted = false
-}
-
-func snapshotDelta(delta map[string]sym.Expr) map[string]string {
-	out := make(map[string]string, len(delta))
-	for k, v := range delta {
-		out[k] = trimOuterParens(v.String())
-	}
-	return out
-}
-
-func snapshotTau(tau *taint.Map) map[string]string {
-	out := make(map[string]string)
-	for k, v := range tau.Entries() {
-		out[k] = v.String()
-	}
-	return out
-}
-
-func (r *analysisRun) snapshotHm() map[string]string {
-	out := make(map[string]string, len(r.hm))
-	for tag, e := range r.hm {
-		out[tag.String()] = e.value.String()
-	}
-	return out
 }
 
 func trimOuterParens(s string) string {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 
 	"privacyscope/internal/taint"
 )
@@ -154,8 +155,10 @@ func (*Unary) isExpr() {}
 func (u *Unary) String() string { return u.Op.String() + u.X.String() }
 
 // Builder allocates symbols with unique IDs and, for secrets, fresh taint
-// tags. The zero value is not ready; use NewBuilder.
+// tags. The zero value is not ready; use NewBuilder. Allocation and lookup
+// are safe for concurrent use by parallel path workers.
 type Builder struct {
+	mu     sync.Mutex
 	nextID int
 	alloc  *taint.Allocator
 	syms   map[int]*Symbol
@@ -170,6 +173,8 @@ func NewBuilder(alloc *taint.Allocator) *Builder {
 // empty the symbol is named after its tag ("s1", "s2", …), matching the
 // paper's notation.
 func (b *Builder) FreshSecret(name string) *Symbol {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	tag := b.alloc.Fresh()
 	if name == "" {
 		name = "s" + strconv.Itoa(int(tag))
@@ -182,6 +187,12 @@ func (b *Builder) FreshSecret(name string) *Symbol {
 
 // FreshPublic allocates a non-secret (low input) symbol.
 func (b *Builder) FreshPublic(name string) *Symbol {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.freshPublicLocked(name)
+}
+
+func (b *Builder) freshPublicLocked(name string) *Symbol {
 	b.nextID++
 	if name == "" {
 		name = "v" + strconv.Itoa(b.nextID)
@@ -193,7 +204,9 @@ func (b *Builder) FreshPublic(name string) *Symbol {
 
 // FreshEntropy allocates an in-enclave randomness symbol.
 func (b *Builder) FreshEntropy(name string) *Symbol {
-	s := b.FreshPublic(name)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.freshPublicLocked(name)
 	s.Entropy = true
 	return s
 }
@@ -209,10 +222,16 @@ func HasEntropy(e Expr) bool {
 }
 
 // Lookup returns the symbol with the given ID, or nil.
-func (b *Builder) Lookup(id int) *Symbol { return b.syms[id] }
+func (b *Builder) Lookup(id int) *Symbol {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.syms[id]
+}
 
 // Symbols returns all allocated symbols ordered by ID.
 func (b *Builder) Symbols() []*Symbol {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]*Symbol, 0, len(b.syms))
 	for _, s := range b.syms {
 		out = append(out, s)

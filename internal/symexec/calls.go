@@ -3,6 +3,7 @@ package symexec
 import (
 	"fmt"
 
+	"privacyscope/internal/ir"
 	"privacyscope/internal/mem"
 	"privacyscope/internal/minic"
 	"privacyscope/internal/sym"
@@ -18,6 +19,9 @@ var mathBuiltins = map[string]bool{
 // isIntrinsic reports whether the engine has a native model for the
 // function (so statement-position calls must not bypass it).
 func isIntrinsic(opts Options, name string) bool {
+	if opts.Intrinsics[name] != nil {
+		return true
+	}
 	if mathBuiltins[name] {
 		return true
 	}
@@ -33,9 +37,9 @@ func isIntrinsic(opts Options, name string) bool {
 
 // execCallStmt executes a statement-position user call with full path
 // sensitivity: every path through the callee continues the caller.
-func (e *Engine) execCallStmt(st *state, fn *minic.FuncDecl, v *minic.CallExpr, k cont) error {
+func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont) error {
 	if len(st.frames) >= e.opts.inlineDepth() {
-		e.warn("inline depth exceeded at " + fn.Name + "; call skipped")
+		e.warn(st, "inline depth exceeded at "+fn.Name+"; call skipped")
 		return k(st, ctlFallthrough)
 	}
 	args := make([]mem.SVal, len(v.Args))
@@ -66,6 +70,27 @@ func (e *Engine) execCallStmt(st *state, fn *minic.FuncDecl, v *minic.CallExpr, 
 // arguments; decrypt intrinsics re-symbolize their destination as secret.
 func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
 	intTy := minic.Type(minic.Basic{Kind: minic.Int})
+
+	// Front-end intrinsics (the PRIML adapter's get_secret/declassify)
+	// take precedence over every built-in model.
+	if intr := e.opts.Intrinsics[v.Fun]; intr != nil {
+		args := make([]sym.Expr, 0, len(v.Args))
+		for _, a := range v.Args {
+			val, _, err := e.eval(st, a)
+			if err != nil {
+				return nil, nil, err
+			}
+			args = append(args, scalarOf(val))
+		}
+		out, err := intr(IntrinsicCall{Fun: v.Fun, Args: args, Pos: v.Pos, PC: st.pc})
+		if err != nil {
+			return nil, nil, err
+		}
+		if out == nil {
+			out = sym.IntConst{V: 0}
+		}
+		return mem.Scalar{E: out}, intTy, nil
+	}
 
 	if e.opts.OCallFuncs[v.Fun] {
 		ev := SinkEvent{Func: v.Fun, Pos: v.Pos, PC: st.pc}
@@ -129,7 +154,7 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 					n = 1
 					st.store.Bind(e.elementOf(dst.R, summaryIndex),
 						mem.Scalar{E: e.builder.FreshEntropy(fmt.Sprintf("rand@%s[*]", v.Pos))})
-					e.warn("sgx_read_rand with symbolic length summarized")
+					e.warn(st, "sgx_read_rand with symbolic length summarized")
 				} else {
 					for i := 0; i < n; i++ {
 						st.store.Bind(e.shiftRegion(dst.R, i),
@@ -149,11 +174,13 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 	case "malloc":
 		pointee := e.builder.FreshPublic(fmt.Sprintf("heap@%s", v.Pos))
 		blk := e.mgr.SymBlock(pointee, pointee.Name, false)
+		e.mapMu.Lock()
 		e.rootDisplay[blk.Key()] = pointee.Name
+		e.mapMu.Unlock()
 		return mem.Loc{R: blk}, minic.Pointer{Elem: minic.Basic{Kind: minic.Int}}, nil
 	}
 
-	fn, ok := e.file.Function(v.Fun)
+	fn, ok := e.prog.Func(v.Fun)
 	if !ok || fn.Body == nil {
 		// Unknown external: opaque result. Conservative mode treats it
 		// as a fresh secret so unmodeled code cannot launder taint.
@@ -163,13 +190,15 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 			}
 		}
 		if e.opts.ConservativeExterns {
-			e.warn("call to unmodeled function " + v.Fun + " treated as a fresh secret (conservative mode)")
+			e.warn(st, "call to unmodeled function "+v.Fun+" treated as a fresh secret (conservative mode)")
 			name := v.Fun + "@" + v.Pos.String()
 			s := e.builder.FreshSecret(name)
+			e.mapMu.Lock()
 			e.res.SecretSymbols[name] = s
+			e.mapMu.Unlock()
 			return mem.Scalar{E: s}, intTy, nil
 		}
-		e.warn("call to unmodeled function " + v.Fun + " returns an unconstrained public value")
+		e.warn(st, "call to unmodeled function "+v.Fun+" returns an unconstrained public value")
 		return mem.Scalar{E: e.builder.FreshPublic(v.Fun + "@" + v.Pos.String())}, intTy, nil
 	}
 	return e.inlineCall(st, fn, v)
@@ -186,9 +215,9 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 // current state and its first completed path's return value is used, with a
 // warning. ML workloads' helpers are branch-free or concretely-branched, so
 // this approximation does not trigger on the evaluation suite.
-func (e *Engine) inlineCall(st *state, fn *minic.FuncDecl, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
+func (e *Engine) inlineCall(st *state, fn *ir.Func, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
 	if len(st.frames) >= e.opts.inlineDepth() {
-		e.warn("inline depth exceeded at " + fn.Name + "; returning unconstrained value")
+		e.warn(st, "inline depth exceeded at "+fn.Name+"; returning unconstrained value")
 		return mem.Scalar{E: e.builder.FreshPublic(fn.Name + "@depth")}, fn.Return, nil
 	}
 	args := make([]mem.SVal, len(v.Args))
@@ -212,6 +241,9 @@ func (e *Engine) inlineCall(st *state, fn *minic.FuncDecl, v *minic.CallExpr) (m
 	var firstEnd *state
 	var forked bool
 	paths := 0
+	// "First completed path" is only well-defined under depth-first order,
+	// so the callee's subtree is pinned to this worker.
+	st.seqLock++
 	err := e.execBlock(st, fn.Body, func(end *state, c ctl) error {
 		paths++
 		if paths == 1 {
@@ -230,19 +262,21 @@ func (e *Engine) inlineCall(st *state, fn *minic.FuncDecl, v *minic.CallExpr) (m
 		return nil, nil, err
 	}
 	if forked {
-		e.warn("callee " + fn.Name + " forks; call-expression result approximated by its first path")
+		e.warn(st, "callee "+fn.Name+" forks; call-expression result approximated by its first path")
 	}
 	// Adopt the first completed callee path's state — only after the whole
 	// callee exploration finished, because sibling forks inside the callee
 	// still reference st through their cloned continuations.
 	if firstEnd == nil {
 		// Every callee path was infeasible: unconstrained result.
+		st.seqLock--
 		st.frames = st.frames[:len(st.frames)-1]
 		return mem.Scalar{E: e.builder.FreshPublic(fn.Name + "@nopath")}, fn.Return, nil
 	}
 	if firstEnd != st {
 		*st = *firstEnd
 	}
+	st.seqLock--
 	// Pop the callee frame.
 	st.frames = st.frames[:len(st.frames)-1]
 	if retVal == nil {
@@ -272,15 +306,19 @@ func (e *Engine) evalDecrypt(st *state, v *minic.CallExpr, dstIdx int) (mem.SVal
 		}
 	}
 	root := mem.Root(dstLoc.R)
+	e.mapMu.Lock()
 	e.secretRoots[root.Key()] = true
+	e.mapMu.Unlock()
 	// Any elements already bound under the destination become fresh
 	// secrets too.
 	for _, sub := range st.store.SubRegionsOf(root) {
 		display := e.displayName(sub)
 		s := e.builder.FreshSecret(display)
-		e.res.SecretSymbols[display] = s
 		st.store.Bind(sub, mem.Scalar{E: s})
+		e.mapMu.Lock()
+		e.res.SecretSymbols[display] = s
 		e.inputSyms[sub.Key()] = mem.Scalar{E: s}
+		e.mapMu.Unlock()
 	}
 	return mem.Scalar{E: sym.IntConst{V: 0}}, intTy, nil
 }
@@ -319,7 +357,7 @@ func (e *Engine) evalMemcpy(st *state, v *minic.CallExpr) (mem.SVal, minic.Type,
 			return nil, nil, err
 		}
 		st.store.Bind(e.elementOf(dst.R, summaryIndex), val)
-		e.warn("memcpy with symbolic length summarized")
+		e.warn(st, "memcpy with symbolic length summarized")
 		return mem.Scalar{E: sym.IntConst{V: 0}}, intTy, nil
 	}
 	for i := 0; i < n; i++ {
@@ -356,7 +394,7 @@ func (e *Engine) evalMemset(st *state, v *minic.CallExpr) (mem.SVal, minic.Type,
 	n, concrete := concreteInt(scalarOf(nV))
 	if !concrete || n > 4096 {
 		st.store.Bind(e.elementOf(dst.R, summaryIndex), fillV)
-		e.warn("memset with symbolic length summarized")
+		e.warn(st, "memset with symbolic length summarized")
 		return mem.Scalar{E: sym.IntConst{V: 0}}, intTy, nil
 	}
 	for i := 0; i < n; i++ {

@@ -53,9 +53,15 @@ func (c Coverage) Partial() bool { return c.Truncated }
 var errStopExploration = errors.New("symexec: exploration stopped")
 
 // stop records the first truncation reason and returns the unwind sentinel.
+// The stop flag makes every path worker's next step() observe the
+// truncation, so parallel exploration halts promptly instead of each worker
+// discovering the budget independently.
 func (e *Engine) stop(reason TruncReason) error {
+	e.truncMu.Lock()
 	if e.trunc == TruncNone {
 		e.trunc = reason
 	}
+	e.truncMu.Unlock()
+	e.stopFlag.Store(true)
 	return errStopExploration
 }

@@ -1,10 +1,15 @@
 package symexec
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
+	"privacyscope/internal/ir"
 	"privacyscope/internal/mem"
 	"privacyscope/internal/minic"
 	"privacyscope/internal/obs"
@@ -23,10 +28,13 @@ var (
 // within this many statement evaluations.
 const ctxCheckInterval = 32
 
-// Engine symbolically executes MiniC functions. Create one per analysis
-// run; it is not safe for concurrent use.
+// Engine symbolically executes analysis-IR functions (lowered from MiniC or
+// PRIML — see internal/ir). Create one per analysis run. A single run may
+// explore paths on several worker goroutines when Options.PathWorkers > 1;
+// the engine's shared structures are synchronized internally, but the
+// Engine itself must not be shared across concurrent AnalyzeFunction calls.
 type Engine struct {
-	file    *minic.File
+	prog    *ir.Program
 	opts    Options
 	mgr     *mem.Manager
 	builder *sym.Builder
@@ -41,29 +49,53 @@ type Engine struct {
 	secretRoots map[string]bool
 	// rootDisplay maps region-root keys to source-level display names.
 	rootDisplay map[string]string
-	// outRoots maps [out]-parameter root keys to parameter names.
+	// outRoots maps [out]-parameter root keys to parameter names. Written
+	// only while binding entry parameters, read-only during exploration.
 	outRoots map[string]string
+	// mapMu guards inputSyms, secretRoots, rootDisplay and
+	// res.SecretSymbols against concurrent path workers. Lock order:
+	// resMu before mapMu, never the reverse.
+	mapMu sync.Mutex
 
-	frameSeq int
-	steps    int
+	frameSeq int64
+	steps    int64
+	states   int64
+	pruned   int64
 	res      *Result
 	env      *mem.Env
 	obs      obs.Observer
 
+	// resMu guards res.Paths, the warning log and the path budget.
+	resMu    sync.Mutex
+	warns    []warnEntry
+	warnIdx  map[string]int
+	warnSeq  int64
+	truncMu  sync.Mutex
+	stopFlag atomic.Bool
+
+	// sem is the path-worker token pool (capacity PathWorkers-1); nil when
+	// exploration is sequential.
+	sem chan struct{}
+
 	// ctx is the run's cancellation context; trunc records why the
-	// exploration stopped early (TruncNone while it is still exhaustive);
-	// pruned counts infeasible branches dropped by the solver.
-	ctx    context.Context
-	trunc  TruncReason
-	pruned int
+	// exploration stopped early (TruncNone while it is still exhaustive).
+	ctx   context.Context
+	trunc TruncReason
 }
 
-// New returns an engine over the file.
+// New returns an engine over the MiniC file, lowering it to the analysis IR
+// internally.
 func New(file *minic.File, opts Options) *Engine {
+	return NewIR(ir.LowerMiniC(file), opts)
+}
+
+// NewIR returns an engine over an already-lowered program. Front ends other
+// than MiniC (the PRIML adapter) lower themselves and enter here.
+func NewIR(prog *ir.Program, opts Options) *Engine {
 	var alloc taint.Allocator
 	o := obs.Or(opts.Obs)
 	return &Engine{
-		file:        file,
+		prog:        prog,
 		opts:        opts,
 		mgr:         mem.NewManager(),
 		builder:     sym.NewBuilder(&alloc),
@@ -72,6 +104,7 @@ func New(file *minic.File, opts Options) *Engine {
 		secretRoots: make(map[string]bool),
 		rootDisplay: make(map[string]string),
 		outRoots:    make(map[string]string),
+		warnIdx:     make(map[string]int),
 		env:         mem.NewEnv(),
 		obs:         o,
 	}
@@ -92,7 +125,7 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 		ctx = context.Background()
 	}
 	e.ctx = ctx
-	fn, ok := e.file.Function(name)
+	fn, ok := e.prog.Func(name)
 	if !ok || fn.Body == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchFunc, name)
 	}
@@ -109,6 +142,7 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 	if e.opts.TrackTrace {
 		e.res.Trace = NewTrace()
 	}
+	e.setupWorkers(name)
 
 	st := &state{
 		pc:    solver.True(),
@@ -116,11 +150,13 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 	}
 	// Seed globals with constant initializers; globals with dynamic or
 	// absent initializers stay symbolic (conjured on first read).
-	for _, g := range e.file.Globals {
-		if c, ok := constInit(g.Init); ok {
-			reg := e.mgr.Var("::"+g.Name, 0)
-			e.rootDisplay[reg.Key()] = g.Name
-			st.store.Bind(reg, coerceSVal(mem.Scalar{E: c}, g.Type))
+	if e.prog.Module != nil {
+		for _, g := range e.prog.Module.Globals {
+			if c, ok := constInit(g.Init); ok {
+				reg := e.mgr.Var("::"+g.Name, 0)
+				e.rootDisplay[reg.Key()] = g.Name
+				st.store.Bind(reg, coerceSVal(mem.Scalar{E: c}, g.Type))
+			}
 		}
 	}
 	fr := e.pushFrame(st, fn)
@@ -145,8 +181,17 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 	if err != nil && !errors.Is(err, errStopExploration) {
 		return nil, err
 	}
+	// Deterministic result order regardless of worker interleaving: paths
+	// and warnings sort by their fork-choice keys, which reproduces the
+	// sequential depth-first order exactly.
+	sort.SliceStable(e.res.Paths, func(i, j int) bool {
+		return bytes.Compare(e.res.Paths[i].key, e.res.Paths[j].key) < 0
+	})
+	e.finishWarnings()
 	if e.trunc != TruncNone {
-		e.warn("exploration truncated: " + string(e.trunc))
+		msg := "exploration truncated: " + string(e.trunc)
+		e.res.Warnings = append(e.res.Warnings, msg)
+		e.obs.Event("symexec.warning", obs.F("msg", msg))
 	}
 	incomplete := 0
 	for _, p := range e.res.Paths {
@@ -154,11 +199,12 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 			incomplete++
 		}
 	}
+	e.res.States = int(atomic.LoadInt64(&e.states))
 	e.res.Coverage = Coverage{
 		CompletedPaths:  len(e.res.Paths),
 		IncompletePaths: incomplete,
-		PrunedPaths:     e.pruned,
-		StepsUsed:       e.steps,
+		PrunedPaths:     int(atomic.LoadInt64(&e.pruned)),
+		StepsUsed:       int(atomic.LoadInt64(&e.steps)),
 		Truncated:       e.trunc != TruncNone,
 		Reason:          e.trunc,
 	}
@@ -172,6 +218,35 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 		obs.F("states", fmt.Sprint(e.res.States)),
 		obs.F("truncated", string(e.trunc)))
 	return e.res, nil
+}
+
+// setupWorkers decides the effective path-worker count for this entry point
+// and allocates the token pool. Parallel exploration is declined when a
+// feature needs strict sequential path order: Table-IV trace recording,
+// front-end note hooks (the PRIML adapter's hm protocol is cross-path
+// order-dependent), and decrypt intrinsics (they re-symbolize shared
+// secret-root state mid-path).
+func (e *Engine) setupWorkers(entry string) {
+	workers := e.opts.PathWorkers
+	if workers <= 1 {
+		return
+	}
+	if e.opts.TrackTrace || e.opts.NoteHook != nil {
+		return
+	}
+	reach := e.prog.ReachableCalls(entry)
+	names := make([]string, 0, len(reach))
+	for n := range reach {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, isDecrypt := e.opts.DecryptFuncs[n]; isDecrypt {
+			e.warn(nil, "path workers disabled: decrypt intrinsic "+n+" re-symbolizes shared memory")
+			return
+		}
+	}
+	e.sem = make(chan struct{}, workers-1)
 }
 
 // bindParam sets up one entry parameter per its EDL class.
@@ -209,7 +284,9 @@ func (e *Engine) bindParam(st *state, fr *sframe, p *minic.VarDecl, cls ParamCla
 
 // completePath records one finished path's observable outcome.
 func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
+	e.resMu.Lock()
 	if len(e.res.Paths) >= e.opts.maxPaths() {
+		e.resMu.Unlock()
 		e.obs.Add("symexec.truncations.max_paths", 1)
 		return e.stop(TruncPathBudget)
 	}
@@ -226,6 +303,7 @@ func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
 		Ocalls:     st.ocalls,
 		Incomplete: st.incomplete,
 		Cost:       st.cost,
+		key:        st.key,
 	}
 	for _, b := range st.store.Bindings() {
 		rootKey := mem.Root(b.Region).Key()
@@ -245,6 +323,7 @@ func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
 		})
 	}
 	e.res.Paths = append(e.res.Paths, pr)
+	e.resMu.Unlock()
 	e.snapshot(st, "path end")
 	return nil
 }
@@ -258,6 +337,14 @@ type state struct {
 	incomplete bool
 	// cost counts executed statements (the abstract time model).
 	cost int
+	// key is the fork-choice sequence that reached this state (two
+	// big-endian bytes per fork). Lexicographic order over keys equals the
+	// sequential depth-first exploration order, which is what makes
+	// parallel results deterministically sortable.
+	key []byte
+	// seqLock > 0 pins this state's subtree to the requesting worker
+	// (inlineCall's first-path adoption is order-dependent).
+	seqLock int
 }
 
 func (st *state) clone() *state {
@@ -267,6 +354,8 @@ func (st *state) clone() *state {
 	}
 	ocalls := make([]SinkEvent, len(st.ocalls))
 	copy(ocalls, st.ocalls)
+	key := make([]byte, len(st.key))
+	copy(key, st.key)
 	return &state{
 		pc:         st.pc,
 		store:      st.store.Clone(),
@@ -274,6 +363,8 @@ func (st *state) clone() *state {
 		ocalls:     ocalls,
 		incomplete: st.incomplete,
 		cost:       st.cost,
+		key:        key,
+		seqLock:    st.seqLock,
 	}
 }
 
@@ -285,7 +376,7 @@ type varBind struct {
 }
 
 type sframe struct {
-	fn     *minic.FuncDecl
+	fn     *ir.Func
 	id     int
 	scopes []map[string]varBind
 }
@@ -318,9 +409,8 @@ func (f *sframe) lookup(name string) (varBind, bool) {
 	return varBind{}, false
 }
 
-func (e *Engine) pushFrame(st *state, fn *minic.FuncDecl) *sframe {
-	e.frameSeq++
-	fr := &sframe{fn: fn, id: e.frameSeq}
+func (e *Engine) pushFrame(st *state, fn *ir.Func) *sframe {
+	fr := &sframe{fn: fn, id: int(atomic.AddInt64(&e.frameSeq, 1))}
 	fr.push()
 	st.frames = append(st.frames, fr)
 	return fr
@@ -347,13 +437,16 @@ var ctlFallthrough = ctl{}
 type cont func(*state, ctl) error
 
 func (e *Engine) step() error {
-	e.steps++
+	if e.stopFlag.Load() {
+		return errStopExploration
+	}
+	n := atomic.AddInt64(&e.steps, 1)
 	e.obs.Add("symexec.steps", 1)
-	if e.steps > e.opts.maxSteps() {
+	if int(n) > e.opts.maxSteps() {
 		e.obs.Add("symexec.truncations.max_steps", 1)
 		return e.stop(TruncStepBudget)
 	}
-	if e.steps%ctxCheckInterval == 0 {
+	if n%ctxCheckInterval == 0 {
 		if err := e.ctx.Err(); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				e.obs.Add("symexec.truncations.deadline", 1)
@@ -366,43 +459,53 @@ func (e *Engine) step() error {
 	return nil
 }
 
-func (e *Engine) execBlock(st *state, b *minic.Block, k cont) error {
+func (e *Engine) execBlock(st *state, b *ir.BlockOp, k cont) error {
 	st.frame().push()
-	return e.execSeq(st, b.Stmts, func(end *state, c ctl) error {
+	return e.execSeq(st, b.Ops, func(end *state, c ctl) error {
 		end.frame().pop()
 		return k(end, c)
 	})
 }
 
-func (e *Engine) execSeq(st *state, stmts []minic.Stmt, k cont) error {
-	if len(stmts) == 0 {
+func (e *Engine) execSeq(st *state, ops []ir.Op, k cont) error {
+	if len(ops) == 0 {
 		return k(st, ctlFallthrough)
 	}
-	return e.exec(st, stmts[0], func(next *state, c ctl) error {
+	return e.exec(st, ops[0], func(next *state, c ctl) error {
 		if c.kind != ctlNext {
 			return k(next, c)
 		}
-		return e.execSeq(next, stmts[1:], k)
+		return e.execSeq(next, ops[1:], k)
 	})
 }
 
-func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
+func (e *Engine) exec(st *state, op ir.Op, k cont) error {
+	// Notes are front-end markers, not statements: no step, no cost, no
+	// snapshot — the hook observes state, it does not advance it.
+	if n, isNote := op.(*ir.NoteOp); isNote {
+		if e.opts.NoteHook != nil {
+			e.opts.NoteHook(StateView{e: e, st: st}, n.Data)
+		}
+		return k(st, ctlFallthrough)
+	}
 	if err := e.step(); err != nil {
 		return err
 	}
 	st.cost++
-	e.snapshot(st, minic.StmtString(s))
-	switch v := s.(type) {
-	case *minic.Block:
+	e.snapshot(st, op.Display())
+	switch v := op.(type) {
+	case *ir.BlockOp:
 		return e.execBlock(st, v, k)
-	case *minic.EmptyStmt:
+	case *ir.EmptyOp:
 		return k(st, ctlFallthrough)
-	case *minic.DeclStmt:
+	case *ir.DeclOp:
 		for _, d := range v.Decls {
 			reg := e.mgr.Var(d.Name+"#"+fmt.Sprint(st.frame().id), st.frame().id)
 			st.frame().declare(d.Name, reg, d.Type)
 			e.env.Bind(d.Name, reg)
+			e.mapMu.Lock()
 			e.rootDisplay[reg.Key()] = d.Name
+			e.mapMu.Unlock()
 			if d.Init != nil {
 				val, _, err := e.eval(st, d.Init)
 				if err != nil {
@@ -412,13 +515,13 @@ func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
 			}
 		}
 		return k(st, ctlFallthrough)
-	case *minic.ExprStmt:
+	case *ir.ExprOp:
 		// A bare call to a user function in statement position is
 		// executed with full path sensitivity: forks inside the callee
 		// propagate to the caller's continuation. (Calls in expression
 		// position fall back to inlineCall's first-path approximation.)
 		if call, ok := v.X.(*minic.CallExpr); ok {
-			if fn, defined := e.file.Function(call.Fun); defined && fn.Body != nil &&
+			if fn, defined := e.prog.Func(call.Fun); defined && fn.Body != nil &&
 				!e.opts.OCallFuncs[call.Fun] && !isIntrinsic(e.opts, call.Fun) {
 				return e.execCallStmt(st, fn, call, k)
 			}
@@ -427,11 +530,25 @@ func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
 			return err
 		}
 		return k(st, ctlFallthrough)
-	case *minic.IfStmt:
+	case *ir.IfOp:
 		return e.execIf(st, v, k)
-	case *minic.WhileStmt:
-		return e.execLoop(st, v.Cond, nil, v.Body, k)
-	case *minic.ForStmt:
+	case *ir.LoopOp:
+		if v.PostTest {
+			// do S while (c) ≡ S; while (c) S — with break in the first
+			// S exiting the loop.
+			return e.exec(st, v.Body, func(next *state, c ctl) error {
+				switch c.kind {
+				case ctlReturn:
+					return k(next, c)
+				case ctlBreak:
+					return k(next, ctlFallthrough)
+				}
+				return e.execLoop(next, v.Cond, nil, v.Body, k)
+			})
+		}
+		if !v.Scoped {
+			return e.execLoop(st, v.Cond, nil, v.Body, k)
+		}
 		st.frame().push()
 		inner := func(end *state, c ctl) error {
 			end.frame().pop()
@@ -446,21 +563,9 @@ func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
 			})
 		}
 		return e.execLoop(st, v.Cond, v.Post, v.Body, inner)
-	case *minic.DoWhileStmt:
-		// do S while (c) ≡ S; while (c) S — with break in the first
-		// S exiting the loop.
-		return e.exec(st, v.Body, func(next *state, c ctl) error {
-			switch c.kind {
-			case ctlReturn:
-				return k(next, c)
-			case ctlBreak:
-				return k(next, ctlFallthrough)
-			}
-			return e.execLoop(next, v.Cond, nil, v.Body, k)
-		})
-	case *minic.SwitchStmt:
+	case *ir.SwitchOp:
 		return e.execSwitch(st, v, k)
-	case *minic.ReturnStmt:
+	case *ir.ReturnOp:
 		var ret sym.Expr
 		if v.X != nil {
 			val, _, err := e.eval(st, v.X)
@@ -470,15 +575,115 @@ func (e *Engine) exec(st *state, s minic.Stmt, k cont) error {
 			ret = scalarOf(val)
 		}
 		return k(st, ctl{kind: ctlReturn, ret: ret, retPos: v.Pos})
-	case *minic.BreakStmt:
+	case *ir.BreakOp:
 		return k(st, ctl{kind: ctlBreak})
-	case *minic.ContinueStmt:
+	case *ir.ContinueOp:
 		return k(st, ctl{kind: ctlContinue})
 	}
-	return fmt.Errorf("symexec: unknown statement %T", s)
+	return fmt.Errorf("symexec: unknown op %T", op)
 }
 
-func (e *Engine) execIf(st *state, v *minic.IfStmt, k cont) error {
+// branchCase is one arm of a fork: a pre-cloned state (path condition
+// already extended) and the work to run on it.
+type branchCase struct {
+	st  *state
+	run func(*state) error
+}
+
+// childKey extends a fork-choice key by one choice (two big-endian bytes).
+func childKey(parent []byte, choice int) []byte {
+	k := make([]byte, len(parent)+2)
+	copy(k, parent)
+	k[len(parent)] = byte(choice >> 8)
+	k[len(parent)+1] = byte(choice)
+	return k
+}
+
+// runBranches explores the arms of a fork. Sequentially it preserves the
+// engine's historical depth-first order exactly. With a worker pool, arms
+// past the first are offloaded to free workers (non-blocking token
+// acquisition — a full pool degrades to inline execution, so the pool can
+// never deadlock); the first arm always runs on the requesting worker.
+// Worker panics are captured and re-raised on the requesting goroutine
+// after all arms join, so a panicking path degrades the whole analysis to
+// the facade's ErrorReport instead of killing the process or leaking
+// goroutines.
+func (e *Engine) runBranches(parent *state, branches []branchCase) error {
+	for i := range branches {
+		branches[i].st.key = childKey(parent.key, i)
+	}
+	if e.sem == nil || parent.seqLock > 0 {
+		for _, b := range branches {
+			if err := b.run(b.st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n := len(branches)
+	errs := make([]error, n)
+	pans := make([]any, n)
+	inline := make([]bool, n)
+	inline[0] = true
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		select {
+		case e.sem <- struct{}{}:
+		default:
+			inline[i] = true
+			continue
+		}
+		wg.Add(1)
+		e.obs.Add("symexec.workers.spawned", 1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					pans[i] = p
+					e.obs.Add("symexec.workers.panics", 1)
+				}
+			}()
+			errs[i] = branches[i].run(branches[i].st)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if !inline[i] {
+			continue
+		}
+		e.obs.Add("symexec.workers.inline", 1)
+		func(i int) {
+			defer func() {
+				if p := recover(); p != nil {
+					pans[i] = p
+					e.obs.Add("symexec.workers.panics", 1)
+				}
+			}()
+			errs[i] = branches[i].run(branches[i].st)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range pans {
+		if p != nil {
+			panic(p)
+		}
+	}
+	// Prefer a real semantic error (lowest branch index) over the
+	// truncation sentinel so failures surface deterministically.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errStopExploration) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execIf(st *state, v *ir.IfOp, k cont) error {
 	condVal, _, err := e.eval(st, v.Cond)
 	if err != nil {
 		return err
@@ -497,20 +702,25 @@ func (e *Engine) execIf(st *state, v *minic.IfStmt, k cont) error {
 	e.obs.Add("symexec.forks", 1)
 	thenSt := st.clone()
 	thenSt.pc = thenSt.pc.And(cond)
-	if e.feasible(thenSt.pc) {
-		if err := e.exec(thenSt, v.Then, k); err != nil {
-			return err
-		}
-	}
 	elseSt := st.clone()
 	elseSt.pc = elseSt.pc.And(sym.Negate(cond))
-	if e.feasible(elseSt.pc) {
-		if v.Else != nil {
-			return e.exec(elseSt, v.Else, k)
-		}
-		return k(elseSt, ctlFallthrough)
-	}
-	return nil
+	return e.runBranches(st, []branchCase{
+		{st: thenSt, run: func(s *state) error {
+			if !e.feasible(s.pc) {
+				return nil
+			}
+			return e.exec(s, v.Then, k)
+		}},
+		{st: elseSt, run: func(s *state) error {
+			if !e.feasible(s.pc) {
+				return nil
+			}
+			if v.Else != nil {
+				return e.exec(s, v.Else, k)
+			}
+			return k(s, ctlFallthrough)
+		}},
+	})
 }
 
 func (e *Engine) feasible(pc *solver.PathCondition) bool {
@@ -519,7 +729,7 @@ func (e *Engine) feasible(pc *solver.PathCondition) bool {
 	}
 	ok := e.sv.Feasible(pc)
 	if !ok {
-		e.pruned++
+		atomic.AddInt64(&e.pruned, 1)
 		e.obs.Add("symexec.paths.pruned", 1)
 	}
 	return ok
@@ -528,7 +738,7 @@ func (e *Engine) feasible(pc *solver.PathCondition) bool {
 // execLoop handles while (post == nil) and for loops. Concrete conditions
 // iterate without forking (bounded by the step budget); symbolic conditions
 // fork per iteration up to LoopBound.
-func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body minic.Stmt, k cont) error {
+func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body ir.Op, k cont) error {
 	var iter func(cur *state, remaining int) error
 
 	afterBody := func(next *state, c ctl, remaining int) error {
@@ -556,7 +766,7 @@ func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body mini
 			if remaining <= 0 {
 				cur.incomplete = true
 				e.obs.Add("symexec.loop.bound_hits", 1)
-				e.warn("infinite loop cut at bound")
+				e.warn(cur, "infinite loop cut at bound")
 				return k(cur, ctlFallthrough)
 			}
 			return e.exec(cur, body, func(next *state, c ctl) error {
@@ -582,37 +792,83 @@ func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body mini
 			cur.incomplete = true
 			cur.pc = cur.pc.And(sym.Negate(truth))
 			e.obs.Add("symexec.loop.bound_hits", 1)
-			e.warn("symbolic loop cut at bound " + fmt.Sprint(e.opts.loopBound()))
+			e.warn(cur, "symbolic loop cut at bound "+fmt.Sprint(e.opts.loopBound()))
 			return k(cur, ctlFallthrough)
 		}
 		e.obs.Add("symexec.forks", 1)
 		enter := cur.clone()
 		enter.pc = enter.pc.And(truth)
-		if e.feasible(enter.pc) {
-			if err := e.exec(enter, body, func(next *state, cc ctl) error {
-				return afterBody(next, cc, remaining-1)
-			}); err != nil {
-				return err
-			}
-		}
 		exit := cur.clone()
 		exit.pc = exit.pc.And(sym.Negate(truth))
-		if e.feasible(exit.pc) {
-			return k(exit, ctlFallthrough)
-		}
-		return nil
+		return e.runBranches(cur, []branchCase{
+			{st: enter, run: func(s *state) error {
+				if !e.feasible(s.pc) {
+					return nil
+				}
+				return e.exec(s, body, func(next *state, cc ctl) error {
+					return afterBody(next, cc, remaining-1)
+				})
+			}},
+			{st: exit, run: func(s *state) error {
+				if !e.feasible(s.pc) {
+					return nil
+				}
+				return k(s, ctlFallthrough)
+			}},
+		})
 	}
 	return iter(st, e.opts.loopBound())
 }
 
-func (e *Engine) warn(msg string) {
-	for _, w := range e.res.Warnings {
-		if w == msg {
-			return
-		}
+// warnEntry is one deduplicated warning with the fork-choice key and global
+// sequence of its first (depth-first-least) emission, for deterministic
+// ordering under parallel exploration.
+type warnEntry struct {
+	key   []byte
+	order int64
+	msg   string
+}
+
+// warn records a soft diagnostic. st may be nil for engine-level warnings
+// emitted outside any path.
+func (e *Engine) warn(st *state, msg string) {
+	var key []byte
+	if st != nil {
+		key = st.key
 	}
-	e.res.Warnings = append(e.res.Warnings, msg)
-	e.obs.Event("symexec.warning", obs.F("msg", msg))
+	e.resMu.Lock()
+	if i, ok := e.warnIdx[msg]; ok {
+		w := &e.warns[i]
+		if bytes.Compare(key, w.key) < 0 {
+			w.key = append([]byte(nil), key...)
+			w.order = e.warnSeq
+		}
+	} else {
+		e.warnIdx[msg] = len(e.warns)
+		e.warns = append(e.warns, warnEntry{
+			key:   append([]byte(nil), key...),
+			order: e.warnSeq,
+			msg:   msg,
+		})
+		e.obs.Event("symexec.warning", obs.F("msg", msg))
+	}
+	e.warnSeq++
+	e.resMu.Unlock()
+}
+
+// finishWarnings materializes Result.Warnings in deterministic order: by
+// fork-choice key, then by emission sequence — which is exactly the
+// sequential emission order when exploration ran on one worker.
+func (e *Engine) finishWarnings() {
+	sort.SliceStable(e.warns, func(i, j int) bool {
+		if c := bytes.Compare(e.warns[i].key, e.warns[j].key); c != 0 {
+			return c < 0
+		}
+		return e.warns[i].order < e.warns[j].order
+	})
+	for _, w := range e.warns {
+		e.res.Warnings = append(e.res.Warnings, w.msg)
+	}
 }
 
 // scalarOf extracts a scalar expression from an SVal; locations degrade to
@@ -667,7 +923,7 @@ func constInit(e minic.Expr) (sym.Expr, bool) {
 // per case (with the preceding cases excluded from π) plus a default state.
 // Fallthrough is honored: from the entry case, statements of all later
 // cases run until a break.
-func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
+func (e *Engine) execSwitch(st *state, v *ir.SwitchOp, k cont) error {
 	tagVal, _, err := e.eval(st, v.Tag)
 	if err != nil {
 		return err
@@ -677,11 +933,11 @@ func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
 	// runFrom executes case bodies from entry onward with switch-scoped
 	// break handling.
 	runFrom := func(cur *state, entry int, kk cont) error {
-		var stmts []minic.Stmt
+		var ops []ir.Op
 		for i := entry; i < len(v.Cases); i++ {
-			stmts = append(stmts, v.Cases[i].Body...)
+			ops = append(ops, v.Cases[i].Body...)
 		}
-		return e.execSeq(cur, stmts, func(end *state, c ctl) error {
+		return e.execSeq(cur, ops, func(end *state, c ctl) error {
 			if c.kind == ctlBreak {
 				return kk(end, ctlFallthrough)
 			}
@@ -735,6 +991,7 @@ func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
 	// Symbolic tag: fork per case.
 	e.obs.Add("symexec.forks", 1)
 	var excluded []sym.Expr
+	var branches []branchCase
 	for i, c := range v.Cases {
 		if c.IsDefault {
 			continue
@@ -745,11 +1002,13 @@ func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
 		for _, ex := range excluded {
 			branch.pc = branch.pc.And(sym.Negate(ex))
 		}
-		if e.feasible(branch.pc) {
-			if err := runFrom(branch, i, k); err != nil {
-				return err
+		entry := i
+		branches = append(branches, branchCase{st: branch, run: func(s *state) error {
+			if !e.feasible(s.pc) {
+				return nil
 			}
-		}
+			return runFrom(s, entry, k)
+		}})
 		excluded = append(excluded, match)
 	}
 	// No-match state: default case, or fall past the switch.
@@ -757,11 +1016,14 @@ func (e *Engine) execSwitch(st *state, v *minic.SwitchStmt, k cont) error {
 	for _, ex := range excluded {
 		rest.pc = rest.pc.And(sym.Negate(ex))
 	}
-	if !e.feasible(rest.pc) {
-		return nil
-	}
-	if defaultIdx >= 0 {
-		return runFrom(rest, defaultIdx, k)
-	}
-	return k(rest, ctlFallthrough)
+	branches = append(branches, branchCase{st: rest, run: func(s *state) error {
+		if !e.feasible(s.pc) {
+			return nil
+		}
+		if defaultIdx >= 0 {
+			return runFrom(s, defaultIdx, k)
+		}
+		return k(s, ctlFallthrough)
+	}})
+	return e.runBranches(st, branches)
 }

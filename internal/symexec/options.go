@@ -85,6 +85,29 @@ type Options struct {
 	// extern result reaching a sink), but available for high-assurance
 	// audits where unmodeled code must not silently launder taint.
 	ConservativeExterns bool
+	// Intrinsics gives front ends custom call models keyed by function
+	// name, dispatched before every built-in model. The PRIML adapter
+	// registers its get_secret/declassify semantics here, so declassify
+	// checking runs inside the shared engine instead of a second
+	// interpreter.
+	Intrinsics map[string]IntrinsicFunc
+	// NoteHook receives ir.NoteOp payloads with a read-only view of the
+	// current state. Notes execute at zero cost (no step, no snapshot);
+	// the PRIML adapter uses them to emit Table II/III trace rows.
+	// Setting a NoteHook forces sequential exploration.
+	NoteHook func(view StateView, data any)
+	// PathWorkers sets the number of goroutines exploring the path
+	// frontier of one entry point. Values <= 1 mean sequential
+	// exploration. Findings and result ordering are deterministic and
+	// identical to the sequential order; features that depend on strict
+	// sequential path order (TrackTrace, NoteHook, decrypt intrinsics)
+	// force workers back to 1 for that entry point.
+	PathWorkers int
+	// ZeroDefaultVars makes reads of never-written scalar variables
+	// evaluate to the integer 0 instead of conjuring fresh symbolic
+	// inputs, without binding the zero into the store (PRIML's
+	// default-zero store semantics, §V-B).
+	ZeroDefaultVars bool
 	// Obs receives engine telemetry (symexec.* counters, path-depth
 	// distributions). Nil means the no-op observer: instrumentation stays
 	// in place but costs nothing. See docs/OBSERVABILITY.md.
@@ -177,6 +200,9 @@ type PathResult struct {
 	// sketches in §VIII-A ("simulate the execution time for program
 	// paths and detect if execution time depends on secret").
 	Cost int
+	// key is the fork-choice sequence that produced this path; results
+	// sort by it so parallel exploration reproduces the sequential order.
+	key []byte
 }
 
 // Result aggregates the exploration of one entry function.

@@ -1,0 +1,166 @@
+package symexec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// branchySrc forks on four secret comparisons (16 feasible paths) and mixes
+// in observable writes, a concretely-bounded loop, and a helper call, so
+// parallel exploration has real work to disagree on if ordering ever broke.
+const branchySrc = `
+int helper(int v)
+{
+    if (v > 10)
+        return v - 10;
+    return v;
+}
+
+int enclave_branchy(char *secrets, char *output)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < 3; i = i + 1)
+        acc = acc + i;
+    if (secrets[0] > 0) acc = acc + 1; else acc = acc - 1;
+    if (secrets[1] > 0) acc = acc + 2; else acc = acc - 2;
+    if (secrets[2] > 0) acc = acc + 4; else acc = acc - 4;
+    if (secrets[3] > 0) acc = acc + 8; else acc = acc - 8;
+    output[0] = helper(acc);
+    output[1] = secrets[0] + 100;
+    return acc;
+}
+`
+
+// canonicalize renders the order-sensitive parts of a Result: per-path
+// conditions, returns and observable writes, plus warnings and counters.
+func canonicalize(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "paths=%d pruned=%d truncated=%v reason=%s\n",
+		len(res.Paths), res.Coverage.PrunedPaths, res.Coverage.Truncated, res.Coverage.Reason)
+	for i, p := range res.Paths {
+		fmt.Fprintf(&sb, "path[%d] pc=%s", i, p.PC)
+		if p.Return != nil {
+			fmt.Fprintf(&sb, " ret=%s", p.Return)
+		}
+		fmt.Fprintf(&sb, " cost=%d incomplete=%v\n", p.Cost, p.Incomplete)
+		for _, o := range p.Outs {
+			fmt.Fprintf(&sb, "  out %s=%s\n", o.Display, o.Value)
+		}
+		for _, oc := range p.Ocalls {
+			fmt.Fprintf(&sb, "  ocall %s(%d args) pc=%s\n", oc.Func, len(oc.Args), oc.PC)
+		}
+	}
+	fmt.Fprintf(&sb, "warnings=%v\n", res.Warnings)
+	return sb.String()
+}
+
+// TestPathWorkersDeterministic pins the tentpole guarantee: parallel path
+// exploration returns results identical to sequential exploration, in the
+// same order, for any worker count.
+func TestPathWorkersDeterministic(t *testing.T) {
+	params := []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+	base := DefaultOptions()
+	seq := analyzeSrc(t, branchySrc, "enclave_branchy", params, base)
+	if len(seq.Paths) != 16 {
+		t.Fatalf("sequential paths = %d, want 16", len(seq.Paths))
+	}
+	want := canonicalize(seq)
+	for _, workers := range []int{2, 4, 8} {
+		opts := base
+		opts.PathWorkers = workers
+		got := canonicalize(analyzeSrc(t, branchySrc, "enclave_branchy", params, opts))
+		if got != want {
+			t.Errorf("workers=%d diverges from sequential:\n--- sequential ---\n%s--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestPathWorkersBudgetTruncation checks that the path budget still
+// truncates deterministically under parallel exploration: the completed
+// paths are exactly the sequential-order prefix.
+func TestPathWorkersBudgetTruncation(t *testing.T) {
+	params := []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+	base := DefaultOptions()
+	base.MaxPaths = 5
+	seq := analyzeSrc(t, branchySrc, "enclave_branchy", params, base)
+	if !seq.Coverage.Truncated || seq.Coverage.Reason != TruncPathBudget {
+		t.Fatalf("sequential coverage = %+v, want path-budget truncation", seq.Coverage)
+	}
+	if len(seq.Paths) != 5 {
+		t.Fatalf("sequential paths = %d, want 5", len(seq.Paths))
+	}
+	// Parallel workers race toward the budget, so *which* 5 paths complete
+	// first is scheduling-dependent — but every completed path must be a
+	// valid path with a feasible condition, the count must respect the
+	// budget, and the truncation must be reported.
+	for _, workers := range []int{2, 8} {
+		opts := base
+		opts.PathWorkers = workers
+		res := analyzeSrc(t, branchySrc, "enclave_branchy", params, opts)
+		if !res.Coverage.Truncated || res.Coverage.Reason != TruncPathBudget {
+			t.Errorf("workers=%d coverage = %+v, want path-budget truncation", workers, res.Coverage)
+		}
+		if len(res.Paths) != 5 {
+			t.Errorf("workers=%d paths = %d, want 5", workers, len(res.Paths))
+		}
+	}
+}
+
+// TestPathWorkersSequentialFallbacks checks the features that pin
+// exploration to one worker: trace recording and decrypt intrinsics.
+func TestPathWorkersSequentialFallbacks(t *testing.T) {
+	params := []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+	t.Run("track-trace", func(t *testing.T) {
+		opts := DefaultOptions()
+		opts.PathWorkers = 4
+		opts.TrackTrace = true
+		res := analyzeSrc(t, branchySrc, "enclave_branchy", params, opts)
+		if res.Trace == nil || res.Trace.Len() == 0 {
+			t.Fatal("trace recording lost under PathWorkers")
+		}
+		if len(res.Paths) != 16 {
+			t.Fatalf("paths = %d, want 16", len(res.Paths))
+		}
+	})
+	t.Run("decrypt-intrinsic", func(t *testing.T) {
+		src := `
+int enclave_dec(char *blob, char *output)
+{
+    sgx_rijndael128GCM_decrypt(blob, 4);
+    if (blob[0] > 0)
+        output[0] = blob[0];
+    else
+        output[0] = 0;
+    return 0;
+}
+`
+		opts := DefaultOptions()
+		opts.PathWorkers = 4
+		res := analyzeSrc(t, src, "enclave_dec",
+			[]ParamSpec{{Name: "blob", Class: ParamPublic}, {Name: "output", Class: ParamOut}}, opts)
+		if len(res.Paths) != 2 {
+			t.Fatalf("paths = %d, want 2", len(res.Paths))
+		}
+		found := false
+		for _, w := range res.Warnings {
+			if strings.Contains(w, "path workers disabled") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a path-workers-disabled warning, got %v", res.Warnings)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package symexec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Trace records exploded-state snapshots in the style of Table IV: for each
@@ -69,9 +70,11 @@ func stateLabel(i int) string {
 
 // snapshot records the current state if tracing is on; it always counts the
 // state for the Table IV state metric. Rows past TraceCap are counted as
-// dropped rather than silently discarded.
+// dropped rather than silently discarded. Trace recording itself only runs
+// under sequential exploration (TrackTrace disables path workers), so the
+// row append needs no lock; the state counter is shared and atomic.
 func (e *Engine) snapshot(st *state, stmt string) {
-	e.res.States++
+	atomic.AddInt64(&e.states, 1)
 	e.obs.Add("symexec.states", 1)
 	if e.res.Trace == nil {
 		return

@@ -1,0 +1,61 @@
+package symexec
+
+import (
+	"privacyscope/internal/mem"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+)
+
+// IntrinsicCall carries one custom-intrinsic invocation: the evaluated
+// scalar arguments, the call site, and the path condition under which the
+// call executes.
+type IntrinsicCall struct {
+	Fun  string
+	Args []sym.Expr
+	Pos  minic.Pos
+	PC   *solver.PathCondition
+}
+
+// IntrinsicFunc models one custom intrinsic. The returned expression is the
+// call's value (nil means integer 0); an error aborts the analysis.
+type IntrinsicFunc func(call IntrinsicCall) (sym.Expr, error)
+
+// StateView is a read-only window onto one exploration state, handed to
+// NoteHook and available to intrinsics via the engine. It never mutates the
+// state: lookups that miss do not conjure inputs.
+type StateView struct {
+	e  *Engine
+	st *state
+}
+
+// PC returns the state's path condition.
+func (v StateView) PC() *solver.PathCondition { return v.st.pc }
+
+// Value returns the scalar currently bound to the named variable
+// (innermost frame first, then globals). It reports false for unbound
+// variables and non-scalar bindings — a read through the view never
+// conjures a fresh input.
+func (v StateView) Value(name string) (sym.Expr, bool) {
+	if len(v.st.frames) > 0 {
+		if b, ok := v.st.frame().lookup(name); ok {
+			return scalarLookup(v.st.store, b.region)
+		}
+	}
+	if g := v.e.globalDecl(name); g != nil {
+		return scalarLookup(v.st.store, v.e.mgr.Var("::"+g.Name, 0))
+	}
+	return nil, false
+}
+
+func scalarLookup(store *mem.Store, reg mem.Region) (sym.Expr, bool) {
+	val, ok := store.Lookup(reg)
+	if !ok {
+		return nil, false
+	}
+	sc, isScalar := val.(mem.Scalar)
+	if !isScalar {
+		return nil, false
+	}
+	return sc.E, true
+}

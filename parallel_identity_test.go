@@ -1,0 +1,71 @@
+package privacyscope
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/mlsuite"
+)
+
+// canonicalReport renders everything observable about a module analysis
+// except wall-clock timing, so sequential and parallel runs can be compared
+// byte for byte.
+func canonicalReport(rep *EnclaveReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "secure=%v verdict=%s findings=%d\n",
+		rep.Secure(), rep.Verdict(), rep.TotalFindings())
+	for _, r := range rep.Reports {
+		fmt.Fprintf(&sb, "fn=%s verdict=%s paths=%d err=%q coverage={completed=%d pruned=%d truncated=%v reason=%s}\n",
+			r.Function, r.Verdict(), r.Paths, r.Err,
+			r.Coverage.CompletedPaths, r.Coverage.PrunedPaths,
+			r.Coverage.Truncated, r.Coverage.Reason)
+		for i, f := range r.Findings {
+			fmt.Fprintf(&sb, "  finding[%d] kind=%s sink=%s where=%s secret=%s msg=%q\n",
+				i, f.Kind, f.Sink, f.Where, f.Secret, f.Message)
+			if f.Witness != nil {
+				fmt.Fprintf(&sb, "    witness verified=%v inA=%v inB=%v obsA=%v obsB=%v recA=%v recB=%v note=%q\n",
+					f.Witness.Verified, f.Witness.InputsA, f.Witness.InputsB,
+					f.Witness.ObservedA, f.Witness.ObservedB,
+					f.Witness.RecoveredA, f.Witness.RecoveredB, f.Witness.Note)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestPathWorkersIdenticalOnMLSuite is the PR's acceptance gate for parallel
+// path exploration: WithPathWorkers(4) must yield byte-identical findings to
+// sequential analysis on the full ML evaluation suite (Table V modules, the
+// extension module, and the malicious variants).
+func TestPathWorkersIdenticalOnMLSuite(t *testing.T) {
+	type target struct {
+		name   string
+		c, edl string
+	}
+	var targets []target
+	for _, m := range append(mlsuite.Modules(), mlsuite.ExtensionModules()...) {
+		targets = append(targets, target{name: m.Name, c: m.C, edl: m.EDL})
+	}
+	targets = append(targets,
+		target{name: "evil-linreg", c: mlsuite.MaliciousLinRegC, edl: mlsuite.MaliciousLinRegEDL},
+		target{name: "evil-kmeans", c: mlsuite.MaliciousKmeansC, edl: mlsuite.MaliciousKmeansEDL},
+		target{name: "fixed-recommender", c: mlsuite.FixedRecommenderC, edl: mlsuite.FixedRecommenderEDL},
+	)
+	for _, tgt := range targets {
+		t.Run(tgt.name, func(t *testing.T) {
+			seq, err := AnalyzeEnclave(tgt.c, tgt.edl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := AnalyzeEnclave(tgt.c, tgt.edl, WithPathWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := canonicalReport(seq), canonicalReport(par)
+			if got != want {
+				t.Errorf("WithPathWorkers(4) diverges from sequential:\n--- sequential ---\n%s--- workers=4 ---\n%s", want, got)
+			}
+		})
+	}
+}

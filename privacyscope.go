@@ -229,6 +229,17 @@ func WithObserver(o Observer) Option {
 	return func(c *config) { c.checker.Observer = o }
 }
 
+// WithPathWorkers explores up to n execution paths of each entry point
+// concurrently (intra-function parallelism, complementing the per-ECALL
+// parallelism of WithParallelism). Findings and their order are
+// deterministic and identical to sequential exploration; features that
+// require strict sequential path order (WithTrace, decrypt intrinsics)
+// fall back to one worker for the affected function. n ≤ 1 keeps
+// sequential exploration.
+func WithPathWorkers(n int) Option {
+	return func(c *config) { c.checker.Engine.PathWorkers = n }
+}
+
 // WithParallelism analyzes up to n ECALLs concurrently (each entry point
 // gets an independent engine, so this is safe); n ≤ 1 keeps sequential
 // analysis.
