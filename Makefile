@@ -4,21 +4,29 @@ test:
 	go build ./...
 	go test ./...
 
-# Tier 1.5: vet + race detector (exercises the concurrent telemetry paths
-# and WithParallelism), plus a short fuzz pass over the parser and the
-# fail-soft engine invariant.
+# Tier 1.5: vet + race detector (exercises the concurrent telemetry paths,
+# WithParallelism, and the privacyscoped daemon), a short fuzz pass over the
+# parsers and the fail-soft engine invariant, and the runnable examples.
 .PHONY: check
-check: fuzz-smoke
+check: fuzz-smoke examples-smoke
 	go vet ./...
 	go test -race ./...
 
-# Short native-fuzzer runs: the parser must never crash on arbitrary bytes,
-# and budget exhaustion must always degrade coverage instead of erroring
+# Short native-fuzzer runs: the parsers must never crash on arbitrary bytes
+# (the EDL parser doubly so — the daemon exposes it over HTTP), and budget
+# exhaustion must always degrade coverage instead of erroring
 # (docs/ROBUSTNESS.md). The go tool runs one target per invocation.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/minic -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
 	go test ./internal/symexec -run '^$$' -fuzz '^FuzzFailSoft$$' -fuzztime 10s
+	go test ./internal/edl -run '^$$' -fuzz '^FuzzEDL$$' -fuzztime 10s
+
+# The examples double as living documentation — run them so they cannot rot.
+.PHONY: examples-smoke
+examples-smoke:
+	go run ./examples/quickstart
+	go run ./examples/enclave_e2e
 
 # Regenerate the paper's evaluation report.
 .PHONY: bench-report

@@ -4,8 +4,8 @@
 // measured ones. See EXPERIMENTS.md for the reading guide.
 //
 // With -json, the measured rows (Table V with engine counters, the §VIII-C
-// scalability study) are written as a machine-readable report instead of
-// the rendered text.
+// scalability study, the privacyscoped daemon throughput table) are written
+// as a machine-readable report instead of the rendered text.
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"privacyscope/internal/bench"
+	"privacyscope/internal/server"
 )
 
 // jsonReport is the -json payload: the quantitative rows of the evaluation
@@ -23,6 +24,7 @@ type jsonReport struct {
 	TableV        []bench.TableVRow        `json:"tableV"`
 	Scalability   []bench.ScalabilityRow   `json:"scalability"`
 	WorkerScaling []bench.WorkerScalingRow `json:"workerScaling"`
+	ServerBench   []server.ServerBenchRow  `json:"serverBench"`
 }
 
 func main() {
@@ -41,6 +43,12 @@ func run(asJSON bool) error {
 			return err
 		}
 		fmt.Print(out)
+		sb, err := server.ServerBench()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(server.RenderServerBench(sb))
 		return nil
 	}
 	rows, err := bench.TableV()
@@ -59,7 +67,11 @@ func run(asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	sb, err := server.ServerBench()
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep), WorkerScaling: ws})
+	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep), WorkerScaling: ws, ServerBench: sb})
 }

@@ -8,6 +8,7 @@
 //	             [-fn name] [-loop-bound n] [-path-workers n] [-timeout d]
 //	             [-no-witness] [-json] [-metrics-json metrics.json]
 //	             [-verbose] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	privacyscope -version
 //
 // Exit status encodes the module verdict: 0 when the module is proved
 // secure with full coverage, 2 when violations were found, 3 when the
@@ -15,6 +16,11 @@
 // without finding a leak — see docs/ROBUSTNESS.md), and 1 on usage errors,
 // module-level analysis errors, or a failed (panicked/errored) entry point
 // that found nothing.
+//
+// SIGINT/SIGTERM cancel the analysis context instead of killing the
+// process: the run degrades fail-soft, prints the partial-coverage report
+// (Inconclusive when nothing was found on the explored paths) and exits
+// with the verdict's code. A second signal terminates immediately.
 package main
 
 import (
@@ -24,15 +30,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"privacyscope"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	// First signal: cancel the analysis context so the run degrades to a
+	// partial-coverage report instead of dying mid-write. A second signal
+	// falls back to the default handler (immediate termination).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "privacyscope:", err)
 		os.Exit(1)
@@ -40,41 +53,7 @@ func main() {
 	os.Exit(code)
 }
 
-type jsonFinding struct {
-	Function string `json:"function"`
-	Kind     string `json:"kind"`
-	Sink     string `json:"sink"`
-	Where    string `json:"where"`
-	Secret   string `json:"secret"`
-	Message  string `json:"message"`
-	Verified bool   `json:"witnessVerified"`
-}
-
-// jsonFunction is the per-entry-point slice of the envelope: verdict,
-// coverage, and the failure cause when the function's analysis died.
-type jsonFunction struct {
-	Function string                `json:"function"`
-	Verdict  string                `json:"verdict"`
-	Error    string                `json:"error,omitempty"`
-	Coverage privacyscope.Coverage `json:"coverage"`
-}
-
-// jsonReport is the -json envelope: the findings plus run-level facts and,
-// when telemetry is on, the full metrics snapshot. Secure means *proved*
-// secure: a degraded (truncated/errored) run is not secure even with zero
-// findings — check verdict and the per-function coverage.
-type jsonReport struct {
-	Findings   []jsonFinding                 `json:"findings"`
-	Secure     bool                          `json:"secure"`
-	Verdict    string                        `json:"verdict"`
-	Functions  []jsonFunction                `json:"functions"`
-	DurationMs float64                       `json:"durationMs"`
-	Paths      int                           `json:"paths"`
-	States     int                           `json:"states"`
-	Metrics    *privacyscope.MetricsSnapshot `json:"metrics,omitempty"`
-}
-
-func run(args []string, out io.Writer) (int, error) {
+func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("privacyscope", flag.ContinueOnError)
 	var (
 		cPath      = fs.String("c", "", "enclave C source file (required)")
@@ -94,9 +73,14 @@ func run(args []string, out io.Writer) (int, error) {
 		verbose    = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
+		version    = fs.Bool("version", false, "print build info (engine version, fingerprint) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
+	}
+	if *version {
+		fmt.Fprintln(out, privacyscope.Build())
+		return 0, nil
 	}
 	if *cPath == "" || *edlPath == "" {
 		fs.Usage()
@@ -163,7 +147,9 @@ func run(args []string, out io.Writer) (int, error) {
 		defer pprof.StopCPUProfile()
 	}
 
-	ctx := context.Background()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -217,40 +203,7 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if *asJSON {
-		env := jsonReport{
-			Findings:   []jsonFinding{},
-			Secure:     rep.Secure(),
-			Verdict:    rep.Verdict().String(),
-			DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
-		}
-		for _, r := range rep.Reports {
-			env.Functions = append(env.Functions, jsonFunction{
-				Function: r.Function,
-				Verdict:  r.Verdict().String(),
-				Error:    r.Err,
-				Coverage: r.Coverage,
-			})
-			env.Paths += r.Paths
-			env.States += r.States
-			for _, f := range r.Findings {
-				jf := jsonFinding{
-					Function: r.Function,
-					Kind:     f.Kind.String(),
-					Sink:     f.Sink.String(),
-					Where:    f.Where,
-					Secret:   f.Secret,
-					Message:  f.Message,
-				}
-				if f.Witness != nil {
-					jf.Verified = f.Witness.Verified
-				}
-				env.Findings = append(env.Findings, jf)
-			}
-		}
-		if metrics != nil {
-			snap := metrics.Snapshot()
-			env.Metrics = &snap
-		}
+		env := privacyscope.NewEnvelope(rep, elapsed, metrics)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(env); err != nil {

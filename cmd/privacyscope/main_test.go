@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"privacyscope"
 	"privacyscope/internal/mlsuite"
 )
 
@@ -45,7 +47,7 @@ func TestRunReportsViolations(t *testing.T) {
 	cPath := writeTemp(t, "e.c", testC)
 	edlPath := writeTemp(t, "e.edl", testEDL)
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +66,14 @@ func TestRunJSONOutput(t *testing.T) {
 	cPath := writeTemp(t, "e.c", testC)
 	edlPath := writeTemp(t, "e.edl", testEDL)
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 2 {
 		t.Errorf("exit code = %d", code)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out.String())
 	}
@@ -117,7 +119,7 @@ int f(int *secrets, int *output) {
 	edlPath := writeTemp(t, "e.edl",
 		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestRunWithConfig(t *testing.T) {
   </function>
 </privacyscope>`)
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-config", cfgPath}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-config", cfgPath}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,28 +155,28 @@ func TestRunFlagsAndErrors(t *testing.T) {
 	edlPath := writeTemp(t, "e.edl", testEDL)
 
 	var out bytes.Buffer
-	if _, err := run([]string{"-c", cPath}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-c", cPath}, &out); err == nil {
 		t.Error("missing -edl must error")
 	}
-	if _, err := run([]string{"-c", "nope.c", "-edl", edlPath}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-c", "nope.c", "-edl", edlPath}, &out); err == nil {
 		t.Error("missing C file must error")
 	}
-	if _, err := run([]string{"-c", cPath, "-edl", "nope.edl"}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", "nope.edl"}, &out); err == nil {
 		t.Error("missing EDL file must error")
 	}
-	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-fn", "missing"}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-fn", "missing"}, &out); err == nil {
 		t.Error("unknown -fn must error")
 	}
-	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-config", "nope.xml"}, &out); err == nil {
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-config", "nope.xml"}, &out); err == nil {
 		t.Error("missing config must error")
 	}
 	// -no-implicit drops the implicit finding.
 	out.Reset()
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-no-implicit", "-json"}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-no-implicit", "-json"}, &out)
 	if err != nil || code != 2 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -183,10 +185,10 @@ func TestRunFlagsAndErrors(t *testing.T) {
 	}
 	// -no-witness skips replay.
 	out.Reset()
-	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-no-witness", "-loop-bound", "4", "-json"}, &out); err != nil {
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-no-witness", "-loop-bound", "4", "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	env = jsonReport{}
+	env = privacyscope.Envelope{}
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +199,7 @@ func TestRunFlagsAndErrors(t *testing.T) {
 	}
 	// -fn filter narrows to one function.
 	out.Reset()
-	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-fn", "enclave_process_data"}, &out)
+	code, err = run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-fn", "enclave_process_data"}, &out)
 	if err != nil || code != 2 {
 		t.Errorf("code=%d err=%v", code, err)
 	}
@@ -216,14 +218,14 @@ int f(int *secrets, int *output) {
 	edlPath := writeTemp(t, "e.edl",
 		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-timing", "-json"}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-timing", "-json"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 2 {
 		t.Errorf("exit code = %d", code)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -248,20 +250,20 @@ int f(int *secrets, int *output) {
 		"enclave { trusted { public int f([in] int *secrets, [out] int *output); }; };")
 	var out bytes.Buffer
 	// Without the flag: secure.
-	code, err := run([]string{"-c", cPath, "-edl", edlPath}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
 	}
 	// With it: probabilistic finding.
 	out.Reset()
-	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-probabilistic", "-json"}, &out)
+	code, err = run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-probabilistic", "-json"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +279,7 @@ func TestRunMetricsJSON(t *testing.T) {
 	edlPath := writeTemp(t, "rec.edl", mlsuite.RecommenderEDL)
 	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-metrics-json", metricsPath}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-metrics-json", metricsPath}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +330,7 @@ func TestRunVerboseStreamsEvents(t *testing.T) {
 	}
 	os.Stderr = w
 	var out bytes.Buffer
-	code, runErr := run([]string{"-c", cPath, "-edl", edlPath, "-verbose", "-json"}, &out)
+	code, runErr := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-verbose", "-json"}, &out)
 	w.Close()
 	os.Stderr = old
 	captured, _ := io.ReadAll(r)
@@ -351,7 +353,7 @@ func TestRunVerboseStreamsEvents(t *testing.T) {
 			t.Errorf("event missing kind/name: %s", line)
 		}
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatalf("stdout corrupted by -verbose: %v", err)
 	}
@@ -387,11 +389,11 @@ func TestRunInconclusiveExitCode(t *testing.T) {
 
 	// Full exploration: secure, exit 0, and the envelope says so.
 	var out bytes.Buffer
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
 	if err != nil || code != 0 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -404,14 +406,14 @@ func TestRunInconclusiveExitCode(t *testing.T) {
 
 	// Immediate timeout: degraded, exit 3, never 0.
 	out.Reset()
-	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns", "-json"}, &out)
+	code, err = run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns", "-json"}, &out)
 	if err != nil {
 		t.Fatalf("timeout must degrade, not fail: %v", err)
 	}
 	if code != 3 {
 		t.Errorf("exit code = %d, want 3 (inconclusive)", code)
 	}
-	env = jsonReport{}
+	env = privacyscope.Envelope{}
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +427,7 @@ func TestRunInconclusiveExitCode(t *testing.T) {
 
 	// Human-readable mode surfaces the partial coverage too.
 	out.Reset()
-	code, err = run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns"}, &out)
+	code, err = run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-timeout", "1ns"}, &out)
 	if err != nil || code != 3 {
 		t.Fatalf("code=%d err=%v", code, err)
 	}
@@ -445,14 +447,14 @@ func TestRunTimeoutKeepsFindings(t *testing.T) {
 	edlPath := writeTemp(t, "e.edl", testEDL)
 	var out bytes.Buffer
 	// A generous timeout that won't fire: behavior identical to no flag.
-	code, err := run([]string{"-c", cPath, "-edl", edlPath, "-timeout", "1m", "-json"}, &out)
+	code, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-timeout", "1m", "-json"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 2 {
 		t.Errorf("exit code = %d, want 2", code)
 	}
-	var env jsonReport
+	var env privacyscope.Envelope
 	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +471,7 @@ func TestRunProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var out bytes.Buffer
-	if _, err := run([]string{"-c", cPath, "-edl", edlPath, "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -480,5 +482,69 @@ func TestRunProfiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", p)
 		}
+	}
+}
+
+// TestRunVersionFlag: -version prints the build info and exits 0 without
+// requiring -c/-edl.
+func TestRunVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(context.Background(), []string{"-version"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	text := out.String()
+	b := privacyscope.Build()
+	for _, want := range []string{privacyscope.EngineVersion, b.Fingerprint} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-version output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunEnvelopeCarriesFingerprint: the -json envelope names the engine
+// fingerprint — the same value the privacyscoped cache keys on.
+func TestRunEnvelopeCarriesFingerprint(t *testing.T) {
+	cPath := writeTemp(t, "e.c", testC)
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	var out bytes.Buffer
+	if _, err := run(context.Background(), []string{"-c", cPath, "-edl", edlPath, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var env privacyscope.Envelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Engine != privacyscope.Fingerprint() {
+		t.Errorf("envelope engine = %q, want fingerprint %q", env.Engine, privacyscope.Fingerprint())
+	}
+}
+
+// TestRunInterruptedContext: an interrupt (the SIGINT/SIGTERM path of
+// main, modeled here by a context cancelled mid-analysis) still prints the
+// partial-coverage Inconclusive report and exits 3 instead of dying.
+func TestRunInterruptedContext(t *testing.T) {
+	cPath := writeTemp(t, "e.c", branchySecureC)
+	edlPath := writeTemp(t, "e.edl", branchySecureEDL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "signal" arrives before exploration starts
+	var out bytes.Buffer
+	code, err := run(ctx, []string{"-c", cPath, "-edl", edlPath, "-json"}, &out)
+	if err != nil {
+		t.Fatalf("interrupt must degrade, not fail: %v", err)
+	}
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3 (inconclusive)", code)
+	}
+	var env privacyscope.Envelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Verdict != "inconclusive" {
+		t.Errorf("verdict = %q, want inconclusive", env.Verdict)
+	}
+	f := env.Functions[0]
+	if !f.Coverage.Truncated || f.Coverage.Reason != privacyscope.TruncCancelled {
+		t.Errorf("coverage = %+v, want truncated by cancellation", f.Coverage)
 	}
 }

@@ -1,0 +1,123 @@
+// Command privacyscoped runs the privacyscope analysis engine as a
+// long-lived HTTP/JSON daemon: clients POST modules to /v1/analyze and
+// receive the same result envelope the `privacyscope -json` CLI emits,
+// backed by a bounded worker-pool scheduler, a content-addressed result
+// cache, and singleflight deduplication of identical in-flight jobs.
+//
+// Usage:
+//
+//	privacyscoped [-addr :8321] [-workers n] [-queue-depth n]
+//	              [-cache-entries n] [-deadline d] [-max-deadline d]
+//	              [-verbose]
+//	privacyscoped -version
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued
+// and in-flight analyses are cancelled so they complete fail-soft (their
+// clients receive 206 partial-coverage envelopes), and the process exits
+// once the drain finishes or -drain-timeout expires. See docs/SERVER.md
+// for the API and status-code contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"privacyscope"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "privacyscoped:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (or startup
+// fails). It announces the bound address on out as its first line so
+// callers binding :0 can discover the port.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("privacyscoped", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8321", "listen address (host:port; :0 picks a free port)")
+		workers      = fs.Int("workers", 4, "analysis worker-pool size")
+		queueDepth   = fs.Int("queue-depth", 16, "jobs that may wait for a worker before submissions get 429")
+		cacheEntries = fs.Int("cache-entries", 256, "result-cache capacity in entries (0 disables caching)")
+		deadline     = fs.Duration("deadline", 30*time.Second, "per-job wall-clock budget when the request sets none (0 = unlimited); expiry degrades coverage, it does not kill the job")
+		maxDeadline  = fs.Duration("max-deadline", 2*time.Minute, "cap on any per-request deadlineMs (0 = uncapped)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs to deliver their fail-soft results")
+		verbose      = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
+		version      = fs.Bool("version", false, "print build info (engine version, fingerprint) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, privacyscope.Build())
+		return nil
+	}
+
+	var mopts []obs.MetricsOption
+	if *verbose {
+		mopts = append(mopts, obs.WithEventWriter(os.Stderr))
+	}
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Metrics:         obs.NewMetrics(mopts...),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "privacyscoped listening on %s (%s)\n", ln.Addr(), privacyscope.Build())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case err := <-serveErr:
+		srv.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop the listener first so no new connections land,
+	// then cancel in-flight analyses so each degrades fail-soft and its
+	// response is still delivered before the connection closes.
+	fmt.Fprintln(out, "privacyscoped: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	schedErr := srv.Shutdown(drainCtx)
+	httpErr := httpSrv.Shutdown(drainCtx)
+	if schedErr != nil {
+		return fmt.Errorf("drain incomplete: %w", schedErr)
+	}
+	if httpErr != nil {
+		return fmt.Errorf("drain incomplete: %w", httpErr)
+	}
+	fmt.Fprintln(out, "privacyscoped: drained, exiting")
+	return nil
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"privacyscope"
+	"privacyscope/internal/mlsuite"
+)
+
+// lineWriter records output and signals each completed line, letting the
+// test wait for the daemon's address announcement.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+	part  string
+}
+
+func newLineWriter() *lineWriter {
+	return &lineWriter{lines: make(chan string, 16)}
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	w.part += string(p)
+	for {
+		i := strings.IndexByte(w.part, '\n')
+		if i < 0 {
+			break
+		}
+		select {
+		case w.lines <- w.part[:i]:
+		default:
+		}
+		w.part = w.part[i+1:]
+	}
+	return len(p), nil
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// startDaemon runs the daemon on a random port and returns its base URL, a
+// cancel function triggering graceful drain, and the channel run's error
+// arrives on.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *lineWriter, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := newLineWriter()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, out) }()
+
+	select {
+	case line := <-out.lines:
+		const prefix = "privacyscoped listening on "
+		if !strings.HasPrefix(line, prefix) {
+			cancel()
+			t.Fatalf("unexpected first output line: %q", line)
+		}
+		addr := strings.Fields(strings.TrimPrefix(line, prefix))[0]
+		return "http://" + addr, out, cancel, errCh
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon exited before announcing address: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon did not announce its address")
+	}
+	panic("unreachable")
+}
+
+func postModule(t *testing.T, base, source, edl string) (*http.Response, privacyscope.Envelope) {
+	t.Helper()
+	body, err := json.Marshal(map[string]string{"source": source, "edl": edl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/analyze: %v", err)
+	}
+	defer resp.Body.Close()
+	var env privacyscope.Envelope
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusPartialContent {
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("decode envelope: %v", err)
+		}
+	}
+	return resp, env
+}
+
+// TestDaemonEndToEnd boots the real binary entry point on a loopback port,
+// drives the paper's ML suite through it, exercises the cache, and drains
+// it gracefully.
+func TestDaemonEndToEnd(t *testing.T) {
+	base, out, cancel, errCh := startDaemon(t, "-workers", "2", "-queue-depth", "4", "-cache-entries", "8")
+	defer cancel()
+
+	// The leaky Recommender module reports its 6 findings through HTTP
+	// exactly as the CLI does.
+	resp, env := postModule(t, base, mlsuite.RecommenderC, mlsuite.RecommenderEDL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Recommender: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Privacyscope-Cache") != "" {
+		t.Fatalf("first submission unexpectedly cached: %q", resp.Header.Get("X-Privacyscope-Cache"))
+	}
+	if env.Verdict != "findings" || len(env.Findings) != 6 {
+		t.Fatalf("Recommender: verdict=%q findings=%d, want findings/6", env.Verdict, len(env.Findings))
+	}
+	if env.Engine != privacyscope.Fingerprint() {
+		t.Fatalf("envelope engine %q != local fingerprint %q", env.Engine, privacyscope.Fingerprint())
+	}
+
+	// Repeat submission is served from the content-addressed cache.
+	resp, env2 := postModule(t, base, mlsuite.RecommenderC, mlsuite.RecommenderEDL)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Privacyscope-Cache") != "hit" {
+		t.Fatalf("repeat submission: status=%d cache=%q, want 200/hit", resp.StatusCode, resp.Header.Get("X-Privacyscope-Cache"))
+	}
+	if len(env2.Findings) != len(env.Findings) {
+		t.Fatalf("cached envelope differs: %d vs %d findings", len(env2.Findings), len(env.Findings))
+	}
+
+	// The fixed module is proved secure.
+	resp, env = postModule(t, base, mlsuite.FixedRecommenderC, mlsuite.FixedRecommenderEDL)
+	if resp.StatusCode != http.StatusOK || !env.Secure {
+		t.Fatalf("FixedRecommender: status=%d secure=%v, want 200/true", resp.StatusCode, env.Secure)
+	}
+
+	// Health and metrics respond while serving.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status=%v", err, hr)
+	}
+	hr.Body.Close()
+	mr, err := http.Get(base + "/metrics")
+	if err != nil || mr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v", err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(mr.Body)
+	mr.Body.Close()
+	for _, want := range []string{"privacyscope_server_cache_hits", "privacyscope_server_analyses_executed"} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+
+	// Graceful drain: cancel the daemon context (what SIGINT does) and the
+	// process exits cleanly after announcing the drain.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if got := out.String(); !strings.Contains(got, "privacyscoped: draining") || !strings.Contains(got, "drained, exiting") {
+		t.Fatalf("missing drain announcements in output:\n%s", got)
+	}
+
+	// After drain the port is closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after drain")
+	}
+}
+
+// TestDaemonVersionFlag checks -version prints build info and exits
+// without binding a port.
+func TestDaemonVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	want := fmt.Sprintf("engine fingerprint %s", privacyscope.Fingerprint())
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("version output %q missing %q", buf.String(), want)
+	}
+}
+
+// TestDaemonBadAddr pins the startup failure path.
+func TestDaemonBadAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", "256.256.256.256:0"}, &buf); err == nil {
+		t.Fatal("expected listen error for invalid address")
+	}
+}

@@ -112,7 +112,11 @@ func (p *parser) skipSpace() {
 				}
 				p.off++
 			}
-			p.off += 2
+			if p.off+1 < len(p.src) {
+				p.off += 2 // past the closing */
+			} else {
+				p.off = len(p.src) // unterminated comment runs to EOF
+			}
 			continue
 		}
 		return

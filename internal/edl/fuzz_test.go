@@ -1,0 +1,57 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzEDL throws arbitrary bytes at the EDL parser: it must reject garbage
+// with an error, never panic or hang. Accepted interfaces must be
+// self-consistent (non-nil, lookups work). The seed corpus covers the
+// attribute grammar the daemon accepts over the wire — the EDL field of
+// POST /v1/analyze is attacker-reachable, so this parser is a trust
+// boundary. Run via `make fuzz-smoke`.
+func FuzzEDL(f *testing.F) {
+	seeds := []string{
+		"enclave { trusted { public int f([in] int *s, [out] int *o); }; };",
+		`enclave {
+    trusted {
+        public int enclave_train([in, size=len] double *data, size_t len, [out] double *model);
+        int helper(int x);
+    };
+    untrusted {
+        void ocall_log([in, string] char *msg);
+    };
+};`,
+		"enclave { trusted { public void f(void); }; untrusted { void g(void); }; };",
+		"enclave { /* comment */ trusted { public int f([user_check] int *p); }; };",
+		"// line comment\nenclave { trusted { public unsigned long f(size_t n); }; };",
+		"enclave { trusted { public int f([in, out, count=4] int *buf); }; };",
+		"enclave {",                 // truncated: must error, not crash
+		"/* unterminated comment",   // ran the scanner past EOF once
+		"trusted { public int f",    // no enclave wrapper
+		"enclave { trusted { public int f([]); }; };", // empty attribute list
+		strings.Repeat("enclave {", 64),
+		"enclave { trusted { public int f([in] int *s, ); }; };",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		iface, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is correct; crashing is not
+		}
+		if iface == nil {
+			t.Fatal("nil interface with nil error")
+		}
+		// Accepted interfaces must answer lookups without panicking.
+		for _, fn := range iface.Trusted {
+			if _, ok := iface.ECall(fn.Name); !ok {
+				t.Fatalf("declared ECALL %q not found by lookup", fn.Name)
+			}
+		}
+		iface.OCallNames()
+	})
+}

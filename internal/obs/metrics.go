@@ -15,6 +15,7 @@ import (
 type Metrics struct {
 	start    time.Time
 	counters sync.Map // string → *int64
+	gauges   sync.Map // string → *int64
 
 	mu    sync.Mutex
 	dists map[string]*Dist
@@ -62,6 +63,27 @@ func (m *Metrics) Add(name string, delta int64) {
 func (m *Metrics) Counter(name string) int64 {
 	if c, ok := m.counters.Load(name); ok {
 		return atomic.LoadInt64(c.(*int64))
+	}
+	return 0
+}
+
+// SetGauge records the current value of a point-in-time quantity (queue
+// depth, jobs in flight). Unlike counters, gauges move both ways; they are
+// not part of the Observer interface — only components that own a concrete
+// Metrics (the privacyscoped daemon) publish them.
+func (m *Metrics) SetGauge(name string, value int64) {
+	if g, ok := m.gauges.Load(name); ok {
+		atomic.StoreInt64(g.(*int64), value)
+		return
+	}
+	g, _ := m.gauges.LoadOrStore(name, new(int64))
+	atomic.StoreInt64(g.(*int64), value)
+}
+
+// Gauge returns the last value set for a gauge (0 when never set).
+func (m *Metrics) Gauge(name string) int64 {
+	if g, ok := m.gauges.Load(name); ok {
+		return atomic.LoadInt64(g.(*int64))
 	}
 	return 0
 }
@@ -181,6 +203,8 @@ type Dist struct {
 type Snapshot struct {
 	// Counters maps counter name → value.
 	Counters map[string]int64 `json:"counters"`
+	// Gauges maps gauge name → last set value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
 	// Spans maps slash-path span name → duration stats.
 	Spans map[string]SpanStats `json:"spans"`
 	// Dists maps distribution name → sample stats.
@@ -193,12 +217,17 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
 		Spans:    make(map[string]SpanStats),
 		Dists:    make(map[string]Dist),
 		Events:   atomic.LoadInt64(&m.nEv),
 	}
 	m.counters.Range(func(k, v any) bool {
 		s.Counters[k.(string)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	m.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = atomic.LoadInt64(v.(*int64))
 		return true
 	})
 	m.mu.Lock()

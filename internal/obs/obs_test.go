@@ -189,3 +189,47 @@ func TestEventWithoutWriterDoesNotPanic(t *testing.T) {
 		t.Error("event not counted")
 	}
 }
+
+func TestGauges(t *testing.T) {
+	m := NewMetrics()
+	if got := m.Gauge("queue.depth"); got != 0 {
+		t.Fatalf("unset gauge = %d, want 0", got)
+	}
+	m.SetGauge("queue.depth", 7)
+	m.SetGauge("queue.depth", 3) // gauges move both ways
+	m.SetGauge("inflight", 1)
+	if got := m.Gauge("queue.depth"); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+	snap := m.Snapshot()
+	if snap.Gauges["queue.depth"] != 3 || snap.Gauges["inflight"] != 1 {
+		t.Errorf("snapshot gauges = %v", snap.Gauges)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Add("server.cache.hits", 5)
+	m.SetGauge("server.queue.depth", 2)
+	m.StartSpan("check/symexec").End()
+	m.Observe("path.depth", 4)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE privacyscope_server_cache_hits counter",
+		"privacyscope_server_cache_hits 5",
+		"# TYPE privacyscope_server_queue_depth gauge",
+		"privacyscope_server_queue_depth 2",
+		"privacyscope_check_symexec_count 1",
+		"privacyscope_check_symexec_seconds_total",
+		"privacyscope_path_depth_count 1",
+		"privacyscope_path_depth_sum 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}

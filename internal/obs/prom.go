@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition of a Metrics: the /metrics endpoint of the
+// privacyscoped daemon. Counters map to prometheus counters, gauges to
+// gauges, spans to a count/sum(seconds)/max(seconds) triple (the per-phase
+// latency view), and distributions to a count/sum/min/max quadruple. Metric
+// names are the registry names of docs/OBSERVABILITY.md with a
+// "privacyscope_" prefix and non-alphanumeric runes folded to '_':
+// "server.cache.hits" → privacyscope_server_cache_hits.
+
+// promName folds a registry name into a legal Prometheus metric name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("privacyscope_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus writes the current snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := s.Spans[n]
+		p := promName(n)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s_count counter\n%s_count %d\n"+
+				"# TYPE %s_seconds_total counter\n%s_seconds_total %g\n"+
+				"# TYPE %s_seconds_max gauge\n%s_seconds_max %g\n",
+			p, p, st.Count,
+			p, p, float64(st.TotalNanos)/1e9,
+			p, p, float64(st.MaxNanos)/1e9); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Dists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := s.Dists[n]
+		p := promName(n)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s_count counter\n%s_count %d\n"+
+				"# TYPE %s_sum counter\n%s_sum %d\n"+
+				"# TYPE %s_min gauge\n%s_min %d\n"+
+				"# TYPE %s_max gauge\n%s_max %d\n",
+			p, p, d.Count, p, p, d.Sum, p, p, d.Min, p, p, d.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

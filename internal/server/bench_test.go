@@ -1,0 +1,68 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerBench pins the bench table's semantics: the cold row runs the
+// engine exactly once with no cache hit, the cached row serves every repeat
+// from the cache with zero engine runs, and the concurrent-identical row
+// collapses onto a single engine run via singleflight. Run under -race this
+// also exercises the daemon's concurrent submission paths.
+func TestServerBench(t *testing.T) {
+	rows, err := ServerBench()
+	if err != nil {
+		t.Fatalf("ServerBench: %v", err)
+	}
+	byMode := map[string]ServerBenchRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+
+	cold, ok := byMode["cold"]
+	if !ok {
+		t.Fatal("missing cold row")
+	}
+	if cold.EngineRuns != 1 || cold.CacheHits != 0 {
+		t.Errorf("cold: engineRuns=%d cacheHits=%d, want 1/0", cold.EngineRuns, cold.CacheHits)
+	}
+
+	cached, ok := byMode["cached"]
+	if !ok {
+		t.Fatal("missing cached row")
+	}
+	if cached.EngineRuns != 0 {
+		t.Errorf("cached: engineRuns=%d, want 0", cached.EngineRuns)
+	}
+	if cached.CacheHits != int64(cached.Requests) {
+		t.Errorf("cached: cacheHits=%d, want %d", cached.CacheHits, cached.Requests)
+	}
+
+	ident, ok := byMode["concurrent-identical"]
+	if !ok {
+		t.Fatal("missing concurrent-identical row")
+	}
+	// Requests that race the leader share its run via singleflight; any
+	// that arrive after it completes are cache hits. Either way the engine
+	// runs exactly once.
+	if ident.EngineRuns != 1 {
+		t.Errorf("concurrent-identical: engineRuns=%d, want 1", ident.EngineRuns)
+	}
+
+	distinct, ok := byMode["concurrent-distinct"]
+	if !ok {
+		t.Fatal("missing concurrent-distinct row")
+	}
+	if distinct.EngineRuns != int64(distinct.Requests) || distinct.CacheHits != 0 {
+		t.Errorf("concurrent-distinct: engineRuns=%d cacheHits=%d, want %d/0",
+			distinct.EngineRuns, distinct.CacheHits, distinct.Requests)
+	}
+
+	text := RenderServerBench(rows)
+	for _, want := range []string{"cold", "cached", "concurrent-identical", "concurrent-distinct", "ms/request"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered bench missing %q:\n%s", want, text)
+		}
+	}
+}

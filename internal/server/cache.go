@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"privacyscope/internal/obs"
+)
+
+// resultCache is the bounded content-addressed result cache: cache key →
+// finished HTTP result (status + envelope bytes). Keys are the SHA-256 of
+// everything that determines the analysis outcome — source, EDL, rule file,
+// engine options, and the engine fingerprint — so a hit is by construction
+// the byte-identical result a fresh analysis would produce, and an engine
+// upgrade (new fingerprint) can never serve stale results.
+//
+// Eviction is LRU over entry count: analysis results are small (the
+// envelope, not the path set), so counting entries rather than bytes keeps
+// the accounting trivial while still bounding memory.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	obs     obs.Observer
+}
+
+type cacheEntry struct {
+	key    string
+	result *analysisResult
+}
+
+// newResultCache returns a cache bounded to max entries (≤0 disables
+// caching entirely: every Get misses and Put drops).
+func newResultCache(max int, o obs.Observer) *resultCache {
+	return &resultCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		obs:     obs.Or(o),
+	}
+}
+
+// Get returns the cached result for key, bumping its recency. The second
+// return is false on a miss.
+func (c *resultCache) Get(key string) (*analysisResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.obs.Add("server.cache.misses", 1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.obs.Add("server.cache.hits", 1)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a result, evicting the least recently used entry past the
+// bound. Re-putting an existing key refreshes its value and recency.
+func (c *resultCache) Put(key string, r *analysisResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = r
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: r})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.obs.Add("server.cache.evictions", 1)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,60 @@
+package server
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical work: the first caller of
+// Do for a key becomes the leader and runs fn; callers arriving while the
+// leader is in flight wait and share the leader's result without running fn
+// (or consuming a scheduler slot) themselves. A minimal reimplementation of
+// golang.org/x/sync/singleflight — the repo is pure stdlib by policy.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	result *analysisResult
+	err    error
+	shared int // followers that joined this call
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers. The bool return is
+// true for followers that shared the leader's result. fn's result is
+// shared as-is; callers must treat it as immutable.
+func (g *flightGroup) Do(key string, fn func() (*analysisResult, error)) (*analysisResult, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.shared++
+		g.mu.Unlock()
+		<-c.done
+		return c.result, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.result, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.result, c.err, false
+}
+
+// waiting returns how many followers are currently blocked on the key's
+// in-flight call (0 when the key is idle). Tests use it to deterministically
+// assert dedup before releasing a gated leader.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.shared
+	}
+	return 0
+}
