@@ -8,7 +8,7 @@ test:
 # WithParallelism, and the privacyscoped daemon), a short fuzz pass over the
 # parsers and the fail-soft engine invariant, and the runnable examples.
 .PHONY: check
-check: fuzz-smoke examples-smoke
+check: fuzz-smoke examples-smoke batch-smoke
 	go vet ./...
 	go test -race ./...
 
@@ -27,6 +27,18 @@ fuzz-smoke:
 examples-smoke:
 	go run ./examples/quickstart
 	go run ./examples/enclave_e2e
+
+# Batch smoke: a cold project run over examples/project followed by a warm
+# rerun on the same cache dir. The tree contains leaking units, so exit
+# status 2 (findings) is the expected outcome of both runs; anything else
+# fails the smoke. See docs/BATCH.md.
+.PHONY: batch-smoke
+batch-smoke:
+	rm -rf .pscache-smoke bin/privacyscope-smoke
+	go build -o bin/privacyscope-smoke ./cmd/privacyscope
+	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke; test $$? -eq 2
+	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke | grep -Eq 'verdict: .* \([1-9][0-9]* cached, 0 analyzed, 0 errors\)'
+	rm -rf .pscache-smoke bin/privacyscope-smoke
 
 # Regenerate the paper's evaluation report.
 .PHONY: bench-report

@@ -1,4 +1,4 @@
-package privacyscope
+package privacyscope_test
 
 // One benchmark per table and figure of the paper's evaluation, plus the
 // ablation benches DESIGN.md calls out. Run with:
@@ -13,6 +13,7 @@ import (
 	"context"
 	"testing"
 
+	"privacyscope"
 	"privacyscope/internal/baseline"
 	"privacyscope/internal/bench"
 	"privacyscope/internal/core"
@@ -122,7 +123,7 @@ func benchModule(b *testing.B, name string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := AnalyzeEnclave(mod.C, mod.EDL)
+		rep, err := privacyscope.AnalyzeEnclave(mod.C, mod.EDL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +210,7 @@ int f(int *secrets, int *output) {
 func BenchmarkCaseStudyRecommender(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL)
+		rep, err := privacyscope.AnalyzeEnclave(mlsuite.RecommenderC, mlsuite.RecommenderEDL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -223,7 +224,7 @@ func BenchmarkCaseStudyRecommender(b *testing.B) {
 func BenchmarkCaseStudyKmeansInjection(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := AnalyzeEnclave(mlsuite.MaliciousKmeansC, mlsuite.MaliciousKmeansEDL)
+		rep, err := privacyscope.AnalyzeEnclave(mlsuite.MaliciousKmeansC, mlsuite.MaliciousKmeansEDL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -394,7 +395,7 @@ func BenchmarkExtensionLogReg(b *testing.B) {
 	mods := mlsuite.ExtensionModules()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := AnalyzeEnclave(mods[0].C, mods[0].EDL)
+		rep, err := privacyscope.AnalyzeEnclave(mods[0].C, mods[0].EDL)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -25,6 +25,7 @@ type jsonReport struct {
 	Scalability   []bench.ScalabilityRow   `json:"scalability"`
 	WorkerScaling []bench.WorkerScalingRow `json:"workerScaling"`
 	ServerBench   []server.ServerBenchRow  `json:"serverBench"`
+	BatchBench    []bench.BatchBenchRow    `json:"batchBench"`
 }
 
 func main() {
@@ -71,7 +72,17 @@ func run(asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	bb, err := bench.BatchBench()
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{TableV: rows, Scalability: append(sc, deep), WorkerScaling: ws, ServerBench: sb})
+	return enc.Encode(jsonReport{
+		TableV:        rows,
+		Scalability:   append(sc, deep),
+		WorkerScaling: ws,
+		ServerBench:   sb,
+		BatchBench:    bb,
+	})
 }

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/batch"
+)
+
+const batchSecureC = `
+int mask_sum(int *secrets, int *output)
+{
+    output[0] = secrets[0] + secrets[1] + secrets[2];
+    return 0;
+}
+`
+
+const batchSecureEDL = `
+enclave {
+    trusted {
+        public int mask_sum([in] int *secrets, [out] int *output);
+    };
+};
+`
+
+// batchHeavyC needs thousands of engine steps, so an interrupt lands
+// mid-exploration instead of after a completed analysis.
+const batchHeavyC = `
+int heavy(int *secrets, int *output)
+{
+    int i = 0;
+    int acc = 0;
+    while (i < 2000) { acc = acc + i; i++; }
+    output[0] = 7;
+    return 0;
+}
+`
+
+const batchHeavyEDL = `
+enclave {
+    trusted {
+        public int heavy([in] int *secrets, [out] int *output);
+    };
+};
+`
+
+// writeBatchTree lays out a two-unit project: one leaking, one secure.
+func writeBatchTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"proc.c":       testC,
+		"proc.edl":     testEDL,
+		"sub/mask.c":   batchSecureC,
+		"sub/mask.edl": batchSecureEDL,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunBatchMode(t *testing.T) {
+	dir := writeBatchTree(t)
+	var out bytes.Buffer
+	code, err := run(context.Background(), []string{"-dir", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (project has findings)", code)
+	}
+	text := out.String()
+	for _, want := range []string{"2 units", "proc", "sub/mask", "verdict: findings"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("batch report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunBatchJSON(t *testing.T) {
+	dir := writeBatchTree(t)
+	var out bytes.Buffer
+	code, err := run(context.Background(), []string{"-dir", dir, "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	var env batch.ProjectEnvelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if env.Verdict != "findings" || env.Secure {
+		t.Errorf("envelope verdict = %q secure = %v", env.Verdict, env.Secure)
+	}
+	if env.Stats.Units != 2 || env.Stats.Analyzed != 2 {
+		t.Errorf("stats = %+v, want 2 units analyzed", env.Stats)
+	}
+	if len(env.Units) != 2 || env.Units[0].Name != "proc" || env.Units[1].Name != "sub/mask" {
+		t.Errorf("units out of order or missing: %+v", env.Units)
+	}
+	if env.Units[1].Envelope == nil || env.Units[1].Verdict != "secure" {
+		t.Errorf("secure unit not carried in full: %+v", env.Units[1])
+	}
+}
+
+func TestRunBatchWarmRerun(t *testing.T) {
+	dir := writeBatchTree(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-dir", dir, "-cache-dir", cacheDir}
+
+	var cold bytes.Buffer
+	if _, err := run(context.Background(), args, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cold.String(), "[cached]") {
+		t.Errorf("cold run rendered cached tags:\n%s", cold.String())
+	}
+
+	var warm bytes.Buffer
+	code, err := run(context.Background(), args, &warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("warm exit code = %d, want 2", code)
+	}
+	if got := strings.Count(warm.String(), "[cached]"); got != 2 {
+		t.Errorf("warm run rendered %d [cached] tags, want 2:\n%s", got, warm.String())
+	}
+	if !strings.Contains(warm.String(), "(2 cached, 0 analyzed, 0 errors)") {
+		t.Errorf("warm trailer wrong:\n%s", warm.String())
+	}
+}
+
+func TestRunBatchFlagValidation(t *testing.T) {
+	dir := writeBatchTree(t)
+	cPath := writeTemp(t, "e.c", testC)
+	cases := [][]string{
+		{"-dir", dir, "-c", cPath},
+		{"-dir", dir, "-fn", "mask_sum"},
+		{"-dir", t.TempDir()}, // no units
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		code, err := run(context.Background(), args, &out)
+		if err == nil || code != 1 {
+			t.Errorf("run(%v) = %d, %v; want code 1 and an error", args, code, err)
+		}
+	}
+}
+
+// TestRunBatchInterruptFlushesMetrics is the regression pin for the
+// SIGINT flush bug: a batch run cancelled mid-flight (the CLI's signal
+// path) must still write -metrics-json before exiting. Before the fix the
+// degraded paths returned without flushing and the snapshot was lost.
+func TestRunBatchInterruptFlushesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"heavy.c": batchHeavyC, "heavy.edl": batchHeavyEDL,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "signal" arrives before exploration starts
+
+	var out bytes.Buffer
+	code, err := run(ctx, []string{"-dir", dir, "-metrics-json", metricsPath}, &out)
+	if err != nil {
+		t.Fatalf("interrupt must degrade, not fail: %v", err)
+	}
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3 (inconclusive)", code)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("interrupted batch run did not flush -metrics-json: %v", err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flushed metrics are not valid JSON: %v", err)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Errorf("metrics snapshot missing counters: %s", data)
+	}
+}
+
+// TestRunErrorStillFlushesMetrics extends the same pin to the module-error
+// path: a run that fails outright still owes its telemetry.
+func TestRunErrorStillFlushesMetrics(t *testing.T) {
+	cPath := writeTemp(t, "bad.c", "int broken( {{{\n")
+	edlPath := writeTemp(t, "e.edl", testEDL)
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+
+	var out bytes.Buffer
+	code, err := run(context.Background(),
+		[]string{"-c", cPath, "-edl", edlPath, "-metrics-json", metricsPath}, &out)
+	if err == nil || code != 1 {
+		t.Fatalf("run = %d, %v; want code 1 and a parse error", code, err)
+	}
+	if _, serr := os.Stat(metricsPath); serr != nil {
+		t.Fatalf("errored run did not flush -metrics-json: %v", serr)
+	}
+}

@@ -8,9 +8,17 @@
 //	             [-fn name] [-loop-bound n] [-path-workers n] [-timeout d]
 //	             [-no-witness] [-json] [-metrics-json metrics.json]
 //	             [-verbose] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	privacyscope -dir project/ [-cache-dir .pscache] [-jobs n] [...]
 //	privacyscope -version
 //
-// Exit status encodes the module verdict: 0 when the module is proved
+// With -dir, the CLI runs in batch mode: it discovers every analysis unit
+// under the tree (each *.c with a same-basename *.edl sibling, plus an
+// optional *.xml rule file), analyzes them across a bounded worker pool,
+// and prints one project report with an aggregate verdict. -cache-dir
+// enables the persistent result cache, making reruns incremental: only
+// changed units re-run the engine. See docs/BATCH.md.
+//
+// Exit status encodes the module (or project) verdict: 0 when proved
 // secure with full coverage, 2 when violations were found, 3 when the
 // analysis was inconclusive (a timeout or budget cut left paths unexplored
 // without finding a leak — see docs/ROBUSTNESS.md), and 1 on usage errors,
@@ -19,8 +27,9 @@
 //
 // SIGINT/SIGTERM cancel the analysis context instead of killing the
 // process: the run degrades fail-soft, prints the partial-coverage report
-// (Inconclusive when nothing was found on the explored paths) and exits
-// with the verdict's code. A second signal terminates immediately.
+// (Inconclusive when nothing was found on the explored paths), flushes
+// -metrics-json, and exits with the verdict's code. A second signal
+// terminates immediately.
 package main
 
 import (
@@ -37,6 +46,8 @@ import (
 	"time"
 
 	"privacyscope"
+	"privacyscope/internal/batch"
+	"privacyscope/internal/diskcache"
 )
 
 func main() {
@@ -53,15 +64,19 @@ func main() {
 	os.Exit(code)
 }
 
-func run(ctx context.Context, args []string, out io.Writer) (int, error) {
+func run(ctx context.Context, args []string, out io.Writer) (code int, err error) {
 	fs := flag.NewFlagSet("privacyscope", flag.ContinueOnError)
 	var (
-		cPath      = fs.String("c", "", "enclave C source file (required)")
-		edlPath    = fs.String("edl", "", "EDL interface file (required)")
-		configPath = fs.String("config", "", "XML rule file (optional)")
-		fnName     = fs.String("fn", "", "analyze only this ECALL")
+		cPath      = fs.String("c", "", "enclave C source file (single-module mode)")
+		edlPath    = fs.String("edl", "", "EDL interface file (single-module mode)")
+		dirRoot    = fs.String("dir", "", "batch mode: analyze every (c, edl[, xml]) unit under this tree")
+		cacheDir   = fs.String("cache-dir", "", "batch mode: persistent result-cache directory (reruns only re-analyze changed units)")
+		cacheMax   = fs.Int64("cache-max-bytes", diskcache.DefaultMaxBytes, "size cap for -cache-dir; oldest entries evict past it")
+		jobs       = fs.Int("jobs", 0, "batch mode: units analyzed concurrently (0 = GOMAXPROCS, capped at 8)")
+		configPath = fs.String("config", "", "XML rule file (batch mode: default for units without their own)")
+		fnName     = fs.String("fn", "", "analyze only this ECALL (single-module mode)")
 		loopBound  = fs.Int("loop-bound", 0, "symbolic loop unrolling bound (0 = default)")
-		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole module, e.g. 30s (0 = none); expiry degrades coverage instead of failing")
+		timeout    = fs.Duration("timeout", 0, "wall-clock budget for the whole run, e.g. 30s (0 = none); expiry degrades coverage instead of failing")
 		noWitness  = fs.Bool("no-witness", false, "skip concrete witness replay")
 		noImplicit = fs.Bool("no-implicit", false, "disable implicit-leak detection")
 		timing     = fs.Bool("timing", false, "enable the timing-channel extension (§VIII-A)")
@@ -82,46 +97,22 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 		fmt.Fprintln(out, privacyscope.Build())
 		return 0, nil
 	}
-	if *cPath == "" || *edlPath == "" {
+	if *dirRoot == "" && (*cPath == "" || *edlPath == "") {
 		fs.Usage()
-		return 1, fmt.Errorf("-c and -edl are required")
+		return 1, fmt.Errorf("either -dir (batch) or both -c and -edl (single module) are required")
 	}
-	cSrc, err := os.ReadFile(*cPath)
-	if err != nil {
-		return 1, err
+	if *dirRoot != "" && (*cPath != "" || *edlPath != "" || *fnName != "") {
+		return 1, fmt.Errorf("-dir is exclusive with -c/-edl/-fn")
 	}
-	edlSrc, err := os.ReadFile(*edlPath)
-	if err != nil {
-		return 1, err
-	}
-	var opts []privacyscope.Option
-	if *configPath != "" {
-		cfg, err := os.ReadFile(*configPath)
-		if err != nil {
-			return 1, err
-		}
-		opts = append(opts, privacyscope.WithConfigXML(cfg))
-	}
-	if *loopBound > 0 {
-		opts = append(opts, privacyscope.WithLoopBound(*loopBound))
-	}
-	if *noWitness {
-		opts = append(opts, privacyscope.WithoutWitnessReplay())
-	}
-	if *noImplicit {
-		opts = append(opts, privacyscope.WithoutImplicitCheck())
-	}
-	if *timing {
-		opts = append(opts, privacyscope.WithTimingCheck())
-	}
-	if *prob {
-		opts = append(opts, privacyscope.WithProbabilisticCheck())
-	}
-	if *conserv {
-		opts = append(opts, privacyscope.WithConservativeExterns())
-	}
-	if *pathWork > 1 {
-		opts = append(opts, privacyscope.WithPathWorkers(*pathWork))
+
+	aopts := privacyscope.AnalysisOptions{
+		LoopBound:           *loopBound,
+		PathWorkers:         *pathWork,
+		NoWitness:           *noWitness,
+		NoImplicit:          *noImplicit,
+		Timing:              *timing,
+		Probabilistic:       *prob,
+		ConservativeExterns: *conserv,
 	}
 
 	// Telemetry: one Metrics observer serves -json, -metrics-json and
@@ -133,8 +124,19 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 			mopts = append(mopts, privacyscope.WithEventWriter(os.Stderr))
 		}
 		metrics = privacyscope.NewMetrics(mopts...)
-		opts = append(opts, privacyscope.WithObserver(metrics))
 	}
+	// Flush -metrics-json on EVERY exit path from here on — the degraded
+	// ones included. A run interrupted by SIGINT mid-batch, or failed by a
+	// module-level error, still owes the caller whatever telemetry it
+	// gathered; losing the snapshot on the sad paths was a real bug.
+	defer func() {
+		if *metricsOut == "" || metrics == nil {
+			return
+		}
+		if ferr := writeMetrics(*metricsOut, metrics); ferr != nil && err == nil {
+			code, err = 1, ferr
+		}
+	}()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -155,25 +157,32 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	start := time.Now()
-	rep, err := privacyscope.AnalyzeEnclaveContext(ctx, string(cSrc), string(edlSrc), opts...)
-	elapsed := time.Since(start)
-	if err != nil {
-		return 1, err
-	}
-	if *fnName != "" {
-		var filtered []*privacyscope.Report
-		for _, r := range rep.Reports {
-			if r.Function == *fnName {
-				filtered = append(filtered, r)
-			}
-		}
-		if len(filtered) == 0 {
-			return 1, fmt.Errorf("no public ECALL named %s", *fnName)
-		}
-		rep.Reports = filtered
-	}
 
+	if *dirRoot != "" {
+		code, err = runBatch(ctx, batchArgs{
+			root:     *dirRoot,
+			cacheDir: *cacheDir,
+			cacheMax: *cacheMax,
+			jobs:     *jobs,
+			config:   *configPath,
+			options:  aopts,
+			asJSON:   *asJSON,
+			metrics:  metrics,
+		}, out)
+	} else {
+		code, err = runSingle(ctx, singleArgs{
+			cPath:   *cPath,
+			edlPath: *edlPath,
+			config:  *configPath,
+			fnName:  *fnName,
+			options: aopts,
+			asJSON:  *asJSON,
+			metrics: metrics,
+		}, out)
+	}
+	if err != nil {
+		return code, err
+	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
@@ -188,22 +197,85 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 			return 1, err
 		}
 	}
-	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+	return code, nil
+}
+
+// writeMetrics dumps the snapshot; shared by all exit paths via the defer
+// in run.
+func writeMetrics(path string, metrics *privacyscope.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exitCode maps the aggregate verdict onto the CLI's exit-status contract.
+func exitCode(v privacyscope.Verdict) int {
+	switch v {
+	case privacyscope.VerdictSecure:
+		return 0
+	case privacyscope.VerdictFindings:
+		return 2
+	case privacyscope.VerdictError:
+		return 1
+	default: // VerdictInconclusive
+		return 3
+	}
+}
+
+type singleArgs struct {
+	cPath, edlPath, config, fnName string
+	options                        privacyscope.AnalysisOptions
+	asJSON                         bool
+	metrics                        *privacyscope.Metrics
+}
+
+func runSingle(ctx context.Context, a singleArgs, out io.Writer) (int, error) {
+	cSrc, err := os.ReadFile(a.cPath)
+	if err != nil {
+		return 1, err
+	}
+	edlSrc, err := os.ReadFile(a.edlPath)
+	if err != nil {
+		return 1, err
+	}
+	opts := a.options.FacadeOptions()
+	if a.config != "" {
+		cfg, err := os.ReadFile(a.config)
 		if err != nil {
 			return 1, err
 		}
-		if err := metrics.WriteJSON(f); err != nil {
-			f.Close()
-			return 1, err
+		opts = append(opts, privacyscope.WithConfigXML(cfg))
+	}
+	if a.metrics != nil {
+		opts = append(opts, privacyscope.WithObserver(a.metrics))
+	}
+	start := time.Now()
+	rep, err := privacyscope.AnalyzeEnclaveContext(ctx, string(cSrc), string(edlSrc), opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 1, err
+	}
+	if a.fnName != "" {
+		var filtered []*privacyscope.Report
+		for _, r := range rep.Reports {
+			if r.Function == a.fnName {
+				filtered = append(filtered, r)
+			}
 		}
-		if err := f.Close(); err != nil {
-			return 1, err
+		if len(filtered) == 0 {
+			return 1, fmt.Errorf("no public ECALL named %s", a.fnName)
 		}
+		rep.Reports = filtered
 	}
 
-	if *asJSON {
-		env := privacyscope.NewEnvelope(rep, elapsed, metrics)
+	if a.asJSON {
+		env := privacyscope.NewEnvelope(rep, elapsed, a.metrics)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(env); err != nil {
@@ -212,14 +284,67 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 	} else {
 		fmt.Fprint(out, rep.Render())
 	}
-	switch rep.Verdict() {
-	case privacyscope.VerdictSecure:
-		return 0, nil
-	case privacyscope.VerdictFindings:
-		return 2, nil
-	case privacyscope.VerdictError:
-		return 1, nil
-	default: // VerdictInconclusive
-		return 3, nil
+	return exitCode(rep.Verdict()), nil
+}
+
+type batchArgs struct {
+	root, cacheDir, config string
+	cacheMax               int64
+	jobs                   int
+	options                privacyscope.AnalysisOptions
+	asJSON                 bool
+	metrics                *privacyscope.Metrics
+}
+
+func runBatch(ctx context.Context, a batchArgs, out io.Writer) (int, error) {
+	units, err := batch.Discover(a.root)
+	if err != nil {
+		return 1, err
 	}
+	if len(units) == 0 {
+		return 1, fmt.Errorf("no analysis units under %s (need *.c with a same-basename *.edl)", a.root)
+	}
+	var defaultRules string
+	if a.config != "" {
+		rules, err := os.ReadFile(a.config)
+		if err != nil {
+			return 1, err
+		}
+		defaultRules = string(rules)
+	}
+	var cache *diskcache.Cache
+	if a.cacheDir != "" {
+		var ob privacyscope.Observer
+		if a.metrics != nil {
+			ob = a.metrics
+		}
+		cache, err = diskcache.Open(diskcache.Config{
+			Dir: a.cacheDir, MaxBytes: a.cacheMax, Observer: ob,
+		})
+		if err != nil {
+			return 1, err
+		}
+	}
+	cfg := batch.Config{
+		Jobs:         a.jobs,
+		Cache:        cache,
+		Options:      a.options,
+		DefaultRules: defaultRules,
+	}
+	if a.metrics != nil {
+		cfg.Observer = a.metrics
+	}
+	rep := batch.Run(ctx, a.root, units, cfg)
+
+	if a.asJSON {
+		env := rep.Envelope(a.metrics)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(env); err != nil {
+			return 1, err
+		}
+	} else {
+		fmt.Fprint(out, rep.Render())
+	}
+	return exitCode(rep.Verdict()), nil
 }

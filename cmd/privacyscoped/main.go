@@ -7,9 +7,14 @@
 // Usage:
 //
 //	privacyscoped [-addr :8321] [-workers n] [-queue-depth n]
-//	              [-cache-entries n] [-deadline d] [-max-deadline d]
-//	              [-verbose]
+//	              [-cache-entries n] [-cache-dir dir] [-cache-max-bytes n]
+//	              [-deadline d] [-max-deadline d] [-verbose]
 //	privacyscoped -version
+//
+// -cache-dir persists cacheable results below the in-memory LRU (the
+// internal/diskcache tier), so a restarted daemon serves repeat
+// submissions warm instead of re-running the engine. See docs/BATCH.md for
+// the on-disk layout and invalidation rules.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued
 // and in-flight analyses are cancelled so they complete fail-soft (their
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"privacyscope"
+	"privacyscope/internal/diskcache"
 	"privacyscope/internal/obs"
 	"privacyscope/internal/server"
 )
@@ -54,6 +60,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers      = fs.Int("workers", 4, "analysis worker-pool size")
 		queueDepth   = fs.Int("queue-depth", 16, "jobs that may wait for a worker before submissions get 429")
 		cacheEntries = fs.Int("cache-entries", 256, "result-cache capacity in entries (0 disables caching)")
+		cacheDir     = fs.String("cache-dir", "", "persist cacheable results in this directory so restarts come back warm (empty = memory only)")
+		cacheMax     = fs.Int64("cache-max-bytes", diskcache.DefaultMaxBytes, "size cap for -cache-dir; oldest entries evict past it")
 		deadline     = fs.Duration("deadline", 30*time.Second, "per-job wall-clock budget when the request sets none (0 = unlimited); expiry degrades coverage, it does not kill the job")
 		maxDeadline  = fs.Duration("max-deadline", 2*time.Minute, "cap on any per-request deadlineMs (0 = uncapped)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs to deliver their fail-soft results")
@@ -72,13 +80,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *verbose {
 		mopts = append(mopts, obs.WithEventWriter(os.Stderr))
 	}
+	metrics := obs.NewMetrics(mopts...)
+	var disk *diskcache.Cache
+	if *cacheDir != "" {
+		var derr error
+		disk, derr = diskcache.Open(diskcache.Config{
+			Dir: *cacheDir, MaxBytes: *cacheMax, Observer: metrics,
+		})
+		if derr != nil {
+			return derr
+		}
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queueDepth,
 		CacheEntries:    *cacheEntries,
+		DiskCache:       disk,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
-		Metrics:         obs.NewMetrics(mopts...),
+		Metrics:         metrics,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

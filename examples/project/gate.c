@@ -1,0 +1,11 @@
+/* gate: branches on a secret and writes distinguishable constants — the
+ * implicit (control-flow) leak of the paper's Example 2. */
+int gate_check(int *secrets, int *output)
+{
+    if (secrets[0] == 7) {
+        output[0] = 1;
+    } else {
+        output[0] = 0;
+    }
+    return 0;
+}

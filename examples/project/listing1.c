@@ -1,0 +1,11 @@
+/* listing1: the paper's Listing 1 — one explicit leak (the +100/+1 chain
+ * inverts exactly) and one implicit leak (the branch on secrets[1]). */
+int enclave_process_data(char *secrets, char *output)
+{
+    int temporary = secrets[0] + 100;
+    output[0] = temporary + 1;
+    if (secrets[1] == 0)
+        return 0;
+    else
+        return 1;
+}

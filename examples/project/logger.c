@@ -1,0 +1,8 @@
+/* logger: hands a raw secret to an OCALL — every OCALL argument escapes
+ * the enclave and is observable, so this is an explicit leak through the
+ * ocall sink. */
+int log_reading(int *secrets)
+{
+    ocall_log(secrets[0]);
+    return 0;
+}

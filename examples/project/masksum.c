@@ -1,0 +1,9 @@
+/* masksum: an aggregate over several secrets — each addend masks the
+ * others, so no single secret is recoverable (nonreversibility holds; a
+ * plain noninterference check would still reject this, the paper's
+ * motivating false positive). */
+int mask_sum(int *secrets, int *output)
+{
+    output[0] = secrets[0] + secrets[1] + secrets[2];
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* ml/stats: two entry points sharing one module — a masked aggregate
+ * (secure) and a constant-returning count (secure), exercising multi-ECALL
+ * units and nested project directories. */
+int stats_sum(int *secrets, int *output)
+{
+    output[0] = secrets[0] + secrets[1];
+    return 0;
+}
+
+int stats_count(int *secrets, int *output)
+{
+    output[0] = 2;
+    return 0;
+}

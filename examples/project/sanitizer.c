@@ -1,0 +1,9 @@
+/* sanitizer: reads a secret but overwrites the value before anything
+ * observable happens — dead secret reads must not be flagged. */
+int sanitize(int *secrets, int *output)
+{
+    int t = secrets[0];
+    t = 0;
+    output[0] = t;
+    return 0;
+}

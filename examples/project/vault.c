@@ -1,0 +1,7 @@
+/* vault: exports a stored secret with a constant offset — the textbook
+ * explicit nonreversibility violation (the offset inverts trivially). */
+int vault_export(int *secrets, int *output)
+{
+    output[0] = secrets[0] + 4;
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Package batch is the project-scale analysis driver: it discovers every
+// (source, EDL, rules) analysis unit under a directory tree, shards the
+// units across a bounded worker pool with the fail-soft context plumbing of
+// the facade, consults the persistent result cache (internal/diskcache) per
+// unit, and merges the per-unit envelopes into one project report with an
+// aggregate four-valued verdict.
+//
+// The cache makes reruns incremental: a project where one unit changed
+// recomputes that unit and serves every other from disk, so rerun cost is
+// proportional to the change, not the project. See docs/BATCH.md.
+package batch
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one discovered analysis unit: an enclave source with its
+// interface file and optional rule file.
+type Unit struct {
+	// Name identifies the unit in reports: the source path relative to
+	// the discovery root, slash-separated, without the .c extension.
+	Name string
+	// Source, EDL and Rules are the file contents (Rules empty when the
+	// unit has no rule file).
+	Source string
+	EDL    string
+	Rules  string
+	// SourcePath, EDLPath and RulesPath locate the files (RulesPath
+	// empty when absent).
+	SourcePath string
+	EDLPath    string
+	RulesPath  string
+}
+
+// Discover walks root and pairs every *.c file with its same-basename
+// *.edl sibling (a .c without an .edl is not an analysis unit and is
+// skipped — headers, harness code). An optional same-basename *.xml is the
+// unit's §V-C rule file. Units come back sorted by Name so downstream
+// processing is deterministic regardless of filesystem order.
+func Discover(root string) ([]Unit, error) {
+	var units []Unit
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".c") {
+			return nil
+		}
+		base := strings.TrimSuffix(path, ".c")
+		edlPath := base + ".edl"
+		if _, err := os.Stat(edlPath); err != nil {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+		edl, err := os.ReadFile(edlPath)
+		if err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+		u := Unit{
+			Source:     string(src),
+			EDL:        string(edl),
+			SourcePath: path,
+			EDLPath:    edlPath,
+		}
+		if rules, err := os.ReadFile(base + ".xml"); err == nil {
+			u.Rules = string(rules)
+			u.RulesPath = base + ".xml"
+		}
+		rel, err := filepath.Rel(root, base)
+		if err != nil {
+			rel = base
+		}
+		u.Name = filepath.ToSlash(rel)
+		units = append(units, u)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Name < units[j].Name })
+	return units, nil
+}

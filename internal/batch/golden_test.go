@@ -1,0 +1,116 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/diskcache"
+)
+
+func openCache(t *testing.T) *diskcache.Cache {
+	t.Helper()
+	c, err := diskcache.Open(diskcache.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("diskcache.Open: %v", err)
+	}
+	return c
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTree is the fixture for the rendering goldens: the three canonical
+// units plus a broken one, so the golden freezes the error line too.
+func goldenTree(t *testing.T) string {
+	t.Helper()
+	dir := projectTree(t)
+	writeUnit(t, dir, "broken", "int broken( {{{\n", leakEDL)
+	return dir
+}
+
+// scrub zeroes the nondeterministic parts of a report in place: wall
+// clocks and the temp-dir root. Verdicts, findings, ordering, and cached
+// tags — everything the golden is meant to freeze — are untouched.
+func scrub(rep *ProjectReport) {
+	rep.Root = "<root>"
+	rep.Elapsed = 0
+	for i := range rep.Units {
+		if env := rep.Units[i].Envelope; env != nil {
+			env.DurationMs = 0
+		}
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run: go test ./internal/batch -run TestGolden -update): %v", path, err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("output diverged from %s — if intentional, regenerate with -update\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenProjectReport freezes the batch CLI's human-readable project
+// report and its machine-readable -json envelope, and pins that both are
+// byte-identical regardless of worker count (deterministic unit ordering).
+func TestGoldenProjectReport(t *testing.T) {
+	dir := goldenTree(t)
+	units := discover(t, dir)
+
+	render := make(map[int]string)
+	envJSON := make(map[int]string)
+	for _, jobs := range []int{1, 8} {
+		rep := Run(context.Background(), dir, units, Config{Jobs: jobs})
+		scrub(rep)
+		render[jobs] = rep.Render()
+		b, err := json.MarshalIndent(rep.Envelope(nil), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		envJSON[jobs] = string(b) + "\n"
+	}
+	if render[1] != render[8] {
+		t.Errorf("Render differs between -jobs 1 and -jobs 8:\n%s\n---\n%s", render[1], render[8])
+	}
+	if envJSON[1] != envJSON[8] {
+		t.Error("JSON envelope differs between -jobs 1 and -jobs 8")
+	}
+
+	checkGolden(t, filepath.Join("testdata", "golden", "report.txt"), []byte(render[1]))
+	checkGolden(t, filepath.Join("testdata", "golden", "report.json"), []byte(envJSON[1]))
+}
+
+// TestGoldenCachedRendering freezes the [cached] markers: a warm run over
+// the same tree renders identically except for the cached tags and the
+// cached/analyzed counts in the trailer.
+func TestGoldenCachedRendering(t *testing.T) {
+	dir := goldenTree(t)
+	units := discover(t, dir)
+	cache := openCache(t)
+	Run(context.Background(), dir, units, Config{Jobs: 1, Cache: cache})
+	warm := Run(context.Background(), dir, units, Config{Jobs: 1, Cache: cache})
+	scrub(warm)
+	checkGolden(t, filepath.Join("testdata", "golden", "report_warm.txt"), []byte(warm.Render()))
+
+	// Sanity on the frozen shape: every non-error unit is tagged.
+	out := warm.Render()
+	if strings.Count(out, "[cached]") != 3 {
+		t.Errorf("warm render has %d [cached] tags, want 3:\n%s", strings.Count(out, "[cached]"), out)
+	}
+}

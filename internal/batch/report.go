@@ -1,0 +1,154 @@
+package batch
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"privacyscope"
+)
+
+// Stats summarizes how a run's units were resolved.
+type Stats struct {
+	// Units is the total unit count.
+	Units int `json:"units"`
+	// Cached units were served from the persistent cache.
+	Cached int `json:"cached"`
+	// Analyzed units ran the engine.
+	Analyzed int `json:"analyzed"`
+	// Errors counts module-level unit failures.
+	Errors int `json:"errors"`
+	// Findings totals violations across all units.
+	Findings int `json:"findings"`
+}
+
+// Stats computes the run summary.
+func (r *ProjectReport) Stats() Stats {
+	s := Stats{Units: len(r.Units)}
+	for _, u := range r.Units {
+		switch {
+		case u.Err != "":
+			s.Errors++
+		case u.Cached:
+			s.Cached++
+		default:
+			s.Analyzed++
+		}
+		if u.Envelope != nil {
+			s.Findings += len(u.Envelope.Findings)
+		}
+	}
+	return s
+}
+
+// Verdict aggregates the per-unit verdicts with the facade's dominance
+// order: findings anywhere dominate (a leak is a leak no matter how clean
+// the sibling units are), then error, then inconclusive, then secure.
+func (r *ProjectReport) Verdict() privacyscope.Verdict {
+	agg := privacyscope.VerdictSecure
+	for _, u := range r.Units {
+		if v := u.Verdict(); v > agg {
+			agg = v
+		}
+	}
+	return agg
+}
+
+// Secure reports whether every unit was proved free of violations.
+func (r *ProjectReport) Secure() bool {
+	return r.Verdict() == privacyscope.VerdictSecure
+}
+
+// Render formats the project report: one summary line per unit (in
+// deterministic Name order), each unit's findings, and the aggregate
+// verdict. The rendering is stable across Config.Jobs values and contains
+// no timings, so it goldens cleanly.
+func (r *ProjectReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "PrivacyScope project report — %d units\n", len(r.Units))
+	nameW := 4
+	for _, u := range r.Units {
+		if len(u.Unit.Name) > nameW {
+			nameW = len(u.Unit.Name)
+		}
+	}
+	for _, u := range r.Units {
+		tag := ""
+		if u.Cached {
+			tag = "  [cached]"
+		}
+		switch {
+		case u.Err != "":
+			fmt.Fprintf(&sb, "  %-*s  error: %s\n", nameW, u.Unit.Name, u.Err)
+		default:
+			fmt.Fprintf(&sb, "  %-*s  %-12s  %d findings%s\n",
+				nameW, u.Unit.Name, u.Envelope.Verdict, len(u.Envelope.Findings), tag)
+		}
+	}
+	for _, u := range r.Units {
+		if u.Envelope == nil || len(u.Envelope.Findings) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\nunit %s:\n", u.Unit.Name)
+		for _, f := range u.Envelope.Findings {
+			fmt.Fprintf(&sb, "  [%s] %s\n", f.Function, f.Message)
+		}
+	}
+	s := r.Stats()
+	fmt.Fprintf(&sb, "\nverdict: %s — %d units (%d cached, %d analyzed, %d errors), %d findings\n",
+		r.Verdict(), s.Units, s.Cached, s.Analyzed, s.Errors, s.Findings)
+	return sb.String()
+}
+
+// ProjectUnit is one unit in the machine-readable project envelope.
+type ProjectUnit struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"`
+	Cached  bool   `json:"cached"`
+	Error   string `json:"error,omitempty"`
+	// Envelope is the unit's full per-module envelope (nil on
+	// module-level error) — the identical shape `privacyscope -json`
+	// emits for a single module.
+	Envelope *privacyscope.Envelope `json:"envelope,omitempty"`
+}
+
+// ProjectEnvelope is the machine-readable batch result: the `-dir -json`
+// CLI output.
+type ProjectEnvelope struct {
+	Root       string                        `json:"root"`
+	Engine     string                        `json:"engine"`
+	Verdict    string                        `json:"verdict"`
+	Secure     bool                          `json:"secure"`
+	Stats      Stats                         `json:"stats"`
+	Units      []ProjectUnit                 `json:"units"`
+	DurationMs float64                       `json:"durationMs"`
+	Metrics    *privacyscope.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// Envelope flattens the report. The metrics snapshot is attached when
+// metrics is non-nil.
+func (r *ProjectReport) Envelope(metrics *privacyscope.Metrics) ProjectEnvelope {
+	env := ProjectEnvelope{
+		Root:       r.Root,
+		Engine:     privacyscope.Fingerprint(),
+		Verdict:    r.Verdict().String(),
+		Secure:     r.Secure(),
+		Stats:      r.Stats(),
+		Units:      []ProjectUnit{},
+		DurationMs: float64(r.Elapsed.Nanoseconds()) / float64(time.Millisecond),
+	}
+	for _, u := range r.Units {
+		env.Units = append(env.Units, ProjectUnit{
+			Name:     u.Unit.Name,
+			Verdict:  u.Verdict().String(),
+			Cached:   u.Cached,
+			Error:    u.Err,
+			Envelope: u.Envelope,
+		})
+	}
+	if metrics != nil {
+		snap := metrics.Snapshot()
+		env.Metrics = &snap
+	}
+	return env
+}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestBatchBenchShape pins the incremental-rerun acceptance on the bench
+// harness itself: the warm rerun pays zero engine analyses, and the
+// one-modified rerun pays at least 5× fewer than cold, with the savings on
+// the disk-hit counters.
+func TestBatchBenchShape(t *testing.T) {
+	rows, err := BatchBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byMode := map[string]BatchBenchRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	cold, warm, mod := byMode["cold"], byMode["warm"], byMode["warm-1-modified"]
+	if cold.EngineAnalyses != int64(cold.Units) || cold.DiskHits != 0 {
+		t.Errorf("cold row = %+v, want every unit analyzed, zero hits", cold)
+	}
+	if warm.EngineAnalyses != 0 || warm.DiskHits != int64(warm.Units) {
+		t.Errorf("warm row = %+v, want zero analyses, every unit a hit", warm)
+	}
+	if mod.EngineAnalyses != 1 || mod.DiskHits != int64(mod.Units-1) {
+		t.Errorf("warm-1-modified row = %+v, want 1 analysis, units-1 hits", mod)
+	}
+	if cold.EngineAnalyses < 5*mod.EngineAnalyses {
+		t.Errorf("cold/modified analysis ratio %d/%d < 5×", cold.EngineAnalyses, mod.EngineAnalyses)
+	}
+}

@@ -569,5 +569,11 @@ func RunAll() (string, error) {
 		return "", err
 	}
 	sb.WriteString(RenderFailsoft(fsRows))
+	sb.WriteByte('\n')
+	bb, err := BatchBench()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderBatchBench(bb))
 	return sb.String(), nil
 }

@@ -1,0 +1,181 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"testing"
+
+	"privacyscope/internal/obs"
+)
+
+// canonical returns the one valid payload for slot i. Every writer stores
+// exactly this, so any read that returns ok must return exactly these
+// bytes — anything else is a torn or corrupted read.
+func canonical(i int) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"slot":%d,"pad":"`, i)
+	for j := 0; j < 256; j++ {
+		fmt.Fprintf(&b, "%02x", (i+j)%251)
+	}
+	b.WriteString(`"}`)
+	return b.Bytes()
+}
+
+func slotKey(i int) string { return Key("engine", "concurrency", fmt.Sprint(i)) }
+
+// hammer performs rounds of interleaved Put/Get over shared slots and
+// fails t on any non-canonical read.
+func hammer(t *testing.T, c *Cache, worker, rounds, slots int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		i := (worker + r) % slots
+		c.Put(slotKey(i), canonical(i))
+		for j := 0; j < slots; j++ {
+			got, ok := c.Get(slotKey(j))
+			if !ok {
+				continue // not yet written or evicted: a miss is always legal
+			}
+			if !bytes.Equal(got, canonical(j)) {
+				t.Errorf("worker %d: torn read on slot %d: got %d bytes %q...",
+					worker, j, len(got), truncate(got, 40))
+				return
+			}
+		}
+	}
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// TestConcurrentGoroutines runs N goroutines over one directory through a
+// single Cache handle under the race detector: no torn reads, no races.
+func TestConcurrentGoroutines(t *testing.T) {
+	c, m := openTemp(t, 0)
+	const workers, rounds, slots = 8, 40, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer(t, c, w, rounds, slots)
+		}(w)
+	}
+	wg.Wait()
+	if m.Counter("diskcache.corrupt") != 0 {
+		t.Fatalf("diskcache.corrupt = %d under concurrent use, want 0",
+			m.Counter("diskcache.corrupt"))
+	}
+	for j := 0; j < slots; j++ {
+		got, ok := c.Get(slotKey(j))
+		if !ok || !bytes.Equal(got, canonical(j)) {
+			t.Fatalf("slot %d not intact after hammer (ok=%v)", j, ok)
+		}
+	}
+}
+
+// TestConcurrentHandles runs the same hammer through two independent Cache
+// handles over the same directory — the single-process analogue of two
+// daemons sharing a cache dir.
+func TestConcurrentHandles(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Cache {
+		c, err := Open(Config{Dir: dir, Observer: obs.NewMetrics()})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		return c
+	}
+	a, b := open(), open()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		c := a
+		if w%2 == 1 {
+			c = b
+		}
+		go func(w int, c *Cache) {
+			defer wg.Done()
+			hammer(t, c, w, 30, 5)
+		}(w, c)
+	}
+	wg.Wait()
+}
+
+const helperEnv = "PRIVACYSCOPE_DISKCACHE_HELPER_DIR"
+
+// TestHelperProcessHammer is not a test: it is the body of the child
+// process spawned by TestCrossProcess. It hammers the directory named by
+// the env gate and exits.
+func TestHelperProcessHammer(t *testing.T) {
+	dir := os.Getenv(helperEnv)
+	if dir == "" {
+		t.Skip("helper process body; only runs under TestCrossProcess")
+	}
+	c, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("helper Open: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer(t, c, w, 30, 5)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCrossProcess re-execs the test binary as a second process hammering
+// the same cache directory while the parent hammers it too: write-then-
+// rename must keep every read whole across process boundaries, and every
+// surviving entry must be byte-identical to its canonical payload.
+func TestCrossProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping cross-process hammer in -short")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcessHammer", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting helper process: %v", err)
+	}
+
+	m := obs.NewMetrics()
+	c, err := Open(Config{Dir: dir, Observer: m})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hammer(t, c, w, 30, 5)
+		}(w)
+	}
+	wg.Wait()
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper process failed: %v\n%s", err, out.String())
+	}
+	if m.Counter("diskcache.corrupt") != 0 {
+		t.Fatalf("diskcache.corrupt = %d across processes, want 0",
+			m.Counter("diskcache.corrupt"))
+	}
+	for j := 0; j < 5; j++ {
+		got, ok := c.Get(slotKey(j))
+		if !ok || !bytes.Equal(got, canonical(j)) {
+			t.Fatalf("slot %d not byte-identical after cross-process hammer (ok=%v)", j, ok)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package diskcache is the disk-persistent, content-addressed result-cache
+// tier below the in-memory caches: the privacyscoped daemon layers it under
+// its LRU so restarts come back warm, and the batch driver (internal/batch)
+// uses it to make a project rerun cost roughly one changed unit instead of
+// one project.
+//
+// Contract:
+//
+//   - Keys are content addresses (see Key): the SHA-256 of everything that
+//     determines the analysis outcome, engine fingerprint first, so an
+//     engine upgrade can never serve stale results.
+//   - Writes are atomic: payloads land in a unique temp file and are
+//     renamed into place, so a concurrent reader — another goroutine or
+//     another process sharing the directory — sees either the whole entry
+//     or no entry, never a torn one.
+//   - Loads are corruption-tolerant: every entry carries a checksum
+//     header, and a truncated, bit-flipped or mis-framed entry degrades to
+//     a cache miss (and is removed) instead of an error. A cache problem
+//     must never change a verdict, only cost a recompute.
+//   - The directory is size-capped: Put evicts the oldest entries (by
+//     mtime, refreshed on hit) once the payload total passes MaxBytes.
+//
+// Telemetry flows through internal/obs under the diskcache.* names
+// (hits, misses, puts, evictions, corrupt, errors), so the daemon's
+// existing Prometheus exposition picks the tier up for free. See
+// docs/BATCH.md for the on-disk layout and invalidation rules.
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privacyscope/internal/obs"
+)
+
+// DefaultMaxBytes caps the cache directory when Config.MaxBytes is unset:
+// envelopes are a few KiB, so this holds tens of thousands of entries.
+const DefaultMaxBytes = 256 << 20
+
+// entryExt marks finished entries; temp files use tmpExt and are invisible
+// to Get and to the size accounting.
+const (
+	entryExt = ".psc"
+	tmpExt   = ".tmp"
+)
+
+// magic heads every entry: format name + version. Bump it when the framing
+// changes so old entries degrade to misses instead of misparses.
+const magic = "psdc1"
+
+// FS is the filesystem seam the cache writes through. Production uses
+// OSFS; internal/faultinject wraps it to inject disk-full, short-write and
+// corrupt-entry faults deterministically.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Chtimes(name string, atime, mtime time.Time) error
+}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+// OSFS returns the real-filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+// Config sizes and instruments a cache.
+type Config struct {
+	// Dir is the cache directory; created if missing.
+	Dir string
+	// MaxBytes caps the payload total (≤0: DefaultMaxBytes).
+	MaxBytes int64
+	// FS overrides the filesystem (nil: OSFS). Tests inject faults here.
+	FS FS
+	// Observer receives the diskcache.* counters (nil: no-op).
+	Observer obs.Observer
+}
+
+// Cache is a content-addressed persistent cache. A nil *Cache is a valid
+// disabled cache: Get always misses and Put drops, so callers thread one
+// pointer without nil checks.
+type Cache struct {
+	dir      string
+	maxBytes int64
+	fs       FS
+	obs      obs.Observer
+
+	// evictMu serializes eviction scans; Get/Put themselves need no lock —
+	// atomicity comes from write-then-rename.
+	evictMu sync.Mutex
+	seq     atomic.Uint64
+}
+
+// Open creates (if needed) and returns the cache over cfg.Dir.
+func Open(cfg Config) (*Cache, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("diskcache: empty directory")
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultMaxBytes
+	}
+	if cfg.FS == nil {
+		cfg.FS = OSFS()
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return &Cache{
+		dir:      cfg.Dir,
+		maxBytes: cfg.MaxBytes,
+		fs:       cfg.FS,
+		obs:      obs.Or(cfg.Observer),
+	}, nil
+}
+
+// Key builds a content-address from the engine fingerprint and the parts
+// that determine an analysis outcome (sources, interface, rules, canonical
+// options JSON). Each part is length-framed before hashing so no two
+// distinct part lists can collide by concatenation.
+func Key(engine string, parts ...string) string {
+	h := sha256.New()
+	write := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		io.WriteString(h, s)
+	}
+	write(engine)
+	for _, p := range parts {
+		write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps a key onto its entry file. Keys are expected to be Key-style
+// hex; anything else (defensively) is re-hashed so a hostile key cannot
+// escape the cache directory.
+func (c *Cache) path(key string) string {
+	for _, r := range key {
+		ok := (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f')
+		if !ok {
+			key = Key("rekey", key)
+			break
+		}
+	}
+	if len(key) > 128 {
+		key = Key("rekey", key)
+	}
+	return filepath.Join(c.dir, key+entryExt)
+}
+
+// encode frames a payload: "psdc1 <sha256> <len>\n" + payload.
+func encode(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	head := fmt.Sprintf("%s %x %d\n", magic, sum, len(payload))
+	return append([]byte(head), payload...)
+}
+
+// decode verifies the frame and returns the payload; ok is false for any
+// corruption (bad magic, bad length, checksum mismatch).
+func decode(data []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	fields := bytes.Fields(data[:nl])
+	if len(fields) != 3 || string(fields[0]) != magic {
+		return nil, false
+	}
+	n, err := strconv.Atoi(string(fields[2]))
+	if err != nil || n != len(data)-nl-1 {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != string(fields[1]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Get returns the stored payload for key. Any failure — missing entry,
+// unreadable file, corrupt frame — is a miss; a corrupt entry additionally
+// bumps diskcache.corrupt and is removed so it cannot mis-hit forever.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	path := c.path(key)
+	data, err := c.fs.ReadFile(path)
+	if err != nil {
+		c.obs.Add("diskcache.misses", 1)
+		return nil, false
+	}
+	payload, ok := decode(data)
+	if !ok {
+		c.obs.Add("diskcache.corrupt", 1)
+		c.obs.Add("diskcache.misses", 1)
+		c.fs.Remove(path)
+		return nil, false
+	}
+	// Refresh recency for the size-capped eviction; purely advisory.
+	now := time.Now()
+	c.fs.Chtimes(path, now, now)
+	c.obs.Add("diskcache.hits", 1)
+	return payload, true
+}
+
+// Put stores payload under key. It never fails the caller: a write or
+// rename error bumps diskcache.errors and degrades to "not cached".
+// Re-putting a key atomically replaces its entry.
+func (c *Cache) Put(key string, payload []byte) {
+	if c == nil {
+		return
+	}
+	path := c.path(key)
+	tmp := fmt.Sprintf("%s%s.%d.%d", path, tmpExt, os.Getpid(), c.seq.Add(1))
+	if err := c.fs.WriteFile(tmp, encode(payload), 0o644); err != nil {
+		c.obs.Add("diskcache.errors", 1)
+		c.fs.Remove(tmp)
+		return
+	}
+	if err := c.fs.Rename(tmp, path); err != nil {
+		c.obs.Add("diskcache.errors", 1)
+		c.fs.Remove(tmp)
+		return
+	}
+	c.obs.Add("diskcache.puts", 1)
+	c.evict()
+}
+
+// entryInfo is one finished entry during an eviction/accounting scan.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// scan lists finished entries with sizes and mtimes.
+func (c *Cache) scan() []entryInfo {
+	des, err := c.fs.ReadDir(c.dir)
+	if err != nil {
+		return nil
+	}
+	var out []entryInfo
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != entryExt {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, entryInfo{
+			path:  filepath.Join(c.dir, de.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	return out
+}
+
+// evict removes the oldest entries until the directory fits MaxBytes. The
+// scan is authoritative (not a cached running total) so multiple processes
+// sharing the directory converge on the cap instead of drifting.
+func (c *Cache) evict() {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	entries := c.scan()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := c.fs.Remove(e.path); err == nil {
+			total -= e.size
+			c.obs.Add("diskcache.evictions", 1)
+		}
+	}
+}
+
+// Len counts finished entries (a directory scan; intended for stats
+// endpoints and tests, not hot paths).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.scan())
+}
+
+// SizeBytes totals the finished entries' on-disk sizes.
+func (c *Cache) SizeBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for _, e := range c.scan() {
+		total += e.size
+	}
+	return total
+}
+
+// Dir returns the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}

@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"privacyscope/internal/diskcache"
+)
+
+// ErrDiskFull is the error injected write faults return, standing in for
+// ENOSPC.
+var ErrDiskFull = errors.New("faultinject: no space left on device")
+
+// DiskFS wraps a diskcache.FS with deterministic disk faults, extending the
+// observer-signal harness above to the persistence layer. Faults trigger on
+// the nth entry write (temp-file WriteFile of a cache entry; 1-based,
+// counting only entry writes so directory bookkeeping never shifts the
+// count):
+//
+//   - FailWriteAt(n): the write returns ErrDiskFull having written nothing
+//     (disk full). The cache must degrade to "not cached", never error the
+//     analysis.
+//   - ShortWriteAt(n): only the first half of the data reaches disk and
+//     the write reports success — the lost-page-cache crash shape. The
+//     resulting entry is visible but truncated; a later Get must detect
+//     the corruption and degrade to a miss.
+//   - CorruptAt(n): the data is written in full with one payload byte
+//     flipped, again reporting success — silent media corruption. Same
+//     required degradation.
+//
+// All faults are one-shot at their ordinal and safe for concurrent use.
+type DiskFS struct {
+	inner diskcache.FS
+
+	mu      sync.Mutex
+	writes  int
+	faults  map[int]diskFaultKind
+	tripped int
+}
+
+type diskFaultKind int
+
+const (
+	faultNone diskFaultKind = iota
+	faultFail
+	faultShort
+	faultCorrupt
+)
+
+// NewDiskFS wraps inner (nil means the real filesystem).
+func NewDiskFS(inner diskcache.FS) *DiskFS {
+	if inner == nil {
+		inner = diskcache.OSFS()
+	}
+	return &DiskFS{inner: inner, faults: make(map[int]diskFaultKind)}
+}
+
+// FailWriteAt arms a disk-full fault on the nth entry write.
+func (d *DiskFS) FailWriteAt(n int) *DiskFS { return d.arm(n, faultFail) }
+
+// ShortWriteAt arms a silent short write on the nth entry write.
+func (d *DiskFS) ShortWriteAt(n int) *DiskFS { return d.arm(n, faultShort) }
+
+// CorruptAt arms a silent byte flip on the nth entry write.
+func (d *DiskFS) CorruptAt(n int) *DiskFS { return d.arm(n, faultCorrupt) }
+
+func (d *DiskFS) arm(n int, k diskFaultKind) *DiskFS {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults[n] = k
+	return d
+}
+
+// Writes reports how many entry writes the cache attempted.
+func (d *DiskFS) Writes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// Tripped reports how many armed faults have fired.
+func (d *DiskFS) Tripped() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tripped
+}
+
+// isEntryWrite recognizes cache-entry temp files (the only payload-bearing
+// writes the cache issues).
+func isEntryWrite(name string) bool {
+	return strings.Contains(filepath.Base(name), ".psc.tmp.")
+}
+
+// WriteFile implements diskcache.FS with the armed faults.
+func (d *DiskFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if !isEntryWrite(name) {
+		return d.inner.WriteFile(name, data, perm)
+	}
+	d.mu.Lock()
+	d.writes++
+	kind := d.faults[d.writes]
+	if kind != faultNone {
+		d.tripped++
+	}
+	d.mu.Unlock()
+	switch kind {
+	case faultFail:
+		return ErrDiskFull
+	case faultShort:
+		return d.inner.WriteFile(name, data[:len(data)/2], perm)
+	case faultCorrupt:
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0xFF // last byte: inside the payload
+		return d.inner.WriteFile(name, flipped, perm)
+	default:
+		return d.inner.WriteFile(name, data, perm)
+	}
+}
+
+// The remaining methods delegate unchanged.
+
+func (d *DiskFS) MkdirAll(path string, perm os.FileMode) error { return d.inner.MkdirAll(path, perm) }
+func (d *DiskFS) ReadFile(name string) ([]byte, error)         { return d.inner.ReadFile(name) }
+func (d *DiskFS) Rename(oldpath, newpath string) error         { return d.inner.Rename(oldpath, newpath) }
+func (d *DiskFS) Remove(name string) error                     { return d.inner.Remove(name) }
+func (d *DiskFS) ReadDir(name string) ([]fs.DirEntry, error)   { return d.inner.ReadDir(name) }
+func (d *DiskFS) Chtimes(name string, atime, mtime time.Time) error {
+	return d.inner.Chtimes(name, atime, mtime)
+}

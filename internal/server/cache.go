@@ -2,8 +2,10 @@ package server
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
 
+	"privacyscope/internal/diskcache"
 	"privacyscope/internal/obs"
 )
 
@@ -17,11 +19,17 @@ import (
 // Eviction is LRU over entry count: analysis results are small (the
 // envelope, not the path set), so counting entries rather than bytes keeps
 // the accounting trivial while still bounding memory.
+//
+// Below the in-memory LRU sits an optional disk tier (internal/diskcache):
+// a memory miss consults it, a hit promotes the entry back into memory, and
+// every Put persists — so a daemon restarted with the same -cache-dir comes
+// back warm. Disk problems of any kind degrade to misses, never to errors.
 type resultCache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	disk    *diskcache.Cache
 	obs     obs.Observer
 }
 
@@ -30,35 +38,79 @@ type cacheEntry struct {
 	result *analysisResult
 }
 
+// persistedResult is the disk-tier serialization of an analysisResult. The
+// body is the envelope (or error JSON) verbatim; status and verdict rebuild
+// the HTTP framing. Only cacheable results are ever persisted, so the
+// cacheable bit needs no slot.
+type persistedResult struct {
+	Status  int             `json:"status"`
+	Verdict string          `json:"verdict,omitempty"`
+	Body    json.RawMessage `json:"body"`
+}
+
 // newResultCache returns a cache bounded to max entries (≤0 disables
-// caching entirely: every Get misses and Put drops).
-func newResultCache(max int, o obs.Observer) *resultCache {
+// caching entirely: every Get misses and Put drops), over an optional disk
+// tier (nil disables persistence).
+func newResultCache(max int, disk *diskcache.Cache, o obs.Observer) *resultCache {
 	return &resultCache{
 		max:     max,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		disk:    disk,
 		obs:     obs.Or(o),
 	}
 }
 
-// Get returns the cached result for key, bumping its recency. The second
-// return is false on a miss.
+// Get returns the cached result for key, bumping its recency. A memory
+// miss falls through to the disk tier; a disk hit is promoted back into
+// memory. The second return is false on a miss in both tiers.
 func (c *resultCache) Get(key string) (*analysisResult, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.entries[key]
+	if ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.obs.Add("server.cache.hits", 1)
+		return el.Value.(*cacheEntry).result, true
+	}
+	c.mu.Unlock()
+	c.obs.Add("server.cache.misses", 1)
+	payload, ok := c.disk.Get(key) // nil-safe: misses when no disk tier
 	if !ok {
-		c.obs.Add("server.cache.misses", 1)
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	c.obs.Add("server.cache.hits", 1)
-	return el.Value.(*cacheEntry).result, true
+	var p persistedResult
+	if err := json.Unmarshal(payload, &p); err != nil || p.Status == 0 {
+		// Frame checksum passed but the wrapper does not decode — treat
+		// like corruption: miss and recompute.
+		c.obs.Add("server.cache.disk.undecodable", 1)
+		return nil, false
+	}
+	res := &analysisResult{status: p.Status, body: p.Body, verdict: p.Verdict, cacheable: true}
+	c.put(key, res)
+	return res, true
 }
 
-// Put stores a result, evicting the least recently used entry past the
-// bound. Re-putting an existing key refreshes its value and recency.
+// Put stores a result in both tiers, evicting the least recently used
+// memory entry past the bound. Re-putting an existing key refreshes its
+// value and recency.
 func (c *resultCache) Put(key string, r *analysisResult) {
+	c.put(key, r)
+	if c.disk != nil {
+		// 500s never reach Put (not cacheable); persist everything else,
+		// 422 parse errors included — they are deterministic per request.
+		if payload, err := json.Marshal(persistedResult{
+			Status:  r.status,
+			Verdict: r.verdict,
+			Body:    json.RawMessage(r.body),
+		}); err == nil {
+			c.disk.Put(key, payload)
+		}
+	}
+}
+
+// put inserts into the memory tier only (also the disk-hit promotion path).
+func (c *resultCache) put(key string, r *analysisResult) {
 	if c.max <= 0 {
 		return
 	}
@@ -78,7 +130,7 @@ func (c *resultCache) Put(key string, r *analysisResult) {
 	}
 }
 
-// Len returns the current entry count.
+// Len returns the current memory-tier entry count.
 func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

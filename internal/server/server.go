@@ -22,7 +22,6 @@ package server
 import (
 	"context"
 	"crypto/rand"
-	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"privacyscope"
+	"privacyscope/internal/diskcache"
 	"privacyscope/internal/obs"
 )
 
@@ -56,6 +56,11 @@ type Config struct {
 	MaxDeadline time.Duration
 	// MaxSourceBytes bounds the combined request source sizes (≤0: 1 MiB).
 	MaxSourceBytes int
+	// DiskCache, when non-nil, persists cacheable results below the
+	// in-memory LRU (same content-addressed keys), so a daemon restarted
+	// on the same directory serves repeats without re-running the
+	// engine. Disk failures degrade to cache misses, never to errors.
+	DiskCache *diskcache.Cache
 	// Metrics receives the daemon's and the engine's telemetry. Nil
 	// creates a private Metrics; pass one to share it with other
 	// components or to stream events.
@@ -102,7 +107,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		metrics: cfg.Metrics,
-		cache:   newResultCache(cfg.CacheEntries, cfg.Metrics),
+		cache:   newResultCache(cfg.CacheEntries, cfg.DiskCache, cfg.Metrics),
 		flight:  newFlightGroup(),
 		sched:   newScheduler(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
 		jobs:    newJobStore(1024),
@@ -146,21 +151,11 @@ type AnalyzeRequest struct {
 	Options RequestOptions `json:"options,omitempty"`
 }
 
-// RequestOptions mirrors the facade's functional options in JSON form.
-// Every field participates in the cache key.
-type RequestOptions struct {
-	LoopBound           int      `json:"loopBound,omitempty"`
-	MaxPaths            int      `json:"maxPaths,omitempty"`
-	MaxSteps            int      `json:"maxSteps,omitempty"`
-	DeadlineMs          int      `json:"deadlineMs,omitempty"`
-	PathWorkers         int      `json:"pathWorkers,omitempty"`
-	NoWitness           bool     `json:"noWitness,omitempty"`
-	NoImplicit          bool     `json:"noImplicit,omitempty"`
-	Timing              bool     `json:"timing,omitempty"`
-	Probabilistic       bool     `json:"probabilistic,omitempty"`
-	ConservativeExterns bool     `json:"conservativeExterns,omitempty"`
-	KnownInputs         []string `json:"knownInputs,omitempty"`
-}
+// RequestOptions mirrors the facade's functional options in JSON form:
+// the shared privacyscope.AnalysisOptions, so the daemon, the batch driver
+// and the cache keys all agree on what an "option" is. Every field
+// participates in the cache key.
+type RequestOptions = privacyscope.AnalysisOptions
 
 // analysisResult is a finished analysis as the handler writes it: status,
 // body, and whether the cache may keep it.
@@ -180,21 +175,11 @@ func errorBody(msg string) []byte {
 
 // cacheKey addresses a request by content: everything that determines the
 // analysis outcome, engine fingerprint included, hashed field-by-field with
-// length framing so no two distinct requests can collide by concatenation.
+// length framing (diskcache.Key) so no two distinct requests can collide by
+// concatenation. The same key addresses both cache tiers.
 func (s *Server) cacheKey(req *AnalyzeRequest) string {
-	h := sha256.New()
-	writeField := func(f string) {
-		fmt.Fprintf(h, "%d:", len(f))
-		h.Write([]byte(f))
-	}
-	writeField(s.engine)
-	writeField(req.Lang)
-	writeField(req.Source)
-	writeField(req.EDL)
-	writeField(req.ConfigXML)
-	opt, _ := json.Marshal(req.Options)
-	writeField(string(opt))
-	return hex.EncodeToString(h.Sum(nil))
+	return diskcache.Key(s.engine,
+		req.Lang, req.Source, req.EDL, req.ConfigXML, req.Options.KeyJSON())
 }
 
 // validate rejects malformed requests before they cost a queue slot.
@@ -349,40 +334,10 @@ func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeReques
 		return s.runPRIML(req)
 	}
 
-	opts := []privacyscope.Option{privacyscope.WithObserver(s.metrics)}
-	o := req.Options
+	opts := append([]privacyscope.Option{privacyscope.WithObserver(s.metrics)},
+		req.Options.FacadeOptions()...)
 	if req.ConfigXML != "" {
 		opts = append(opts, privacyscope.WithConfigXML([]byte(req.ConfigXML)))
-	}
-	if o.LoopBound > 0 {
-		opts = append(opts, privacyscope.WithLoopBound(o.LoopBound))
-	}
-	if o.MaxPaths > 0 {
-		opts = append(opts, privacyscope.WithMaxPaths(o.MaxPaths))
-	}
-	if o.MaxSteps > 0 {
-		opts = append(opts, privacyscope.WithMaxSteps(o.MaxSteps))
-	}
-	if o.PathWorkers > 1 {
-		opts = append(opts, privacyscope.WithPathWorkers(o.PathWorkers))
-	}
-	if o.NoWitness {
-		opts = append(opts, privacyscope.WithoutWitnessReplay())
-	}
-	if o.NoImplicit {
-		opts = append(opts, privacyscope.WithoutImplicitCheck())
-	}
-	if o.Timing {
-		opts = append(opts, privacyscope.WithTimingCheck())
-	}
-	if o.Probabilistic {
-		opts = append(opts, privacyscope.WithProbabilisticCheck())
-	}
-	if o.ConservativeExterns {
-		opts = append(opts, privacyscope.WithConservativeExterns())
-	}
-	if len(o.KnownInputs) > 0 {
-		opts = append(opts, privacyscope.WithKnownInputs(o.KnownInputs...))
 	}
 
 	start := time.Now()
@@ -566,6 +521,10 @@ func (s *Server) publishGauges() {
 	s.metrics.SetGauge("server.queue.depth", int64(s.sched.QueueDepth()))
 	s.metrics.SetGauge("server.jobs.inflight", s.sched.InFlight())
 	s.metrics.SetGauge("server.cache.entries", int64(s.cache.Len()))
+	if s.cfg.DiskCache != nil {
+		s.metrics.SetGauge("diskcache.entries", int64(s.cfg.DiskCache.Len()))
+		s.metrics.SetGauge("diskcache.size.bytes", s.cfg.DiskCache.SizeBytes())
+	}
 }
 
 // jobStore tracks async jobs with bounded retention.

@@ -503,9 +503,9 @@ func TestRequestValidationAndModuleErrors(t *testing.T) {
 	}
 
 	for _, req := range []AnalyzeRequest{
-		{Source: leakyC},                          // minic without EDL
-		{Lang: "rust", Source: "fn main() {}"},    // unknown lang
-		{Lang: "minic", EDL: leakyEDL},            // no source
+		{Source: leakyC},                       // minic without EDL
+		{Lang: "rust", Source: "fn main() {}"}, // unknown lang
+		{Lang: "minic", EDL: leakyEDL},         // no source
 	} {
 		resp, data := postAnalyze(t, ts, req, "")
 		if resp.StatusCode != http.StatusBadRequest {
@@ -573,7 +573,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"privacyscope_server_queue_depth",
 		"privacyscope_server_jobs_inflight",
 		"privacyscope_server_cache_entries 1",
-		"privacyscope_check_symexec_count",      // engine per-phase latency
+		"privacyscope_check_symexec_count",          // engine per-phase latency
 		"privacyscope_server_analyze_seconds_total", // daemon-side latency
 	} {
 		if !strings.Contains(text, want) {

@@ -1,0 +1,89 @@
+package privacyscope
+
+import "encoding/json"
+
+// AnalysisOptions is the declarative, JSON-marshalable form of the facade's
+// functional options. The privacyscoped HTTP API accepts it as the request
+// "options" object, the batch driver (internal/batch) carries it per
+// project run, and both fold its canonical JSON into their cache keys — so
+// one struct is the single source of truth for "what can change an
+// analysis result besides the sources".
+//
+// Every field MUST participate in JSON marshaling (no `json:"-"`): cache
+// keys hash KeyJSON, and a field that does not serialize would let two
+// different analyses share a cache entry. The cache-key soundness property
+// test (internal/batch) enumerates the fields by reflection and fails when
+// a newly added field does not change the key.
+type AnalysisOptions struct {
+	LoopBound           int      `json:"loopBound,omitempty"`
+	MaxPaths            int      `json:"maxPaths,omitempty"`
+	MaxSteps            int      `json:"maxSteps,omitempty"`
+	DeadlineMs          int      `json:"deadlineMs,omitempty"`
+	PathWorkers         int      `json:"pathWorkers,omitempty"`
+	NoWitness           bool     `json:"noWitness,omitempty"`
+	NoImplicit          bool     `json:"noImplicit,omitempty"`
+	Timing              bool     `json:"timing,omitempty"`
+	Probabilistic       bool     `json:"probabilistic,omitempty"`
+	ConservativeExterns bool     `json:"conservativeExterns,omitempty"`
+	KnownInputs         []string `json:"knownInputs,omitempty"`
+}
+
+// FacadeOptions converts the declarative knobs into the functional options
+// AnalyzeEnclave takes. DeadlineMs is excluded on purpose: a wall-clock
+// budget is context plumbing, and both the daemon and the batch driver
+// apply it to the analysis context (so expiry degrades the whole module
+// fail-soft) rather than per entry point.
+func (o AnalysisOptions) FacadeOptions() []Option {
+	var opts []Option
+	if o.LoopBound > 0 {
+		opts = append(opts, WithLoopBound(o.LoopBound))
+	}
+	if o.MaxPaths > 0 {
+		opts = append(opts, WithMaxPaths(o.MaxPaths))
+	}
+	if o.MaxSteps > 0 {
+		opts = append(opts, WithMaxSteps(o.MaxSteps))
+	}
+	if o.PathWorkers > 1 {
+		opts = append(opts, WithPathWorkers(o.PathWorkers))
+	}
+	if o.NoWitness {
+		opts = append(opts, WithoutWitnessReplay())
+	}
+	if o.NoImplicit {
+		opts = append(opts, WithoutImplicitCheck())
+	}
+	if o.Timing {
+		opts = append(opts, WithTimingCheck())
+	}
+	if o.Probabilistic {
+		opts = append(opts, WithProbabilisticCheck())
+	}
+	if o.ConservativeExterns {
+		opts = append(opts, WithConservativeExterns())
+	}
+	if len(o.KnownInputs) > 0 {
+		opts = append(opts, WithKnownInputs(o.KnownInputs...))
+	}
+	return opts
+}
+
+// KeyJSON is the canonical serialization cache keys hash. It is plain
+// json.Marshal today; having a named chokepoint means a future field with
+// special equality semantics changes one place, not every keyer.
+func (o AnalysisOptions) KeyJSON() string {
+	b, _ := json.Marshal(o)
+	return string(b)
+}
+
+// ParseVerdict inverts Verdict.String. The second return is false for
+// strings no verdict renders to (the Verdict is then VerdictError, the
+// conservative reading of an unintelligible result).
+func ParseVerdict(s string) (Verdict, bool) {
+	for _, v := range []Verdict{VerdictSecure, VerdictInconclusive, VerdictError, VerdictFindings} {
+		if v.String() == s {
+			return v, true
+		}
+	}
+	return VerdictError, false
+}
