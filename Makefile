@@ -31,12 +31,15 @@ examples-smoke:
 # Batch smoke: a cold project run over examples/project followed by a warm
 # rerun on the same cache dir. The tree contains leaking units, so exit
 # status 2 (findings) is the expected outcome of both runs; anything else
-# fails the smoke. See docs/BATCH.md.
+# fails the smoke. The cold run also exports its project timeline as a
+# Chrome trace-event file (batch-smoke-trace.json, one lane per worker —
+# load it in Perfetto); CI uploads it as an artifact. See docs/BATCH.md.
 .PHONY: batch-smoke
 batch-smoke:
-	rm -rf .pscache-smoke bin/privacyscope-smoke
+	rm -rf .pscache-smoke bin/privacyscope-smoke batch-smoke-trace.json
 	go build -o bin/privacyscope-smoke ./cmd/privacyscope
-	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke; test $$? -eq 2
+	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke -trace-out batch-smoke-trace.json; test $$? -eq 2
+	grep -q '"traceEvents"' batch-smoke-trace.json
 	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke | grep -Eq 'verdict: .* \([1-9][0-9]* cached, 0 analyzed, 0 errors\)'
 	rm -rf .pscache-smoke bin/privacyscope-smoke
 
@@ -44,6 +47,18 @@ batch-smoke:
 .PHONY: bench-report
 bench-report:
 	go run ./cmd/benchreport
+
+# Compare a fresh measured run against the latest committed BENCH_N.json
+# snapshot: deterministic engine counters must match exactly; timing columns
+# only warn inside a 50% host tolerance. Regenerate the snapshot with
+# bench-snapshot when an intended engine change shifts the counters.
+.PHONY: bench-check
+bench-check:
+	go run ./cmd/benchreport -check "$$(ls BENCH_*.json | sort -V | tail -1)"
+
+.PHONY: bench-snapshot
+bench-snapshot:
+	go run ./cmd/benchreport -json > "$$(ls BENCH_*.json | sort -V | tail -1)"
 
 .PHONY: bench
 bench:

@@ -84,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
 		pathWork   = fs.Int("path-workers", 0, "goroutines exploring each ECALL's paths concurrently (<=1 = sequential; results are deterministic)")
 		asJSON     = fs.Bool("json", false, "emit findings as JSON")
+		traceOut   = fs.String("trace-out", "", "record the run and write a Chrome trace-event file (load in chrome://tracing or Perfetto); -json also embeds the span tree")
 		metricsOut = fs.String("metrics-json", "", "write a metrics snapshot (counters, spans, dists) to this file")
 		verbose    = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -125,6 +126,22 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		}
 		metrics = privacyscope.NewMetrics(mopts...)
 	}
+	// -trace-out adds a per-run Tracer next to the Metrics (obs.Multi); the
+	// analysis itself never knows whether it is being traced.
+	var tracer *privacyscope.Tracer
+	if *traceOut != "" {
+		tracer = privacyscope.NewTracer()
+	}
+	// Flush the trace on every exit path, like -metrics-json below: a run
+	// interrupted mid-batch still owes the caller its partial timeline.
+	defer func() {
+		if tracer == nil {
+			return
+		}
+		if ferr := writeTrace(*traceOut, tracer); ferr != nil && err == nil {
+			code, err = 1, ferr
+		}
+	}()
 	// Flush -metrics-json on EVERY exit path from here on — the degraded
 	// ones included. A run interrupted by SIGINT mid-batch, or failed by a
 	// module-level error, still owes the caller whatever telemetry it
@@ -168,6 +185,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 			options:  aopts,
 			asJSON:   *asJSON,
 			metrics:  metrics,
+			tracer:   tracer,
 		}, out)
 	} else {
 		code, err = runSingle(ctx, singleArgs{
@@ -178,6 +196,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 			options: aopts,
 			asJSON:  *asJSON,
 			metrics: metrics,
+			tracer:  tracer,
 		}, out)
 	}
 	if err != nil {
@@ -198,6 +217,20 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		}
 	}
 	return code, nil
+}
+
+// writeTrace dumps the recorded timeline as a Chrome trace-event file;
+// shared by all exit paths via the defer in run.
+func writeTrace(path string, tracer *privacyscope.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the snapshot; shared by all exit paths via the defer
@@ -233,6 +266,7 @@ type singleArgs struct {
 	options                        privacyscope.AnalysisOptions
 	asJSON                         bool
 	metrics                        *privacyscope.Metrics
+	tracer                         *privacyscope.Tracer
 }
 
 func runSingle(ctx context.Context, a singleArgs, out io.Writer) (int, error) {
@@ -252,8 +286,15 @@ func runSingle(ctx context.Context, a singleArgs, out io.Writer) (int, error) {
 		}
 		opts = append(opts, privacyscope.WithConfigXML(cfg))
 	}
+	var obList []privacyscope.Observer
 	if a.metrics != nil {
-		opts = append(opts, privacyscope.WithObserver(a.metrics))
+		obList = append(obList, a.metrics)
+	}
+	if a.tracer != nil {
+		obList = append(obList, a.tracer)
+	}
+	if len(obList) > 0 {
+		opts = append(opts, privacyscope.WithObserver(privacyscope.MultiObserver(obList...)))
 	}
 	start := time.Now()
 	rep, err := privacyscope.AnalyzeEnclaveContext(ctx, string(cSrc), string(edlSrc), opts...)
@@ -276,6 +317,10 @@ func runSingle(ctx context.Context, a singleArgs, out io.Writer) (int, error) {
 
 	if a.asJSON {
 		env := privacyscope.NewEnvelope(rep, elapsed, a.metrics)
+		if a.tracer != nil {
+			env.TraceID = a.tracer.TraceID()
+			env.Trace = a.tracer.Snapshot()
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(env); err != nil {
@@ -294,6 +339,7 @@ type batchArgs struct {
 	options                privacyscope.AnalysisOptions
 	asJSON                 bool
 	metrics                *privacyscope.Metrics
+	tracer                 *privacyscope.Tracer
 }
 
 func runBatch(ctx context.Context, a batchArgs, out io.Writer) (int, error) {
@@ -330,6 +376,7 @@ func runBatch(ctx context.Context, a batchArgs, out io.Writer) (int, error) {
 		Cache:        cache,
 		Options:      a.options,
 		DefaultRules: defaultRules,
+		Tracer:       a.tracer,
 	}
 	if a.metrics != nil {
 		cfg.Observer = a.metrics
@@ -338,6 +385,9 @@ func runBatch(ctx context.Context, a batchArgs, out io.Writer) (int, error) {
 
 	if a.asJSON {
 		env := rep.Envelope(a.metrics)
+		if a.tracer != nil {
+			env.TraceID = a.tracer.TraceID()
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(env); err != nil {

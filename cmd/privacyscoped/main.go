@@ -9,6 +9,7 @@
 //	privacyscoped [-addr :8321] [-workers n] [-queue-depth n]
 //	              [-cache-entries n] [-cache-dir dir] [-cache-max-bytes n]
 //	              [-deadline d] [-max-deadline d] [-verbose]
+//	              [-flight-entries n] [-slow-threshold d]
 //	privacyscoped -version
 //
 // -cache-dir persists cacheable results below the in-memory LRU (the
@@ -65,6 +66,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		deadline     = fs.Duration("deadline", 30*time.Second, "per-job wall-clock budget when the request sets none (0 = unlimited); expiry degrades coverage, it does not kill the job")
 		maxDeadline  = fs.Duration("max-deadline", 2*time.Minute, "cap on any per-request deadlineMs (0 = uncapped)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs to deliver their fail-soft results")
+		flightN      = fs.Int("flight-entries", 64, "executed analyses retained in the flight recorder (GET /debug/traces)")
+		slowAfter    = fs.Duration("slow-threshold", 10*time.Second, "log a server.job.slow event when an executed analysis exceeds this (0 disables)")
 		verbose      = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
 		version      = fs.Bool("version", false, "print build info (engine version, fingerprint) and exit")
 	)
@@ -99,6 +102,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		Metrics:         metrics,
+		FlightEntries:   *flightN,
+		SlowThreshold:   *slowAfter,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

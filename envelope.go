@@ -45,6 +45,14 @@ type Envelope struct {
 	Paths      int                `json:"paths"`
 	States     int                `json:"states"`
 	Metrics    *MetricsSnapshot   `json:"metrics,omitempty"`
+	// TraceID identifies the analysis execution that produced this
+	// envelope (the daemon echoes it in the traceparent response header
+	// and serves the recorded trace at /debug/traces/<id>).
+	TraceID string `json:"traceId,omitempty"`
+	// Trace is the recorded span tree, embedded when the caller traced
+	// the run (privacyscope -trace-out attaches it; the daemon serves it
+	// out-of-band via /debug/traces instead of inflating every response).
+	Trace *TraceSnapshot `json:"trace,omitempty"`
 }
 
 // NewEnvelope flattens an EnclaveReport into the envelope. The metrics

@@ -37,6 +37,11 @@ type Config struct {
 	// every non-cached unit (nil: no-op). Must be safe for concurrent
 	// use when Jobs > 1 (obs.Metrics is).
 	Observer obs.Observer
+	// Tracer, when set, records the project timeline: each pool worker
+	// gets its own lane (worker 1..N), every unit a span with cache-tier
+	// and verdict annotations, and cache-hit/miss markers per unit — the
+	// -trace-out view of pool occupancy and stragglers.
+	Tracer *obs.Tracer
 }
 
 func (c Config) jobs() int {
@@ -116,23 +121,42 @@ func Run(ctx context.Context, root string, units []Unit, cfg Config) *ProjectRep
 		ctx = context.Background()
 	}
 	ob := obs.Or(cfg.Observer)
+	if cfg.Tracer != nil {
+		ob = obs.Multi(ob, cfg.Tracer)
+	}
 	start := time.Now()
 	span := ob.StartSpan("batch")
+	span.Annotate(obs.F("root", root), obs.F("units", fmt.Sprint(len(units))))
 	defer span.End()
 	ob.Add("batch.units", int64(len(units)))
 
 	rep := &ProjectReport{Root: root, Units: make([]UnitResult, len(units))}
-	sem := make(chan struct{}, cfg.jobs())
-	var wg sync.WaitGroup
-	for i := range units {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rep.Units[i] = runUnit(ctx, units[i], cfg, ob)
-		}(i)
+	// A fixed pool of workers pulling indices — rather than a
+	// goroutine-per-unit semaphore — so each worker is a stable identity
+	// the tracer can assign a timeline lane to.
+	nw := cfg.jobs()
+	if nw > len(units) && len(units) > 0 {
+		nw = len(units)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wob := obs.Or(cfg.Observer)
+		if cfg.Tracer != nil {
+			wob = obs.Multi(wob, cfg.Tracer.Lane(w+1, fmt.Sprintf("worker %d", w+1)))
+		}
+		wg.Add(1)
+		go func(wob obs.Observer) {
+			defer wg.Done()
+			for i := range idx {
+				rep.Units[i] = runUnit(ctx, units[i], cfg, wob)
+			}
+		}(wob)
+	}
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
 	return rep
@@ -141,6 +165,14 @@ func Run(ctx context.Context, root string, units []Unit, cfg Config) *ProjectRep
 // runUnit resolves one unit through the cache or the engine.
 func runUnit(ctx context.Context, u Unit, cfg Config, ob obs.Observer) (res UnitResult) {
 	res.Unit = u
+	sp := ob.StartSpan("batch/unit")
+	sp.Annotate(obs.F("unit", u.Name))
+	defer func() {
+		v := res.Verdict().String()
+		sp.Annotate(obs.F("verdict", v))
+		ob.Event("batch.unit.done", obs.F("unit", u.Name), obs.F("verdict", v))
+		sp.End()
+	}()
 	// Panic isolation mirrors the facade's per-ECALL guard one level up:
 	// a crashing unit (pathological input tripping an engine bug before
 	// the per-function guard arms) must not take down the project run.
@@ -160,6 +192,8 @@ func runUnit(ctx context.Context, u Unit, cfg Config, ob obs.Observer) (res Unit
 		var env privacyscope.Envelope
 		if err := json.Unmarshal(payload, &env); err == nil && env.Engine == privacyscope.Fingerprint() {
 			ob.Add("batch.units.cached", 1)
+			sp.Annotate(obs.F("cache", "hit"))
+			ob.Event("batch.cache.hit", obs.F("unit", u.Name))
 			res.Envelope = &env
 			res.Cached = true
 			return res
@@ -167,6 +201,12 @@ func runUnit(ctx context.Context, u Unit, cfg Config, ob obs.Observer) (res Unit
 		// The frame checksum passed but the envelope does not decode (or
 		// names a different engine): treat like corruption — recompute.
 		ob.Add("batch.units.undecodable", 1)
+		sp.Annotate(obs.F("cache", "undecodable"))
+	} else if cfg.Cache != nil {
+		sp.Annotate(obs.F("cache", "miss"))
+	}
+	if cfg.Cache != nil {
+		ob.Event("batch.cache.miss", obs.F("unit", u.Name))
 	}
 
 	opts := append(cfg.Options.FacadeOptions(), privacyscope.WithObserver(ob))

@@ -123,6 +123,10 @@ type ProjectEnvelope struct {
 	Units      []ProjectUnit                 `json:"units"`
 	DurationMs float64                       `json:"durationMs"`
 	Metrics    *privacyscope.MetricsSnapshot `json:"metrics,omitempty"`
+	// TraceID names the project timeline recorded when the run was traced
+	// (-trace-out); the trace itself is the Chrome trace-event file, not
+	// an embedded tree — project timelines are too large to inline.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Envelope flattens the report. The metrics snapshot is attached when

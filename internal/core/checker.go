@@ -96,11 +96,17 @@ func (c *Checker) CheckFunction(ctx context.Context, file *minic.File, fn string
 	start := time.Now()
 	c.obs.Event("check.start", obs.F("function", fn))
 	span := c.obs.StartSpan("check")
+	span.Annotate(obs.F("function", fn))
 	defer span.End()
 
 	sx := span.Child("symexec")
 	engine := symexec.New(file, c.opts.Engine)
 	res, err := engine.AnalyzeFunction(ctx, fn, params)
+	if res != nil {
+		sx.Annotate(
+			obs.F("paths", fmt.Sprint(len(res.Paths))),
+			obs.F("states", fmt.Sprint(res.States)))
+	}
 	sx.End()
 	if err != nil {
 		return nil, fmt.Errorf("check %s: %w", fn, err)
@@ -116,6 +122,7 @@ func (c *Checker) CheckFunction(ctx context.Context, file *minic.File, fn string
 	}
 	if res.Coverage.Truncated {
 		c.obs.Add("check.degraded", 1)
+		span.Annotate(obs.F("truncated", string(res.Coverage.Reason)))
 		switch res.Coverage.Reason {
 		case symexec.TruncCancelled, symexec.TruncDeadline:
 			c.obs.Add("check.cancelled", 1)
@@ -141,6 +148,9 @@ func (c *Checker) CheckFunction(ctx context.Context, file *minic.File, fn string
 	for _, f := range report.Findings {
 		c.obs.Add("core.findings."+f.Kind.String(), 1)
 	}
+	span.Annotate(
+		obs.F("findings", fmt.Sprint(len(report.Findings))),
+		obs.F("verdict", report.Verdict().String()))
 	c.obs.Event("check.done",
 		obs.F("function", fn),
 		obs.F("findings", fmt.Sprint(len(report.Findings))),

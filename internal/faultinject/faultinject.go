@@ -218,6 +218,8 @@ func (s injSpan) Child(name string) obs.Span {
 	return injSpan{name: full, inner: s.inner.Child(name), inj: s.inj}
 }
 
+func (s injSpan) Annotate(fields ...obs.Field) { s.inner.Annotate(fields...) }
+
 func (s injSpan) End() { s.inner.End() }
 
 // Pressure returns a copy of opts with the exploration budgets clamped to

@@ -123,10 +123,25 @@ type metricsSpan struct {
 	m     *Metrics
 	name  string
 	start time.Time
+
+	fieldMu sync.Mutex
+	fields  []Field
 }
 
 func (s *metricsSpan) Child(name string) Span {
 	return &metricsSpan{m: s.m, name: s.name + "/" + name, start: time.Now()}
+}
+
+// Annotate attaches fields to this span instance. Metrics aggregates by
+// name, so the fields do not fragment the stats — they only enrich the
+// span's completion line on the event stream (-verbose).
+func (s *metricsSpan) Annotate(fields ...Field) {
+	if len(fields) == 0 {
+		return
+	}
+	s.fieldMu.Lock()
+	s.fields = append(s.fields, fields...)
+	s.fieldMu.Unlock()
 }
 
 func (s *metricsSpan) End() {
@@ -147,7 +162,10 @@ func (s *metricsSpan) End() {
 		st.MaxNanos = dur
 	}
 	m.mu.Unlock()
-	m.emit("span", s.name, dur, nil)
+	s.fieldMu.Lock()
+	fields := s.fields
+	s.fieldMu.Unlock()
+	m.emit("span", s.name, dur, fields)
 }
 
 // eventLine is one JSON line of the -verbose stream.

@@ -29,9 +29,13 @@ func F(key, value string) Field { return Field{Key: key, Value: value} }
 
 // Span is an in-flight timed operation. End records the duration under the
 // span's slash-path name; Child starts a nested span named
-// "<parent>/<name>".
+// "<parent>/<name>"; Annotate attaches key/value fields to this span
+// *instance* — the Metrics observer mirrors them onto the span's event line,
+// the Tracer records them on the span record, and the no-op observer
+// discards them for free.
 type Span interface {
 	Child(name string) Span
+	Annotate(fields ...Field)
 	End()
 }
 
@@ -74,4 +78,77 @@ func (nop) Observe(string, int64)  {}
 func (nop) Event(string, ...Field) {}
 
 func (nopSpan) Child(string) Span { return nopSpan{} }
+func (nopSpan) Annotate(...Field) {}
 func (nopSpan) End()              {}
+
+// Multi fans every Observer call out to each of the given observers — the
+// way a run attaches aggregation (Metrics) and per-instance tracing (Tracer)
+// side by side without the instrumented code knowing. Nil and no-op entries
+// are dropped; zero live observers collapse to Nop() and one passes through
+// unchanged, so the fan-out costs nothing unless it is actually fanning out.
+func Multi(os ...Observer) Observer {
+	live := make([]Observer, 0, len(os))
+	for _, o := range os {
+		if o == nil || o == Observer(nop{}) {
+			continue
+		}
+		live = append(live, o)
+	}
+	switch len(live) {
+	case 0:
+		return nop{}
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) StartSpan(name string) Span {
+	sp := make(multiSpan, len(m))
+	for i, o := range m {
+		sp[i] = o.StartSpan(name)
+	}
+	return sp
+}
+
+func (m multi) Add(name string, delta int64) {
+	for _, o := range m {
+		o.Add(name, delta)
+	}
+}
+
+func (m multi) Observe(name string, value int64) {
+	for _, o := range m {
+		o.Observe(name, value)
+	}
+}
+
+func (m multi) Event(name string, fields ...Field) {
+	for _, o := range m {
+		o.Event(name, fields...)
+	}
+}
+
+type multiSpan []Span
+
+func (s multiSpan) Child(name string) Span {
+	c := make(multiSpan, len(s))
+	for i, sp := range s {
+		c[i] = sp.Child(name)
+	}
+	return c
+}
+
+func (s multiSpan) Annotate(fields ...Field) {
+	for _, sp := range s {
+		sp.Annotate(fields...)
+	}
+}
+
+func (s multiSpan) End() {
+	for _, sp := range s {
+		sp.End()
+	}
+}

@@ -15,7 +15,9 @@ import (
 // "privacyscope_" prefix and non-alphanumeric runes folded to '_':
 // "server.cache.hits" → privacyscope_server_cache_hits.
 
-// promName folds a registry name into a legal Prometheus metric name.
+// promName folds a registry name into a legal Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*; the "privacyscope_" prefix also covers names
+// that would otherwise start with a digit).
 func promName(name string) string {
 	var sb strings.Builder
 	sb.WriteString("privacyscope_")
@@ -30,17 +32,52 @@ func promName(name string) string {
 	return sb.String()
 }
 
+// promNamer hands out folded names while guaranteeing no two registry names
+// collide after folding ('.', '/', '-' all fold to '_', so "check.degraded"
+// and "check/degraded" would otherwise emit the same series with two TYPE
+// lines — invalid exposition). A collision takes a _2/_3… suffix; families
+// with derived series (spans, dists) reserve every derived name too, so a
+// counter named "check_count" cannot collide with span "check"'s _count.
+type promNamer struct {
+	used map[string]bool
+}
+
+func newPromNamer() *promNamer { return &promNamer{used: make(map[string]bool)} }
+
+func (pn *promNamer) claim(name string, suffixes ...string) string {
+	base := promName(name)
+	cand := base
+	for n := 2; ; n++ {
+		free := !pn.used[cand]
+		for _, sfx := range suffixes {
+			if pn.used[cand+sfx] {
+				free = false
+			}
+		}
+		if free {
+			break
+		}
+		cand = fmt.Sprintf("%s_%d", base, n)
+	}
+	pn.used[cand] = true
+	for _, sfx := range suffixes {
+		pn.used[cand+sfx] = true
+	}
+	return cand
+}
+
 // WritePrometheus writes the current snapshot in the Prometheus text
 // exposition format (version 0.0.4).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	s := m.Snapshot()
+	pn := newPromNamer()
 	var names []string
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		p := promName(n)
+		p := pn.claim(n)
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
 			return err
 		}
@@ -51,7 +88,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		p := promName(n)
+		p := pn.claim(n)
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[n]); err != nil {
 			return err
 		}
@@ -63,7 +100,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		st := s.Spans[n]
-		p := promName(n)
+		p := pn.claim(n, "_count", "_seconds_total", "_seconds_max")
 		if _, err := fmt.Fprintf(w,
 			"# TYPE %s_count counter\n%s_count %d\n"+
 				"# TYPE %s_seconds_total counter\n%s_seconds_total %g\n"+
@@ -81,7 +118,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		d := s.Dists[n]
-		p := promName(n)
+		p := pn.claim(n, "_count", "_sum", "_min", "_max")
 		if _, err := fmt.Fprintf(w,
 			"# TYPE %s_count counter\n%s_count %d\n"+
 				"# TYPE %s_sum counter\n%s_sum %d\n"+

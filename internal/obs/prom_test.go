@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// validatePromExposition checks text against the Prometheus 0.0.4 text
+// format: legal metric names, a single TYPE declaration per metric (before
+// its sample), one parseable float value per sample line.
+func validatePromExposition(t *testing.T, text string) (samples map[string]float64) {
+	t.Helper()
+	samples = make(map[string]float64)
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := parts[2], parts[3]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("illegal metric name %q", name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" && kind != "summary" && kind != "untyped" {
+				t.Fatalf("illegal TYPE %q in %q", kind, line)
+			}
+			if prev, dup := typed[name]; dup {
+				t.Fatalf("duplicate TYPE for %s (%s then %s) — invalid exposition", name, prev, kind)
+			}
+			typed[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := fields[0]
+		if !promNameRe.MatchString(name) {
+			t.Fatalf("illegal metric name in sample %q", line)
+		}
+		if _, ok := typed[name]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("metric %s sampled twice", name)
+		}
+		samples[name] = v
+	}
+	return samples
+}
+
+// TestWritePrometheusValidExposition feeds the exposition writer the real
+// registry shapes — slashes in span paths, dots and dashes in counter
+// names — and validates the output against Prometheus naming rules.
+func TestWritePrometheusValidExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Add("symexec.steps", 41)
+	m.Add("core.findings.timing-channel", 2)
+	m.Add("server.cache.hits", 7)
+	m.SetGauge("server.queue.depth", 3)
+	sp := m.StartSpan("check")
+	sp.Child("symexec").End()
+	sp.End()
+	m.StartSpan("server/analyze").End()
+	m.Observe("solver.model.width", 17)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePromExposition(t, buf.String())
+
+	for name, want := range map[string]float64{
+		"privacyscope_symexec_steps":                41,
+		"privacyscope_core_findings_timing_channel": 2,
+		"privacyscope_server_cache_hits":            7,
+		"privacyscope_server_queue_depth":           3,
+		"privacyscope_check_count":                  1,
+		"privacyscope_check_symexec_count":          1,
+		"privacyscope_server_analyze_count":         1,
+		"privacyscope_solver_model_width_count":     1,
+		"privacyscope_solver_model_width_sum":       17,
+	} {
+		if got, ok := samples[name]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+}
+
+// TestWritePrometheusCollisions: registry names that fold to the same
+// Prometheus name must not emit duplicate series — the second claimant gets
+// a _2 suffix. Cross-family too: a counter occupying a span's derived
+// _count name pushes the span family to a suffixed base.
+func TestWritePrometheusCollisions(t *testing.T) {
+	m := NewMetrics()
+	m.Add("check.degraded", 1)
+	m.Add("check/degraded", 2) // folds identically
+	m.Add("check_count", 5)    // occupies span "check"'s _count series
+	m.StartSpan("check").End()
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePromExposition(t, buf.String())
+
+	if samples["privacyscope_check_degraded"]+samples["privacyscope_check_degraded_2"] != 3 {
+		t.Errorf("folded twins missing: %v", samples)
+	}
+	if samples["privacyscope_check_count"] != 5 {
+		t.Errorf("counter check_count = %v, want 5", samples["privacyscope_check_count"])
+	}
+	// The span family moved wholesale to a suffixed base.
+	if _, ok := samples["privacyscope_check_2_count"]; !ok {
+		t.Errorf("span family not re-based: %v", samples)
+	}
+	if _, ok := samples["privacyscope_check_2_seconds_total"]; !ok {
+		t.Errorf("span family seconds_total missing: %v", samples)
+	}
+}
+
+// TestWritePrometheusRealRun validates the exposition of an actual daemon
+// metrics object exercised by the obs package tests' helpers.
+func TestWritePrometheusEmptyIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewMetrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePromExposition(t, buf.String())
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func findSpan(spans []*TraceSpan, name string) *TraceSpan {
+	for _, s := range spans {
+		if s.Name == name {
+			return s
+		}
+		if c := findSpan(s.Spans, name); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("check")
+	root.Annotate(F("function", "ecall_process"))
+	child := root.Child("symexec")
+	grand := child.Child("solver")
+	grand.End()
+	child.End()
+	sibling := root.Child("explicit")
+	sibling.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.TraceID == "" || len(snap.TraceID) != 32 {
+		t.Fatalf("TraceID = %q, want 32 hex chars", snap.TraceID)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap.Spans))
+	}
+	r := snap.Spans[0]
+	if r.Name != "check" {
+		t.Fatalf("root name = %q", r.Name)
+	}
+	if len(r.Fields) != 1 || r.Fields[0].Key != "function" {
+		t.Fatalf("root fields = %v", r.Fields)
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("want 2 children of root, got %d", len(r.Spans))
+	}
+	// Children sort by start offset: symexec began first.
+	if r.Spans[0].Name != "symexec" || r.Spans[1].Name != "explicit" {
+		t.Fatalf("children = %q, %q", r.Spans[0].Name, r.Spans[1].Name)
+	}
+	if findSpan(r.Spans[0].Spans, "solver") == nil {
+		t.Fatalf("grandchild solver not under symexec: %+v", r.Spans[0])
+	}
+}
+
+func TestTracerOrphanBecomesRoot(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("check")
+	child := root.Child("symexec")
+	child.End()
+	// Root never ends (e.g. snapshot taken mid-analysis): the child has no
+	// completed parent record and must surface as a root, not vanish.
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "symexec" {
+		t.Fatalf("orphan child not promoted to root: %+v", snap.Spans)
+	}
+	_ = root
+}
+
+func TestTracerBufferCapCountsDrops(t *testing.T) {
+	tr := NewTracer(WithTraceCap(4))
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s").End()
+		tr.Event("m")
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("recorded %d spans, want cap 4", len(snap.Spans))
+	}
+	if snap.DroppedSpans != 6 {
+		t.Fatalf("DroppedSpans = %d, want 6", snap.DroppedSpans)
+	}
+	if len(snap.Marks) != 4 || snap.DroppedMarks != 6 {
+		t.Fatalf("marks = %d dropped = %d, want 4/6", len(snap.Marks), snap.DroppedMarks)
+	}
+}
+
+func TestTracerConcurrentForks(t *testing.T) {
+	// Forked children start on one goroutine and end on others — the
+	// path-worker pool's pattern. Parent links must survive.
+	tr := NewTracer()
+	root := tr.StartSpan("symexec")
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		sp := root.Child("worker")
+		wg.Add(1)
+		go func(sp Span, i int) {
+			defer wg.Done()
+			sp.Annotate(F("fork", fmt.Sprint(i)))
+			sp.End()
+		}(sp, i)
+	}
+	wg.Wait()
+	root.End()
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want single root, got %d", len(snap.Spans))
+	}
+	if got := len(snap.Spans[0].Spans); got != n {
+		t.Fatalf("want %d children under root, got %d", n, got)
+	}
+	for _, c := range snap.Spans[0].Spans {
+		if c.Name != "worker" || len(c.Fields) != 1 {
+			t.Fatalf("child %+v malformed", c)
+		}
+	}
+}
+
+func TestTracerLanes(t *testing.T) {
+	tr := NewTracer()
+	w1 := tr.Lane(1, "worker 1")
+	w2 := tr.Lane(2, "worker 2")
+	s1 := w1.StartSpan("unit")
+	s1.End()
+	w2.Event("cache.hit", F("unit", "a"))
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Lane != 1 {
+		t.Fatalf("span lane = %+v", snap.Spans)
+	}
+	if len(snap.Marks) != 1 || snap.Marks[0].Lane != 2 {
+		t.Fatalf("mark lane = %+v", snap.Marks)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	lane := tr.Lane(1, "worker 1")
+	sp := lane.StartSpan("unit")
+	sp.Annotate(F("verdict", "secure"))
+	sp.End()
+	lane.Event("cache.miss", F("unit", "a.c"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData["traceId"] != tr.TraceID() {
+		t.Fatalf("otherData traceId = %v", doc.OtherData)
+	}
+	phases := map[string]int{}
+	var sawThreadName bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if ph == "M" {
+			if ev["name"] != "thread_name" {
+				t.Fatalf("metadata event name = %v", ev["name"])
+			}
+			args := ev["args"].(map[string]any)
+			if args["name"] == "worker 1" {
+				sawThreadName = true
+			}
+		}
+		if ph == "X" {
+			if ev["name"] != "unit" {
+				t.Fatalf("span event name = %v", ev["name"])
+			}
+			args := ev["args"].(map[string]any)
+			if args["verdict"] != "secure" {
+				t.Fatalf("span args = %v", args)
+			}
+		}
+		if ph == "i" && ev["s"] != "t" {
+			t.Fatalf("instant event missing scope: %v", ev)
+		}
+	}
+	if phases["X"] != 1 || phases["i"] != 1 || phases["M"] == 0 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+	if !sawThreadName {
+		t.Fatalf("no thread_name metadata for worker lane")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	m := NewMetrics()
+	tr := NewTracer()
+	ob := Multi(m, tr)
+	sp := ob.StartSpan("check")
+	sp.Annotate(F("function", "f"))
+	child := sp.Child("symexec")
+	child.End()
+	sp.End()
+	ob.Add("steps", 3)
+	ob.Event("done")
+
+	if m.Counter("steps") != 3 {
+		t.Fatalf("metrics counter = %d", m.Counter("steps"))
+	}
+	ms := m.Snapshot()
+	if ms.Spans["check"].Count != 1 || ms.Spans["check/symexec"].Count != 1 {
+		t.Fatalf("metrics spans = %v", ms.Spans)
+	}
+	ts := tr.Snapshot()
+	if len(ts.Spans) != 1 || len(ts.Spans[0].Spans) != 1 {
+		t.Fatalf("tracer tree = %+v", ts.Spans)
+	}
+	if len(ts.Marks) != 1 {
+		t.Fatalf("tracer marks = %+v", ts.Marks)
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if Multi() != Nop() {
+		t.Fatal("Multi() should collapse to Nop")
+	}
+	if Multi(nil, Nop()) != Nop() {
+		t.Fatal("Multi(nil, Nop) should collapse to Nop")
+	}
+	m := NewMetrics()
+	if got := Multi(nil, m, Nop()); got != Observer(m) {
+		t.Fatalf("Multi with one live observer should pass through, got %T", got)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	tid := strings.Repeat("ab", 16)
+	pid := strings.Repeat("cd", 8)
+	good := "00-" + tid + "-" + pid + "-01"
+	gotT, gotP, ok := ParseTraceparent(good)
+	if !ok || gotT != tid || gotP != pid {
+		t.Fatalf("ParseTraceparent(%q) = %q,%q,%v", good, gotT, gotP, ok)
+	}
+	bad := []string{
+		"",
+		"00-" + tid + "-" + pid,         // missing flags
+		"ff-" + tid + "-" + pid + "-01", // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + pid + "-01", // zero trace id
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.ToUpper(tid) + "-" + pid + "-01",    // uppercase hex
+		"00-" + tid[:30] + "-" + pid + "-01",                // short trace id
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted malformed header", h)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	h := FormatTraceparent(tid, sid)
+	gotT, gotP, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotP != sid {
+		t.Fatalf("round trip failed: %q -> %q,%q,%v", h, gotT, gotP, ok)
+	}
+}
+
+func TestTracerWithTraceID(t *testing.T) {
+	tr := NewTracer(WithTraceID("feedfacefeedfacefeedfacefeedface"))
+	if tr.TraceID() != "feedfacefeedfacefeedfacefeedface" {
+		t.Fatalf("TraceID = %q", tr.TraceID())
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"context"
+	"net/http"
+)
+
+var backtickRe = regexp.MustCompile("`([^`]+)`")
+var registryTokenRe = regexp.MustCompile(`^\.?[a-z][a-z0-9._/-]*$`)
+
+// docRegistry extracts every registry-style name docs/OBSERVABILITY.md
+// mentions in backticks: counters, gauges, span paths, events. Combined
+// table rows like "`server.cache.hits` / `.misses`" expand the dotted
+// suffixes against the preceding full name.
+func docRegistry(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	var last string
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		// Single-word names (the bare `parse` / `check` spans) only count
+		// inside registry table rows; in prose they are too ambiguous.
+		tableRow := strings.HasPrefix(strings.TrimSpace(line), "|")
+		for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
+			tok := m[1]
+			if !registryTokenRe.MatchString(tok) {
+				continue
+			}
+			if strings.HasPrefix(tok, ".") {
+				// Suffix shorthand: ".misses" after "server.cache.hits"
+				// means server.cache.misses — replace as many trailing
+				// segments as the suffix carries.
+				if last == "" {
+					continue
+				}
+				sfx := strings.Split(tok[1:], ".")
+				base := strings.Split(last, ".")
+				if len(base) > len(sfx) {
+					names[strings.Join(append(base[:len(base)-len(sfx)], sfx...), ".")] = true
+				}
+				continue
+			}
+			if strings.ContainsAny(tok, "./") || tableRow {
+				names[tok] = true
+				last = tok
+			}
+		}
+	}
+	if len(names) < 20 {
+		t.Fatalf("docs/OBSERVABILITY.md registry extraction found only %d names — parser broken?", len(names))
+	}
+	return names
+}
+
+// TestCounterRegistryMatchesDocs is the documentation drift gate: an
+// end-to-end daemon analysis (engine + checker + cache + scheduler all
+// emitting) must not produce a counter, gauge, or span name that
+// docs/OBSERVABILITY.md does not document. New instrumentation lands with
+// its registry row or this fails.
+func TestCounterRegistryMatchesDocs(t *testing.T) {
+	documented := docRegistry(t)
+
+	s := New(Config{Workers: 1, CacheEntries: 16, SlowThreshold: time.Nanosecond})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Execute (slow-flagged), then repeat for a cache hit, then a distinct
+	// source, so scheduler, cache, and slow-path counters all fire.
+	for _, src := range []string{leakyC, leakyC, leakyC + "\n// distinct\n"} {
+		resp, data := postAnalyze(t, ts, AnalyzeRequest{Source: src, EDL: leakyEDL}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+		}
+	}
+	// Refresh the point-in-time gauges the same way a scrape does.
+	if resp, err := ts.Client().Get(ts.URL + "/metrics"); err == nil {
+		resp.Body.Close()
+	}
+
+	var missing []string
+	for _, n := range s.metrics.CounterNames() {
+		if !documented[n] {
+			missing = append(missing, "counter "+n)
+		}
+	}
+	snap := s.metrics.Snapshot()
+	for n := range snap.Gauges {
+		if !documented[n] {
+			missing = append(missing, "gauge "+n)
+		}
+	}
+	for n := range snap.Spans {
+		if !documented[n] {
+			missing = append(missing, "span "+n)
+		}
+	}
+	for n := range snap.Dists {
+		if !documented[n] {
+			missing = append(missing, "distribution "+n)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("emitted but undocumented in docs/OBSERVABILITY.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"privacyscope/internal/obs"
+)
+
+// flightRecorder is the daemon's black box: a ring buffer holding the trace
+// of the last N *executed* analyses (cache hits and singleflight followers
+// reuse a leader's result and record nothing). GET /debug/traces lists the
+// ring newest-first; /debug/traces/<id> serves one recorded span tree — the
+// post-hoc "why was this request slow" surface the aggregate /metrics view
+// cannot answer.
+type flightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	order   []string // trace IDs, oldest first
+	entries map[string]*flightEntry
+}
+
+// flightEntry is one recorded analysis.
+type flightEntry struct {
+	TraceID    string             `json:"traceId"`
+	Lang       string             `json:"lang"`
+	Verdict    string             `json:"verdict,omitempty"`
+	Status     int                `json:"status"`
+	DurationMs float64            `json:"durationMs"`
+	Slow       bool               `json:"slow,omitempty"`
+	Start      time.Time          `json:"start"`
+	Trace      *obs.TraceSnapshot `json:"trace"`
+}
+
+// summary is the listing row: the entry without its span tree.
+func (e *flightEntry) summary() map[string]any {
+	spans := 0
+	if e.Trace != nil {
+		spans = len(e.Trace.Spans)
+	}
+	return map[string]any{
+		"traceId":    e.TraceID,
+		"lang":       e.Lang,
+		"verdict":    e.Verdict,
+		"status":     e.Status,
+		"durationMs": e.DurationMs,
+		"slow":       e.Slow,
+		"start":      e.Start,
+		"spans":      spans,
+	}
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &flightRecorder{cap: capacity, entries: make(map[string]*flightEntry)}
+}
+
+// Record stores one executed analysis, evicting the oldest past the cap. A
+// re-run under an already-recorded trace ID (a client reusing a traceparent)
+// replaces the previous recording rather than duplicating the ID.
+func (f *flightRecorder) Record(e *flightEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.entries[e.TraceID]; ok {
+		f.entries[e.TraceID] = e
+		return
+	}
+	f.entries[e.TraceID] = e
+	f.order = append(f.order, e.TraceID)
+	for len(f.order) > f.cap {
+		delete(f.entries, f.order[0])
+		f.order = f.order[1:]
+	}
+}
+
+// List returns the recorded summaries, newest first.
+func (f *flightRecorder) List() []map[string]any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]map[string]any, 0, len(f.order))
+	for i := len(f.order) - 1; i >= 0; i-- {
+		out = append(out, f.entries[f.order[i]].summary())
+	}
+	return out
+}
+
+// Get returns one recorded entry by trace ID.
+func (f *flightRecorder) Get(traceID string) (*flightEntry, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[traceID]
+	return e, ok
+}
+
+// Len reports how many analyses are currently recorded.
+func (f *flightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.order)
+}

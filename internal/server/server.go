@@ -65,6 +65,14 @@ type Config struct {
 	// creates a private Metrics; pass one to share it with other
 	// components or to stream events.
 	Metrics *obs.Metrics
+	// FlightEntries sizes the flight recorder: the ring of recently
+	// executed analyses whose traces /debug/traces serves (≤0: 64).
+	FlightEntries int
+	// SlowThreshold, when positive, flags any executed analysis that takes
+	// longer as slow: a server.job.slow event (with trace ID), the
+	// server.jobs.slow counter, and the slow bit on its flight-recorder
+	// entry.
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -86,14 +94,15 @@ func (c Config) withDefaults() Config {
 // Server is the daemon. Create with New, mount Handler, stop with
 // Shutdown.
 type Server struct {
-	cfg     Config
-	metrics *obs.Metrics
-	cache   *resultCache
-	flight  *flightGroup
-	sched   *scheduler
-	jobs    *jobStore
-	mux     *http.ServeMux
-	engine  string // fingerprint folded into every cache key
+	cfg      Config
+	metrics  *obs.Metrics
+	cache    *resultCache
+	flight   *flightGroup
+	sched    *scheduler
+	jobs     *jobStore
+	recorder *flightRecorder
+	mux      *http.ServeMux
+	engine   string // fingerprint folded into every cache key
 
 	// hookAnalyzeStart, when set (tests only), runs inside the worker
 	// just before the engine is invoked — a gate for deterministic
@@ -105,17 +114,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		metrics: cfg.Metrics,
-		cache:   newResultCache(cfg.CacheEntries, cfg.DiskCache, cfg.Metrics),
-		flight:  newFlightGroup(),
-		sched:   newScheduler(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
-		jobs:    newJobStore(1024),
-		engine:  privacyscope.Fingerprint(),
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		cache:    newResultCache(cfg.CacheEntries, cfg.DiskCache, cfg.Metrics),
+		flight:   newFlightGroup(),
+		sched:    newScheduler(cfg.Workers, cfg.QueueDepth, cfg.Metrics),
+		jobs:     newJobStore(1024),
+		recorder: newFlightRecorder(cfg.FlightEntries),
+		engine:   privacyscope.Fingerprint(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -164,6 +176,11 @@ type analysisResult struct {
 	body      []byte
 	verdict   string
 	cacheable bool
+	// traceID names the execution that produced this result; echoed as a
+	// traceparent response header and resolvable at /debug/traces/<id>
+	// while the flight recorder retains it. Empty for results that never
+	// ran an engine (errors, disk-cache restores).
+	traceID string
 }
 
 // errorBody renders the error JSON the daemon uses for every non-envelope
@@ -218,6 +235,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := s.cacheKey(&req)
+	// W3C trace-context ingestion: a valid traceparent pins the trace ID
+	// the execution records under (so the client can fetch
+	// /debug/traces/<their id> afterwards); anything else and the daemon
+	// mints its own. Either way the response echoes the ID.
+	traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
 
 	if r.URL.Query().Get("async") != "" {
 		id, err := s.jobs.Create()
@@ -225,7 +250,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			writeResult(w, &analysisResult{status: http.StatusInternalServerError, body: errorBody(err.Error())}, "")
 			return
 		}
-		res, submitErr := s.submitAsync(id, key, &req)
+		res, submitErr := s.submitAsync(id, key, traceID, &req)
 		if submitErr != nil {
 			s.jobs.Drop(id)
 			writeResult(w, toResult(submitErr), "")
@@ -233,6 +258,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Location", "/v1/jobs/"+id)
+		w.Header().Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]string{"jobId": id, "status": res})
 		return
@@ -242,7 +268,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, res, "hit")
 		return
 	}
-	res, err, shared := s.flightDo(key, &req)
+	res, err, shared := s.flightDo(key, traceID, &req)
 	if err != nil {
 		writeResult(w, toResult(err), "")
 		return
@@ -258,14 +284,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // resolve serves a request from the cache, or joins the in-flight
 // identical analysis, or schedules a new one. The bool reports singleflight
 // sharing.
-func (s *Server) resolve(key string, req *AnalyzeRequest) (*analysisResult, error, bool) {
+func (s *Server) resolve(key, traceID string, req *AnalyzeRequest) (*analysisResult, error, bool) {
 	if res, ok := s.cache.Get(key); ok {
 		return res, nil, false
 	}
-	return s.flightDo(key, req)
+	return s.flightDo(key, traceID, req)
 }
 
-func (s *Server) flightDo(key string, req *AnalyzeRequest) (*analysisResult, error, bool) {
+func (s *Server) flightDo(key, traceID string, req *AnalyzeRequest) (*analysisResult, error, bool) {
 	return s.flight.Do(key, func() (*analysisResult, error) {
 		// Re-check under the flight lock epoch: a previous leader may have
 		// populated the cache between our miss and becoming leader.
@@ -274,7 +300,7 @@ func (s *Server) flightDo(key string, req *AnalyzeRequest) (*analysisResult, err
 		}
 		var res *analysisResult
 		t, err := s.sched.Submit(func(ctx context.Context) {
-			res = s.runAnalysis(ctx, key, req)
+			res = s.runAnalysis(ctx, key, traceID, req)
 		})
 		if err != nil {
 			return nil, err
@@ -289,7 +315,7 @@ func (s *Server) flightDo(key string, req *AnalyzeRequest) (*analysisResult, err
 
 // submitAsync schedules the request as a polled job; the returned string
 // is the job's immediate status ("done" on a cache hit, else "queued").
-func (s *Server) submitAsync(id, key string, req *AnalyzeRequest) (string, error) {
+func (s *Server) submitAsync(id, key, traceID string, req *AnalyzeRequest) (string, error) {
 	if res, ok := s.cache.Get(key); ok {
 		s.jobs.Finish(id, res)
 		return jobDone, nil
@@ -304,7 +330,7 @@ func (s *Server) submitAsync(id, key string, req *AnalyzeRequest) (string, error
 	}
 	s.jobs.Run(id)
 	go func() {
-		res, err, shared := s.resolve(key, req)
+		res, err, shared := s.resolve(key, traceID, req)
 		if shared {
 			s.metrics.Add("server.singleflight.shared", 1)
 		}
@@ -316,14 +342,46 @@ func (s *Server) submitAsync(id, key string, req *AnalyzeRequest) (string, error
 	return jobRunning, nil
 }
 
-// runAnalysis executes one scheduled job inside a worker.
-func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeRequest) *analysisResult {
+// runAnalysis executes one scheduled job inside a worker. Every execution
+// is traced: a per-job Tracer (under the client's trace ID when a valid
+// traceparent came in) runs next to the shared Metrics via obs.Multi, and
+// the finished trace lands in the flight recorder.
+func (s *Server) runAnalysis(ctx context.Context, key, traceID string, req *AnalyzeRequest) *analysisResult {
 	if s.hookAnalyzeStart != nil {
 		s.hookAnalyzeStart(key)
 	}
 	s.metrics.Add("server.analyses.executed", 1)
-	span := s.metrics.StartSpan("server/analyze")
-	defer span.End()
+	tracer := obs.NewTracer(obs.WithTraceID(traceID))
+	ob := obs.Multi(s.metrics, tracer)
+	span := ob.StartSpan("server/analyze")
+	span.Annotate(obs.F("lang", req.Lang))
+
+	start := time.Now()
+	var res *analysisResult
+	defer func() {
+		elapsed := time.Since(start)
+		span.Annotate(obs.F("verdict", res.verdict))
+		span.End()
+		slow := s.cfg.SlowThreshold > 0 && elapsed > s.cfg.SlowThreshold
+		if slow {
+			s.metrics.Add("server.jobs.slow", 1)
+			s.metrics.Event("server.job.slow",
+				obs.F("trace", tracer.TraceID()),
+				obs.F("lang", req.Lang),
+				obs.F("durationMs", fmt.Sprintf("%.1f", float64(elapsed.Nanoseconds())/1e6)),
+				obs.F("threshold", s.cfg.SlowThreshold.String()))
+		}
+		s.recorder.Record(&flightEntry{
+			TraceID:    tracer.TraceID(),
+			Lang:       req.Lang,
+			Verdict:    res.verdict,
+			Status:     res.status,
+			DurationMs: float64(elapsed.Nanoseconds()) / 1e6,
+			Slow:       slow,
+			Start:      start,
+			Trace:      tracer.Snapshot(),
+		})
+	}()
 
 	if d := s.jobDeadline(req); d > 0 {
 		var cancel context.CancelFunc
@@ -331,35 +389,39 @@ func (s *Server) runAnalysis(ctx context.Context, key string, req *AnalyzeReques
 		defer cancel()
 	}
 	if req.Lang == "priml" {
-		return s.runPRIML(req)
+		res = s.runPRIML(req, tracer)
+		return res
 	}
 
-	opts := append([]privacyscope.Option{privacyscope.WithObserver(s.metrics)},
+	opts := append([]privacyscope.Option{privacyscope.WithObserver(ob)},
 		req.Options.FacadeOptions()...)
 	if req.ConfigXML != "" {
 		opts = append(opts, privacyscope.WithConfigXML([]byte(req.ConfigXML)))
 	}
 
-	start := time.Now()
 	rep, err := privacyscope.AnalyzeEnclaveContext(ctx, req.Source, req.EDL, opts...)
 	if err != nil {
 		s.metrics.Add("server.analyses.failed", 1)
 		// Module-level failures (parse error, bad rule file, no ECALLs)
 		// are deterministic for a given request, so they cache too.
-		return &analysisResult{
+		res = &analysisResult{
 			status:    http.StatusUnprocessableEntity,
 			body:      errorBody(err.Error()),
 			cacheable: true,
+			traceID:   tracer.TraceID(),
 		}
+		return res
 	}
 	env := privacyscope.NewEnvelope(rep, time.Since(start), nil)
-	return envelopeResult(env)
+	env.TraceID = tracer.TraceID()
+	res = envelopeResult(env)
+	return res
 }
 
 // runPRIML analyzes a PRIML program and flattens the result into the same
 // envelope shape. PRIML programs are single-procedure and tiny, so they run
 // without cancellation plumbing; the scheduler still bounds concurrency.
-func (s *Server) runPRIML(req *AnalyzeRequest) *analysisResult {
+func (s *Server) runPRIML(req *AnalyzeRequest, tracer *obs.Tracer) *analysisResult {
 	start := time.Now()
 	an, err := privacyscope.AnalyzePRIML(req.Source)
 	if err != nil {
@@ -368,6 +430,7 @@ func (s *Server) runPRIML(req *AnalyzeRequest) *analysisResult {
 			status:    http.StatusUnprocessableEntity,
 			body:      errorBody(err.Error()),
 			cacheable: true,
+			traceID:   tracer.TraceID(),
 		}
 	}
 	env := privacyscope.Envelope{
@@ -396,6 +459,7 @@ func (s *Server) runPRIML(req *AnalyzeRequest) *analysisResult {
 		Function: "priml",
 		Verdict:  env.Verdict,
 	}}
+	env.TraceID = tracer.TraceID()
 	return envelopeResult(env)
 }
 
@@ -432,6 +496,7 @@ func envelopeResult(env privacyscope.Envelope) *analysisResult {
 		status:  status,
 		body:    body,
 		verdict: env.Verdict,
+		traceID: env.TraceID,
 		// A cancelled analysis (daemon shutdown) would re-explore further
 		// on resubmission — never cache it. Budget/deadline truncation is
 		// deterministic per request and caches fine.
@@ -457,6 +522,11 @@ func writeResult(w http.ResponseWriter, res *analysisResult, cacheHdr string) {
 	w.Header().Set("Content-Type", "application/json")
 	if res.verdict != "" {
 		w.Header().Set("X-Privacyscope-Verdict", res.verdict)
+	}
+	// Echo the executing trace's ID (a cache hit echoes the leader's — the
+	// ID that actually names a recorded trace, if any is still retained).
+	if res.traceID != "" {
+		w.Header().Set("traceparent", obs.FormatTraceparent(res.traceID, obs.NewSpanID()))
 	}
 	if cacheHdr != "" {
 		w.Header().Set("X-Privacyscope-Cache", cacheHdr)
@@ -486,6 +556,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeResult(w, job.Result, "")
+}
+
+// handleTraces is GET /debug/traces: the flight recorder's ring, newest
+// first, as summaries (no span trees — fetch one by ID for the full tree).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"capacity": s.recorder.cap,
+		"traces":   s.recorder.List(),
+	})
+}
+
+// handleTrace is GET /debug/traces/{id}: one recorded analysis with its
+// full span tree. Only *executed* analyses are recorded — a request served
+// from the cache or by joining another client's in-flight analysis has no
+// recording of its own (its traceparent response header names the leader's
+// trace instead).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.recorder.Get(id)
+	if !ok {
+		writeResult(w, &analysisResult{
+			status: http.StatusNotFound,
+			body:   errorBody("no recorded trace " + id + " (evicted, or the request never executed an analysis)"),
+		}, "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(e)
 }
 
 // handleHealthz is GET /healthz: 200 while serving, 503 once draining.

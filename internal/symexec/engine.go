@@ -638,6 +638,13 @@ func (e *Engine) runBranches(parent *state, branches []branchCase) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-e.sem }()
+			// One span per offloaded subtree (never per statement), so a
+			// trace shows where the pool actually ran work. It starts here
+			// and ends on this worker goroutine — the cross-goroutine case
+			// the Tracer's handle-carried parent links exist for.
+			sp := e.obs.StartSpan("symexec/worker")
+			sp.Annotate(obs.F("branch", fmt.Sprint(i)))
+			defer sp.End()
 			defer func() {
 				if p := recover(); p != nil {
 					pans[i] = p

@@ -90,6 +90,15 @@ type (
 	MetricsOption = obs.MetricsOption
 	// MetricsSnapshot is a point-in-time JSON-marshalable metrics view.
 	MetricsSnapshot = obs.Snapshot
+	// Tracer records span instances of one analysis; run it next to a
+	// Metrics via Multi and export with Snapshot or WriteChromeTrace.
+	Tracer = obs.Tracer
+	// TracerOption configures NewTracer.
+	TracerOption = obs.TracerOption
+	// TraceSnapshot is the compact JSON span tree of one traced analysis.
+	TraceSnapshot = obs.TraceSnapshot
+	// TraceSpan is one node of a TraceSnapshot.
+	TraceSpan = obs.TraceSpan
 )
 
 // NewMetrics returns a concurrency-safe in-memory Observer that aggregates
@@ -99,6 +108,23 @@ func NewMetrics(opts ...MetricsOption) *Metrics { return obs.NewMetrics(opts...)
 // WithEventWriter makes a Metrics observer stream structured JSON event
 // lines to w as the analysis runs.
 func WithEventWriter(w io.Writer) MetricsOption { return obs.WithEventWriter(w) }
+
+// NewTracer returns a per-analysis tracer: where Metrics aggregates by
+// span name, the Tracer records every span instance with parent links into
+// a bounded buffer, exportable as a span tree or a Chrome trace-event file.
+func NewTracer(opts ...TracerOption) *Tracer { return obs.NewTracer(opts...) }
+
+// WithTraceCap bounds a Tracer's span buffer; past it spans are counted
+// as dropped rather than recorded (n ≤ 0 keeps the default).
+func WithTraceCap(n int) TracerOption { return obs.WithTraceCap(n) }
+
+// WithTraceID pins a Tracer's trace ID (e.g. one taken from an incoming
+// W3C traceparent header) instead of generating a fresh one.
+func WithTraceID(id string) TracerOption { return obs.WithTraceID(id) }
+
+// MultiObserver fans telemetry out to several observers — the way to run
+// Metrics aggregation and a Tracer side by side on one analysis.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
 // Leak kinds and sink kinds, re-exported.
 const (
