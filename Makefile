@@ -1,3 +1,21 @@
+# `make help` lists the targets; see the comments above each for detail.
+.PHONY: help
+help:
+	@echo "test            build + full test suite (the tier-1 gate)"
+	@echo "check           vet + race tests + fuzz/examples/batch smokes"
+	@echo "fuzz-smoke      short native-fuzzer runs (parsers, fail-soft, traceparent)"
+	@echo "examples-smoke  run the runnable examples"
+	@echo "batch-smoke     cold + warm project run over examples/project"
+	@echo "chaos-smoke     kill a worker mid-batch; the fleet must fail soft (-race)"
+	@echo "bench-report    regenerate the paper's evaluation report"
+	@echo "bench-check     compare a fresh run against the committed BENCH_N.json;"
+	@echo "                deterministic engine columns must match exactly (CI fails"
+	@echo "                on drift), timing columns only warn inside tolerance"
+	@echo "bench-snapshot  refresh the committed BENCH_N.json in place — run this"
+	@echo "                (and commit the result) when an INTENDED engine change"
+	@echo "                shifts the deterministic counters and bench-check fails"
+	@echo "bench           go test -bench over everything"
+
 # Tier 1: the seed gate — everything must build and pass.
 .PHONY: test
 test:
@@ -13,14 +31,26 @@ check: fuzz-smoke examples-smoke batch-smoke
 	go test -race ./...
 
 # Short native-fuzzer runs: the parsers must never crash on arbitrary bytes
-# (the EDL parser doubly so — the daemon exposes it over HTTP), and budget
+# (the EDL parser doubly so — the daemon exposes it over HTTP), budget
 # exhaustion must always degrade coverage instead of erroring
-# (docs/ROBUSTNESS.md). The go tool runs one target per invocation.
+# (docs/ROBUSTNESS.md), and the W3C traceparent codec the daemon and
+# coordinator ingest off the wire must never crash or mangle a round trip.
+# The go tool runs one target per invocation.
 .PHONY: fuzz-smoke
 fuzz-smoke:
 	go test ./internal/minic -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s
 	go test ./internal/symexec -run '^$$' -fuzz '^FuzzFailSoft$$' -fuzztime 10s
 	go test ./internal/edl -run '^$$' -fuzz '^FuzzEDL$$' -fuzztime 10s
+	go test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime 10s
+
+# Chaos smoke: the distributed fail-soft gate (docs/ROBUSTNESS.md). A
+# coordinator fans examples/project across three in-process worker daemons
+# while deterministic fault injection kills the busiest worker mid-batch;
+# the run must re-route every pending unit to the survivors and match a
+# single-daemon run byte for byte — verified under the race detector.
+.PHONY: chaos-smoke
+chaos-smoke:
+	go test ./internal/coord -race -count=1 -v -run '^TestChaos'
 
 # The examples double as living documentation — run them so they cannot rot.
 .PHONY: examples-smoke
@@ -49,9 +79,10 @@ bench-report:
 	go run ./cmd/benchreport
 
 # Compare a fresh measured run against the latest committed BENCH_N.json
-# snapshot: deterministic engine counters must match exactly; timing columns
-# only warn inside a 50% host tolerance. Regenerate the snapshot with
-# bench-snapshot when an intended engine change shifts the counters.
+# snapshot: deterministic engine counters must match exactly — this is a
+# FAILING gate, in CI too; timing columns only warn inside a 50% host
+# tolerance. When an intended engine change shifts the counters, refresh
+# the snapshot with `make bench-snapshot` and commit the result.
 .PHONY: bench-check
 bench-check:
 	go run ./cmd/benchreport -check "$$(ls BENCH_*.json | sort -V | tail -1)"

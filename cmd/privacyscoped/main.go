@@ -10,12 +10,26 @@
 //	              [-cache-entries n] [-cache-dir dir] [-cache-max-bytes n]
 //	              [-deadline d] [-max-deadline d] [-verbose]
 //	              [-flight-entries n] [-slow-threshold d]
+//	privacyscoped -coordinator w1=http://host1:8321,w2=http://host2:8321
+//	              [-health-interval d] [-max-attempts n] [-breaker-cooldown d]
 //	privacyscoped -version
+//
+// With -coordinator, the daemon runs no engine of its own: it
+// consistent-hash-routes every submission across the listed worker daemons
+// (placement follows each unit's cache key, so repeats land where the
+// result is warm), probes their /healthz to gate routing, retries
+// transient failures with exponential backoff, and re-routes units off
+// workers that die mid-batch. See docs/SERVER.md for the coordinator API
+// and docs/ROBUSTNESS.md for the distributed fail-soft semantics.
 //
 // -cache-dir persists cacheable results below the in-memory LRU (the
 // internal/diskcache tier), so a restarted daemon serves repeat
 // submissions warm instead of re-running the engine. See docs/BATCH.md for
 // the on-disk layout and invalidation rules.
+//
+// The HTTP listener is hardened in both modes: header/read/write/idle
+// timeouts (-http-read-timeout and friends) bound slow-loris clients, and
+// request bodies past the source limit are cut with 413 + a JSON error.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, queued
 // and in-flight analyses are cancelled so they complete fail-soft (their
@@ -33,10 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"privacyscope"
+	"privacyscope/internal/coord"
 	"privacyscope/internal/diskcache"
 	"privacyscope/internal/obs"
 	"privacyscope/internal/server"
@@ -70,6 +86,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		slowAfter    = fs.Duration("slow-threshold", 10*time.Second, "log a server.job.slow event when an executed analysis exceeds this (0 disables)")
 		verbose      = fs.Bool("verbose", false, "stream structured JSON telemetry events to stderr")
 		version      = fs.Bool("version", false, "print build info (engine version, fingerprint) and exit")
+
+		// Coordinator mode.
+		coordWorkers = fs.String("coordinator", "", "run as a coordinator over this comma-separated worker fleet (name=http://host:port,...); no local engine")
+		healthEvery  = fs.Duration("health-interval", 2*time.Second, "coordinator: background /healthz probe period per worker (0 disables)")
+		maxAttempts  = fs.Int("max-attempts", 0, "coordinator: total dispatch attempts per unit across the fleet (0 = auto)")
+		breakerCool  = fs.Duration("breaker-cooldown", 5*time.Second, "coordinator: how long an opened circuit breaker ejects a worker before a half-open trial")
+
+		// HTTP hardening (both modes). Write must outlast the longest
+		// analysis a worker may run (-max-deadline), so its default is
+		// deliberately generous.
+		readTimeout  = fs.Duration("http-read-timeout", 2*time.Minute, "bound on reading one full request (slow-loris guard)")
+		writeTimeout = fs.Duration("http-write-timeout", 5*time.Minute, "bound on writing one full response (must exceed -max-deadline)")
+		idleTimeout  = fs.Duration("http-idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is retained")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,37 +113,68 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		mopts = append(mopts, obs.WithEventWriter(os.Stderr))
 	}
 	metrics := obs.NewMetrics(mopts...)
-	var disk *diskcache.Cache
-	if *cacheDir != "" {
-		var derr error
-		disk, derr = diskcache.Open(diskcache.Config{
-			Dir: *cacheDir, MaxBytes: *cacheMax, Observer: metrics,
+
+	var handler http.Handler
+	var shutdown func(context.Context) error
+	var announce string
+	if *coordWorkers != "" {
+		c, err := coord.New(coord.Config{
+			Workers:         strings.Split(*coordWorkers, ","),
+			HealthInterval:  *healthEvery,
+			MaxAttempts:     *maxAttempts,
+			BreakerCooldown: *breakerCool,
+			RequestTimeout:  *maxDeadline + 30*time.Second,
+			Observer:        metrics,
 		})
-		if derr != nil {
-			return derr
+		if err != nil {
+			return err
 		}
+		defer c.Close()
+		handler = c.Handler(coord.HandlerConfig{})
+		shutdown = func(context.Context) error { c.Close(); return nil }
+		announce = fmt.Sprintf("coordinating %d workers", len(strings.Split(*coordWorkers, ",")))
+	} else {
+		var disk *diskcache.Cache
+		if *cacheDir != "" {
+			var derr error
+			disk, derr = diskcache.Open(diskcache.Config{
+				Dir: *cacheDir, MaxBytes: *cacheMax, Observer: metrics,
+			})
+			if derr != nil {
+				return derr
+			}
+		}
+		srv := server.New(server.Config{
+			Workers:         *workers,
+			QueueDepth:      *queueDepth,
+			CacheEntries:    *cacheEntries,
+			DiskCache:       disk,
+			DefaultDeadline: *deadline,
+			MaxDeadline:     *maxDeadline,
+			Metrics:         metrics,
+			FlightEntries:   *flightN,
+			SlowThreshold:   *slowAfter,
+		})
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
+		announce = "serving"
 	}
-	srv := server.New(server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheEntries:    *cacheEntries,
-		DiskCache:       disk,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		Metrics:         metrics,
-		FlightEntries:   *flightN,
-		SlowThreshold:   *slowAfter,
-	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "privacyscoped listening on %s (%s)\n", ln.Addr(), privacyscope.Build())
+	fmt.Fprintf(out, "privacyscoped listening on %s (%s, %s)\n", ln.Addr(), announce, privacyscope.Build())
 
+	// Hardened listener: every phase of a connection is bounded, so a
+	// client that trickles headers or never reads its response cannot pin
+	// a connection (and its worker-pool slot) forever.
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -124,7 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	select {
 	case err := <-serveErr:
-		srv.Shutdown(context.Background())
+		shutdown(context.Background())
 		return err
 	case <-ctx.Done():
 	}
@@ -135,7 +195,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "privacyscoped: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	schedErr := srv.Shutdown(drainCtx)
+	schedErr := shutdown(drainCtx)
 	httpErr := httpSrv.Shutdown(drainCtx)
 	if schedErr != nil {
 		return fmt.Errorf("drain incomplete: %w", schedErr)

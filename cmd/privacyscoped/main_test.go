@@ -201,3 +201,73 @@ func TestDaemonBadAddr(t *testing.T) {
 		t.Fatal("expected listen error for invalid address")
 	}
 }
+
+// TestDaemonCoordinatorMode boots two real worker daemons plus a
+// coordinator fronting them through the same entry point a user runs, and
+// drives an analysis through the coordinator: the envelope must be the
+// worker's verbatim, routing headers must name the serving worker, a
+// repeat must hit that worker's cache (placement stickiness), and the
+// fleet /healthz must list both workers up.
+func TestDaemonCoordinatorMode(t *testing.T) {
+	w1, _, cancel1, _ := startDaemon(t, "-workers", "1")
+	defer cancel1()
+	w2, _, cancel2, _ := startDaemon(t, "-workers", "1")
+	defer cancel2()
+
+	coord, _, cancelC, errCh := startDaemon(t,
+		"-coordinator", "w1="+w1+",w2="+w2,
+		"-health-interval", "100ms")
+	defer cancelC()
+
+	resp, env := postModule(t, coord, mlsuite.RecommenderC, mlsuite.RecommenderEDL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze via coordinator: status %d", resp.StatusCode)
+	}
+	if env.Verdict != "findings" || env.Engine != privacyscope.Fingerprint() {
+		t.Fatalf("envelope verdict=%q engine=%q", env.Verdict, env.Engine)
+	}
+	served := resp.Header.Get("X-Privacyscope-Worker")
+	if served != "w1" && served != "w2" {
+		t.Fatalf("X-Privacyscope-Worker = %q", served)
+	}
+	if resp.Header.Get("X-Privacyscope-Rerouted") != "" {
+		t.Fatal("healthy-fleet dispatch claimed a reroute")
+	}
+
+	// The repeat routes to the same worker and hits its cache.
+	resp2, _ := postModule(t, coord, mlsuite.RecommenderC, mlsuite.RecommenderEDL)
+	if got := resp2.Header.Get("X-Privacyscope-Worker"); got != served {
+		t.Fatalf("repeat served by %q, first by %q — placement not sticky", got, served)
+	}
+	if got := resp2.Header.Get("X-Privacyscope-Cache"); got != "hit" {
+		t.Fatalf("repeat cache header = %q, want hit", got)
+	}
+
+	// Fleet health through the coordinator's own surface.
+	hr, err := http.Get(coord + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator healthz: %v status=%v", err, hr)
+	}
+	var view struct {
+		Role     string `json:"role"`
+		Routable int    `json:"routable"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if view.Role != "coordinator" || view.Routable != 2 {
+		t.Fatalf("fleet view = %+v, want coordinator with 2 routable workers", view)
+	}
+
+	// Coordinator drains cleanly too.
+	cancelC()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("coordinator drain returned error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator did not drain")
+	}
+}

@@ -42,7 +42,21 @@ type Config struct {
 	// and verdict annotations, and cache-hit/miss markers per unit — the
 	// -trace-out view of pool occupancy and stragglers.
 	Tracer *obs.Tracer
+	// Exec, when non-nil, is the remote execution path: runUnit hands the
+	// unit to it instead of the local engine (the coordinator's
+	// fleet-dispatch hook, internal/coord). The executor owns cache
+	// consultation — in a fleet, each worker's disk tier is the cache and
+	// routing decides which tier is warm — while the pool, the span
+	// plumbing, panic isolation and the deterministic report stay here.
+	Exec ExecFunc
 }
+
+// ExecFunc resolves one unit remotely: rules is the unit's effective rule
+// file, ob the pool worker's observer (lane-aware when tracing). It must
+// return an explicit UnitResult for every call — an executor that cannot
+// reach its backend reports the failure in UnitResult.Err, keeping the
+// unit's slot in the report.
+type ExecFunc func(ctx context.Context, u Unit, rules string, ob obs.Observer) UnitResult
 
 func (c Config) jobs() int {
 	if c.Jobs > 0 {
@@ -187,6 +201,11 @@ func runUnit(ctx context.Context, u Unit, cfg Config, ob obs.Observer) (res Unit
 	}()
 
 	rules := cfg.rules(u)
+	if cfg.Exec != nil {
+		res = cfg.Exec(ctx, u, rules, ob)
+		res.Unit = u
+		return res
+	}
 	key := UnitKey(u, rules, cfg.Options)
 	if payload, ok := cfg.Cache.Get(key); ok {
 		var env privacyscope.Envelope

@@ -1,0 +1,107 @@
+package coord
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-worker circuit breaker over dispatch outcomes. The
+// health prober watches /healthz on a timer; the breaker watches the
+// requests themselves, so a worker that answers probes but fails real work
+// (flapping, overloaded, half-partitioned) still gets ejected: threshold
+// consecutive transient failures open the circuit, Allow refuses routing to
+// it until cooldown has passed, then one half-open trial request decides —
+// success re-closes the circuit, failure re-opens it for another cooldown.
+// While a worker's circuit is open its ring arc re-homes to the next worker
+// exactly as if the prober had marked it down.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may be routed to the worker now. In the
+// open state it flips to half-open once cooldown has elapsed and admits
+// exactly one trial; further requests are refused until Success or Failure
+// settles the trial.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one trial is already in flight
+		return false
+	}
+}
+
+// Success records a completed request; it closes the circuit from any
+// state. Returns true when this call transitioned the breaker back to
+// closed from open/half-open (for telemetry).
+func (b *breaker) Success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	reopened := b.state != breakerClosed
+	b.state = breakerClosed
+	b.consec = 0
+	return reopened
+}
+
+// Failure records a transient dispatch failure. A half-open trial failure
+// re-opens immediately; in the closed state the threshold-th consecutive
+// failure opens. Returns true when this call opened the circuit.
+func (b *breaker) Failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.state == breakerOpen {
+		return false
+	}
+	if b.state == breakerHalfOpen || b.consec >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	}
+	return false
+}
+
+// State returns the current state for health reporting.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

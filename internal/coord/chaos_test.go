@@ -1,0 +1,222 @@
+package coord
+
+// The chaos gate: deterministic fault injection against a real in-process
+// fleet. TestChaosSmoke is what `make chaos-smoke` runs under -race — a
+// coordinator over three live worker daemons analyzing examples/project
+// while the network kills the busiest worker mid-batch. The assertions are
+// the distributed fail-soft contract itself: every unit keeps its slot, the
+// rerouted units' envelopes are byte-identical to a single-daemon run, and
+// the verdict never improves because a worker died.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"net/http"
+
+	"privacyscope"
+	"privacyscope/internal/batch"
+	"privacyscope/internal/faultinject"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/server"
+)
+
+// normalize strips an envelope's volatile fields (wall clock, trace
+// identity) so two runs of the same unit can be compared byte for byte.
+func normalize(t *testing.T, env *privacyscope.Envelope) []byte {
+	t.Helper()
+	n := *env
+	n.DurationMs = 0
+	n.TraceID = ""
+	n.Trace = nil
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// startWorker boots one real privacyscoped worker (engine, scheduler, cache)
+// behind httptest and returns its base URL and host.
+func startWorker(t *testing.T) (string, string) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, QueueDepth: 32, CacheEntries: 64})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, strings.TrimPrefix(ts.URL, "http://")
+}
+
+func discoverProject(t *testing.T) (string, []batch.Unit) {
+	t.Helper()
+	root := filepath.Join("..", "..", "examples", "project")
+	units, err := batch.Discover(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 5 {
+		t.Fatalf("examples/project discovery found only %d units", len(units))
+	}
+	return root, units
+}
+
+// unitKey computes the cache key the coordinator routes a unit by —
+// identical to UnitExec's computation.
+func unitKey(u batch.Unit, opts privacyscope.AnalysisOptions) string {
+	return server.CacheKey(privacyscope.Fingerprint(), &server.AnalyzeRequest{
+		Lang: "minic", Source: u.Source, EDL: u.EDL, ConfigXML: u.Rules, Options: opts,
+	})
+}
+
+// TestChaosSmoke kills the worker that owns the most units after it has
+// served exactly one request, mid-batch. The coordinator must re-route every
+// pending unit of the dead worker to the survivors, and the distributed
+// report must be indistinguishable (modulo timing and trace IDs) from a
+// single-daemon run.
+func TestChaosSmoke(t *testing.T) {
+	root, units := discoverProject(t)
+	var opts privacyscope.AnalysisOptions
+
+	// Baseline: the same unit set analyzed by the local engine, no fleet.
+	baseline := map[string][]byte{}
+	baseRep := batch.Run(context.Background(), root, units, batch.Config{Jobs: 2})
+	for _, r := range baseRep.Units {
+		if r.Err != "" || r.Envelope == nil {
+			t.Fatalf("baseline unit %s failed: %s", r.Unit.Name, r.Err)
+		}
+		baseline[r.Unit.Name] = normalize(t, r.Envelope)
+	}
+
+	// A three-worker fleet with a fault-injecting network in front of it.
+	urls := make([]string, 3)
+	hosts := make([]string, 3)
+	specs := make([]string, 3)
+	names := []string{"w1", "w2", "w3"}
+	for i := range urls {
+		urls[i], hosts[i] = startWorker(t)
+		specs[i] = names[i] + "=" + urls[i]
+	}
+	ft := faultinject.NewTransport(nil)
+	m := obs.NewMetrics()
+	c, err := New(Config{
+		Workers:     specs,
+		Client:      &http.Client{Transport: ft},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Observer:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Victim: the worker owning the most units (≥ 3 of 7 by pigeonhole), so
+	// after its first served request at least two pending units must be
+	// re-routed.
+	owned := map[string]int{}
+	for _, u := range units {
+		owned[c.Primary(unitKey(u, opts))]++
+	}
+	victim, max := "", 0
+	for name, n := range owned {
+		if n > max {
+			victim, max = name, n
+		}
+	}
+	var victimHost string
+	for i, n := range names {
+		if n == victim {
+			victimHost = hosts[i]
+		}
+	}
+	if max < 2 {
+		t.Fatalf("busiest worker %s owns only %d units — cannot kill mid-batch meaningfully", victim, max)
+	}
+	// The kill: the victim serves its first analyze request, then its host
+	// refuses everything — dead mid-batch.
+	ft.KillAfter(victimHost, 2)
+
+	rep := c.RunProject(context.Background(), root, units, opts, "", 2, obs.NewTraceID())
+
+	if len(rep.Units) != len(units) {
+		t.Fatalf("report has %d units, want %d — units were dropped", len(rep.Units), len(units))
+	}
+	for _, r := range rep.Units {
+		if r.Err != "" || r.Envelope == nil {
+			t.Fatalf("unit %s lost despite %d live workers: %q", r.Unit.Name, len(names)-1, r.Err)
+		}
+		got := normalize(t, r.Envelope)
+		want := baseline[r.Unit.Name]
+		if string(got) != string(want) {
+			t.Fatalf("unit %s: distributed envelope differs from single-daemon run\n got: %s\nwant: %s",
+				r.Unit.Name, got, want)
+		}
+	}
+	if got := m.Counter("coord.rerouted"); got < int64(max-1) {
+		t.Fatalf("coord.rerouted = %d, want ≥ %d (victim %s owned %d units and served 1)",
+			got, max-1, victim, max)
+	}
+	if v := rep.Verdict(); v == privacyscope.VerdictSecure {
+		t.Fatal("chaos run reported Secure — a degraded run must never improve the verdict")
+	}
+	if v := rep.Verdict(); v != baseRep.Verdict() {
+		t.Fatalf("chaos verdict %v differs from baseline %v", v, baseRep.Verdict())
+	}
+}
+
+// TestChaosAllWorkersDead: with the whole fleet refusing connections, every
+// unit must come back as an explicit Error slot — retries exhaust quickly,
+// nothing hangs, nothing is silently dropped, and the verdict is Error.
+func TestChaosAllWorkersDead(t *testing.T) {
+	root, units := discoverProject(t)
+
+	ft := faultinject.NewTransport(nil).KillAfter("", 1)
+	m := obs.NewMetrics()
+	c, err := New(Config{
+		Workers:         []string{"w1=http://127.0.0.1:1", "w2=http://127.0.0.1:2"},
+		Client:          &http.Client{Transport: ft},
+		BaseBackoff:     time.Millisecond,
+		MaxBackoff:      2 * time.Millisecond,
+		MaxAttempts:     3,
+		BreakerCooldown: time.Hour, // no half-open revival mid-test
+		Observer:        m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan *batch.ProjectReport, 1)
+	go func() {
+		done <- c.RunProject(context.Background(), root, units, privacyscope.AnalysisOptions{}, "", 2, "")
+	}()
+	var rep *batch.ProjectReport
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("dead-fleet project run hung")
+	}
+
+	if len(rep.Units) != len(units) {
+		t.Fatalf("report has %d units, want %d", len(rep.Units), len(units))
+	}
+	for _, r := range rep.Units {
+		if r.Err == "" || r.Envelope != nil {
+			t.Fatalf("unit %s did not degrade to an explicit Error slot: %+v", r.Unit.Name, r)
+		}
+		if !strings.Contains(r.Err, "exhausted") {
+			t.Fatalf("unit %s error %q does not name exhaustion", r.Unit.Name, r.Err)
+		}
+	}
+	if v := rep.Verdict(); v != privacyscope.VerdictError {
+		t.Fatalf("dead-fleet verdict = %v, want error", v)
+	}
+	if got := m.Counter("coord.exhausted"); got != int64(len(units)) {
+		t.Fatalf("coord.exhausted = %d, want %d (one per unit)", got, len(units))
+	}
+}

@@ -1,0 +1,530 @@
+// Package coord is the fault-tolerant distribution layer over a fleet of
+// privacyscoped workers: a coordinator that consistent-hash-routes analysis
+// units across N worker daemons so each unit lands where its disk-cache key
+// is warm, watches every worker's /healthz to gate routing (up / draining /
+// down), retries transient failures (connection refused, 429/503
+// backpressure, deadlines, severed responses) with bounded exponential
+// backoff plus jitter, ejects flapping workers behind per-worker circuit
+// breakers, and — when a worker dies mid-batch — re-routes its pending
+// units to the survivors along the ring. Units that exhaust every retry
+// keep their slot in the project report as explicit Error results, so a
+// distributed run degrades to the same partial-coverage vocabulary the
+// fail-soft pipeline defines (206, never-Secure-on-loss, no unit silently
+// dropped). See docs/ROBUSTNESS.md ("Distributed fail-soft") and
+// docs/SERVER.md for the coordinator API.
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"privacyscope"
+	"privacyscope/internal/batch"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/server"
+)
+
+// Config sizes the coordinator and names its fleet.
+type Config struct {
+	// Workers lists the fleet, one "name=baseURL" spec per worker (a bare
+	// URL uses its host as the name). Names are the ring identity: keep
+	// them stable across worker restarts so placement — and each worker's
+	// warm disk cache — survives.
+	Workers []string
+	// Client issues all fleet traffic (probes and dispatches). Nil uses a
+	// default client; tests inject a faultinject.Transport here.
+	Client *http.Client
+	// RequestTimeout bounds one dispatch attempt (≤0: 2m). An attempt that
+	// times out while the parent context is still live counts as transient
+	// and retries.
+	RequestTimeout time.Duration
+	// MaxAttempts bounds the total dispatch attempts per unit across all
+	// workers (≤0: 2 per worker + 2, capped at 8). Exhaustion turns the
+	// unit into an explicit Error slot.
+	MaxAttempts int
+	// RetriesPerWorker is how many attempts land on one worker before the
+	// unit fails over to the next ring worker (≤0: 2).
+	RetriesPerWorker int
+	// BaseBackoff is the first retry delay; each further attempt doubles
+	// it up to MaxBackoff, with ±25% deterministic jitter (seeded from
+	// Seed) to decorrelate a fleet of retries. ≤0: 50ms base, 2s max.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the jitter PRNG (0: 1) — fixed so failure schedules are
+	// replayable in tests.
+	Seed int64
+	// HealthInterval is the background probe period (≤0 disables the
+	// background prober; CheckNow still probes on demand).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one /healthz probe (≤0: 2s).
+	HealthTimeout time.Duration
+	// FailThreshold is how many consecutive failed probes mark a worker
+	// down (≤0: 2; the first probe of a fresh coordinator is forgiven
+	// once so a single blip does not eject a healthy worker).
+	FailThreshold int
+	// BreakerThreshold consecutive transient dispatch failures open a
+	// worker's circuit breaker (≤0: 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// admitting one half-open trial (≤0: 5s).
+	BreakerCooldown time.Duration
+	// Observer receives coord.* telemetry (nil: no-op). Pass an
+	// obs.Metrics to serve it at /metrics.
+	Observer obs.Observer
+
+	// now is the clock (tests); nil is time.Now.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.RetriesPerWorker <= 0 {
+		c.RetriesPerWorker = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = c.RetriesPerWorker*len(c.Workers) + 2
+		if c.MaxAttempts > 8 {
+			c.MaxAttempts = 8
+		}
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Coordinator routes analysis requests across the fleet. Create with New,
+// stop the background prober with Close.
+type Coordinator struct {
+	cfg     Config
+	obs     obs.Observer
+	client  *http.Client
+	workers []*worker
+	ring    *ring
+	engine  string
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New builds a Coordinator over the configured fleet and starts the
+// background health prober (when HealthInterval > 0).
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("coord: no workers configured")
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		obs:    obs.Or(cfg.Observer),
+		client: cfg.Client,
+		engine: privacyscope.Fingerprint(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		closed: make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	seen := make(map[string]bool)
+	for _, spec := range cfg.Workers {
+		name, baseURL, err := parseWorkerSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("coord: worker spec %q: %w", spec, err)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("coord: duplicate worker name %q", name)
+		}
+		seen[name] = true
+		c.workers = append(c.workers, &worker{
+			name:    name,
+			baseURL: baseURL,
+			host:    hostOf(baseURL),
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	c.ring = newRing(c.workers)
+	if cfg.HealthInterval > 0 {
+		c.probeWG.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+func hostOf(baseURL string) string {
+	s := baseURL
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// Close stops the background prober. In-flight dispatches finish on their
+// own contexts.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.probeWG.Wait()
+}
+
+func (c *Coordinator) now() time.Time { return c.cfg.now() }
+
+// FleetHealth returns the per-worker state rows for the /healthz view.
+func (c *Coordinator) FleetHealth() []WorkerHealth {
+	out := make([]WorkerHealth, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, w.health())
+	}
+	return out
+}
+
+// RoutableWorkers counts workers currently eligible for new units.
+func (c *Coordinator) RoutableWorkers() int {
+	now := c.now()
+	n := 0
+	for _, w := range c.workers {
+		if w.routable(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Primary names the worker that owns key's ring arc — its warm-cache home.
+func (c *Coordinator) Primary(key string) string {
+	order := c.ring.order(key)
+	if len(order) == 0 {
+		return ""
+	}
+	return order[0].name
+}
+
+// publishGauges refreshes the fleet gauges (scrape- and probe-driven):
+// workers the prober considers up, and breakers currently not closed.
+func (c *Coordinator) publishGauges() {
+	m, ok := c.obs.(*obs.Metrics)
+	if !ok {
+		return
+	}
+	up, open := 0, 0
+	for _, w := range c.workers {
+		if w.State() == StateUp {
+			up++
+		}
+		if w.breaker.State() != breakerClosed {
+			open++
+		}
+	}
+	m.SetGauge("coord.workers.up", int64(up))
+	m.SetGauge("coord.breaker.open", int64(open))
+}
+
+// Result is one routed request's outcome: the worker daemon's HTTP status
+// and body, plus routing facts for telemetry and response headers.
+type Result struct {
+	Status int
+	Body   []byte
+	// Worker is the fleet member that served the request; Attempts how
+	// many dispatch attempts it took; Rerouted whether a non-primary
+	// worker served it (its home was down, draining, or broken).
+	Worker   string
+	Attempts int
+	Rerouted bool
+	// Verdict and Cache echo the worker's response headers.
+	Verdict string
+	Cache   string
+}
+
+// errExhausted wraps the last transient error once every retry budget is
+// spent.
+type errExhausted struct {
+	attempts int
+	last     error
+}
+
+func (e *errExhausted) Error() string {
+	return fmt.Sprintf("coord: unit exhausted %d dispatch attempts, last error: %v", e.attempts, e.last)
+}
+func (e *errExhausted) Unwrap() error { return e.last }
+
+// Dispatch routes one analysis request: try the key's ring order —
+// primary first, then the failover sequence — skipping workers that are
+// down, draining or circuit-broken; retry transient failures on the same
+// worker (bounded, backed off) before failing over; and, when every
+// routable worker has been tried, make one last-ditch pass over the
+// skipped ones (health info may be stale — degrade, don't die). A
+// non-transient response (any real HTTP answer, including 422 and
+// envelope-carrying 500s) is the result. Exhaustion returns *errExhausted.
+func (c *Coordinator) Dispatch(ctx context.Context, key string, req *server.AnalyzeRequest, traceID string) (*Result, error) {
+	c.obs.Add("coord.route", 1)
+	sp := c.obs.StartSpan("coord/dispatch")
+	defer sp.End()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	order := c.ring.order(key)
+	attempts := 0
+	var lastErr error
+
+	try := func(w *worker, primary bool) (*Result, error, bool) {
+		for r := 0; r < c.cfg.RetriesPerWorker && attempts < c.cfg.MaxAttempts; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err, false
+			}
+			attempts++
+			if attempts > 1 {
+				c.obs.Add("coord.retry", 1)
+				if err := c.backoff(ctx, attempts-1); err != nil {
+					return nil, err, false
+				}
+			}
+			res, terr := c.tryWorker(ctx, w, body, traceID)
+			if terr == nil {
+				if opened := w.breaker.Success(); opened {
+					c.obs.Add("coord.breaker.closed", 1)
+				}
+				res.Attempts = attempts
+				res.Rerouted = !primary
+				if res.Rerouted {
+					c.obs.Add("coord.rerouted", 1)
+				}
+				sp.Annotate(obs.F("worker", w.name),
+					obs.F("attempts", strconv.Itoa(attempts)),
+					obs.F("status", strconv.Itoa(res.Status)))
+				return res, nil, false
+			}
+			lastErr = terr
+			if w.breaker.Failure(c.now()) {
+				c.obs.Add("coord.breaker.opened", 1)
+				c.obs.Event("coord.breaker.state",
+					obs.F("worker", w.name), obs.F("state", "open"))
+				// The circuit just opened: stop hammering this worker and
+				// fail over now.
+				return nil, nil, true
+			}
+		}
+		return nil, nil, false
+	}
+
+	// Pass 1: routable workers in ring order (health- and breaker-gated).
+	var skipped []*worker
+	for i, w := range order {
+		if attempts >= c.cfg.MaxAttempts {
+			break
+		}
+		if !w.routable(c.now()) {
+			skipped = append(skipped, w)
+			continue
+		}
+		res, err, _ := try(w, i == 0)
+		if res != nil || err != nil {
+			return res, err
+		}
+	}
+	// Pass 2: the fail-soft last ditch. Health info can be stale and a
+	// breaker can be wrong — before declaring the unit lost, offer it once
+	// to each skipped worker (single attempt each, no per-worker retries).
+	for _, w := range skipped {
+		if attempts >= c.cfg.MaxAttempts {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		attempts++
+		c.obs.Add("coord.retry", 1)
+		if err := c.backoff(ctx, attempts-1); err != nil {
+			return nil, err
+		}
+		res, terr := c.tryWorker(ctx, w, body, traceID)
+		if terr == nil {
+			w.breaker.Success()
+			res.Attempts = attempts
+			res.Rerouted = w != order[0]
+			if res.Rerouted {
+				c.obs.Add("coord.rerouted", 1)
+			}
+			return res, nil
+		}
+		lastErr = terr
+		w.breaker.Failure(c.now())
+	}
+	c.obs.Add("coord.exhausted", 1)
+	sp.Annotate(obs.F("exhausted", "true"), obs.F("attempts", strconv.Itoa(attempts)))
+	if lastErr == nil {
+		lastErr = errors.New("no workers available")
+	}
+	return nil, &errExhausted{attempts: attempts, last: lastErr}
+}
+
+// tryWorker issues one POST /v1/analyze attempt against one worker and
+// classifies the outcome: (result, nil) for any real answer the caller
+// should surface, (nil, err) for a transient failure worth retrying.
+func (c *Coordinator) tryWorker(ctx context.Context, w *worker, body []byte, traceID string) (*Result, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, w.baseURL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// W3C trace propagation: every hop to a worker carries the
+	// coordinator's trace ID with a fresh span ID, so the worker's flight
+	// recorder files its execution under the same trace the client can
+	// query end to end.
+	if traceID != "" {
+		req.Header.Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// Connection refused, reset, attempt deadline — all transient
+		// (the parent ctx gate in Dispatch stops us when the caller gave
+		// up for real).
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, 64<<20))
+	if err != nil {
+		// Mid-response cut: the worker (or the network) died while
+		// streaming the envelope.
+		return nil, fmt.Errorf("reading response from %s: %w", w.name, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// Backpressure and draining are transient by contract: the worker
+		// is alive but not accepting — back off and retry (likely
+		// elsewhere once the prober notices a drain).
+		return nil, fmt.Errorf("%s: %s", w.name, resp.Status)
+	}
+	return &Result{
+		Status:  resp.StatusCode,
+		Body:    data,
+		Worker:  w.name,
+		Verdict: resp.Header.Get("X-Privacyscope-Verdict"),
+		Cache:   resp.Header.Get("X-Privacyscope-Cache"),
+	}, nil
+}
+
+// backoff sleeps the bounded exponential delay for the given retry ordinal
+// (1-based): base·2^(n−1) capped at MaxBackoff, jittered ±25% from the
+// seeded PRNG. Returns early (with the context error) if the caller gives
+// up mid-sleep.
+func (c *Coordinator) backoff(ctx context.Context, n int) error {
+	d := c.cfg.BaseBackoff << uint(n-1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	d = d*3/4 + j
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// UnitExec returns the batch remote-execution hook: a closure that resolves
+// one discovered unit through the fleet instead of the local engine. The
+// unit's cache key — identical to the key the chosen worker caches under —
+// picks its ring home, so repeat runs of an unchanged project hit each
+// worker's warm disk tier. traceID (optional) threads one project-wide
+// trace through every hop.
+func (c *Coordinator) UnitExec(opts privacyscope.AnalysisOptions, traceID string) batch.ExecFunc {
+	return func(ctx context.Context, u batch.Unit, rules string, ob obs.Observer) batch.UnitResult {
+		req := &server.AnalyzeRequest{
+			Lang:      "minic",
+			Source:    u.Source,
+			EDL:       u.EDL,
+			ConfigXML: rules,
+			Options:   opts,
+		}
+		key := server.CacheKey(c.engine, req)
+		res, err := c.Dispatch(ctx, key, req, traceID)
+		if err != nil {
+			return batch.UnitResult{Unit: u, Err: err.Error()}
+		}
+		return unitResultFromHTTP(u, res)
+	}
+}
+
+// unitResultFromHTTP maps a worker's HTTP answer back onto the batch
+// result vocabulary: 200/206/500 envelopes decode as the unit's envelope
+// (the fail-soft verdict inside speaks for itself), anything else is a
+// module-level error slot.
+func unitResultFromHTTP(u batch.Unit, res *Result) batch.UnitResult {
+	out := batch.UnitResult{Unit: u, Cached: res.Cache == "hit"}
+	var env privacyscope.Envelope
+	if err := json.Unmarshal(res.Body, &env); err == nil && env.Engine != "" {
+		out.Envelope = &env
+		return out
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(res.Body, &e); err == nil && e.Error != "" {
+		out.Err = e.Error
+		return out
+	}
+	out.Err = fmt.Sprintf("worker %s answered %d with an unintelligible body", res.Worker, res.Status)
+	return out
+}
+
+// RunProject analyzes a discovered unit set through the fleet: batch.Run's
+// pool provides the per-unit concurrency and the deterministic report, the
+// coordinator provides placement, retries and re-routing per unit. The
+// report is the error report — a dead worker degrades units to explicit
+// Error slots, never drops them.
+func (c *Coordinator) RunProject(ctx context.Context, root string, units []batch.Unit, opts privacyscope.AnalysisOptions, defaultRules string, jobs int, traceID string) *batch.ProjectReport {
+	return batch.Run(ctx, root, units, batch.Config{
+		Jobs:         jobs,
+		Options:      opts,
+		DefaultRules: defaultRules,
+		Observer:     c.cfg.Observer,
+		Exec:         c.UnitExec(opts, traceID),
+	})
+}

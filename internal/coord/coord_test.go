@@ -1,0 +1,507 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privacyscope/internal/faultinject"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/server"
+)
+
+func TestParseWorkerSpec(t *testing.T) {
+	cases := []struct {
+		spec, name, url string
+	}{
+		{"w1=http://10.0.0.1:8321", "w1", "http://10.0.0.1:8321"},
+		{"http://10.0.0.1:8321", "10.0.0.1:8321", "http://10.0.0.1:8321"},
+		{"w2=http://10.0.0.2:8321/", "w2", "http://10.0.0.2:8321"},
+		{" w3=http://h:1 ", "w3", "http://h:1"},
+	}
+	for _, c := range cases {
+		name, url, err := parseWorkerSpec(c.spec)
+		if err != nil {
+			t.Fatalf("parseWorkerSpec(%q): %v", c.spec, err)
+		}
+		if name != c.name || url != c.url {
+			t.Fatalf("parseWorkerSpec(%q) = (%q, %q), want (%q, %q)", c.spec, name, url, c.name, c.url)
+		}
+	}
+}
+
+func TestNewRejectsDuplicateNames(t *testing.T) {
+	_, err := New(Config{Workers: []string{"w=http://a:1", "w=http://b:1"}})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate worker names accepted: %v", err)
+	}
+}
+
+// TestRingPlacementIsStable: placement is a pure function of worker *names*,
+// so it survives URL (port) changes, and removing a worker re-homes only its
+// own keys — everyone else's primary is untouched.
+func TestRingPlacementIsStable(t *testing.T) {
+	mk := func(specs ...string) *Coordinator {
+		c, err := New(Config{Workers: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	c1 := mk("w1=http://a:1", "w2=http://a:2", "w3=http://a:3")
+	c2 := mk("w1=http://b:9001", "w2=http://b:9002", "w3=http://b:9003")
+
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("unit-key-%d", i)
+	}
+	owned := map[string]int{}
+	for _, k := range keys {
+		p1, p2 := c1.Primary(k), c2.Primary(k)
+		if p1 != p2 {
+			t.Fatalf("key %q moved when worker URLs changed: %s vs %s", k, p1, p2)
+		}
+		owned[p1]++
+		// The failover order must list every worker exactly once.
+		if got := len(c1.ring.order(k)); got != 3 {
+			t.Fatalf("order(%q) visited %d workers, want 3", k, got)
+		}
+	}
+	if len(owned) != 3 {
+		t.Fatalf("40 keys landed on %d of 3 workers — ring badly unbalanced: %v", len(owned), owned)
+	}
+
+	// Drop w3: only w3's keys may move, and only to surviving workers.
+	c3 := mk("w1=http://a:1", "w2=http://a:2")
+	for _, k := range keys {
+		before, after := c1.Primary(k), c3.Primary(k)
+		if before != "w3" && after != before {
+			t.Fatalf("key %q re-homed from %s to %s although its owner survived", k, before, after)
+		}
+		if before == "w3" && after == "w3" {
+			t.Fatalf("key %q still routed to removed worker", k)
+		}
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(2, time.Second)
+
+	if !b.Allow(now) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	if b.Failure(now) {
+		t.Fatal("first failure must not open a threshold-2 breaker")
+	}
+	if !b.Failure(now) {
+		t.Fatal("second consecutive failure must open")
+	}
+	if b.State() != breakerOpen || b.Allow(now.Add(500*time.Millisecond)) {
+		t.Fatal("open breaker admitted traffic inside cooldown")
+	}
+	// Cooldown elapsed: exactly one half-open trial is admitted.
+	trial := now.Add(time.Second)
+	if !b.Allow(trial) {
+		t.Fatal("cooldown elapsed but no half-open trial admitted")
+	}
+	if b.Allow(trial) {
+		t.Fatal("second concurrent trial admitted in half-open state")
+	}
+	// Trial fails: re-open immediately, full new cooldown.
+	if !b.Failure(trial) {
+		t.Fatal("half-open trial failure must re-open")
+	}
+	if b.Allow(trial.Add(500 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted traffic inside its new cooldown")
+	}
+	// Next trial succeeds: closed again.
+	if !b.Allow(trial.Add(time.Second)) {
+		t.Fatal("second cooldown elapsed but no trial admitted")
+	}
+	if !b.Success() {
+		t.Fatal("Success after half-open must report the close transition")
+	}
+	if b.State() != breakerClosed || !b.Allow(trial) {
+		t.Fatal("breaker not closed after successful trial")
+	}
+}
+
+// stubWorker is a scripted /v1/analyze endpoint: each call shifts the next
+// status off the script (the last entry repeats).
+func stubWorker(t *testing.T, script ...int) (*httptest.Server, string, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		n := int(calls.Add(1))
+		status := script[len(script)-1]
+		if n <= len(script) {
+			status = script[n-1]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if status == http.StatusOK {
+			w.Header().Set("X-Privacyscope-Verdict", "findings")
+			w.WriteHeader(status)
+			w.Write([]byte(`{"engine":"stub","verdict":"findings","findings":[]}`))
+			return
+		}
+		w.WriteHeader(status)
+		w.Write([]byte(`{"error":"scripted"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, strings.TrimPrefix(ts.URL, "http://"), &calls
+}
+
+// fastCfg returns a dispatch config tuned for tests: microscopic backoffs,
+// no background prober.
+func fastCfg(m *obs.Metrics, specs ...string) Config {
+	return Config{
+		Workers:     specs,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Observer:    m,
+	}
+}
+
+func dispatch(t *testing.T, c *Coordinator, key string) (*Result, error) {
+	t.Helper()
+	return c.Dispatch(context.Background(), key,
+		&server.AnalyzeRequest{Lang: "minic", Source: "x", EDL: "y"}, "")
+}
+
+// TestDispatchRetriesBackpressure: 503s are transient by contract — the
+// dispatcher backs off and retries the same worker until the script yields.
+func TestDispatchRetriesBackpressure(t *testing.T) {
+	ts, _, calls := stubWorker(t, 503, 503, 200)
+	m := obs.NewMetrics()
+	cfg := fastCfg(m, "w1="+ts.URL)
+	cfg.RetriesPerWorker = 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := dispatch(t, c, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Attempts != 3 || res.Rerouted || res.Worker != "w1" {
+		t.Fatalf("res = %+v, want status 200 after 3 attempts on w1", res)
+	}
+	if got := m.Counter("coord.retry"); got != 2 {
+		t.Fatalf("coord.retry = %d, want 2", got)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("worker saw %d calls, want 3", got)
+	}
+}
+
+// TestDispatchFailsOverFromDeadPrimary: the key's primary is dead from its
+// first request; the unit must land on the failover worker, flagged
+// rerouted.
+func TestDispatchFailsOverFromDeadPrimary(t *testing.T) {
+	tsA, hostA, _ := stubWorker(t, 200)
+	tsB, hostB, _ := stubWorker(t, 200)
+	m := obs.NewMetrics()
+	ft := faultinject.NewTransport(nil)
+	cfg := fastCfg(m, "w1="+tsA.URL, "w2="+tsB.URL)
+	cfg.Client = &http.Client{Transport: ft}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	primary := c.Primary("k")
+	deadHost, survivor := hostA, "w2"
+	if primary == "w2" {
+		deadHost, survivor = hostB, "w1"
+	}
+	ft.KillAfter(deadHost, 1)
+
+	res, err := dispatch(t, c, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Worker != survivor || !res.Rerouted {
+		t.Fatalf("res = %+v, want rerouted to %s", res, survivor)
+	}
+	if got := m.Counter("coord.rerouted"); got != 1 {
+		t.Fatalf("coord.rerouted = %d, want 1", got)
+	}
+}
+
+// TestDispatchRetriesSeveredResponse: a response cut mid-body is transient —
+// the attempt is retried, and the retry's whole envelope is the result.
+func TestDispatchRetriesSeveredResponse(t *testing.T) {
+	ts, host, _ := stubWorker(t, 200)
+	ft := faultinject.NewTransport(nil).CutOn(host, 1)
+	cfg := fastCfg(obs.NewMetrics(), "w1="+ts.URL)
+	cfg.Client = &http.Client{Transport: ft}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := dispatch(t, c, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (cut, then whole)", res.Attempts)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(res.Body, &body); err != nil {
+		t.Fatalf("retried body does not decode: %v (%q)", err, res.Body)
+	}
+}
+
+// TestDispatchExhaustion: a fleet that refuses everything exhausts the
+// attempt budget and fails with an explicit errExhausted — the caller turns
+// this into an Error slot, never a silent drop.
+func TestDispatchExhaustion(t *testing.T) {
+	ts, host, _ := stubWorker(t, 200)
+	ft := faultinject.NewTransport(nil).KillAfter(host, 1)
+	m := obs.NewMetrics()
+	cfg := fastCfg(m, "w1="+ts.URL)
+	cfg.Client = &http.Client{Transport: ft}
+	cfg.MaxAttempts = 3
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	res, err := dispatch(t, c, "k")
+	if res != nil || err == nil {
+		t.Fatalf("dispatch to a dead fleet returned (%v, %v)", res, err)
+	}
+	var ex *errExhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("error = %v, want *errExhausted", err)
+	}
+	if !errors.Is(err, faultinject.ErrRefused) {
+		t.Fatalf("exhaustion must preserve the last transient cause, got %v", err)
+	}
+	if got := m.Counter("coord.exhausted"); got != 1 {
+		t.Fatalf("coord.exhausted = %d, want 1", got)
+	}
+}
+
+// TestDispatchBreakerOpensAndFailsOver: enough consecutive transient
+// failures open the primary's breaker mid-dispatch; the unit fails over and
+// the breaker counter fires.
+func TestDispatchBreakerOpensAndFailsOver(t *testing.T) {
+	tsA, hostA, _ := stubWorker(t, 200)
+	tsB, hostB, _ := stubWorker(t, 200)
+	m := obs.NewMetrics()
+	ft := faultinject.NewTransport(nil)
+	cfg := fastCfg(m, "w1="+tsA.URL, "w2="+tsB.URL)
+	cfg.Client = &http.Client{Transport: ft}
+	cfg.RetriesPerWorker = 4
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour // no half-open during the test
+	cfg.MaxAttempts = 8
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	deadHost := hostA
+	if c.Primary("k") == "w2" {
+		deadHost = hostB
+	}
+	ft.KillAfter(deadHost, 1)
+
+	res, err := dispatch(t, c, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The breaker (threshold 2) must have cut the primary off before its
+	// retry allowance (4) was spent.
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 on the primary until the breaker opened, 1 on the survivor)", res.Attempts)
+	}
+	if got := m.Counter("coord.breaker.opened"); got != 1 {
+		t.Fatalf("coord.breaker.opened = %d, want 1", got)
+	}
+	// A second dispatch of the same key skips the broken primary in pass 1
+	// and is served by the survivor without burning retries on the corpse...
+	res2, err := dispatch(t, c, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Rerouted {
+		t.Fatalf("res2 = %+v, want rerouted (primary circuit open)", res2)
+	}
+}
+
+// TestProbeStateMachine drives a worker through draining, down and
+// recovery, asserting the forgiveness threshold and transition counters.
+func TestProbeStateMachine(t *testing.T) {
+	var mode atomic.Value // "ok" | "draining" | "dead"
+	mode.Store("ok")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case "draining":
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"status":"draining"}`))
+		case "dead":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer ts.Close()
+
+	m := obs.NewMetrics()
+	cfg := fastCfg(m, "w1="+ts.URL)
+	cfg.FailThreshold = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := c.workers[0]
+	ctx := context.Background()
+
+	c.CheckNow(ctx)
+	if w.State() != StateUp || !w.routable(c.now()) {
+		t.Fatalf("healthy worker state = %v", w.State())
+	}
+
+	mode.Store("draining")
+	c.CheckNow(ctx)
+	if w.State() != StateDraining || w.routable(c.now()) {
+		t.Fatalf("draining worker state = %v, routable = %v", w.State(), w.routable(c.now()))
+	}
+
+	mode.Store("ok")
+	c.CheckNow(ctx)
+	if w.State() != StateUp {
+		t.Fatalf("recovered worker state = %v", w.State())
+	}
+	if got := m.Counter("coord.worker.up"); got != 1 {
+		t.Fatalf("coord.worker.up after draining recovery = %d, want 1", got)
+	}
+
+	// One failed probe is forgiven (below FailThreshold)…
+	mode.Store("dead")
+	c.CheckNow(ctx)
+	if w.State() != StateUp {
+		t.Fatalf("single probe blip ejected the worker: %v", w.State())
+	}
+	// …the second is not.
+	c.CheckNow(ctx)
+	if w.State() != StateDown || w.routable(c.now()) {
+		t.Fatalf("worker not down after %d failed probes: %v", 2, w.State())
+	}
+	if got := m.Counter("coord.worker.down"); got != 1 {
+		t.Fatalf("coord.worker.down = %d, want 1", got)
+	}
+
+	mode.Store("ok")
+	c.CheckNow(ctx)
+	if w.State() != StateUp {
+		t.Fatalf("worker did not recover: %v", w.State())
+	}
+	if got := m.Counter("coord.worker.up"); got != 2 {
+		t.Fatalf("coord.worker.up = %d, want 2 (draining recovery + down recovery)", got)
+	}
+	if got := m.Gauge("coord.workers.up"); got != 1 {
+		t.Fatalf("coord.workers.up gauge = %d, want 1", got)
+	}
+}
+
+// TestHandlerRejectsOversizedBody: the coordinator's own HTTP surface cuts
+// oversized bodies with 413 and a JSON error envelope — same hardening
+// contract as a worker daemon.
+func TestHandlerRejectsOversizedBody(t *testing.T) {
+	ts, _, _ := stubWorker(t, 200)
+	c, err := New(fastCfg(obs.NewMetrics(), "w1="+ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch := httptest.NewServer(c.Handler(HandlerConfig{MaxSourceBytes: 1024}))
+	defer ch.Close()
+
+	big := strings.Repeat("x", 256<<10)
+	body := fmt.Sprintf(`{"source":%q,"edl":"e"}`, big)
+	resp, err := http.Post(ch.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("413 must carry a JSON error envelope: %v (%q)", err, e.Error)
+	}
+}
+
+// TestHandlerHealthz: the fleet view lists every worker with state and
+// breaker, and the coordinator is 200 while any worker is routable.
+func TestHandlerHealthz(t *testing.T) {
+	tsA, _, _ := stubWorker(t, 200)
+	tsB, hostB, _ := stubWorker(t, 200)
+	ft := faultinject.NewTransport(nil).KillAfter(hostB, 1)
+	m := obs.NewMetrics()
+	cfg := fastCfg(m, "w1="+tsA.URL, "w2="+tsB.URL)
+	cfg.Client = &http.Client{Transport: ft}
+	cfg.FailThreshold = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ch := httptest.NewServer(c.Handler(HandlerConfig{}))
+	defer ch.Close()
+
+	resp, err := http.Get(ch.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200 while one worker is live", resp.StatusCode)
+	}
+	var view struct {
+		Role     string         `json:"role"`
+		Routable int            `json:"routable"`
+		Workers  []WorkerHealth `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Role != "coordinator" || view.Routable != 1 || len(view.Workers) != 2 {
+		t.Fatalf("fleet view = %+v", view)
+	}
+	states := map[string]string{}
+	for _, w := range view.Workers {
+		states[w.Name] = w.State
+	}
+	if states["w1"] != "up" || states["w2"] != "down" {
+		t.Fatalf("states = %v, want w1 up / w2 down", states)
+	}
+}

@@ -1,0 +1,141 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privacyscope/internal/faultinject"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/obs/obstest"
+	"privacyscope/internal/server"
+)
+
+// keyOwnedBy searches for a key whose ring primary is the named worker.
+func keyOwnedBy(t *testing.T, c *Coordinator, name string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("drift-key-%d", i)
+		if c.Primary(k) == name {
+			return k
+		}
+	}
+	t.Fatalf("no key routes to %s", name)
+	return ""
+}
+
+// TestCoordRegistryMatchesDocs is the coordinator's documentation drift
+// gate (the same contract internal/server enforces for server.*): exercise
+// routing, retries, re-routing, breaker open/close, exhaustion and health
+// probing on one shared Metrics, then require every emitted counter, gauge,
+// span and distribution to have a docs/OBSERVABILITY.md registry row.
+func TestCoordRegistryMatchesDocs(t *testing.T) {
+	documented := obstest.DocRegistry(t, filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+
+	m := obs.NewMetrics()
+	url, host := startWorker(t)
+	req := &server.AnalyzeRequest{Lang: "minic", Source: "x", EDL: "y"}
+	ctx := context.Background()
+
+	// Healthy dispatch: coord.route + the coord/dispatch span.
+	live, err := New(fastCfg(m, "w1="+url))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if _, err := live.Dispatch(ctx, "k", req, obs.NewTraceID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dead primary beside a live survivor: retries, breaker open, re-route.
+	cfg := fastCfg(m, "w1="+url, "w2=http://127.0.0.1:1")
+	cfg.BreakerThreshold = 2
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Dispatch(ctx, keyOwnedBy(t, c2, "w2"), req, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// A flaky-then-healed single worker: exhaustion while refused, then the
+	// half-open trial success that closes the breaker.
+	ft := faultinject.NewTransport(nil).RefuseOn(host, 1).RefuseOn(host, 2)
+	cfg = fastCfg(m, "w1="+url)
+	cfg.Client = &http.Client{Transport: ft}
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Millisecond
+	c3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if res, err := c3.Dispatch(ctx, "k", req, ""); err == nil {
+		t.Fatalf("refused fleet dispatch succeeded: %+v", res)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c3.Dispatch(ctx, "k", req, ""); err != nil {
+		t.Fatalf("healed worker dispatch failed: %v", err)
+	}
+
+	// Probe transitions both ways: down on a refused probe, up on recovery.
+	ft4 := faultinject.NewTransport(nil).RefuseOn(host, 1)
+	cfg = fastCfg(m, "w1="+url)
+	cfg.Client = &http.Client{Transport: ft4}
+	cfg.FailThreshold = 1
+	c4, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c4.Close()
+	c4.CheckNow(ctx)
+	if c4.workers[0].State() != StateDown {
+		t.Fatal("refused probe did not mark the worker down")
+	}
+	c4.CheckNow(ctx)
+	if c4.workers[0].State() != StateUp {
+		t.Fatal("worker did not recover")
+	}
+
+	var missing []string
+	for _, n := range m.CounterNames() {
+		if !documented[n] {
+			missing = append(missing, "counter "+n)
+		}
+	}
+	snap := m.Snapshot()
+	for n := range snap.Gauges {
+		if !documented[n] {
+			missing = append(missing, "gauge "+n)
+		}
+	}
+	for n := range snap.Spans {
+		if !documented[n] {
+			missing = append(missing, "span "+n)
+		}
+	}
+	for n := range snap.Dists {
+		if !documented[n] {
+			missing = append(missing, "distribution "+n)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("emitted but undocumented in docs/OBSERVABILITY.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+
+	// The exercise above must have hit every coord counter the docs
+	// promise, so the gate cannot silently weaken.
+	for _, n := range []string{"coord.route", "coord.retry", "coord.rerouted",
+		"coord.exhausted", "coord.breaker.opened", "coord.breaker.closed",
+		"coord.worker.down", "coord.worker.up"} {
+		if m.Counter(n) == 0 {
+			t.Errorf("drift exercise never emitted %s", n)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package coord
+
+// The coordinator's HTTP front end: the same /v1/analyze surface a worker
+// daemon exposes (so clients need no new protocol — point them at the
+// coordinator instead of a worker), plus a project endpoint that fans a
+// whole unit set across the fleet, a /healthz that reports per-worker
+// state, and /metrics for the coord.* registry. See docs/SERVER.md.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"privacyscope"
+	"privacyscope/internal/batch"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/server"
+)
+
+// HandlerConfig sizes the coordinator's HTTP surface.
+type HandlerConfig struct {
+	// MaxSourceBytes bounds the combined sources of one analyze request
+	// (≤0: 1 MiB); the project endpoint allows 16× for its unit list.
+	// Oversized bodies get 413 with a JSON error envelope.
+	MaxSourceBytes int
+	// Jobs bounds how many units of one project submission dispatch
+	// concurrently (≤0: 4× the fleet size).
+	Jobs int
+}
+
+type handler struct {
+	c   *Coordinator
+	cfg HandlerConfig
+	mux *http.ServeMux
+}
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler(cfg HandlerConfig) http.Handler {
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 1 << 20
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 4 * len(c.workers)
+	}
+	h := &handler{c: c, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", h.handleAnalyze)
+	mux.HandleFunc("POST /v1/project", h.handleProject)
+	mux.HandleFunc("GET /healthz", h.handleHealthz)
+	mux.HandleFunc("GET /metrics", h.handleMetrics)
+	h.mux = mux
+	return h
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decodeBody decodes a JSON request bounded at limit bytes, mapping an
+// overrun onto 413 (with its JSON envelope) instead of a generic 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the configured limit")
+			return false
+		}
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleAnalyze proxies one module analysis to the worker that owns its
+// cache key, with the full retry/re-route pipeline behind it. The response
+// is the worker's envelope verbatim; routing facts ride in headers
+// (X-Privacyscope-Worker, X-Privacyscope-Rerouted) and the traceparent
+// echoes the trace the worker recorded under.
+func (h *handler) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req server.AnalyzeRequest
+	if !decodeBody(w, r, int64(h.cfg.MaxSourceBytes)+64*1024, &req) {
+		return
+	}
+	if err := req.Validate(h.cfg.MaxSourceBytes); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	key := server.CacheKey(h.c.engine, &req)
+	res, err := h.c.Dispatch(r.Context(), key, &req, traceID)
+	if err != nil {
+		var ex *errExhausted
+		if errors.As(err, &ex) {
+			// Every retry spent: the unit is lost to this submission, but
+			// the loss is explicit — 503 with the cause, and the client may
+			// resubmit (the fleet may have healed).
+			writeJSONError(w, http.StatusServiceUnavailable, ex.Error())
+			return
+		}
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
+	hdr.Set("X-Privacyscope-Worker", res.Worker)
+	if res.Rerouted {
+		hdr.Set("X-Privacyscope-Rerouted", "true")
+	}
+	if res.Verdict != "" {
+		hdr.Set("X-Privacyscope-Verdict", res.Verdict)
+	}
+	if res.Cache != "" {
+		hdr.Set("X-Privacyscope-Cache", res.Cache)
+	}
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+// ProjectRequest is the POST /v1/project body: a unit set (what
+// batch.Discover finds on disk, shipped inline) plus the shared engine
+// options.
+type ProjectRequest struct {
+	// Root labels the report (informational).
+	Root string `json:"root,omitempty"`
+	// Units are the analysis units to fan across the fleet.
+	Units []ProjectUnitRequest `json:"units"`
+	// Options tunes the engine for every unit.
+	Options privacyscope.AnalysisOptions `json:"options,omitempty"`
+	// DefaultRules is the rule file for units without their own.
+	DefaultRules string `json:"defaultRules,omitempty"`
+}
+
+// ProjectUnitRequest is one unit of a project submission.
+type ProjectUnitRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	EDL    string `json:"edl"`
+	Rules  string `json:"rules,omitempty"`
+}
+
+// handleProject fans a unit set across the fleet and answers with the
+// batch ProjectEnvelope. Status maps the aggregate verdict onto the
+// fail-soft contract: 200 for secure/findings (the analysis ran to
+// completion everywhere), 206 when any unit degraded or was lost — partial
+// coverage made visible, never a silent drop.
+func (h *handler) handleProject(w http.ResponseWriter, r *http.Request) {
+	var req ProjectRequest
+	if !decodeBody(w, r, int64(h.cfg.MaxSourceBytes)*16, &req) {
+		return
+	}
+	if len(req.Units) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "project submission has no units")
+		return
+	}
+	units := make([]batch.Unit, 0, len(req.Units))
+	for _, u := range req.Units {
+		if u.Name == "" || u.Source == "" || u.EDL == "" {
+			writeJSONError(w, http.StatusBadRequest,
+				"unit "+u.Name+" missing name, source or edl")
+			return
+		}
+		units = append(units, batch.Unit{Name: u.Name, Source: u.Source, EDL: u.EDL, Rules: u.Rules})
+	}
+	traceID, _, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		traceID = obs.NewTraceID()
+	}
+	rep := h.c.RunProject(r.Context(), req.Root, units, req.Options, req.DefaultRules, h.cfg.Jobs, traceID)
+	env := rep.Envelope(nil)
+	env.TraceID = traceID
+	status := http.StatusOK
+	switch rep.Verdict() {
+	case privacyscope.VerdictInconclusive, privacyscope.VerdictError:
+		status = http.StatusPartialContent
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("traceparent", obs.FormatTraceparent(traceID, obs.NewSpanID()))
+	w.Header().Set("X-Privacyscope-Verdict", rep.Verdict().String())
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(env)
+}
+
+// handleHealthz reports the coordinator's own liveness plus the fleet
+// view: per-worker state/breaker rows, refreshed by an on-demand probe
+// round so the answer is current, not last-tick. 503 only when no worker
+// is routable — a coordinator with any live worker is serving.
+func (h *handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h.c.CheckNow(r.Context())
+	routable := h.c.RoutableWorkers()
+	status, code := "ok", http.StatusOK
+	if routable == 0 {
+		status, code = "no routable workers", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"role":     "coordinator",
+		"engine":   h.c.engine,
+		"version":  privacyscope.EngineVersion,
+		"routable": routable,
+		"workers":  h.c.FleetHealth(),
+	})
+}
+
+// handleMetrics serves the coord.* registry in Prometheus exposition form
+// (when the coordinator was built over an obs.Metrics).
+func (h *handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h.c.publishGauges()
+	m, ok := h.c.obs.(*obs.Metrics)
+	if !ok {
+		writeJSONError(w, http.StatusNotImplemented, "coordinator has no metrics observer")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m.WritePrometheus(w)
+}

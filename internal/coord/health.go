@@ -1,0 +1,231 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"privacyscope/internal/obs"
+)
+
+// WorkerState is the prober-driven availability state machine. Transitions:
+//
+//	up ──(FailThreshold consecutive failed probes)──▶ down
+//	up ──(/healthz answers 503 status=draining)─────▶ draining
+//	down/draining ──(one successful probe)──────────▶ up
+//
+// Routing skips draining and down workers (their ring arcs re-home to the
+// next worker clockwise); a recovered probe restores the worker and its
+// arc. Workers start up — optimistically routable until evidence arrives —
+// so a coordinator can boot before its fleet.
+type WorkerState int
+
+const (
+	// StateUp: the worker answers probes (or has not yet been probed) and
+	// receives its share of the ring.
+	StateUp WorkerState = iota
+	// StateDraining: the worker announced a graceful shutdown; it still
+	// finishes in-flight work but gets no new units.
+	StateDraining
+	// StateDown: probes fail; the worker's arc is re-homed until it
+	// recovers.
+	StateDown
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	default:
+		return "up"
+	}
+}
+
+// worker is one fleet member: stable routing identity, base URL, the
+// prober-driven state, and the dispatch-driven circuit breaker.
+type worker struct {
+	name    string // ring identity (stable across restarts)
+	baseURL string
+	host    string // URL host, for fault matching and reporting
+	breaker *breaker
+
+	mu         sync.Mutex
+	state      WorkerState
+	consecFail int
+	lastErr    string
+	lastProbe  time.Time
+}
+
+func (w *worker) State() WorkerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// routable reports whether new units may be sent to the worker right now:
+// the prober considers it up AND its breaker admits traffic.
+func (w *worker) routable(now time.Time) bool {
+	return w.State() == StateUp && w.breaker.Allow(now)
+}
+
+// setState applies a probe outcome and returns the previous state so the
+// caller can emit transition telemetry exactly once per flip.
+func (w *worker) setState(s WorkerState, probeErr string, at time.Time) WorkerState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev := w.state
+	w.state = s
+	w.lastErr = probeErr
+	w.lastProbe = at
+	if s == StateUp {
+		w.consecFail = 0
+	}
+	return prev
+}
+
+// WorkerHealth is one worker's row in the coordinator's /healthz fleet
+// view.
+type WorkerHealth struct {
+	Name       string    `json:"name"`
+	URL        string    `json:"url"`
+	State      string    `json:"state"`
+	Breaker    string    `json:"breaker"`
+	LastProbe  time.Time `json:"lastProbe,omitempty"`
+	LastError  string    `json:"lastError,omitempty"`
+	ConsecFail int       `json:"consecFailedProbes,omitempty"`
+}
+
+func (w *worker) health() WorkerHealth {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerHealth{
+		Name:       w.name,
+		URL:        w.baseURL,
+		State:      w.state.String(),
+		Breaker:    w.breaker.State().String(),
+		LastProbe:  w.lastProbe,
+		LastError:  w.lastErr,
+		ConsecFail: w.consecFail,
+	}
+}
+
+// probe checks one worker's /healthz and advances its state machine. All
+// transitions are counted; the down transition carries the probe error.
+func (c *Coordinator) probe(ctx context.Context, w *worker) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+	defer cancel()
+	now := c.now()
+
+	state, errMsg := c.probeOnce(pctx, w)
+	if state != StateUp {
+		w.mu.Lock()
+		if state == StateDown {
+			w.consecFail++
+			// Below the failure threshold a blip is forgiven: the worker
+			// keeps its current state until the evidence accumulates.
+			if w.consecFail < c.cfg.FailThreshold && w.state == StateUp {
+				w.lastErr = errMsg
+				w.lastProbe = now
+				w.mu.Unlock()
+				return
+			}
+		}
+		w.mu.Unlock()
+	}
+	prev := w.setState(state, errMsg, now)
+	if prev == state {
+		return
+	}
+	c.obs.Event("coord.worker.state",
+		obs.F("worker", w.name), obs.F("from", prev.String()), obs.F("to", state.String()),
+		obs.F("error", errMsg))
+	switch {
+	case state == StateDown:
+		c.obs.Add("coord.worker.down", 1)
+	case state == StateUp && prev != StateUp:
+		c.obs.Add("coord.worker.up", 1)
+	}
+}
+
+// probeOnce issues the GET /healthz and classifies the answer.
+func (c *Coordinator) probeOnce(ctx context.Context, w *worker) (WorkerState, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.baseURL+"/healthz", nil)
+	if err != nil {
+		return StateDown, err.Error()
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return StateDown, err.Error()
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, resp.Body, 1<<20))
+	_ = dec.Decode(&body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return StateUp, ""
+	case body.Status == "draining":
+		return StateDraining, ""
+	default:
+		return StateDown, resp.Status
+	}
+}
+
+// CheckNow probes every worker once, concurrently, and returns when all
+// probes have settled. The background prober calls it on each tick; tests
+// and the fleet /healthz handler call it directly for a fresh view.
+func (c *Coordinator) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.probe(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	c.publishGauges()
+}
+
+// healthLoop is the background prober: CheckNow every HealthInterval until
+// Close.
+func (c *Coordinator) healthLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.CheckNow(context.Background())
+		}
+	}
+}
+
+// parseWorkerSpec splits a "name=url" fleet entry; a bare URL uses its host
+// as the ring identity. Stable names matter: the ring hashes the name, so a
+// worker that restarts on a new port keeps its arc (and its warm disk
+// cache) only if its name survives the restart.
+func parseWorkerSpec(spec string) (name, baseURL string, err error) {
+	spec = strings.TrimSpace(spec)
+	if i := strings.Index(spec, "="); i > 0 && !strings.HasPrefix(spec[i+1:], "=") && !strings.Contains(spec[:i], "/") {
+		name, spec = spec[:i], spec[i+1:]
+	}
+	u, err := url.Parse(spec)
+	if err != nil {
+		return "", "", err
+	}
+	if name == "" {
+		name = u.Host
+	}
+	return name, strings.TrimSuffix(spec, "/"), nil
+}

@@ -1,0 +1,81 @@
+package coord
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is how many virtual points each worker claims on the ring. More
+// points smooth the key distribution; 64 keeps the per-fleet ring tiny
+// (a few KiB) while bounding the largest worker share within a few percent
+// of fair for realistic fleet sizes.
+const vnodes = 64
+
+// ring is the consistent-hash routing table: each worker claims vnodes
+// points on a 64-bit circle (hashed from its stable name, not its URL, so
+// the placement survives restarts and port changes), and a unit's cache key
+// routes to the first worker clockwise from its own hash. Consistent
+// hashing is what makes placement cache-aware: the same key always lands on
+// the same worker — where its disk-cache entry is warm — and a worker
+// leaving re-homes only its own arc to the next worker instead of
+// reshuffling the whole fleet.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	w    *worker
+}
+
+func newRing(workers []*worker) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*vnodes)}
+	for _, w := range workers {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(w.name, byte(i)), w: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// order returns every distinct worker in ring-walk order starting clockwise
+// from key's hash: index 0 is the unit's primary (warm-cache home), the rest
+// is the failover sequence its arc re-homes along.
+func (r *ring) order(key string) []*worker {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key, 0xff)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[*worker]bool)
+	var out []*worker
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.w] {
+			seen[p.w] = true
+			out = append(out, p.w)
+		}
+	}
+	return out
+}
+
+func hash64(s string, salt byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h.Write([]byte{salt})
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the murmur3 finalizer. Raw FNV-1a barely avalanches on short
+// inputs — a fleet of "w1".."w3" names with sequential vnode salts hashes
+// into one narrow band of the circle, collapsing the whole ring onto a
+// single worker. The finalizer spreads those clustered values uniformly.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,191 @@
+package faultinject
+
+// This file is the network layer of the fault harness: where the Injector
+// turns the analyzer's telemetry stream into deterministic trigger points,
+// Transport does the same for HTTP traffic. It wraps an http.RoundTripper
+// and keys faults on (target host, per-host request ordinal), so "refuse
+// worker 2's third request", "cut this response mid-body" or "kill worker 1
+// on its Kth request" are exact, replayable events — no real processes die
+// and no timing races decide which request fails.
+//
+// Faults available (n is 1-based and counts requests per host):
+//
+//   - RefuseOn(host, n): the nth request to host fails with a
+//     connection-refused-style transport error; later requests pass.
+//   - KillAfter(host, n): the nth and every later request to host fail the
+//     same way — the network view of a worker that died mid-batch.
+//   - CutOn(host, n): the nth response is severed after a few body bytes;
+//     the reader gets io.ErrUnexpectedEOF mid-envelope.
+//   - DelayOn(host, n, d): the nth request stalls d before being forwarded —
+//     a latency spike that trips per-attempt timeouts.
+//   - HookOn(host, n, fn): run fn just before forwarding the nth request
+//     (e.g. close a real listener so the kill is a kill, not a simulation).
+//
+// host matches request URL hosts exactly ("127.0.0.1:41231"); the empty
+// host matches every request. See docs/ROBUSTNESS.md.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrRefused is the transport error refused and killed requests fail with.
+// It models a connection-refused dial error: the request never reached the
+// server, so retrying it is always safe.
+var ErrRefused = errors.New("faultinject: connection refused")
+
+// Transport is a deterministic fault-injecting http.RoundTripper. Configure
+// before use; safe for concurrent use afterwards (request ordinals are
+// assigned under a lock, so "the nth request to host" is well defined even
+// when requests race).
+type Transport struct {
+	inner http.RoundTripper
+
+	mu     sync.Mutex
+	counts map[string]int
+	faults []*netFault
+}
+
+type netFault struct {
+	host  string // "" matches any host
+	at    int    // 1-based ordinal; 0 = every request
+	open  bool   // fire on every request from the at-th onward
+	kind  netFaultKind
+	delay time.Duration
+	hook  func()
+	cut   int // body bytes allowed through before the cut
+}
+
+type netFaultKind int
+
+const (
+	faultRefuse netFaultKind = iota
+	faultCut
+	faultDelay
+	faultHook
+)
+
+// NewTransport wraps inner (nil: http.DefaultTransport) with an empty fault
+// set — until faults are added it is a transparent pass-through.
+func NewTransport(inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, counts: make(map[string]int)}
+}
+
+// RefuseOn makes the nth request to host fail with ErrRefused.
+func (t *Transport) RefuseOn(host string, n int) *Transport {
+	return t.add(&netFault{host: host, at: n, kind: faultRefuse})
+}
+
+// KillAfter kills the worker at host from its nth request on: that request
+// and every later one fail with ErrRefused, exactly what a coordinator sees
+// when a worker process dies mid-batch.
+func (t *Transport) KillAfter(host string, n int) *Transport {
+	return t.add(&netFault{host: host, at: n, open: true, kind: faultRefuse})
+}
+
+// CutOn severs the nth response from host mid-body: the first few bytes
+// arrive, then the reader fails with io.ErrUnexpectedEOF.
+func (t *Transport) CutOn(host string, n int) *Transport {
+	return t.add(&netFault{host: host, at: n, kind: faultCut, cut: 16})
+}
+
+// DelayOn stalls the nth request to host for d before forwarding it.
+func (t *Transport) DelayOn(host string, n int, d time.Duration) *Transport {
+	return t.add(&netFault{host: host, at: n, kind: faultDelay, delay: d})
+}
+
+// HookOn runs fn just before forwarding the nth request to host.
+func (t *Transport) HookOn(host string, n int, fn func()) *Transport {
+	return t.add(&netFault{host: host, at: n, kind: faultHook, hook: fn})
+}
+
+func (t *Transport) add(f *netFault) *Transport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = append(t.faults, f)
+	return t
+}
+
+// Requests reports how many requests have been issued to host — for test
+// assertions ("the coordinator retried twice").
+func (t *Transport) Requests(host string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[host]
+}
+
+// RoundTrip implements http.RoundTripper: assign the request its per-host
+// ordinal, fire any due faults, then forward (or refuse).
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.Lock()
+	t.counts[host]++
+	n := t.counts[host]
+	var due []*netFault
+	for _, f := range t.faults {
+		if f.host != "" && f.host != host {
+			continue
+		}
+		switch {
+		case f.at == 0, f.at == n, f.open && n >= f.at:
+			due = append(due, f)
+		}
+	}
+	t.mu.Unlock()
+
+	var cutAfter = -1
+	for _, f := range due {
+		switch f.kind {
+		case faultDelay:
+			time.Sleep(f.delay)
+		case faultHook:
+			if f.hook != nil {
+				f.hook()
+			}
+		case faultRefuse:
+			return nil, ErrRefused
+		case faultCut:
+			cutAfter = f.cut
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil || cutAfter < 0 {
+		return resp, err
+	}
+	resp.Body = &cutBody{inner: resp.Body, remaining: cutAfter}
+	return resp, nil
+}
+
+// cutBody lets remaining bytes through, then fails the read — a connection
+// severed mid-response.
+type cutBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		// The body ended inside the allowance; the cut never engaged.
+		return n, err
+	}
+	if b.remaining <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *cutBody) Close() error { return b.inner.Close() }

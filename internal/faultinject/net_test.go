@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// get issues one GET through the transport and fully reads the body.
+func get(t *testing.T, client *http.Client, url string) ([]byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func newTarget(t *testing.T, body string) (*httptest.Server, string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestRefuseOnIsOneShot: exactly the nth request fails; the ones around it
+// pass untouched.
+func TestRefuseOnIsOneShot(t *testing.T) {
+	ts, host := newTarget(t, "ok")
+	tr := NewTransport(nil).RefuseOn(host, 2)
+	client := &http.Client{Transport: tr}
+
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatalf("request 1 should pass: %v", err)
+	}
+	if _, err := get(t, client, ts.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("request 2 should be refused, got %v", err)
+	}
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatalf("request 3 should pass again: %v", err)
+	}
+	if n := tr.Requests(host); n != 3 {
+		t.Fatalf("Requests(%s) = %d, want 3 (refused attempts count)", host, n)
+	}
+}
+
+// TestKillAfterIsPermanent: from the nth request on, the host is dead — the
+// network view of a worker process that died mid-batch.
+func TestKillAfterIsPermanent(t *testing.T) {
+	ts, host := newTarget(t, "ok")
+	client := &http.Client{Transport: NewTransport(nil).KillAfter(host, 2)}
+
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatalf("request 1 should pass: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if _, err := get(t, client, ts.URL); !errors.Is(err, ErrRefused) {
+			t.Fatalf("request %d should be refused, got %v", i, err)
+		}
+	}
+}
+
+// TestCutOnSeversMidBody: the nth response delivers a few bytes, then the
+// reader fails mid-envelope with ErrUnexpectedEOF.
+func TestCutOnSeversMidBody(t *testing.T) {
+	long := strings.Repeat("x", 4096)
+	ts, host := newTarget(t, long)
+	client := &http.Client{Transport: NewTransport(nil).CutOn(host, 1)}
+
+	data, err := get(t, client, ts.URL)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cut read error = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(data) == 0 || len(data) >= len(long) {
+		t.Fatalf("cut let %d bytes through, want a strict mid-body prefix", len(data))
+	}
+	// The next response is whole again.
+	data, err = get(t, client, ts.URL)
+	if err != nil || string(data) != long {
+		t.Fatalf("request 2 should pass whole, got %d bytes, err %v", len(data), err)
+	}
+}
+
+// TestCutShorterThanAllowance: a body that ends inside the allowance is not
+// an error — the cut never engages.
+func TestCutShorterThanAllowance(t *testing.T) {
+	ts, host := newTarget(t, "tiny")
+	client := &http.Client{Transport: NewTransport(nil).CutOn(host, 1)}
+	data, err := get(t, client, ts.URL)
+	if err != nil || string(data) != "tiny" {
+		t.Fatalf("short body should pass whole, got %q, err %v", data, err)
+	}
+}
+
+// TestDelayOnStalls: the nth request observes the injected latency spike.
+func TestDelayOnStalls(t *testing.T) {
+	ts, host := newTarget(t, "ok")
+	client := &http.Client{Transport: NewTransport(nil).DelayOn(host, 1, 30*time.Millisecond)}
+	start := time.Now()
+	if _, err := get(t, client, ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed request completed in %v, want ≥ 30ms", d)
+	}
+}
+
+// TestHookOnFires: the hook runs exactly once, before the nth request is
+// forwarded.
+func TestHookOnFires(t *testing.T) {
+	ts, host := newTarget(t, "ok")
+	fired := 0
+	client := &http.Client{Transport: NewTransport(nil).HookOn(host, 2, func() { fired++ })}
+	get(t, client, ts.URL)
+	if fired != 0 {
+		t.Fatal("hook fired before its ordinal")
+	}
+	get(t, client, ts.URL)
+	get(t, client, ts.URL)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want exactly 1", fired)
+	}
+}
+
+// TestEmptyHostMatchesAll: a fault with no host hits every target.
+func TestEmptyHostMatchesAll(t *testing.T) {
+	ts1, _ := newTarget(t, "a")
+	ts2, _ := newTarget(t, "b")
+	client := &http.Client{Transport: NewTransport(nil).KillAfter("", 1)}
+	if _, err := get(t, client, ts1.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("target 1 not refused: %v", err)
+	}
+	if _, err := get(t, client, ts2.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("target 2 not refused: %v", err)
+	}
+}
+
+// TestOrdinalsAreRaceFree: concurrent requests still receive well-defined
+// per-host ordinals — exactly one of N concurrent requests is the refused
+// nth.
+func TestOrdinalsAreRaceFree(t *testing.T) {
+	ts, host := newTarget(t, "ok")
+	tr := NewTransport(nil).RefuseOn(host, 5)
+	client := &http.Client{Transport: tr}
+
+	const n = 16
+	var wg sync.WaitGroup
+	refused := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := get(t, client, ts.URL); errors.Is(err, ErrRefused) {
+				refused <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(refused)
+	count := 0
+	for range refused {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d requests refused, want exactly 1", count)
+	}
+	if got := tr.Requests(host); got != n {
+		t.Fatalf("Requests = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,72 @@
+// Package obstest holds test-only helpers for the packages that gate their
+// telemetry against the docs/OBSERVABILITY.md registry: every counter,
+// gauge, span or distribution a package emits must have a registry row, or
+// its drift test fails. Keeping the parser here means the server and the
+// coordinator enforce the same reading of the registry.
+package obstest
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var backtickRe = regexp.MustCompile("`([^`]+)`")
+var registryTokenRe = regexp.MustCompile(`^\.?[a-z][a-z0-9._/-]*$`)
+
+// DocRegistry extracts every registry-style name the markdown file at path
+// mentions in backticks: counters, gauges, span paths, events. Combined
+// table rows like "`server.cache.hits` / `.misses`" expand the dotted
+// suffixes against the preceding full name. Fenced code blocks are skipped
+// (they show example output, not registry rows).
+func DocRegistry(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	var last string
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		// Single-word names (the bare `parse` / `check` spans) only count
+		// inside registry table rows; in prose they are too ambiguous.
+		tableRow := strings.HasPrefix(strings.TrimSpace(line), "|")
+		for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
+			tok := m[1]
+			if !registryTokenRe.MatchString(tok) {
+				continue
+			}
+			if strings.HasPrefix(tok, ".") {
+				// Suffix shorthand: ".misses" after "server.cache.hits"
+				// means server.cache.misses — replace as many trailing
+				// segments as the suffix carries.
+				if last == "" {
+					continue
+				}
+				sfx := strings.Split(tok[1:], ".")
+				base := strings.Split(last, ".")
+				if len(base) > len(sfx) {
+					names[strings.Join(append(base[:len(base)-len(sfx)], sfx...), ".")] = true
+				}
+				continue
+			}
+			if strings.ContainsAny(tok, "./") || tableRow {
+				names[tok] = true
+				last = tok
+			}
+		}
+	}
+	if len(names) < 20 {
+		t.Fatalf("%s registry extraction found only %d names — parser broken?", path, len(names))
+	}
+	return names
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTraceparent fuzzes the W3C traceparent codec: Parse must never panic
+// on arbitrary header bytes, and every header it accepts must survive a
+// Format round-trip — re-rendering the extracted IDs yields a header that
+// parses back to exactly the same IDs. The daemon and the coordinator both
+// ingest this header straight off the wire, so "never crash, never mangle"
+// is a hard requirement.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-b7ad6b7169203331-01")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add(FormatTraceparent(NewTraceID(), NewSpanID()))
+	f.Add("")
+	f.Add("00-short-ids-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01") // uppercase: rejected
+	f.Add(strings.Repeat("-", 64))
+
+	f.Fuzz(func(t *testing.T, header string) {
+		tid, pid, ok := ParseTraceparent(header)
+		if !ok {
+			if tid != "" || pid != "" {
+				t.Fatalf("rejected header %q still returned IDs (%q, %q)", header, tid, pid)
+			}
+			return
+		}
+		if len(tid) != 32 || len(pid) != 16 {
+			t.Fatalf("accepted IDs with wrong lengths: trace %q (%d), span %q (%d)", tid, len(tid), pid, len(pid))
+		}
+		rendered := FormatTraceparent(tid, pid)
+		tid2, pid2, ok2 := ParseTraceparent(rendered)
+		if !ok2 {
+			t.Fatalf("round-trip render %q of accepted header %q does not parse", rendered, header)
+		}
+		if tid2 != tid || pid2 != pid {
+			t.Fatalf("round trip mangled IDs: (%q, %q) -> (%q, %q)", tid, pid, tid2, pid2)
+		}
+	})
+}

@@ -1,75 +1,16 @@
 package server
 
 import (
+	"context"
+	"net/http"
 	"net/http/httptest"
-	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 	"time"
 
-	"context"
-	"net/http"
+	"privacyscope/internal/obs/obstest"
 )
-
-var backtickRe = regexp.MustCompile("`([^`]+)`")
-var registryTokenRe = regexp.MustCompile(`^\.?[a-z][a-z0-9._/-]*$`)
-
-// docRegistry extracts every registry-style name docs/OBSERVABILITY.md
-// mentions in backticks: counters, gauges, span paths, events. Combined
-// table rows like "`server.cache.hits` / `.misses`" expand the dotted
-// suffixes against the preceding full name.
-func docRegistry(t *testing.T) map[string]bool {
-	t.Helper()
-	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	names := make(map[string]bool)
-	var last string
-	inFence := false
-	for _, line := range strings.Split(string(data), "\n") {
-		if strings.HasPrefix(strings.TrimSpace(line), "```") {
-			inFence = !inFence
-			continue
-		}
-		if inFence {
-			continue
-		}
-		// Single-word names (the bare `parse` / `check` spans) only count
-		// inside registry table rows; in prose they are too ambiguous.
-		tableRow := strings.HasPrefix(strings.TrimSpace(line), "|")
-		for _, m := range backtickRe.FindAllStringSubmatch(line, -1) {
-			tok := m[1]
-			if !registryTokenRe.MatchString(tok) {
-				continue
-			}
-			if strings.HasPrefix(tok, ".") {
-				// Suffix shorthand: ".misses" after "server.cache.hits"
-				// means server.cache.misses — replace as many trailing
-				// segments as the suffix carries.
-				if last == "" {
-					continue
-				}
-				sfx := strings.Split(tok[1:], ".")
-				base := strings.Split(last, ".")
-				if len(base) > len(sfx) {
-					names[strings.Join(append(base[:len(base)-len(sfx)], sfx...), ".")] = true
-				}
-				continue
-			}
-			if strings.ContainsAny(tok, "./") || tableRow {
-				names[tok] = true
-				last = tok
-			}
-		}
-	}
-	if len(names) < 20 {
-		t.Fatalf("docs/OBSERVABILITY.md registry extraction found only %d names — parser broken?", len(names))
-	}
-	return names
-}
 
 // TestCounterRegistryMatchesDocs is the documentation drift gate: an
 // end-to-end daemon analysis (engine + checker + cache + scheduler all
@@ -77,7 +18,7 @@ func docRegistry(t *testing.T) map[string]bool {
 // docs/OBSERVABILITY.md does not document. New instrumentation lands with
 // its registry row or this fails.
 func TestCounterRegistryMatchesDocs(t *testing.T) {
-	documented := docRegistry(t)
+	documented := obstest.DocRegistry(t, filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
 
 	s := New(Config{Workers: 1, CacheEntries: 16, SlowThreshold: time.Nanosecond})
 	defer s.Shutdown(context.Background())

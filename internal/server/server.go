@@ -24,6 +24,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -190,17 +191,26 @@ func errorBody(msg string) []byte {
 	return b
 }
 
-// cacheKey addresses a request by content: everything that determines the
+// CacheKey addresses a request by content: everything that determines the
 // analysis outcome, engine fingerprint included, hashed field-by-field with
 // length framing (diskcache.Key) so no two distinct requests can collide by
-// concatenation. The same key addresses both cache tiers.
-func (s *Server) cacheKey(req *AnalyzeRequest) string {
-	return diskcache.Key(s.engine,
+// concatenation. The same key addresses both cache tiers — and the
+// coordinator (internal/coord) routes by it, which is what makes placement
+// cache-aware: a unit always lands on the worker whose disk tier holds its
+// key.
+func CacheKey(engine string, req *AnalyzeRequest) string {
+	return diskcache.Key(engine,
 		req.Lang, req.Source, req.EDL, req.ConfigXML, req.Options.KeyJSON())
 }
 
-// validate rejects malformed requests before they cost a queue slot.
-func (req *AnalyzeRequest) validate(maxSource int) error {
+func (s *Server) cacheKey(req *AnalyzeRequest) string {
+	return CacheKey(s.engine, req)
+}
+
+// Validate rejects malformed requests before they cost a queue slot. It
+// also canonicalizes the request (defaulting Lang), so the coordinator and
+// the worker compute identical cache keys from the same submission.
+func (req *AnalyzeRequest) Validate(maxSource int) error {
 	switch req.Lang {
 	case "", "minic":
 		req.Lang = "minic"
@@ -227,10 +237,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+64*1024)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		// An oversized submission is a distinct, retry-with-less condition:
+		// 413 with the JSON error envelope, not a generic 400 (and never a
+		// hang — MaxBytesReader cuts the read at the limit).
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.Add("server.requests.toolarge", 1)
+			writeResult(w, &analysisResult{
+				status: http.StatusRequestEntityTooLarge,
+				body:   errorBody(fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)),
+			}, "")
+			return
+		}
 		writeResult(w, &analysisResult{status: http.StatusBadRequest, body: errorBody("bad request body: " + err.Error())}, "")
 		return
 	}
-	if err := req.validate(s.cfg.MaxSourceBytes); err != nil {
+	if err := req.Validate(s.cfg.MaxSourceBytes); err != nil {
 		writeResult(w, &analysisResult{status: http.StatusBadRequest, body: errorBody(err.Error())}, "")
 		return
 	}

@@ -640,3 +640,40 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestOversizedBodyAnswers413: a request body past the source limit is cut
+// by MaxBytesReader and answered with 413 plus a JSON error envelope (and
+// the server.requests.toolarge counter) — not a generic 400, and never an
+// unbounded read.
+func TestOversizedBodyAnswers413(t *testing.T) {
+	s := New(Config{Workers: 1, MaxSourceBytes: 1024})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := strings.Repeat("x", 256<<10)
+	body := fmt.Sprintf(`{"source":%q,"edl":"e"}`, big)
+	resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "exceeds") {
+		t.Fatalf("413 body must be a JSON error naming the limit: %q (err %v)", e.Error, err)
+	}
+	if got := s.metrics.Counter("server.requests.toolarge"); got != 1 {
+		t.Fatalf("server.requests.toolarge = %d, want 1", got)
+	}
+
+	// A body inside the limit still analyzes fine on the same server.
+	resp2, data := postAnalyze(t, ts, AnalyzeRequest{Source: leakyC, EDL: leakyEDL}, "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("in-limit request after a 413 = %d, body %s", resp2.StatusCode, data)
+	}
+}
