@@ -6,6 +6,7 @@ help:
 	@echo "fuzz-smoke      short native-fuzzer runs (parsers, fail-soft, traceparent)"
 	@echo "examples-smoke  run the runnable examples"
 	@echo "batch-smoke     cold + warm project run over examples/project"
+	@echo "summary-smoke   summary-vs-inline differential over every corpus (-race)"
 	@echo "chaos-smoke     kill a worker mid-batch; the fleet must fail soft (-race)"
 	@echo "bench-report    regenerate the paper's evaluation report"
 	@echo "bench-check     compare a fresh run against the committed BENCH_N.json;"
@@ -26,7 +27,7 @@ test:
 # WithParallelism, and the privacyscoped daemon), a short fuzz pass over the
 # parsers and the fail-soft engine invariant, and the runnable examples.
 .PHONY: check
-check: fuzz-smoke examples-smoke batch-smoke
+check: fuzz-smoke examples-smoke batch-smoke summary-smoke
 	go vet ./...
 	go test -race ./...
 
@@ -42,6 +43,7 @@ fuzz-smoke:
 	go test ./internal/symexec -run '^$$' -fuzz '^FuzzFailSoft$$' -fuzztime 10s
 	go test ./internal/edl -run '^$$' -fuzz '^FuzzEDL$$' -fuzztime 10s
 	go test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime 10s
+	go test ./internal/symexec -run '^$$' -fuzz '^FuzzSummaryRoundtrip$$' -fuzztime 10s
 
 # Chaos smoke: the distributed fail-soft gate (docs/ROBUSTNESS.md). A
 # coordinator fans examples/project across three in-process worker daemons
@@ -72,6 +74,16 @@ batch-smoke:
 	grep -q '"traceEvents"' batch-smoke-trace.json
 	./bin/privacyscope-smoke -dir examples/project -cache-dir .pscache-smoke | grep -Eq 'verdict: .* \([1-9][0-9]* cached, 0 analyzed, 0 errors\)'
 	rm -rf .pscache-smoke bin/privacyscope-smoke
+
+# Summary smoke: the compositional-analysis differential gate. Summary mode
+# (-summaries) must be byte-identical to inline mode — the differential
+# oracle — over the ML suite, the §IV cross-stack programs, the
+# examples/project tree and the batch goldens, with the summary-store
+# invalidation pins included; run under the race detector because the
+# summary table is shared read-only across parallel per-ECALL jobs.
+.PHONY: summary-smoke
+summary-smoke:
+	go test -race -count=1 -run '^TestSummary' . ./internal/symexec ./internal/batch
 
 # Regenerate the paper's evaluation report.
 .PHONY: bench-report

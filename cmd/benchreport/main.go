@@ -37,6 +37,7 @@ type jsonReport struct {
 	WorkerScaling []bench.WorkerScalingRow `json:"workerScaling"`
 	ServerBench   []server.ServerBenchRow  `json:"serverBench"`
 	BatchBench    []bench.BatchBenchRow    `json:"batchBench"`
+	SummaryBench  []bench.SummaryBenchRow  `json:"summaryBench"`
 }
 
 func main() {
@@ -104,12 +105,17 @@ func measure() (jsonReport, error) {
 	if err != nil {
 		return jsonReport{}, err
 	}
+	sr, err := bench.SummaryBench()
+	if err != nil {
+		return jsonReport{}, err
+	}
 	return jsonReport{
 		TableV:        rows,
 		Scalability:   append(sc, deep),
 		WorkerScaling: ws,
 		ServerBench:   sb,
 		BatchBench:    bb,
+		SummaryBench:  sr,
 	}, nil
 }
 

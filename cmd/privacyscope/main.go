@@ -82,6 +82,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		timing     = fs.Bool("timing", false, "enable the timing-channel extension (§VIII-A)")
 		prob       = fs.Bool("probabilistic", false, "enable the probabilistic-channel extension (§VIII-A)")
 		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
+		summaries  = fs.Bool("summaries", false, "resolve calls through compositional function summaries instead of re-inlining (byte-identical results; shared helpers explored once); with -cache-dir, summaries persist per function")
 		pathWork   = fs.Int("path-workers", 0, "goroutines exploring each ECALL's paths concurrently (<=1 = sequential; results are deterministic)")
 		asJSON     = fs.Bool("json", false, "emit findings as JSON")
 		traceOut   = fs.String("trace-out", "", "record the run and write a Chrome trace-event file (load in chrome://tracing or Perfetto); -json also embeds the span tree")
@@ -114,6 +115,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		Timing:              *timing,
 		Probabilistic:       *prob,
 		ConservativeExterns: *conserv,
+		Summaries:           *summaries,
 	}
 
 	// Telemetry: one Metrics observer serves -json, -metrics-json and

@@ -575,5 +575,11 @@ func RunAll() (string, error) {
 		return "", err
 	}
 	sb.WriteString(RenderBatchBench(bb))
+	sb.WriteByte('\n')
+	sr, err := SummaryBench()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderSummaryBench(sr))
 	return sb.String(), nil
 }

@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestSummaryBenchShape pins the call-graph study's acceptance: both
+// configurations agree with the inline oracle (SummaryBench errors on
+// divergence), every helper is summarized exactly once, and the summary run
+// beats inline by at least 2× on the call-graph-heavy module — the
+// headline number of the compositional-analysis PR.
+func TestSummaryBenchShape(t *testing.T) {
+	rows, err := SummaryBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.SummariesComputed != int64(r.Helpers) {
+			t.Errorf("%s: computed %d summaries, want one per helper (%d)",
+				r.Name, r.SummariesComputed, r.Helpers)
+		}
+		if r.Findings == 0 {
+			t.Errorf("%s: no findings — the secret chain should leak", r.Name)
+		}
+		if r.Paths < 2*r.Entries {
+			t.Errorf("%s: %d paths over %d entries, want the secret branch to fork", r.Name, r.Paths, r.Entries)
+		}
+	}
+	// The shared-helpers configuration is the acceptance row: three entry
+	// points re-inline the same doubling chain on every path, while the
+	// summary run pays the chain once. The expected ratio is far above 2×,
+	// so the assertion holds with margin on loaded hosts.
+	shared := rows[1]
+	if shared.SpeedupVsInline < 2 {
+		t.Errorf("shared-helpers speedup %.2fx < 2x (inline %.4fs, summary %.4fs)",
+			shared.SpeedupVsInline, shared.InlineSeconds, shared.SummarySeconds)
+	}
+}

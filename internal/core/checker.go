@@ -126,6 +126,13 @@ func (c *Checker) CheckFunction(ctx context.Context, file *minic.File, fn string
 		switch res.Coverage.Reason {
 		case symexec.TruncCancelled, symexec.TruncDeadline:
 			c.obs.Add("check.cancelled", 1)
+		case symexec.TruncInlineDepth, symexec.TruncSummaryHavoc:
+			// A skipped call or a havoc'd summary under-approximates the
+			// program itself (not just the path space): obligations the
+			// elided callee carried — OCALL sinks, declassifies — went
+			// unchecked. The engine's warnings name them; the counter
+			// separates this structural degradation from budget exhaustion.
+			c.obs.Add("check.underapprox", 1)
 		}
 	}
 	run := &checkRun{checker: c, file: file, res: res, report: report, known: c.knownIDs(res)}

@@ -1,0 +1,103 @@
+package ir
+
+import "sort"
+
+// SCC is one strongly connected component of the defined-function call
+// graph. Funcs is sorted by name; Recursive reports a call cycle — a
+// component of more than one function, or a single function that calls
+// itself.
+type SCC struct {
+	Funcs     []string
+	Recursive bool
+}
+
+// CallSCCs computes the strongly connected components of the call graph
+// restricted to defined functions (calls to externs and builtins are not
+// edges), returned callees-first: every call from a function in component
+// i to a function outside it lands in some component j < i. Iterating the
+// result in order therefore visits every callee before any of its callers
+// — the order a bottom-up summary construction needs. The traversal is
+// deterministic: roots and edges are visited in sorted name order
+// (Func.Calls is already deduplicated and sorted by the lowerer).
+func (p *Program) CallSCCs() []SCC {
+	names := make([]string, 0, len(p.Funcs))
+	for name, fn := range p.Funcs {
+		if fn.Body != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	defined := make(map[string]bool, len(names))
+	for _, n := range names {
+		defined[n] = true
+	}
+
+	// Tarjan. Indices are assigned in deterministic DFS order; components
+	// complete callees-first, which is exactly the output order.
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[string]*nodeState, len(names))
+	var stack []string
+	var out []SCC
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		st := &nodeState{index: next, lowlink: next}
+		next++
+		states[v] = st
+		stack = append(stack, v)
+		st.onStack = true
+
+		for _, w := range p.Funcs[v].Calls {
+			if !defined[w] {
+				continue
+			}
+			ws, seen := states[w]
+			switch {
+			case !seen:
+				strongconnect(w)
+				if l := states[w].lowlink; l < st.lowlink {
+					st.lowlink = l
+				}
+			case ws.onStack:
+				if ws.index < st.lowlink {
+					st.lowlink = ws.index
+				}
+			}
+		}
+
+		if st.lowlink == st.index {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			recursive := len(comp) > 1
+			if !recursive {
+				for _, callee := range p.Funcs[comp[0]].Calls {
+					if callee == comp[0] {
+						recursive = true
+						break
+					}
+				}
+			}
+			out = append(out, SCC{Funcs: comp, Recursive: recursive})
+		}
+	}
+
+	for _, n := range names {
+		if _, seen := states[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"privacyscope/internal/minic"
+)
+
+func lowerSrc(t *testing.T, src string) *Program {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LowerMiniC(file)
+}
+
+func TestCallSCCsBottomUp(t *testing.T) {
+	prog := lowerSrc(t, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+int top(int x) { return mid(x) + leaf(x); }
+`)
+	sccs := prog.CallSCCs()
+	pos := map[string]int{}
+	for i, c := range sccs {
+		if len(c.Funcs) != 1 || c.Recursive {
+			t.Fatalf("unexpected component %+v", c)
+		}
+		pos[c.Funcs[0]] = i
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["top"]) {
+		t.Errorf("not callees-first: %v", sccs)
+	}
+}
+
+func TestCallSCCsRecursion(t *testing.T) {
+	prog := lowerSrc(t, `
+int self(int x) { if (x > 0) { return self(x - 1); } return 0; }
+int ping(int x);
+int pong(int x) { return ping(x - 1); }
+int ping(int x) { if (x > 0) { return pong(x); } return 0; }
+int plain(int x) { return self(x) + ping(x); }
+`)
+	sccs := prog.CallSCCs()
+	var selfRec, cycleRec bool
+	for _, c := range sccs {
+		switch strings.Join(c.Funcs, ",") {
+		case "self":
+			selfRec = c.Recursive
+		case "ping,pong":
+			cycleRec = c.Recursive
+		case "plain":
+			if c.Recursive {
+				t.Errorf("plain marked recursive")
+			}
+		}
+	}
+	if !selfRec {
+		t.Errorf("self-loop not marked recursive: %v", sccs)
+	}
+	if !cycleRec {
+		t.Errorf("ping/pong cycle not found or not recursive: %v", sccs)
+	}
+}
+
+func TestCallSCCsIgnoresExterns(t *testing.T) {
+	prog := lowerSrc(t, `
+int helper(int x) { return printf("%d", x); }
+int f(int x) { return helper(x); }
+`)
+	for _, c := range prog.CallSCCs() {
+		for _, n := range c.Funcs {
+			if n == "printf" {
+				t.Fatalf("extern in SCC output: %v", c)
+			}
+		}
+	}
+}

@@ -70,6 +70,56 @@ func ExprString(e Expr) string {
 	}
 }
 
+// StmtStringDeep renders the full statement tree in compact C syntax —
+// unlike StmtString, bodies are not elided. Two statements with different
+// semantics render differently, which is what makes the rendering usable
+// as a canonical form for content hashing (the summary cache keys function
+// bodies with it).
+func StmtStringDeep(s Stmt) string {
+	switch v := s.(type) {
+	case nil:
+		return ""
+	case *Block:
+		parts := make([]string, len(v.Stmts))
+		for i, st := range v.Stmts {
+			parts[i] = StmtStringDeep(st)
+		}
+		return "{" + strings.Join(parts, " ") + "}"
+	case *IfStmt:
+		out := "if (" + ExprString(v.Cond) + ") " + StmtStringDeep(v.Then)
+		if v.Else != nil {
+			out += " else " + StmtStringDeep(v.Else)
+		}
+		return out
+	case *WhileStmt:
+		return "while (" + ExprString(v.Cond) + ") " + StmtStringDeep(v.Body)
+	case *DoWhileStmt:
+		return "do " + StmtStringDeep(v.Body) + " while (" + ExprString(v.Cond) + ");"
+	case *ForStmt:
+		return "for (" + StmtString(v.Init) + "; " + ExprString(v.Cond) + "; " +
+			ExprString(v.Post) + ") " + StmtStringDeep(v.Body)
+	case *SwitchStmt:
+		var sb strings.Builder
+		sb.WriteString("switch (" + ExprString(v.Tag) + ") {")
+		for _, c := range v.Cases {
+			if c.IsDefault {
+				sb.WriteString(" default:")
+			} else {
+				sb.WriteString(" case " + ExprString(c.Value) + ":")
+			}
+			for _, st := range c.Body {
+				sb.WriteByte(' ')
+				sb.WriteString(StmtStringDeep(st))
+			}
+		}
+		sb.WriteString("}")
+		return sb.String()
+	default:
+		// Leaf statements render fully in StmtString already.
+		return StmtString(s) + ";"
+	}
+}
+
 // StmtString renders a one-line summary of a statement (bodies elided).
 func StmtString(s Stmt) string {
 	switch v := s.(type) {

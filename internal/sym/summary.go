@@ -1,0 +1,420 @@
+package sym
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file defines the serializable skeleton of a function summary: a
+// builder-independent expression form where engine-minted symbols are
+// replaced by parameter slots. A skeleton is captured once from a scratch
+// symbolic run of the callee (Abstract), persisted (EncodeSum/DecodeSum),
+// and replayed at every call site by substituting the actual argument
+// expressions (Instantiate). Instantiate rebuilds the expression bottom-up
+// through the same folding constructors (NewBinary, NewUnary, NewCall) the
+// inline engine uses, so a summary application produces the byte-identical
+// expression an inlined execution of the callee would have produced —
+// provided the arguments satisfy ArgSafe.
+
+// SumKind discriminates SumExpr nodes.
+type SumKind uint8
+
+// SumExpr node kinds.
+const (
+	SumInt   SumKind = iota + 1 // integer constant
+	SumFloat                    // float constant
+	SumParam                    // parameter slot (Param = index)
+	SumBin                      // binary operation (Args[0], Args[1])
+	SumUn                       // unary operation (Args[0])
+	SumApp                      // uninterpreted/math call (Name, Args)
+)
+
+// SumExpr is one node of a summary skeleton. Unlike Expr it references no
+// Builder and no symbol IDs, so a table of skeletons keyed by function name
+// is shareable across independently parsed copies of a module (the
+// WithParallelism per-job re-parse) and across processes via the codec.
+type SumExpr struct {
+	Kind  SumKind
+	Int   int32
+	Float float64
+	Param int
+	Op    Op
+	Name  string
+	Args  []*SumExpr
+}
+
+// ErrFreeSymbol is returned by Abstract when the expression references a
+// symbol that is not one of the declared parameter placeholders — i.e. the
+// callee conjured state the summary cannot account for.
+var ErrFreeSymbol = errors.New("sym: expression references a non-parameter symbol")
+
+// Abstract converts a scratch-run return expression over placeholder
+// symbols into a skeleton over parameter slots. paramOf maps placeholder
+// symbol IDs to parameter indices; any other symbol fails with
+// ErrFreeSymbol. Shared subtrees map to shared SumExpr nodes (the memo
+// keeps the walk — and the skeleton — linear in the DAG).
+func Abstract(e Expr, paramOf map[int]int) (*SumExpr, error) {
+	return abstract(e, paramOf, make(map[Expr]*SumExpr))
+}
+
+func abstract(e Expr, paramOf map[int]int, memo map[Expr]*SumExpr) (*SumExpr, error) {
+	if s, ok := memo[e]; ok {
+		return s, nil
+	}
+	var s *SumExpr
+	switch v := e.(type) {
+	case IntConst:
+		s = &SumExpr{Kind: SumInt, Int: v.V}
+	case FloatConst:
+		s = &SumExpr{Kind: SumFloat, Float: v.V}
+	case *Symbol:
+		idx, ok := paramOf[v.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrFreeSymbol, v.Name)
+		}
+		s = &SumExpr{Kind: SumParam, Param: idx}
+	case *Binary:
+		l, err := abstract(v.L, paramOf, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := abstract(v.R, paramOf, memo)
+		if err != nil {
+			return nil, err
+		}
+		s = &SumExpr{Kind: SumBin, Op: v.Op, Args: []*SumExpr{l, r}}
+	case *Unary:
+		x, err := abstract(v.X, paramOf, memo)
+		if err != nil {
+			return nil, err
+		}
+		s = &SumExpr{Kind: SumUn, Op: v.Op, Args: []*SumExpr{x}}
+	case *Call:
+		args := make([]*SumExpr, len(v.Args))
+		for i, a := range v.Args {
+			sa, err := abstract(a, paramOf, memo)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = sa
+		}
+		s = &SumExpr{Kind: SumApp, Name: v.Name, Args: args}
+	default:
+		return nil, fmt.Errorf("sym: cannot abstract %T", e)
+	}
+	memo[e] = s
+	return s, nil
+}
+
+// Instantiate substitutes args for the skeleton's parameter slots and
+// rebuilds the expression through the folding constructors. Shared skeleton
+// nodes instantiate once (per-node memo), preserving the DAG sharing the
+// original expression had — without it a deeply shared skeleton would
+// explode into a tree. Errors (out-of-range slot, unknown node kind) are
+// the caller's signal to fall back to inlining.
+func (s *SumExpr) Instantiate(args []Expr) (Expr, error) {
+	return s.instantiate(args, make(map[*SumExpr]Expr))
+}
+
+func (s *SumExpr) instantiate(args []Expr, memo map[*SumExpr]Expr) (Expr, error) {
+	if e, ok := memo[s]; ok {
+		return e, nil
+	}
+	var e Expr
+	switch s.Kind {
+	case SumInt:
+		e = IntConst{V: s.Int}
+	case SumFloat:
+		e = FloatConst{V: s.Float}
+	case SumParam:
+		if s.Param < 0 || s.Param >= len(args) || args[s.Param] == nil {
+			return nil, fmt.Errorf("sym: summary parameter slot %d out of range (%d args)", s.Param, len(args))
+		}
+		e = args[s.Param]
+	case SumBin:
+		if len(s.Args) != 2 {
+			return nil, errors.New("sym: malformed binary skeleton node")
+		}
+		l, err := s.Args[0].instantiate(args, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Args[1].instantiate(args, memo)
+		if err != nil {
+			return nil, err
+		}
+		e = NewBinary(s.Op, l, r)
+	case SumUn:
+		if len(s.Args) != 1 {
+			return nil, errors.New("sym: malformed unary skeleton node")
+		}
+		x, err := s.Args[0].instantiate(args, memo)
+		if err != nil {
+			return nil, err
+		}
+		e = NewUnary(s.Op, x)
+	case SumApp:
+		ca := make([]Expr, len(s.Args))
+		for i, a := range s.Args {
+			ce, err := a.instantiate(args, memo)
+			if err != nil {
+				return nil, err
+			}
+			ca[i] = ce
+		}
+		e = NewCall(s.Name, ca)
+	default:
+		return nil, fmt.Errorf("sym: unknown skeleton kind %d", s.Kind)
+	}
+	memo[s] = e
+	return e, nil
+}
+
+// ArgSafe reports whether substituting e for a pure-summary parameter slot
+// preserves constructor-fold equality with inline execution. Two
+// constructor folds inspect operand *shape* and would fire differently
+// under an opaque placeholder than under the actual argument:
+//
+//   - the Equal-operand identities (x-x → 0, x^x → 0, x==x → 1, …) are
+//     gated on !containsFloat, so a float-carrying or call-carrying
+//     argument would suppress at a call site a fold the skeleton already
+//     committed to;
+//   - the logical identities route operands through truthOf, which passes
+//     comparison/logical shapes through unchanged but wraps everything else
+//     (including a bare placeholder) in `(e != 0)`.
+//
+// Rejecting those argument shapes keeps every other fold confluent between
+// skeleton capture and call-site instantiation.
+func ArgSafe(e Expr) bool {
+	if containsFloat(e) {
+		return false
+	}
+	switch v := e.(type) {
+	case *Binary:
+		if v.Op.IsComparison() || v.Op.IsLogical() {
+			return false
+		}
+	case *Unary:
+		if v.Op == OpLNot {
+			return false
+		}
+	}
+	return true
+}
+
+// Codec. The skeleton DAG is flattened into a node table in child-first
+// order; children are referenced by index, which must be strictly smaller
+// than the referencing node's own index — DecodeSum enforces this, so a
+// corrupted payload can produce an error but never a cycle or a panic.
+const (
+	sumMagicByte byte = 0xA7
+	sumVersion   byte = 1
+)
+
+// Codec hard limits: a payload exceeding them is rejected as corrupt
+// rather than allocated.
+const (
+	maxSumNodes   = 1 << 20
+	maxSumName    = 1 << 12
+	maxSumArity   = 1 << 12
+	maxSumPayload = 1 << 26
+)
+
+// EncodeSum serializes a skeleton. The format is versioned; DecodeSum
+// rejects anything it does not recognize.
+func EncodeSum(s *SumExpr) []byte {
+	var nodes []*SumExpr
+	index := make(map[*SumExpr]int)
+	var flatten func(n *SumExpr) int
+	flatten = func(n *SumExpr) int {
+		if i, ok := index[n]; ok {
+			return i
+		}
+		for _, a := range n.Args {
+			flatten(a)
+		}
+		i := len(nodes)
+		index[n] = i
+		nodes = append(nodes, n)
+		return i
+	}
+	flatten(s)
+
+	buf := []byte{sumMagicByte, sumVersion}
+	buf = binary.AppendUvarint(buf, uint64(len(nodes)))
+	for _, n := range nodes {
+		buf = append(buf, byte(n.Kind))
+		switch n.Kind {
+		case SumInt:
+			buf = binary.AppendVarint(buf, int64(n.Int))
+		case SumFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.Float))
+		case SumParam:
+			buf = binary.AppendUvarint(buf, uint64(n.Param))
+		case SumBin, SumUn:
+			buf = append(buf, byte(n.Op))
+			for _, a := range n.Args {
+				buf = binary.AppendUvarint(buf, uint64(index[a]))
+			}
+		case SumApp:
+			buf = binary.AppendUvarint(buf, uint64(len(n.Name)))
+			buf = append(buf, n.Name...)
+			buf = binary.AppendUvarint(buf, uint64(len(n.Args)))
+			for _, a := range n.Args {
+				buf = binary.AppendUvarint(buf, uint64(index[a]))
+			}
+		}
+	}
+	return buf
+}
+
+var errCorrupt = errors.New("sym: corrupt summary skeleton")
+
+type sumReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sumReader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, errCorrupt
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *sumReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *sumReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *sumReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, errCorrupt
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// DecodeSum parses an EncodeSum payload. Every length, index and operator
+// is bounds-checked; malformed input returns an error (the caller degrades
+// to recomputing the summary) and never panics.
+func DecodeSum(data []byte) (*SumExpr, error) {
+	if len(data) > maxSumPayload {
+		return nil, errCorrupt
+	}
+	r := &sumReader{data: data}
+	magic, err := r.byte()
+	if err != nil || magic != sumMagicByte {
+		return nil, errCorrupt
+	}
+	ver, err := r.byte()
+	if err != nil || ver != sumVersion {
+		return nil, errCorrupt
+	}
+	count, err := r.uvarint()
+	if err != nil || count == 0 || count > maxSumNodes {
+		return nil, errCorrupt
+	}
+	child := func(self uint64) (*SumExpr, error) { return nil, errCorrupt } // replaced below
+	nodes := make([]*SumExpr, 0, min(int(count), 1024))
+	child = func(self uint64) (*SumExpr, error) {
+		i, err := r.uvarint()
+		if err != nil || i >= self {
+			return nil, errCorrupt
+		}
+		return nodes[i], nil
+	}
+	for i := uint64(0); i < count; i++ {
+		kb, err := r.byte()
+		if err != nil {
+			return nil, errCorrupt
+		}
+		n := &SumExpr{Kind: SumKind(kb)}
+		switch n.Kind {
+		case SumInt:
+			v, err := r.varint()
+			if err != nil || v < math.MinInt32 || v > math.MaxInt32 {
+				return nil, errCorrupt
+			}
+			n.Int = int32(v)
+		case SumFloat:
+			b, err := r.bytes(8)
+			if err != nil {
+				return nil, errCorrupt
+			}
+			n.Float = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		case SumParam:
+			v, err := r.uvarint()
+			if err != nil || v > maxSumArity {
+				return nil, errCorrupt
+			}
+			n.Param = int(v)
+		case SumBin, SumUn:
+			ob, err := r.byte()
+			if err != nil {
+				return nil, errCorrupt
+			}
+			n.Op = Op(ob)
+			if n.Op < OpAdd || n.Op > OpLNot {
+				return nil, errCorrupt
+			}
+			arity := 2
+			if n.Kind == SumUn {
+				arity = 1
+			}
+			for j := 0; j < arity; j++ {
+				c, err := child(i)
+				if err != nil {
+					return nil, err
+				}
+				n.Args = append(n.Args, c)
+			}
+		case SumApp:
+			nl, err := r.uvarint()
+			if err != nil || nl > maxSumName {
+				return nil, errCorrupt
+			}
+			nb, err := r.bytes(int(nl))
+			if err != nil {
+				return nil, errCorrupt
+			}
+			n.Name = string(nb)
+			argc, err := r.uvarint()
+			if err != nil || argc > maxSumArity {
+				return nil, errCorrupt
+			}
+			for j := uint64(0); j < argc; j++ {
+				c, err := child(i)
+				if err != nil {
+					return nil, err
+				}
+				n.Args = append(n.Args, c)
+			}
+		default:
+			return nil, errCorrupt
+		}
+		nodes = append(nodes, n)
+	}
+	if r.off != len(data) {
+		return nil, errCorrupt
+	}
+	return nodes[len(nodes)-1], nil
+}

@@ -39,7 +39,12 @@ func isIntrinsic(opts Options, name string) bool {
 // sensitivity: every path through the callee continues the caller.
 func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont) error {
 	if len(st.frames) >= e.opts.inlineDepth() {
+		// Skipping the call under-approximates the program: whatever the
+		// callee would have observed or leaked is unexplored, so the
+		// exploration is marked truncated — a no-findings run degrades to
+		// Inconclusive instead of claiming Secure.
 		e.warn(st, "inline depth exceeded at "+fn.Name+"; call skipped")
+		e.markTruncated(TruncInlineDepth)
 		return k(st, ctlFallthrough)
 	}
 	args := make([]mem.SVal, len(v.Args))
@@ -49,6 +54,12 @@ func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont)
 			return err
 		}
 		args[i] = val
+	}
+	// Statement position discards the result, but a summary still replays
+	// the callee's accounting (and a havoc summary its truncation), keeping
+	// the two call-resolution modes byte-identical.
+	if _, ok := e.applySummary(st, fn, args); ok {
+		return k(st, ctlFallthrough)
 	}
 	fr := e.pushFrame(st, fn)
 	for i, p := range fn.Params {
@@ -201,23 +212,20 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 		e.warn(st, "call to unmodeled function "+v.Fun+" returns an unconstrained public value")
 		return mem.Scalar{E: e.builder.FreshPublic(v.Fun + "@" + v.Pos.String())}, intTy, nil
 	}
-	return e.inlineCall(st, fn, v)
+	return e.callUser(st, fn, v)
 }
 
-// inlineCall executes a user function inline. The callee must be loop-free
-// in its control effect on the caller: any internal forking is flattened by
-// approximating the call result when the callee forks. To keep the engine
-// compositional, callees are executed with the same continuation-passing
-// machinery; every path through the callee continues the caller.
-//
-// Because expressions cannot fork (only statements can), a call inside an
-// expression with a forking callee is approximated: the callee runs on the
-// current state and its first completed path's return value is used, with a
-// warning. ML workloads' helpers are branch-free or concretely-branched, so
-// this approximation does not trigger on the evaluation suite.
-func (e *Engine) inlineCall(st *state, fn *ir.Func, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
+// callUser resolves an expression-position call to a defined user function:
+// summary application when one applies, inlining otherwise. Argument
+// evaluation happens exactly once, before the mode choice, so both modes
+// see identical argument effects.
+func (e *Engine) callUser(st *state, fn *ir.Func, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
 	if len(st.frames) >= e.opts.inlineDepth() {
+		// The unconstrained stand-in hides whatever the callee computes or
+		// leaks: mark the exploration truncated so a clean run degrades to
+		// Inconclusive, never Secure.
 		e.warn(st, "inline depth exceeded at "+fn.Name+"; returning unconstrained value")
+		e.markTruncated(TruncInlineDepth)
 		return mem.Scalar{E: e.builder.FreshPublic(fn.Name + "@depth")}, fn.Return, nil
 	}
 	args := make([]mem.SVal, len(v.Args))
@@ -228,6 +236,26 @@ func (e *Engine) inlineCall(st *state, fn *ir.Func, v *minic.CallExpr) (mem.SVal
 		}
 		args[i] = val
 	}
+	if ret, ok := e.applySummary(st, fn, args); ok {
+		return ret, fn.Return, nil
+	}
+	return e.inlineCall(st, fn, args)
+}
+
+// inlineCall executes a user function inline on already-evaluated arguments
+// (callUser evaluates them so summary application and inlining share the
+// argument effects). The callee must be loop-free
+// in its control effect on the caller: any internal forking is flattened by
+// approximating the call result when the callee forks. To keep the engine
+// compositional, callees are executed with the same continuation-passing
+// machinery; every path through the callee continues the caller.
+//
+// Because expressions cannot fork (only statements can), a call inside an
+// expression with a forking callee is approximated: the callee runs on the
+// current state and its first completed path's return value is used, with a
+// warning. ML workloads' helpers are branch-free or concretely-branched, so
+// this approximation does not trigger on the evaluation suite.
+func (e *Engine) inlineCall(st *state, fn *ir.Func, args []mem.SVal) (mem.SVal, minic.Type, error) {
 	fr := e.pushFrame(st, fn)
 	for i, p := range fn.Params {
 		reg := e.mgr.Var(p.Name+"#"+fmt.Sprint(fr.id), fr.id)

@@ -19,6 +19,17 @@ const (
 	TruncDeadline TruncReason = "deadline"
 	// TruncCancelled: the context was cancelled mid-exploration.
 	TruncCancelled TruncReason = "cancelled"
+	// TruncInlineDepth: a call chain exceeded InlineDepth, so a callee was
+	// skipped (statement position) or returned unconstrained (expression
+	// position). The exploration continued, but its observations
+	// under-approximate the program: a no-findings run is Inconclusive,
+	// not Secure.
+	TruncInlineDepth TruncReason = "inline-depth"
+	// TruncSummaryHavoc: a call site was resolved by a havoc summary
+	// (recursive or over-budget callee), replacing the callee's effects
+	// with an unconstrained result. Same soundness consequence as
+	// TruncInlineDepth.
+	TruncSummaryHavoc TruncReason = "summary-havoc"
 )
 
 // Coverage summarizes how much of the path space an exploration visited.
@@ -64,4 +75,16 @@ func (e *Engine) stop(reason TruncReason) error {
 	e.truncMu.Unlock()
 	e.stopFlag.Store(true)
 	return errStopExploration
+}
+
+// markTruncated records a truncation reason without halting exploration —
+// for degradations that under-approximate a path (skipped calls, havoc'd
+// summaries) rather than cutting the path space. First reason wins, same as
+// stop.
+func (e *Engine) markTruncated(reason TruncReason) {
+	e.truncMu.Lock()
+	if e.trunc == TruncNone {
+		e.trunc = reason
+	}
+	e.truncMu.Unlock()
 }

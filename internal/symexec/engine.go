@@ -61,6 +61,9 @@ type Engine struct {
 	steps    int64
 	states   int64
 	pruned   int64
+	// regionPad counts the memory regions summarized-away callee bodies
+	// would have allocated, so Result.Regions matches inline mode.
+	regionPad int64
 	res      *Result
 	env      *mem.Env
 	obs      obs.Observer
@@ -208,7 +211,7 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 		Truncated:       e.trunc != TruncNone,
 		Reason:          e.trunc,
 	}
-	e.res.Regions = e.mgr.RegionCount()
+	e.res.Regions = e.mgr.RegionCount() + int(atomic.LoadInt64(&e.regionPad))
 	if e.res.Trace != nil {
 		e.res.TraceTruncated = e.res.Trace.Dropped()
 	}

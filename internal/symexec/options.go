@@ -112,6 +112,18 @@ type Options struct {
 	// distributions). Nil means the no-op observer: instrumentation stays
 	// in place but costs nothing. See docs/OBSERVABILITY.md.
 	Obs obs.Observer
+	// Summaries resolves calls through SummaryTable instead of inlining
+	// where a summary applies. Inline mode remains the differential oracle:
+	// with identical inputs the two modes produce byte-identical results.
+	// Ignored unless SummaryTable is also set; TrackTrace or NoteHook force
+	// inline mode (they observe callee-body execution).
+	Summaries bool
+	// SummaryTable is the per-function summary map built by
+	// BuildSummaryTable. Read-only; safe to share across engines.
+	SummaryTable *SummaryTable
+	// SummaryBudget bounds the steps one scratch summary run may spend
+	// before the callee is classified havoc. 0 means DefaultSummaryBudget.
+	SummaryBudget int
 }
 
 // Defaults.
@@ -120,6 +132,8 @@ const (
 	DefaultMaxPaths    = 4096
 	DefaultMaxSteps    = 2_000_000
 	DefaultInlineDepth = 16
+	// DefaultSummaryBudget bounds one scratch summary run's steps.
+	DefaultSummaryBudget = 50_000
 	// TraceCap bounds recorded snapshots.
 	TraceCap = 512
 )
@@ -159,6 +173,13 @@ func (o Options) inlineDepth() int {
 		return DefaultInlineDepth
 	}
 	return o.InlineDepth
+}
+
+func (o Options) summaryBudget() int {
+	if o.SummaryBudget <= 0 {
+		return DefaultSummaryBudget
+	}
+	return o.SummaryBudget
 }
 
 // OutWrite is one observable write to an [out] parameter element.

@@ -1,0 +1,484 @@
+package symexec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
+)
+
+// summarySrc exercises pure helpers in expression position (nested,
+// shared across branches), statement position, and call chains.
+const summarySrc = `
+int scale(int x) { return x * 3 + 1; }
+int combine(int a, int b) { return scale(a) + scale(b) - a; }
+int clamp(int v) { if (v > 100) { return 100; } return v; }
+int enclave_f(char *secrets, char *output)
+{
+    int t = combine(secrets[0], secrets[1]);
+    combine(t, 2);
+    output[0] = clamp(t);
+    if (scale(secrets[0]) > 10)
+        return 1;
+    return 0;
+}
+`
+
+func summaryParams() []ParamSpec {
+	return []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+}
+
+// buildTable builds a summary table for src with the given options.
+func buildTable(t *testing.T, src string, opts Options, bc SummaryBuildConfig) (*minic.File, *SummaryTable) {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, BuildSummaryTable(context.Background(), file, opts, bc)
+}
+
+// runBoth analyzes fn in inline mode and in summary mode with otherwise
+// identical options.
+func runBoth(t *testing.T, src, fn string, params []ParamSpec, opts Options) (inline, summary *Result) {
+	t.Helper()
+	file, table := buildTable(t, src, opts, SummaryBuildConfig{})
+	iRes, err := New(file, opts).AnalyzeFunction(context.Background(), fn, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOpts := opts
+	sOpts.Summaries = true
+	sOpts.SummaryTable = table
+	sRes, err := New(file, sOpts).AnalyzeFunction(context.Background(), fn, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iRes, sRes
+}
+
+// requireIdentical asserts the observable byte-identity contract between
+// inline and summary mode.
+func requireIdentical(t *testing.T, inline, summary *Result) {
+	t.Helper()
+	if len(inline.Paths) != len(summary.Paths) {
+		t.Fatalf("paths: inline %d, summary %d", len(inline.Paths), len(summary.Paths))
+	}
+	for i := range inline.Paths {
+		ip, sp := inline.Paths[i], summary.Paths[i]
+		if ip.PC.String() != sp.PC.String() {
+			t.Errorf("path %d PC: inline %s, summary %s", i, ip.PC, sp.PC)
+		}
+		if fmt.Sprint(ip.Return) != fmt.Sprint(sp.Return) {
+			t.Errorf("path %d return: inline %v, summary %v", i, ip.Return, sp.Return)
+		}
+		if ip.Cost != sp.Cost {
+			t.Errorf("path %d cost: inline %d, summary %d", i, ip.Cost, sp.Cost)
+		}
+		if len(ip.Outs) != len(sp.Outs) {
+			t.Fatalf("path %d outs: inline %d, summary %d", i, len(ip.Outs), len(sp.Outs))
+		}
+		for j := range ip.Outs {
+			if ip.Outs[j].Display != sp.Outs[j].Display ||
+				fmt.Sprint(ip.Outs[j].Value) != fmt.Sprint(sp.Outs[j].Value) {
+				t.Errorf("path %d out %d: inline %s=%v, summary %s=%v", i, j,
+					ip.Outs[j].Display, ip.Outs[j].Value, sp.Outs[j].Display, sp.Outs[j].Value)
+			}
+		}
+	}
+	if fmt.Sprint(inline.Warnings) != fmt.Sprint(summary.Warnings) {
+		t.Errorf("warnings: inline %v, summary %v", inline.Warnings, summary.Warnings)
+	}
+	if inline.Coverage != summary.Coverage {
+		t.Errorf("coverage: inline %+v, summary %+v", inline.Coverage, summary.Coverage)
+	}
+	if inline.States != summary.States {
+		t.Errorf("states: inline %d, summary %d", inline.States, summary.States)
+	}
+	if inline.Regions != summary.Regions {
+		t.Errorf("regions: inline %d, summary %d", inline.Regions, summary.Regions)
+	}
+}
+
+func TestSummaryClassification(t *testing.T) {
+	src := `
+int pure_leaf(int x) { return x + 1; }
+int pure_mid(int x) { return pure_leaf(x) * 2; }
+int impure(int *p) { return p[0]; }
+int rec(int x) { if (x > 0) { return rec(x - 1); } return 0; }
+int noisy(int x) { printf("%d", x); return x; }
+int entry(int *p, int x) { return pure_mid(x) + impure(p) + rec(x) + noisy(x); }
+`
+	opts := DefaultOptions()
+	_, table := buildTable(t, src, opts, SummaryBuildConfig{})
+	wantKinds := map[string]SummaryKind{
+		"pure_leaf": SummaryPure,
+		"pure_mid":  SummaryPure,
+		"impure":    SummaryInline,
+		"rec":       SummaryHavoc,
+		"noisy":     SummaryInline,
+	}
+	for name, want := range wantKinds {
+		s := table.Lookup(name)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if s.Kind != want {
+			t.Errorf("%s: kind %s, want %s (reason %q)", name, s.Kind, want, s.Reason)
+		}
+	}
+	if table.Lookup("entry") != nil {
+		t.Errorf("entry point summarized although nobody calls it")
+	}
+	if mid := table.Lookup("pure_mid"); mid.Depth != 2 {
+		t.Errorf("pure_mid depth %d, want 2", mid.Depth)
+	}
+	if leaf := table.Lookup("pure_leaf"); !leaf.HasAffine || leaf.AffineCoef[0] != 1 || leaf.AffineConst != 1 {
+		t.Errorf("pure_leaf affine relation not derived: %+v", leaf)
+	}
+	if noisy := table.Lookup("noisy"); len(noisy.Ocalls) != 1 || noisy.Ocalls[0] != "printf" {
+		t.Errorf("noisy obligations %v, want [printf]", noisy.Ocalls)
+	}
+}
+
+func TestSummaryByteIdenticalToInline(t *testing.T) {
+	opts := DefaultOptions()
+	iRes, sRes := runBoth(t, summarySrc, "enclave_f", summaryParams(), opts)
+	if len(iRes.Paths) < 2 {
+		t.Fatalf("fixture too weak: %d paths", len(iRes.Paths))
+	}
+	requireIdentical(t, iRes, sRes)
+}
+
+func TestSummaryActuallyApplies(t *testing.T) {
+	m := obs.NewMetrics()
+	opts := DefaultOptions()
+	file, table := buildTable(t, summarySrc, opts, SummaryBuildConfig{})
+	opts.Summaries = true
+	opts.SummaryTable = table
+	opts.Obs = m
+	if _, err := New(file, opts).AnalyzeFunction(context.Background(), "enclave_f", summaryParams()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counter("summary.applied") == 0 {
+		t.Errorf("summary mode ran fully inline: summary.applied = 0")
+	}
+}
+
+// TestSummaryDisabledUnderTrace pins the guard: trace recording observes
+// callee-body execution, so summaries must not elide it.
+func TestSummaryDisabledUnderTrace(t *testing.T) {
+	m := obs.NewMetrics()
+	opts := DefaultOptions()
+	file, table := buildTable(t, summarySrc, opts, SummaryBuildConfig{})
+	opts.Summaries = true
+	opts.SummaryTable = table
+	opts.TrackTrace = true
+	opts.Obs = m
+	if _, err := New(file, opts).AnalyzeFunction(context.Background(), "enclave_f", summaryParams()); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.Counter("summary.applied"); n != 0 {
+		t.Errorf("summaries applied under TrackTrace: %d", n)
+	}
+}
+
+// TestSummaryHavocNeverSecure pins the degradation contract: a havoc'd call
+// (here: over the summary step budget) truncates coverage so a no-findings
+// run reads Inconclusive, and the havoc warning names the skipped
+// obligations.
+func TestSummaryHavocNeverSecure(t *testing.T) {
+	src := `
+int busy(int x)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < 200; i = i + 1) { acc = acc + x; }
+    printf("%d", acc);
+    return acc;
+}
+int helper(int x) { return busy(x); }
+int enclave_f(char *secrets) { return helper(secrets[0]); }
+`
+	opts := DefaultOptions()
+	opts.SummaryBudget = 10
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := BuildSummaryTable(context.Background(), file, opts, SummaryBuildConfig{})
+	// busy is impure (printf) → inline; helper calls a non-pure function →
+	// inline. Force a budget havoc with a pure over-budget helper instead.
+	if s := table.Lookup("busy"); s == nil || s.Kind != SummaryInline {
+		t.Fatalf("busy: %+v", s)
+	}
+
+	src2 := `
+int busy(int x)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < 200; i = i + 1) { acc = acc + x; }
+    return acc;
+}
+int enclave_f(char *secrets) { return busy(secrets[0]); }
+`
+	file2, err := minic.Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2 := BuildSummaryTable(context.Background(), file2, opts, SummaryBuildConfig{})
+	s := table2.Lookup("busy")
+	if s == nil || s.Kind != SummaryHavoc {
+		t.Fatalf("over-budget pure helper not havoc'd: %+v", s)
+	}
+	sOpts := opts
+	sOpts.Summaries = true
+	sOpts.SummaryTable = table2
+	res, err := New(file2, sOpts).AnalyzeFunction(context.Background(), "enclave_f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncSummaryHavoc {
+		t.Errorf("havoc did not truncate coverage: %+v", res.Coverage)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "summary havoc at busy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no havoc warning: %v", res.Warnings)
+	}
+}
+
+// TestSummaryRecursionHavocWarnsObligations pins that a recursive callee
+// havocs and its warning names the OCALL sinks the havoc skipped.
+func TestSummaryRecursionHavocWarnsObligations(t *testing.T) {
+	src := `
+int rec(int x)
+{
+    if (x > 0) { printf("%d", x); return rec(x - 1); }
+    return 0;
+}
+int enclave_f(char *secrets) { return rec(secrets[0]); }
+`
+	opts := DefaultOptions()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := BuildSummaryTable(context.Background(), file, opts, SummaryBuildConfig{})
+	if s := table.Lookup("rec"); s == nil || s.Kind != SummaryHavoc || s.Reason != "recursive" {
+		t.Fatalf("rec: %+v", s)
+	}
+	sOpts := opts
+	sOpts.Summaries = true
+	sOpts.SummaryTable = table
+	res, err := New(file, sOpts).AnalyzeFunction(context.Background(), "enclave_f", []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Coverage.Truncated || res.Coverage.Reason != TruncSummaryHavoc {
+		t.Errorf("recursion havoc did not truncate coverage: %+v", res.Coverage)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "skipped reachable OCALL sinks: printf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("havoc warning does not name skipped sinks: %v", res.Warnings)
+	}
+}
+
+// TestInlineDepthTruncatesCoverage is the regression test for the
+// inline-depth soundness hole: a skipped call (statement position) or an
+// unconstrained return (expression position) under-approximates the
+// program, so coverage must read truncated — a clean run degrades to
+// Inconclusive, never Secure.
+func TestInlineDepthTruncatesCoverage(t *testing.T) {
+	exprPos := `
+int d4(int x) { return x; }
+int d3(int x) { return d4(x); }
+int d2(int x) { return d3(x); }
+int d1(int x) { return d2(x); }
+int enclave_f(char *secrets) { return d1(secrets[0]); }
+`
+	stmtPos := `
+int d4(int x) { printf("%d", x); return x; }
+int d3(int x) { d4(x); return x; }
+int d2(int x) { d3(x); return x; }
+int d1(int x) { d2(x); return x; }
+int enclave_f(char *secrets) { d1(secrets[0]); return 0; }
+`
+	for name, src := range map[string]string{"expr": exprPos, "stmt": stmtPos} {
+		t.Run(name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.InlineDepth = 3
+			res := analyzeSrc(t, src, "enclave_f", []ParamSpec{
+				{Name: "secrets", Class: ParamSecret},
+			}, opts)
+			if !res.Coverage.Truncated || res.Coverage.Reason != TruncInlineDepth {
+				t.Errorf("depth-exceeded run not marked truncated: %+v", res.Coverage)
+			}
+			found := false
+			for _, w := range res.Warnings {
+				if strings.Contains(w, "inline depth exceeded") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no depth warning: %v", res.Warnings)
+			}
+		})
+	}
+}
+
+// memStore is an in-memory SummaryStore counting traffic.
+type memStore struct {
+	m    map[string][]byte
+	hits int
+	puts int
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[string][]byte)} }
+
+func (s *memStore) Get(key string) ([]byte, bool) {
+	p, ok := s.m[key]
+	if ok {
+		s.hits++
+	}
+	return p, ok
+}
+
+func (s *memStore) Put(key string, payload []byte) {
+	s.puts++
+	s.m[key] = payload
+}
+
+// TestSummaryStoreFunctionGranularInvalidation pins the warm-rerun
+// contract: an unchanged source recomputes nothing, and editing one helper
+// recomputes only that helper and its transitive callers.
+func TestSummaryStoreFunctionGranularInvalidation(t *testing.T) {
+	src := `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+int unrelated(int x) { return x - 5; }
+int enclave_f(char *secrets) { return mid(secrets[0]) + unrelated(secrets[0]); }
+`
+	opts := DefaultOptions()
+	store := newMemStore()
+	bc := SummaryBuildConfig{Store: store, Fingerprint: "test-fp"}
+
+	buildTable(t, src, opts, bc)
+	if store.puts != 3 || store.hits != 0 {
+		t.Fatalf("cold build: puts %d hits %d, want 3/0", store.puts, store.hits)
+	}
+
+	store.puts, store.hits = 0, 0
+	buildTable(t, src, opts, bc)
+	if store.puts != 0 || store.hits != 3 {
+		t.Fatalf("warm rebuild: puts %d hits %d, want 0/3", store.puts, store.hits)
+	}
+
+	// Edit leaf: leaf and its caller mid recompute; unrelated stays warm.
+	edited := strings.Replace(src, "return x + 1;", "return x + 2;", 1)
+	store.puts, store.hits = 0, 0
+	buildTable(t, edited, opts, bc)
+	if store.puts != 2 || store.hits != 1 {
+		t.Fatalf("after editing leaf: puts %d hits %d, want 2/1", store.puts, store.hits)
+	}
+}
+
+// TestSummaryStoreCorruptionRecomputes pins that a corrupt persisted
+// summary degrades to a recompute, never a panic or a wrong table.
+func TestSummaryStoreCorruptionRecomputes(t *testing.T) {
+	src := `
+int leaf(int x) { return x + 1; }
+int enclave_f(char *secrets) { return leaf(secrets[0]); }
+`
+	opts := DefaultOptions()
+	store := newMemStore()
+	bc := SummaryBuildConfig{Store: store, Fingerprint: "test-fp"}
+	_, table := buildTable(t, src, opts, bc)
+	if table.Lookup("leaf").Kind != SummaryPure {
+		t.Fatalf("leaf not pure")
+	}
+	for k := range store.m {
+		store.m[k] = []byte{0xFF, 0x00, 0x01}
+	}
+	m := obs.NewMetrics()
+	bc.Obs = m
+	_, table = buildTable(t, src, opts, bc)
+	if table.Lookup("leaf").Kind != SummaryPure {
+		t.Errorf("corrupt store poisoned the table: %+v", table.Lookup("leaf"))
+	}
+	if m.Counter("summary.cache.undecodable") != 1 {
+		t.Errorf("undecodable counter = %d, want 1", m.Counter("summary.cache.undecodable"))
+	}
+}
+
+// TestSummaryEncodeDecodeRoundtrip pins the persisted representation.
+func TestSummaryEncodeDecodeRoundtrip(t *testing.T) {
+	opts := DefaultOptions()
+	_, table := buildTable(t, summarySrc, opts, SummaryBuildConfig{})
+	for _, s := range table.Summaries() {
+		payload := encodeSummary(s)
+		got, err := decodeSummary(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Func, err)
+		}
+		if got.Func != s.Func || got.Kind != s.Kind || got.NumParams != s.NumParams ||
+			got.Depth != s.Depth || got.Cost != s.Cost || got.Steps != s.Steps ||
+			got.Regions != s.Regions || got.HasAffine != s.HasAffine {
+			t.Errorf("%s: roundtrip mismatch: %+v vs %+v", s.Func, got, s)
+		}
+		if (s.Skeleton == nil) != (got.Skeleton == nil) {
+			t.Errorf("%s: skeleton presence changed", s.Func)
+		}
+	}
+}
+
+// FuzzSummaryRoundtrip asserts the persisted-summary decoder never panics
+// and that any payload it accepts re-encodes stably. Run via
+// `make fuzz-smoke`.
+func FuzzSummaryRoundtrip(f *testing.F) {
+	opts := DefaultOptions()
+	file, err := minic.Parse(summarySrc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	table := BuildSummaryTable(context.Background(), file, opts, SummaryBuildConfig{})
+	for _, s := range table.Summaries() {
+		f.Add(encodeSummary(s))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{summaryMagic, summaryVersion})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		s, err := decodeSummary(payload)
+		if err != nil {
+			return // rejected: fine, as long as it terminated without panic
+		}
+		re := encodeSummary(s)
+		s2, err := decodeSummary(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload rejected: %v", err)
+		}
+		if s2.Func != s.Func || s2.Kind != s.Kind || s2.NumParams != s.NumParams {
+			t.Fatalf("re-encode not stable: %+v vs %+v", s2, s)
+		}
+	})
+}

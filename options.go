@@ -25,6 +25,7 @@ type AnalysisOptions struct {
 	Timing              bool     `json:"timing,omitempty"`
 	Probabilistic       bool     `json:"probabilistic,omitempty"`
 	ConservativeExterns bool     `json:"conservativeExterns,omitempty"`
+	Summaries           bool     `json:"summaries,omitempty"`
 	KnownInputs         []string `json:"knownInputs,omitempty"`
 }
 
@@ -61,6 +62,9 @@ func (o AnalysisOptions) FacadeOptions() []Option {
 	}
 	if o.ConservativeExterns {
 		opts = append(opts, WithConservativeExterns())
+	}
+	if o.Summaries {
+		opts = append(opts, WithSummaries())
 	}
 	if len(o.KnownInputs) > 0 {
 		opts = append(opts, WithKnownInputs(o.KnownInputs...))

@@ -54,6 +54,10 @@ type (
 	// TruncReason says why an exploration was cut (path budget, step
 	// budget, deadline, cancellation).
 	TruncReason = symexec.TruncReason
+	// SummaryStore persists computed function summaries across runs —
+	// pass one via WithSummaryStore. internal/diskcache's Cache satisfies
+	// it, so the daemon and batch driver reuse their disk tier.
+	SummaryStore = symexec.SummaryStore
 )
 
 // Verdicts, re-exported. A truncated exploration that found nothing is
@@ -72,6 +76,12 @@ const (
 	TruncStepBudget = symexec.TruncStepBudget
 	TruncDeadline   = symexec.TruncDeadline
 	TruncCancelled  = symexec.TruncCancelled
+	// TruncInlineDepth: a call chain exceeded the inline depth and a
+	// callee was skipped; TruncSummaryHavoc: a call was resolved by a
+	// havoc summary. Both under-approximate the program, so a clean run
+	// reads Inconclusive.
+	TruncInlineDepth  = symexec.TruncInlineDepth
+	TruncSummaryHavoc = symexec.TruncSummaryHavoc
 )
 
 // Telemetry types, re-exported from internal/obs so callers can receive
@@ -153,9 +163,10 @@ var ErrNoECalls = errors.New("privacyscope: EDL declares no public ECALLs")
 type Option func(*config)
 
 type config struct {
-	checker     core.Options
-	configXML   []byte
-	parallelism int
+	checker      core.Options
+	configXML    []byte
+	parallelism  int
+	summaryStore symexec.SummaryStore
 }
 
 func defaultConfig() *config {
@@ -264,6 +275,34 @@ func WithObserver(o Observer) Option {
 // sequential exploration.
 func WithPathWorkers(n int) Option {
 	return func(c *config) { c.checker.Engine.PathWorkers = n }
+}
+
+// WithSummaries switches call resolution from inline-everything to
+// compositional per-function summaries: before exploration, every defined
+// call target gets a bottom-up summary (pure skeleton, inline fallback, or
+// havoc for recursion and over-budget callees), and call sites apply
+// summaries instead of re-inlining. Findings, verdicts, warnings and
+// coverage are byte-identical to inline mode — inline mode remains the
+// differential oracle — but shared helpers are explored once instead of
+// once per call site per path. Trace recording (WithTrace) forces inline
+// mode for the affected analysis.
+func WithSummaries() Option {
+	return func(c *config) { c.checker.Engine.Summaries = true }
+}
+
+// WithSummaryBudget bounds the steps one function's summary construction
+// may spend before the function is classified havoc (n ≤ 0 keeps the
+// default).
+func WithSummaryBudget(n int) Option {
+	return func(c *config) { c.checker.Engine.SummaryBudget = n }
+}
+
+// WithSummaryStore persists computed summaries in s, keyed on the engine
+// fingerprint plus each function's transitive body hash — so a warm rerun
+// recomputes only functions whose code (or whose callees' code) changed.
+// Only consulted when WithSummaries is also set.
+func WithSummaryStore(s SummaryStore) Option {
+	return func(c *config) { c.summaryStore = s }
 }
 
 // WithParallelism analyzes up to n ECALLs concurrently (each entry point
@@ -430,6 +469,17 @@ func AnalyzeEnclaveContext(ctx context.Context, cSource, edlSource string, opts 
 		}
 		cfg.checker.Engine.OCallFuncs = merged
 	}
+	// Summary tables are built once per module, after the rule file and the
+	// EDL have settled the engine's sink/declassify sets (they feed each
+	// summary's obligations and cache key), and shared read-only across
+	// per-ECALL jobs — the skeletons are builder-independent.
+	if cfg.checker.Engine.Summaries {
+		cfg.checker.Engine.SummaryTable = symexec.BuildSummaryTable(ctx, file, cfg.checker.Engine, symexec.SummaryBuildConfig{
+			Store:       cfg.summaryStore,
+			Fingerprint: Fingerprint(),
+			Obs:         ob,
+		})
+	}
 	// Collect the public ECALLs to analyze.
 	type job struct {
 		name  string
@@ -532,6 +582,13 @@ func AnalyzeFunctionContext(ctx context.Context, cSource, fn string, params []Pa
 	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
+	}
+	if cfg.checker.Engine.Summaries {
+		cfg.checker.Engine.SummaryTable = symexec.BuildSummaryTable(ctx, file, cfg.checker.Engine, symexec.SummaryBuildConfig{
+			Store:       cfg.summaryStore,
+			Fingerprint: Fingerprint(),
+			Obs:         ob,
+		})
 	}
 	report, err := core.New(cfg.checker).CheckFunction(ctx, file, fn, params)
 	if err != nil {
