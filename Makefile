@@ -7,6 +7,9 @@ help:
 	@echo "examples-smoke  run the runnable examples"
 	@echo "batch-smoke     cold + warm project run over examples/project"
 	@echo "summary-smoke   summary-vs-inline differential over every corpus (-race)"
+	@echo "detect-smoke    detector-registry differential: legacy detectors must be"
+	@echo "                byte-identical to the pre-refactor checker over every"
+	@echo "                corpus; scenario packs must flag the seeded leakpacks (-race)"
 	@echo "chaos-smoke     kill a worker mid-batch; the fleet must fail soft (-race)"
 	@echo "bench-report    regenerate the paper's evaluation report"
 	@echo "bench-check     compare a fresh run against the committed BENCH_N.json;"
@@ -27,7 +30,7 @@ test:
 # WithParallelism, and the privacyscoped daemon), a short fuzz pass over the
 # parsers and the fail-soft engine invariant, and the runnable examples.
 .PHONY: check
-check: fuzz-smoke examples-smoke batch-smoke summary-smoke
+check: fuzz-smoke examples-smoke batch-smoke summary-smoke detect-smoke
 	go vet ./...
 	go test -race ./...
 
@@ -44,6 +47,7 @@ fuzz-smoke:
 	go test ./internal/edl -run '^$$' -fuzz '^FuzzEDL$$' -fuzztime 10s
 	go test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime 10s
 	go test ./internal/symexec -run '^$$' -fuzz '^FuzzSummaryRoundtrip$$' -fuzztime 10s
+	go test ./internal/edl -run '^$$' -fuzz '^FuzzRuleConfig$$' -fuzztime 10s
 
 # Chaos smoke: the distributed fail-soft gate (docs/ROBUSTNESS.md). A
 # coordinator fans examples/project across three in-process worker daemons
@@ -84,6 +88,17 @@ batch-smoke:
 .PHONY: summary-smoke
 summary-smoke:
 	go test -race -count=1 -run '^TestSummary' . ./internal/symexec ./internal/batch
+
+# Detector-registry differential gate (docs/DETECTORS.md): the registry's
+# legacy detectors (explicit, implicit, timing) must render byte-identically
+# to the pre-refactor core.Checker — kept unmodified as the oracle — over
+# the ML suite, the §IV stacks and the examples trees; the four scenario
+# packs must flag every seeded examples/leakpacks unit and stay quiet on the
+# clean twins; the detector selection must partition every cache tier (rule
+# config errors and fuzz coverage ride in ./internal/edl).
+.PHONY: detect-smoke
+detect-smoke:
+	go test -race -count=1 -run '^TestDetect' . ./internal/edl ./internal/server ./internal/bench
 
 # Regenerate the paper's evaluation report.
 .PHONY: bench-report

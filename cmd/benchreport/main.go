@@ -38,6 +38,7 @@ type jsonReport struct {
 	ServerBench   []server.ServerBenchRow  `json:"serverBench"`
 	BatchBench    []bench.BatchBenchRow    `json:"batchBench"`
 	SummaryBench  []bench.SummaryBenchRow  `json:"summaryBench"`
+	DetectorBench []bench.DetectorBenchRow `json:"detectorBench"`
 }
 
 func main() {
@@ -109,6 +110,10 @@ func measure() (jsonReport, error) {
 	if err != nil {
 		return jsonReport{}, err
 	}
+	dr, err := bench.DetectorBench()
+	if err != nil {
+		return jsonReport{}, err
+	}
 	return jsonReport{
 		TableV:        rows,
 		Scalability:   append(sc, deep),
@@ -116,6 +121,7 @@ func measure() (jsonReport, error) {
 		ServerBench:   sb,
 		BatchBench:    bb,
 		SummaryBench:  sr,
+		DetectorBench: dr,
 	}, nil
 }
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	privacyscope -c enclave.c -edl enclave.edl [-config rules.xml]
-//	             [-fn name] [-loop-bound n] [-path-workers n] [-timeout d]
+//	             [-fn name] [-detectors list] [-loop-bound n]
+//	             [-path-workers n] [-timeout d]
 //	             [-no-witness] [-json] [-metrics-json metrics.json]
 //	             [-verbose] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	privacyscope -dir project/ [-cache-dir .pscache] [-jobs n] [...]
@@ -42,6 +43,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,6 +85,7 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		prob       = fs.Bool("probabilistic", false, "enable the probabilistic-channel extension (§VIII-A)")
 		conserv    = fs.Bool("conservative-externs", false, "treat unmodeled extern results as secrets")
 		summaries  = fs.Bool("summaries", false, "resolve calls through compositional function summaries instead of re-inlining (byte-identical results; shared helpers explored once); with -cache-dir, summaries persist per function")
+		detectors  = fs.String("detectors", "", "comma-separated detector selection replacing the defaults; 'default' and 'all' expand in place (e.g. default,ocall-pointer) — see docs/DETECTORS.md")
 		pathWork   = fs.Int("path-workers", 0, "goroutines exploring each ECALL's paths concurrently (<=1 = sequential; results are deterministic)")
 		asJSON     = fs.Bool("json", false, "emit findings as JSON")
 		traceOut   = fs.String("trace-out", "", "record the run and write a Chrome trace-event file (load in chrome://tracing or Perfetto); -json also embeds the span tree")
@@ -116,6 +119,9 @@ func run(ctx context.Context, args []string, out io.Writer) (code int, err error
 		Probabilistic:       *prob,
 		ConservativeExterns: *conserv,
 		Summaries:           *summaries,
+	}
+	if *detectors != "" {
+		aopts.Detectors = strings.Split(*detectors, ",")
 	}
 
 	// Telemetry: one Metrics observer serves -json, -metrics-json and

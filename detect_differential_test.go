@@ -1,0 +1,486 @@
+package privacyscope
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacyscope/internal/core"
+	"privacyscope/internal/detect"
+	"privacyscope/internal/edl"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/mlsuite"
+)
+
+// This file is the detector-registry differential gate (make detect-smoke):
+// the registry-backed legacy detectors (explicit, implicit, timing) must be
+// BYTE-IDENTICAL to the pre-refactor core.Checker on every corpus the repo
+// ships — the ML evaluation suite, the §IV cross-stack programs, and the
+// examples/project tree. The pre-refactor checker is kept unmodified in
+// internal/core exactly so it can serve as this oracle. A companion suite
+// validates the four scenario packs against the seeded examples/leakpacks
+// units: every leak unit must be flagged with its pack's kind and rule ID,
+// and every clean twin must stay quiet.
+
+// detectCanonical renders one report with Duration zeroed (the only field
+// that legitimately differs between two runs) plus the exploration
+// accounting, so the comparison pins findings, verdicts, coverage, cost
+// model and warnings all at once.
+func detectCanonical(r *Report) string {
+	clone := *r
+	clone.Duration = 0
+	var sb strings.Builder
+	sb.WriteString(clone.Render())
+	fmt.Fprintf(&sb, "verdict=%s paths=%d states=%d regions=%d secrets=%d warnings=%q\n",
+		clone.Verdict(), clone.Paths, clone.States, clone.Regions, clone.Secrets, clone.Warnings)
+	for i, f := range clone.Findings {
+		fmt.Fprintf(&sb, "finding[%d] kind=%s sink=%s where=%s secret=%s rule=%q severity=%q msg=%q\n",
+			i, f.Kind, f.Sink, f.Where, f.Secret, f.Rule, f.Severity, f.Message)
+	}
+	return sb.String()
+}
+
+// requireDetectIdentical analyzes every public ECALL of one module twice —
+// through the pre-refactor core.Checker (the oracle) and through detect.Run
+// with the default detector set — and requires the rendered reports to
+// agree byte for byte. The only tolerated difference is the Rule/Severity
+// stamp the registry adds to finding structs, which the kind-gated Render
+// keeps out of the legacy report text; the canonical form therefore strips
+// it before comparing and asserts it separately.
+func requireDetectIdentical(t *testing.T, cSrc, edlSrc string) {
+	t.Helper()
+	file, err := minic.Parse(cSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := edl.Parse(edlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	if names := iface.OCallNames(); len(names) > 0 {
+		merged := make(map[string]bool, len(names))
+		for _, n := range names {
+			merged[n] = true
+		}
+		opts.Engine.OCallFuncs = merged
+	}
+	set, err := detect.ResolveSet(opts, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, sig := range iface.Trusted {
+		if !sig.Public {
+			continue
+		}
+		ran++
+		specs := edl.ParamSpecs(sig, nil)
+		oracle, err := core.New(opts).CheckFunction(context.Background(), file, sig.Name, specs)
+		if err != nil {
+			t.Fatalf("oracle %s: %v", sig.Name, err)
+		}
+		reg, err := detect.Run(context.Background(), set, opts, file, sig.Name, specs)
+		if err != nil {
+			t.Fatalf("registry %s: %v", sig.Name, err)
+		}
+		want, got := detectCanonicalLegacy(oracle), detectCanonicalLegacy(reg)
+		if got != want {
+			t.Errorf("%s: registry diverges from pre-refactor checker:\n--- oracle ---\n%s--- registry ---\n%s",
+				sig.Name, want, got)
+		}
+		// The registry stamps rule IDs the oracle never sets; beyond the
+		// rendered identity above, pin that the stamps are the documented
+		// ones for the legacy trio.
+		for i, f := range reg.Findings {
+			wantRule := map[core.LeakKind]string{
+				core.ExplicitLeak:      "PS-EXPL",
+				core.ImplicitLeak:      "PS-IMPL",
+				core.TimingLeak:        "PS-TIME",
+				core.ProbabilisticLeak: "PS-PROB",
+			}[f.Kind]
+			if f.Rule != wantRule {
+				t.Errorf("%s finding[%d] kind=%s: rule %q, want %q",
+					sig.Name, i, f.Kind, f.Rule, wantRule)
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("module declared no public ECALLs — differential ran nothing")
+	}
+}
+
+// detectCanonicalLegacy is detectCanonical with the Rule/Severity stamps
+// cleared: the oracle checker predates them, so the struct-level comparison
+// must not read the registry's stamping as a divergence. (The rendered text
+// never contains them for legacy kinds — Render gates the rule line on the
+// pack kinds — so Render() itself is compared verbatim.)
+func detectCanonicalLegacy(r *Report) string {
+	clone := *r
+	clone.Findings = append([]Finding(nil), r.Findings...)
+	for i := range clone.Findings {
+		clone.Findings[i].Rule = ""
+		clone.Findings[i].Severity = ""
+	}
+	return detectCanonical(&clone)
+}
+
+// TestDetectDifferentialMLSuite runs the full ML evaluation corpus (Table V
+// modules, the extension modules, and the malicious variants) through the
+// oracle and the registry.
+func TestDetectDifferentialMLSuite(t *testing.T) {
+	type target struct {
+		name   string
+		c, edl string
+	}
+	var targets []target
+	for _, m := range append(mlsuite.Modules(), mlsuite.ExtensionModules()...) {
+		targets = append(targets, target{name: m.Name, c: m.C, edl: m.EDL})
+	}
+	targets = append(targets,
+		target{name: "evil-linreg", c: mlsuite.MaliciousLinRegC, edl: mlsuite.MaliciousLinRegEDL},
+		target{name: "evil-kmeans", c: mlsuite.MaliciousKmeansC, edl: mlsuite.MaliciousKmeansEDL},
+		target{name: "fixed-recommender", c: mlsuite.FixedRecommenderC, edl: mlsuite.FixedRecommenderEDL},
+	)
+	for _, tgt := range targets {
+		t.Run(tgt.name, func(t *testing.T) {
+			requireDetectIdentical(t, tgt.c, tgt.edl)
+		})
+	}
+}
+
+// TestDetectDifferentialExamples walks every .c/.edl unit under
+// examples/project AND examples/leakpacks through the oracle and the
+// registry. The leakpack units run with the DEFAULT set here (packs off),
+// which doubles as the off-by-default pin: without the rule file's enable,
+// the registry must report exactly what the pre-refactor checker reports.
+func TestDetectDifferentialExamples(t *testing.T) {
+	var units []string
+	for _, root := range []string{
+		filepath.Join("examples", "project"),
+		filepath.Join("examples", "leakpacks"),
+	} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".c") {
+				units = append(units, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(units) < 15 {
+		t.Fatalf("found %d corpus units, want at least 15", len(units))
+	}
+	for _, cPath := range units {
+		edlPath := strings.TrimSuffix(cPath, ".c") + ".edl"
+		name := filepath.ToSlash(strings.TrimPrefix(cPath, "examples"+string(filepath.Separator)))
+		t.Run(name, func(t *testing.T) {
+			cSrc, err := os.ReadFile(cPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edlSrc, err := os.ReadFile(edlPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireDetectIdentical(t, string(cSrc), string(edlSrc))
+		})
+	}
+}
+
+// TestDetectDifferentialSectionIV replays the §IV differential-stack MiniC
+// programs through the oracle and the registry, with every legacy switch
+// combination that changes the default set (ablations off, timing and
+// probabilistic on).
+func TestDetectDifferentialSectionIV(t *testing.T) {
+	cases := []struct {
+		name, fn, src string
+		mut           func(*core.Options)
+	}{
+		{"insecure", "leak", sectionIVInsecure, nil},
+		{"secure-masked", "masked", `
+int masked(char *secrets, char *output)
+{
+    output[0] = secrets[0] + 4 + secrets[1];
+    return 0;
+}
+`, nil},
+		{"example2-feasible", "example2", `
+int example2(char *secrets, char *output)
+{
+    int h = 2 * secrets[0];
+    if (h - 5 == 15)
+        output[0] = 0;
+    else
+        output[0] = 1;
+    return 0;
+}
+`, nil},
+		{"implicit-ablated", "example2", `
+int example2(char *secrets, char *output)
+{
+    int h = 2 * secrets[0];
+    if (h - 5 == 15)
+        output[0] = 0;
+    else
+        output[0] = 1;
+    return 0;
+}
+`, func(o *core.Options) { o.ImplicitCheck = false }},
+		{"timing-on", "unbalanced", `
+int unbalanced(char *secrets, char *output)
+{
+    int i = 0;
+    if (secrets[0] > 10) {
+        i = i + 1;
+        i = i + 2;
+        i = i + 3;
+    }
+    output[0] = 1;
+    return 0;
+}
+`, func(o *core.Options) { o.TimingCheck = true }},
+		{"no-witness-replay", "leak", sectionIVInsecure,
+			func(o *core.Options) { o.ReplayWitness = false }},
+	}
+	specs := []ParamSpec{
+		{Name: "secrets", Class: ParamSecret},
+		{Name: "output", Class: ParamOut},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			file, err := minic.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.DefaultOptions()
+			if tc.mut != nil {
+				tc.mut(&opts)
+			}
+			set, err := detect.ResolveSet(opts, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := core.New(opts).CheckFunction(context.Background(), file, tc.fn, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg, err := detect.Run(context.Background(), set, opts, file, tc.fn, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := detectCanonicalLegacy(oracle), detectCanonicalLegacy(reg)
+			if got != want {
+				t.Errorf("registry diverges from pre-refactor checker:\n--- oracle ---\n%s--- registry ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+const sectionIVInsecure = `
+int leak(char *secrets, char *output)
+{
+    output[0] = secrets[0] + 4;
+    return 0;
+}
+`
+
+// leakPack describes one seeded examples/leakpacks unit pair.
+type leakPack struct {
+	unit     string // file stem of the leaking unit
+	clean    string // file stem of the clean twin
+	detector string
+	kind     core.LeakKind
+	rule     string
+	severity string
+}
+
+var leakPacks = []leakPack{
+	{"ocallptr_leak", "ocallptr_clean", "ocall-pointer", core.OcallPtrLeak, "PS-OCPTR", "high"},
+	{"errcode_leak", "errcode_clean", "errcode-channel", core.ErrCodeLeak, "PS-ERR", "medium"},
+	{"orderliness_leak", "orderliness_clean", "orderliness", core.OrderlinessLeak, "PS-ORDER", "high"},
+	{"accesspattern_leak", "accesspattern_clean", "access-pattern", core.AccessPatternLeak, "PS-ACCESS", "medium"},
+}
+
+func loadLeakPackUnit(t *testing.T, stem string) (c, edlSrc, xml string) {
+	t.Helper()
+	read := func(ext string) string {
+		b, err := os.ReadFile(filepath.Join("examples", "leakpacks", stem+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	return read(".c"), read(".edl"), read(".xml")
+}
+
+// TestDetectLeakPacksSeededUnits is the pack validation half of the gate:
+// each seeded leak unit must be flagged by its pack — with the pack's kind,
+// rule ID and severity — and each clean twin must come back provably
+// secure. The packs are enabled the way a user enables them, through the
+// unit's committed rule file.
+func TestDetectLeakPacksSeededUnits(t *testing.T) {
+	for _, p := range leakPacks {
+		t.Run(p.unit, func(t *testing.T) {
+			c, e, xml := loadLeakPackUnit(t, p.unit)
+			rep, err := AnalyzeEnclave(c, e, WithConfigXML([]byte(xml)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Verdict() != VerdictFindings {
+				t.Fatalf("verdict %s, want findings; report:\n%s", rep.Verdict(), rep.Render())
+			}
+			matched := 0
+			for _, f := range rep.Findings() {
+				if f.Kind != p.kind {
+					t.Errorf("unexpected %s finding (only %s should fire):\n%s",
+						f.Kind, p.kind, rep.Render())
+					continue
+				}
+				matched++
+				if f.Rule != p.rule || f.Severity != p.severity {
+					t.Errorf("finding stamped rule=%q severity=%q, want %q/%q",
+						f.Rule, f.Severity, p.rule, p.severity)
+				}
+			}
+			if matched == 0 {
+				t.Fatalf("no %s finding; report:\n%s", p.kind, rep.Render())
+			}
+		})
+		t.Run(p.clean, func(t *testing.T) {
+			c, e, xml := loadLeakPackUnit(t, p.clean)
+			rep, err := AnalyzeEnclave(c, e, WithConfigXML([]byte(xml)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Secure() {
+				t.Fatalf("clean twin not secure (verdict %s):\n%s", rep.Verdict(), rep.Render())
+			}
+		})
+	}
+}
+
+// TestDetectLeakPacksWithDetectorsOption mirrors the rule-file enablement
+// through the programmatic/CLI path: WithDetectors("default", pack) must
+// behave exactly like the rule file's <enable>, and selecting only the pack
+// (no "default") must still flag the seeded leak.
+func TestDetectLeakPacksWithDetectorsOption(t *testing.T) {
+	for _, p := range leakPacks {
+		t.Run(p.unit, func(t *testing.T) {
+			c, e, xml := loadLeakPackUnit(t, p.unit)
+			viaRules, err := AnalyzeEnclave(c, e, WithConfigXML([]byte(xml)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The orderliness pack needs the rule file's lifecycle gate even
+			// when the selection comes from the option; keep the XML for the
+			// gate but drive the selection from WithDetectors.
+			viaOption, err := AnalyzeEnclave(c, e,
+				WithConfigXML([]byte(xml)), WithDetectors("default", p.detector))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := detectCanonical(viaRules.Reports[0])
+			if got := detectCanonical(viaOption.Reports[0]); got != want {
+				t.Errorf("WithDetectors diverges from rule-file enable:\n--- rules ---\n%s--- option ---\n%s", want, got)
+			}
+			only, err := AnalyzeEnclave(c, e,
+				WithConfigXML([]byte(xml)), WithDetectors(p.detector))
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, f := range only.Findings() {
+				if f.Kind == p.kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("pack-only selection missed the seeded leak:\n%s", only.Render())
+			}
+		})
+	}
+}
+
+// TestDetectUnknownDetectorName pins the error contract: an unknown name —
+// via the option or the rule file — fails the analysis with an error that
+// names the offender and the known set.
+func TestDetectUnknownDetectorName(t *testing.T) {
+	c, e, _ := loadLeakPackUnit(t, "errcode_leak")
+	_, err := AnalyzeEnclave(c, e, WithDetectors("errcode"))
+	if err == nil {
+		t.Fatal("unknown detector name accepted")
+	}
+	for _, want := range []string{`"errcode"`, "errcode-channel", "explicit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	_, err = AnalyzeEnclave(c, e, WithConfigXML([]byte(
+		"<privacyscope>\n<detectors>\n<enable name=\"bogus\"/>\n</detectors>\n</privacyscope>")))
+	if err == nil {
+		t.Fatal("unknown rule-file detector name accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("rule-file error %q lacks the line-numbered offender", err)
+	}
+}
+
+// TestDetectSummaryStoreKeySeparation pins the summary-store half of the
+// cache-key participation contract: two runs over the same module with
+// different detector selections must never share persisted summaries,
+// because pack-bearing selections run the engine with different event
+// recording. A warm store filled under the default set must yield zero
+// hits under an all-packs selection.
+func TestDetectSummaryStoreKeySeparation(t *testing.T) {
+	const src = `
+int helper(int x) { return x + 1; }
+int f(int *secrets, int *output)
+{
+    output[0] = helper(secrets[0]) + secrets[1];
+    return 0;
+}
+`
+	const e = `
+enclave {
+    trusted {
+        public int f([in] int *secrets, [out] int *output);
+    };
+};
+`
+	store := newMemSummaryStore()
+	run := func(detectors ...string) *Metrics {
+		t.Helper()
+		m := NewMetrics()
+		opts := []Option{WithSummaries(), WithSummaryStore(store), WithObserver(m)}
+		if len(detectors) > 0 {
+			opts = append(opts, WithDetectors(detectors...))
+		}
+		if _, err := AnalyzeEnclave(src, e, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cold := run()
+	if cold.Counter("summary.computed") == 0 {
+		t.Fatal("cold run computed no summaries — store not exercised")
+	}
+	warm := run()
+	if got := warm.Counter("summary.computed"); got != 0 {
+		t.Fatalf("warm same-set rerun computed %d summaries, want 0", got)
+	}
+	// errcode-channel consumes no per-path events, so it keeps summary mode
+	// — but its selection key differs, so the store must miss.
+	other := run("default", "errcode-channel")
+	if got := other.Counter("summary.cache.hits"); got != 0 {
+		t.Fatalf("different detector set got %d summary cache hits, want 0", got)
+	}
+}

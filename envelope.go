@@ -7,7 +7,8 @@ import "time"
 // emit the identical shape so one decoder serves both, and the daemon's
 // result cache can store the envelope verbatim.
 
-// EnvelopeFinding is one violation in the envelope.
+// EnvelopeFinding is one violation in the envelope. Rule and Severity are
+// the emitting detector's stamps (docs/DETECTORS.md), e.g. PS-OCPTR/high.
 type EnvelopeFinding struct {
 	Function string `json:"function"`
 	Kind     string `json:"kind"`
@@ -15,6 +16,8 @@ type EnvelopeFinding struct {
 	Where    string `json:"where"`
 	Secret   string `json:"secret"`
 	Message  string `json:"message"`
+	Rule     string `json:"rule,omitempty"`
+	Severity string `json:"severity,omitempty"`
 	Verified bool   `json:"witnessVerified"`
 }
 
@@ -82,6 +85,8 @@ func NewEnvelope(rep *EnclaveReport, elapsed time.Duration, metrics *Metrics) En
 				Where:    f.Where,
 				Secret:   f.Secret,
 				Message:  f.Message,
+				Rule:     f.Rule,
+				Severity: f.Severity,
 			}
 			if f.Witness != nil {
 				ef.Verified = f.Witness.Verified

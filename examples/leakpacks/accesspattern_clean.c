@@ -1,0 +1,10 @@
+/* accesspattern_clean: the twin of accesspattern_leak with a fixed lookup
+ * index — the address trace is the same for every secret value, so the
+ * access-pattern pack must stay quiet. */
+int probe(int *secrets, int *table, int *output)
+{
+    int x;
+    x = table[3];
+    output[0] = 7;
+    return 0;
+}

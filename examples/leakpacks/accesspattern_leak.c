@@ -1,0 +1,11 @@
+/* accesspattern_leak: a table lookup indexed by a secret. The loaded value
+ * never reaches any sink, so every data-flow policy is quiet — but the
+ * ACCESS ADDRESS depends on the secret, which a controlled-channel
+ * attacker reads from the page-granular access trace. */
+int probe(int *secrets, int *table, int *output)
+{
+    int x;
+    x = table[secrets[0]];
+    output[0] = 7;
+    return 0;
+}

@@ -1,0 +1,9 @@
+/* errcode_clean: the twin of errcode_leak returning a fixed status code;
+ * the secret-masked aggregate goes to the [out] buffer, where the paper's
+ * nonreversibility policy correctly accepts it. The errcode-channel pack
+ * must stay quiet. */
+int status_mix(int *secrets, int *output)
+{
+    output[0] = secrets[0] + secrets[1] + secrets[2];
+    return 0;
+}

@@ -1,0 +1,9 @@
+/* errcode_leak: the ecall status code computes over a mix of secrets. The
+ * mix masks each individual secret, so the single-tag explicit policy is
+ * (correctly) quiet — but the status code is still a covert channel:
+ * repeated calls narrow the mix one comparison at a time. The
+ * errcode-channel pack flags it. */
+int status_mix(int *secrets)
+{
+    return secrets[0] + secrets[1];
+}

@@ -1,0 +1,13 @@
+/* ocallptr_leak: copies a secret-derived value into a buffer and hands the
+ * buffer POINTER to an OCALL. No scalar argument is tainted, so the
+ * explicit policy stays quiet — the ocall-pointer pack walks the cells
+ * reachable from the pointer at call time and flags the escape. */
+int push_stats(int *secrets, int *output)
+{
+    int buf[2];
+    buf[0] = secrets[0] * 2;
+    buf[1] = 5;
+    ocall_send(buf);
+    output[0] = 0;
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* orderliness_clean: the twin of orderliness_leak with the lifecycle gate
+ * called FIRST — the same masked mix crosses the boundary, but only after
+ * init_session ran, so the orderliness pack must stay quiet. */
+void init_session(void)
+{
+    int ready;
+    ready = 1;
+}
+
+int stream_out(int *secrets)
+{
+    init_session();
+    ocall_push(secrets[0] + secrets[1]);
+    return 0;
+}

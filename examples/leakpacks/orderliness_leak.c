@@ -1,0 +1,16 @@
+/* orderliness_leak: the enclave pushes secret-derived data across the
+ * boundary BEFORE its lifecycle init gate runs on the path — Guardian's
+ * orderliness violation. The pushed mix masks each individual secret, so
+ * the explicit policy is quiet; only the entry ORDER is wrong. */
+void init_session(void)
+{
+    int ready;
+    ready = 1;
+}
+
+int stream_out(int *secrets)
+{
+    ocall_push(secrets[0] + secrets[1]);
+    init_session();
+    return 0;
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDetectorBenchRows pins the study's deterministic invariants: every
+// selection appears, the engine walk is selection-invariant (identical
+// paths/states on every row), the baseline reports no pack findings, each
+// single-pack row finds its seeded leak, and the all-on row sees every
+// pack's findings at once.
+func TestDetectorBenchRows(t *testing.T) {
+	rows, err := DetectorBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byConfig := map[string]DetectorBenchRow{}
+	for _, r := range rows {
+		byConfig[r.Config] = r
+	}
+	base, ok := byConfig["baseline"]
+	if !ok {
+		t.Fatal("no baseline row")
+	}
+	if base.PackFindings != 0 {
+		t.Errorf("baseline reported %d pack findings, want 0", base.PackFindings)
+	}
+	for _, cfg := range []string{"+ocall-pointer", "+errcode-channel", "+orderliness", "+access-pattern", "all"} {
+		r, ok := byConfig[cfg]
+		if !ok {
+			t.Errorf("missing row %q", cfg)
+			continue
+		}
+		if r.Paths != base.Paths || r.States != base.States {
+			t.Errorf("%s: paths/states %d/%d diverge from baseline %d/%d — detectors changed the walk",
+				cfg, r.Paths, r.States, base.Paths, base.States)
+		}
+		if r.PackFindings == 0 {
+			t.Errorf("%s: pack found nothing in the pack-dense module", cfg)
+		}
+		if r.Findings < base.Findings+int(r.PackFindings) {
+			t.Errorf("%s: findings %d < baseline %d + pack %d — pack displaced a baseline finding",
+				cfg, r.Findings, base.Findings, r.PackFindings)
+		}
+	}
+	all := byConfig["all"]
+	for _, cfg := range []string{"+ocall-pointer", "+errcode-channel", "+orderliness", "+access-pattern"} {
+		if one, ok := byConfig[cfg]; ok && all.PackFindings < one.PackFindings {
+			t.Errorf("all-on pack findings %d < %s's %d", all.PackFindings, cfg, one.PackFindings)
+		}
+	}
+	out := RenderDetectorBench(rows)
+	for _, want := range []string{"baseline", "+access-pattern", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered study lacks %q:\n%s", want, out)
+		}
+	}
+}

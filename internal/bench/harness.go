@@ -581,5 +581,11 @@ func RunAll() (string, error) {
 		return "", err
 	}
 	sb.WriteString(RenderSummaryBench(sr))
+	sb.WriteByte('\n')
+	dr, err := DetectorBench()
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(RenderDetectorBench(dr))
 	return sb.String(), nil
 }

@@ -94,7 +94,7 @@ int enclave_e%d(int *secrets, int *output)
 // deterministic engine column before reporting.
 func SummaryBench() ([]SummaryBenchRow, error) {
 	configs := []struct {
-		name            string
+		name             string
 		helpers, entries int
 	}{
 		{"deep-chain", 9, 1},

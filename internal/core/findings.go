@@ -48,6 +48,24 @@ const (
 	// Options.ProbabilisticCheck is enabled; under the paper's
 	// deterministic threat model such values are otherwise secure.
 	ProbabilisticLeak
+	// OcallPtrLeak is the ocall-pointer scenario pack (STELLA's
+	// pointer-leak pattern): secret-tainted data written through an OCALL
+	// pointer argument into untrusted memory, which the per-scalar
+	// explicit policy never sees.
+	OcallPtrLeak
+	// ErrCodeLeak is the errcode-channel scenario pack: a secret-dependent
+	// mix reaching an ecall return code or OCALL status sink — the
+	// sgx_status_t covert channel. Complements the explicit policy, which
+	// only fires on single-secret (invertible) values.
+	ErrCodeLeak
+	// OrderlinessLeak is the orderliness scenario pack (Guardian's
+	// lifecycle property): secret data escapes through an OCALL before the
+	// enclave's init/declassify gate ran on that path.
+	OrderlinessLeak
+	// AccessPatternLeak is the access-pattern scenario pack: a
+	// secret-dependent branch or a secret-indexed memory access — the
+	// controlled-channel signal visible in page-granular access traces.
+	AccessPatternLeak
 )
 
 // String names the kind.
@@ -61,6 +79,14 @@ func (k LeakKind) String() string {
 		return "timing-channel"
 	case ProbabilisticLeak:
 		return "probabilistic-channel"
+	case OcallPtrLeak:
+		return "ocall-pointer"
+	case ErrCodeLeak:
+		return "errcode-channel"
+	case OrderlinessLeak:
+		return "orderliness"
+	case AccessPatternLeak:
+		return "access-pattern"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -73,6 +99,12 @@ const (
 	SinkOutParam SinkKind = iota + 1
 	SinkReturn
 	SinkOCall
+	// SinkBranch is a control-flow observation point: the branch outcome
+	// itself is visible through the access trace (access-pattern pack).
+	SinkBranch
+	// SinkMemory is a data-dependent memory access whose address is
+	// visible at page granularity (access-pattern pack).
+	SinkMemory
 )
 
 // String names the sink kind.
@@ -84,6 +116,10 @@ func (s SinkKind) String() string {
 		return "return value"
 	case SinkOCall:
 		return "OCALL argument"
+	case SinkBranch:
+		return "branch"
+	case SinkMemory:
+		return "memory access"
 	}
 	return fmt.Sprintf("sink(%d)", int(s))
 }
@@ -92,6 +128,14 @@ func (s SinkKind) String() string {
 type Finding struct {
 	Kind LeakKind
 	Sink SinkKind
+	// Rule is the detector rule ID ("PS-EXPL", "PS-OCPTR", …) when the
+	// finding came through the detector registry (internal/detect); empty
+	// for findings produced by the pre-refactor Checker, whose rendering
+	// this field must not perturb.
+	Rule string
+	// Severity is the emitting detector's severity class ("high",
+	// "medium"); empty for pre-refactor Checker findings.
+	Severity string
 	// Where names the sink in source notation: "output[0]", "return",
 	// "printf@3:5".
 	Where string
@@ -293,6 +337,45 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
 			sb.WriteString("  the masking randomness is generated in-enclave: the output\n")
 			sb.WriteString("  distribution over repeated calls reveals the secret\n")
+		case OcallPtrLeak:
+			fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
+			sb.WriteString("  the value escapes through an OCALL pointer argument into\n")
+			sb.WriteString("  untrusted memory — outside the scalar-argument policy's view\n")
+		case ErrCodeLeak:
+			if f.Values[1] != nil {
+				fmt.Fprintf(&sb, "  status codes %s vs %s depend on the secret mix\n",
+					trim(f.Values[0].String()), trim(f.Values[1].String()))
+			} else if f.Value != nil {
+				fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
+			}
+			sb.WriteString("  the status/return code is a covert channel: repeated calls\n")
+			sb.WriteString("  narrow the secret mix one comparison at a time\n")
+		case OrderlinessLeak:
+			if f.Value != nil {
+				fmt.Fprintf(&sb, "  value:  %s = %s\n", f.Where, trim(f.Value.String()))
+			}
+			sb.WriteString("  entry order bypasses the lifecycle gate: the OCALL runs before\n")
+			sb.WriteString("  the init/declassify call on this path\n")
+		case AccessPatternLeak:
+			if f.Value != nil {
+				if f.Sink == SinkBranch {
+					fmt.Fprintf(&sb, "  condition: %s\n", trim(f.Value.String()))
+				} else {
+					fmt.Fprintf(&sb, "  index:  %s\n", trim(f.Value.String()))
+				}
+			}
+			sb.WriteString("  the access pattern is visible at page granularity to the host\n")
+			sb.WriteString("  (controlled-channel attack surface)\n")
+		}
+		// The rule line renders only for the scenario-pack kinds: the three
+		// legacy kinds predate rule IDs and their rendering is pinned
+		// byte-identical to the pre-refactor checker by the differential
+		// gate (make detect-smoke).
+		switch f.Kind {
+		case OcallPtrLeak, ErrCodeLeak, OrderlinessLeak, AccessPatternLeak:
+			if f.Rule != "" {
+				fmt.Fprintf(&sb, "  rule:   %s (severity %s)\n", f.Rule, f.Severity)
+			}
 		}
 		if f.PriorKnowledge {
 			sb.WriteString("  note: leak assumes attacker prior knowledge of other inputs (§VIII-B)\n")
@@ -321,6 +404,10 @@ func (r *Report) Render() string {
 // arbitrarily large.
 const maxRenderedValue = 160
 
+// Trim exposes the report value-trimming rule so the detector registry
+// (internal/detect) renders values exactly like the built-in messages.
+func Trim(s string) string { return trim(s) }
+
 func trim(s string) string {
 	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
 		depth := 0
@@ -347,13 +434,24 @@ func trim(s string) string {
 	return s
 }
 
-func sortFindings(fs []Finding) {
+func sortFindings(fs []Finding) { SortFindings(fs) }
+
+// SortFindings orders findings deterministically: by sink location, then
+// leak kind, then detector rule ID, then secret. The rule key keeps
+// multi-detector reports stable across -path-workers and -jobs; it is
+// vacuous for pre-refactor Checker findings (Rule always empty) and for
+// same-kind registry findings (one rule per kind), so the legacy order is
+// unchanged — the property the differential gate pins.
+func SortFindings(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Where != fs[j].Where {
 			return fs[i].Where < fs[j].Where
 		}
 		if fs[i].Kind != fs[j].Kind {
 			return fs[i].Kind < fs[j].Kind
+		}
+		if fs[i].Rule != fs[j].Rule {
+			return fs[i].Rule < fs[j].Rule
 		}
 		return fs[i].Secret < fs[j].Secret
 	})

@@ -11,6 +11,23 @@ import (
 	"privacyscope/internal/symexec"
 )
 
+// ReplayExplicit builds and verifies a two-run witness for an explicit-style
+// finding with an exact affine inversion. It is the exported entry the
+// detector registry (internal/detect) uses; the Checker's own explicit pass
+// calls the unexported replay directly. A Checker constructed only for
+// replay (core.New with just an Observer) is a valid receiver: replay uses
+// the solver and observer, never the engine options.
+func (c *Checker) ReplayExplicit(file *minic.File, res *symexec.Result, params []symexec.ParamSpec, f *Finding) *Witness {
+	return c.replay(file, res, params, f)
+}
+
+// ReplayImplicit builds a two-run witness for an implicit-style finding:
+// one run per sibling path condition, inputs differing only in the deciding
+// secret. Exported for the detector registry.
+func (c *Checker) ReplayImplicit(file *minic.File, res *symexec.Result, f *Finding, pcA, pcB *solver.PathCondition) *Witness {
+	return c.replayImplicit(file, res, f, pcA, pcB)
+}
+
 // replay builds and verifies a two-run witness for an explicit out-param
 // finding with an exact affine inversion. It prefers a fully concrete
 // replay on the MiniC interpreter (run the enclave function twice with

@@ -1,0 +1,178 @@
+package detect
+
+import (
+	"strings"
+
+	"privacyscope/internal/core"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/solver"
+	"privacyscope/internal/sym"
+	"privacyscope/internal/symexec"
+	"privacyscope/internal/taint"
+)
+
+// Context carries the shared analysis state every detector consumes: the
+// engine result (one IR walk, reused by all detectors), the report being
+// built, and the cross-detector dedupe table. Detectors must not re-run
+// the engine; everything they need is here.
+type Context struct {
+	// Checker performs two-run witness replay for the legacy detectors.
+	Checker *core.Checker
+	// Opts are the checker options the run was configured with.
+	Opts core.Options
+	// File and Params identify the unit under analysis (witness replay).
+	File   *minic.File
+	Params []symexec.ParamSpec
+	// Res is the shared symbolic-execution result.
+	Res *symexec.Result
+	// Report accumulates findings across detectors.
+	Report *core.Report
+	// Obs receives detector telemetry.
+	Obs obs.Observer
+	// InitFuncs names the configured lifecycle init/declassify gates
+	// (orderliness pack); mirrors symexec.Options.InitFuncs.
+	InitFuncs map[string]bool
+
+	known map[int]bool
+	seen  map[string]bool
+}
+
+// emit stamps the detector's rule ID and severity on the finding and
+// appends it to the report.
+func (rc *Context) emit(d Detector, f core.Finding) {
+	f.Rule = d.Rule()
+	f.Severity = d.Severity()
+	rc.Report.Findings = append(rc.Report.Findings, f)
+}
+
+// dedupe returns true when key was already reported. The table is shared
+// across detectors with per-detector key prefixes — the exact behavior of
+// the pre-refactor checker's single seen map.
+func (rc *Context) dedupe(key string) bool {
+	if rc.seen == nil {
+		rc.seen = make(map[string]bool)
+	}
+	if rc.seen[key] {
+		return true
+	}
+	rc.seen[key] = true
+	return false
+}
+
+// knownIDs resolves Opts.KnownInputs display names to symbol IDs.
+func (rc *Context) knownIDs() map[int]bool {
+	if rc.known == nil {
+		rc.known = make(map[int]bool)
+		for _, name := range rc.Opts.KnownInputs {
+			if s, ok := rc.Res.SecretSymbols[name]; ok {
+				rc.known[s.ID] = true
+			}
+		}
+	}
+	return rc.known
+}
+
+// effectiveTaint computes the taint of an observable value, optionally
+// discounting attacker-known inputs (§VIII-B). It returns the label and
+// whether prior knowledge was needed to reach a single tag.
+func (rc *Context) effectiveTaint(e sym.Expr) (taint.Label, bool) {
+	known := rc.knownIDs()
+	full := taint.FromTagsObserved(rc.Obs, sym.SecretTags(e))
+	if full.IsSingle() || full.IsBottom() || len(known) == 0 {
+		return full, false
+	}
+	var tags []taint.Tag
+	for _, s := range sym.FreeSymbols(e) {
+		if s.Secret() && !known[s.ID] {
+			tags = append(tags, s.Tag)
+		}
+	}
+	eff := taint.FromTagsObserved(rc.Obs, tags)
+	return eff, eff.IsSingle()
+}
+
+// symbolForTag adapts the engine result to the Alg. 1 kernel's resolver.
+func (rc *Context) symbolForTag(tag taint.Tag) *sym.Symbol {
+	return rc.Res.SecretSymbolByTag(int(tag))
+}
+
+// secretName renders the display name of the secret carrying tag.
+func (rc *Context) secretName(tag taint.Tag) string {
+	if s := rc.Res.SecretSymbolByTag(int(tag)); s != nil {
+		return s.Name
+	}
+	return "?"
+}
+
+// secretNames renders the display names of every secret tainting e, in tag
+// order, joined for multi-secret findings (errcode/orderliness packs flag
+// mixes the single-tag explicit policy skips). The second result is the
+// first tag, for Finding.Tag.
+func (rc *Context) secretNames(e sym.Expr) (string, taint.Tag) {
+	tags := sym.SecretTags(e)
+	if len(tags) == 0 {
+		return "?", 0
+	}
+	names := make([]string, len(tags))
+	for i, tg := range tags {
+		names[i] = rc.secretName(tg)
+	}
+	return strings.Join(names, ", "), tags[0]
+}
+
+// pcDiffTaint computes the taint of the conjuncts on which two path
+// conditions disagree. A single tag means the two executions differ only
+// in how one secret steered control flow.
+func (rc *Context) pcDiffTaint(a, b *solver.PathCondition) (taint.Tag, bool) {
+	inA := make(map[string]sym.Expr)
+	for _, c := range a.Conjuncts() {
+		inA[sym.Key(c)] = c
+	}
+	inB := make(map[string]sym.Expr)
+	for _, c := range b.Conjuncts() {
+		inB[sym.Key(c)] = c
+	}
+	var tags []taint.Tag
+	seen := make(map[taint.Tag]bool)
+	collect := func(c sym.Expr) {
+		for _, tg := range sym.SecretTags(c) {
+			if !seen[tg] {
+				seen[tg] = true
+				tags = append(tags, tg)
+			}
+		}
+	}
+	diff := false
+	for k, c := range inA {
+		if _, ok := inB[k]; !ok {
+			diff = true
+			collect(c)
+		}
+	}
+	for k, c := range inB {
+		if _, ok := inA[k]; !ok {
+			diff = true
+			collect(c)
+		}
+	}
+	if !diff {
+		return 0, false
+	}
+	return taint.FromTagsObserved(rc.Obs, tags).Tag()
+}
+
+func exprEqual(a, b sym.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return sym.Equal(a, b)
+}
+
+// ocallWhere renders an OCALL sink location exactly like the built-in
+// checks: "func@pos".
+func ocallWhere(oc symexec.SinkEvent) string {
+	return oc.Func + "@" + posString(oc.Pos)
+}
+
+func posString(p minic.Pos) string { return p.String() }

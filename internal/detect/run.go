@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"privacyscope/internal/core"
+	"privacyscope/internal/minic"
+	"privacyscope/internal/obs"
+	"privacyscope/internal/symexec"
+)
+
+// Run analyzes one entry point with the selected detectors. It is the
+// registry-backed replacement for core.Checker.CheckFunction: one engine
+// exploration shared by every detector, the same fail-soft degradation
+// (budget, deadline, cancellation → partial coverage, never an error), and
+// — for the default detector set — telemetry and report output
+// byte-identical to the pre-refactor checker, which the differential gate
+// (make detect-smoke) pins.
+func Run(ctx context.Context, set Set, opts core.Options, file *minic.File, fn string, params []symexec.ParamSpec) (*core.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	o := obs.Or(opts.Observer)
+	if opts.Engine.Obs == nil {
+		opts.Engine.Obs = o
+	}
+	start := time.Now()
+	o.Add("detect.runs", 1)
+	o.Event("check.start", obs.F("function", fn))
+	span := o.StartSpan("check")
+	span.Annotate(obs.F("function", fn))
+	defer span.End()
+
+	sx := span.Child("symexec")
+	engine := symexec.New(file, opts.Engine)
+	res, err := engine.AnalyzeFunction(ctx, fn, params)
+	if res != nil {
+		sx.Annotate(
+			obs.F("paths", fmt.Sprint(len(res.Paths))),
+			obs.F("states", fmt.Sprint(res.States)))
+	}
+	sx.End()
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", fn, err)
+	}
+	report := &core.Report{
+		Function: fn,
+		Paths:    len(res.Paths),
+		States:   res.States,
+		Regions:  res.Regions,
+		Secrets:  len(res.SecretSymbols),
+		Coverage: res.Coverage,
+		Warnings: res.Warnings,
+	}
+	if res.Coverage.Truncated {
+		o.Add("check.degraded", 1)
+		span.Annotate(obs.F("truncated", string(res.Coverage.Reason)))
+		switch res.Coverage.Reason {
+		case symexec.TruncCancelled, symexec.TruncDeadline:
+			o.Add("check.cancelled", 1)
+		case symexec.TruncInlineDepth, symexec.TruncSummaryHavoc:
+			// A skipped call or a havoc'd summary under-approximates the
+			// program itself: obligations the elided callee carried went
+			// unchecked.
+			o.Add("check.underapprox", 1)
+		}
+	}
+	rc := &Context{
+		Checker:   core.New(opts),
+		Opts:      opts,
+		File:      file,
+		Params:    params,
+		Res:       res,
+		Report:    report,
+		Obs:       o,
+		InitFuncs: opts.Engine.InitFuncs,
+	}
+	for _, d := range set.Detectors() {
+		ph := span.Child(d.Name())
+		d.Detect(rc)
+		ph.End()
+	}
+	core.SortFindings(report.Findings)
+	report.Duration = time.Since(start)
+	packFindings := 0
+	for _, f := range report.Findings {
+		o.Add("core.findings."+f.Kind.String(), 1)
+		switch f.Kind {
+		case core.OcallPtrLeak, core.ErrCodeLeak, core.OrderlinessLeak, core.AccessPatternLeak:
+			packFindings++
+		}
+	}
+	if packFindings > 0 {
+		o.Add("detect.findings", int64(packFindings))
+	}
+	span.Annotate(
+		obs.F("detectors", strings.Join(set.Names(), ",")),
+		obs.F("findings", fmt.Sprint(len(report.Findings))),
+		obs.F("verdict", report.Verdict().String()))
+	o.Event("check.done",
+		obs.F("function", fn),
+		obs.F("findings", fmt.Sprint(len(report.Findings))),
+		obs.F("verdict", report.Verdict().String()))
+	return report, nil
+}

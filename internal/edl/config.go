@@ -1,8 +1,10 @@
 package edl
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
+	"strings"
 
 	"privacyscope/internal/symexec"
 )
@@ -22,6 +24,35 @@ type Config struct {
 	// Ocalls lists extra sink functions whose arguments leave the
 	// enclave.
 	Ocalls []OcallRule `xml:"ocall"`
+	// Detectors toggles leak detectors from the internal/detect registry
+	// on top of the option-implied defaults. Nil when the file has no
+	// <detectors> block.
+	Detectors *DetectorRule `xml:"detectors"`
+	// Lifecycles names the enclave's init/declassify gate functions for
+	// the orderliness detector (<lifecycle init="init_session"/>).
+	Lifecycles []LifecycleRule `xml:"lifecycle"`
+}
+
+// DetectorRule is the <detectors> block: enables apply first, then
+// disables.
+type DetectorRule struct {
+	Enables  []DetectorToggle `xml:"enable"`
+	Disables []DetectorToggle `xml:"disable"`
+}
+
+// DetectorToggle names one detector to switch. Line is the 1-based source
+// line of the element, captured during parsing for error reporting; it is
+// not an XML attribute.
+type DetectorToggle struct {
+	Name string `xml:"name,attr"`
+	Line int    `xml:"-"`
+}
+
+// LifecycleRule registers one lifecycle init gate. Line is captured like
+// DetectorToggle.Line.
+type LifecycleRule struct {
+	Init string `xml:"init,attr"`
+	Line int    `xml:"-"`
 }
 
 // FunctionRule selects one entry point and optionally overrides parameter
@@ -56,7 +87,118 @@ func ParseConfig(data []byte) (*Config, error) {
 	if err := xml.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("edl: parse config: %w", err)
 	}
+	c.captureLines(data)
 	return &c, nil
+}
+
+// captureLines re-scans the document and stamps source line numbers on the
+// detector toggles and lifecycle rules, matched in document order — the
+// same order encoding/xml appended them. The scan is best-effort: a
+// pathological document that desynchronizes it only degrades error-message
+// line numbers, never the parse.
+func (c *Config) captureLines(data []byte) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	var ei, di, li, depth int
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			line := 1 + bytes.Count(data[:min(dec.InputOffset(), int64(len(data)))], []byte("\n"))
+			switch t.Name.Local {
+			case "detectors":
+				depth++
+			case "enable":
+				if depth == 1 && c.Detectors != nil && ei < len(c.Detectors.Enables) {
+					c.Detectors.Enables[ei].Line = line
+					ei++
+				}
+			case "disable":
+				if depth == 1 && c.Detectors != nil && di < len(c.Detectors.Disables) {
+					c.Detectors.Disables[di].Line = line
+					di++
+				}
+			case "lifecycle":
+				if depth == 0 && li < len(c.Lifecycles) {
+					c.Lifecycles[li].Line = line
+					li++
+				}
+			}
+		case xml.EndElement:
+			if t.Name.Local == "detectors" && depth > 0 {
+				depth--
+			}
+		}
+	}
+}
+
+// ValidateDetectors checks the <detectors> and <lifecycle> entries against
+// the registry membership test `known`, reporting every problem with its
+// source line so a long rule file pinpoints the offender.
+func (c *Config) ValidateDetectors(known func(string) bool) error {
+	var errs []string
+	bad := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	if c.Detectors != nil {
+		for _, e := range c.Detectors.Enables {
+			switch {
+			case e.Name == "":
+				bad(e.Line, "<enable> is missing its name attribute")
+			case !known(e.Name):
+				bad(e.Line, "<enable> names unknown detector %q", e.Name)
+			}
+		}
+		for _, d := range c.Detectors.Disables {
+			switch {
+			case d.Name == "":
+				bad(d.Line, "<disable> is missing its name attribute")
+			case !known(d.Name):
+				bad(d.Line, "<disable> names unknown detector %q", d.Name)
+			}
+		}
+	}
+	for _, l := range c.Lifecycles {
+		if l.Init == "" {
+			bad(l.Line, "<lifecycle> is missing its init attribute")
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("edl: rule config: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// DetectorToggles flattens the <detectors> block into enable/disable name
+// lists for detect.ResolveSet. Empty when the block is absent.
+func (c *Config) DetectorToggles() (enable, disable []string) {
+	if c.Detectors == nil {
+		return nil, nil
+	}
+	for _, e := range c.Detectors.Enables {
+		enable = append(enable, e.Name)
+	}
+	for _, d := range c.Detectors.Disables {
+		disable = append(disable, d.Name)
+	}
+	return enable, disable
+}
+
+// InitFuncs collects the lifecycle gate names as the engine option map.
+// Nil when no <lifecycle> rules exist.
+func (c *Config) InitFuncs() map[string]bool {
+	if len(c.Lifecycles) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(c.Lifecycles))
+	for _, l := range c.Lifecycles {
+		if l.Init != "" {
+			m[l.Init] = true
+		}
+	}
+	return m
 }
 
 // Rule looks up the override rule for a function.

@@ -1,0 +1,156 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+// knownSet mirrors the detect registry membership for these tests without
+// importing internal/detect (which would cycle through core).
+func knownSet(name string) bool {
+	switch name {
+	case "explicit", "implicit", "timing",
+		"ocall-pointer", "errcode-channel", "orderliness", "access-pattern":
+		return true
+	}
+	return false
+}
+
+// TestDetectorConfigToggles pins the <detectors>/<lifecycle> surface: the
+// block parses into ordered enable/disable lists, the lifecycle gates
+// collect into the engine's init map, and a file without the block yields
+// nils so the defaults apply untouched.
+func TestDetectorConfigToggles(t *testing.T) {
+	c, err := ParseConfig([]byte(`
+<privacyscope>
+    <detectors>
+        <enable name="ocall-pointer"/>
+        <enable name="orderliness"/>
+        <disable name="implicit"/>
+    </detectors>
+    <lifecycle init="init_session"/>
+    <lifecycle init="seal_ready"/>
+</privacyscope>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateDetectors(knownSet); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	enable, disable := c.DetectorToggles()
+	if got, want := strings.Join(enable, ","), "ocall-pointer,orderliness"; got != want {
+		t.Errorf("enables %q, want %q", got, want)
+	}
+	if got, want := strings.Join(disable, ","), "implicit"; got != want {
+		t.Errorf("disables %q, want %q", got, want)
+	}
+	inits := c.InitFuncs()
+	if !inits["init_session"] || !inits["seal_ready"] || len(inits) != 2 {
+		t.Errorf("init funcs %v, want init_session+seal_ready", inits)
+	}
+
+	empty, err := ParseConfig([]byte(`<privacyscope></privacyscope>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, d := empty.DetectorToggles(); e != nil || d != nil {
+		t.Errorf("absent block produced toggles %v/%v", e, d)
+	}
+	if empty.InitFuncs() != nil {
+		t.Error("absent lifecycle rules produced an init map")
+	}
+}
+
+// TestDetectorConfigErrorsAreLineNumbered is the error-reporting regression
+// suite: unknown detector names and malformed enable/disable/lifecycle
+// entries must each be reported with the 1-based source line of the
+// offending element, and a file with several problems must report all of
+// them in one error.
+func TestDetectorConfigErrorsAreLineNumbered(t *testing.T) {
+	cases := []struct {
+		name, xml string
+		wants     []string
+	}{
+		{
+			name: "unknown-enable",
+			xml: "<privacyscope>\n" + // line 1
+				"  <detectors>\n" + // line 2
+				"    <enable name=\"sidechannel\"/>\n" + // line 3
+				"  </detectors>\n" +
+				"</privacyscope>",
+			wants: []string{`line 3: <enable> names unknown detector "sidechannel"`},
+		},
+		{
+			name:  "unknown-disable",
+			xml:   "<privacyscope>\n<detectors>\n\n\n<disable name=\"exp\"/>\n</detectors>\n</privacyscope>",
+			wants: []string{`line 5: <disable> names unknown detector "exp"`},
+		},
+		{
+			name:  "enable-missing-name",
+			xml:   "<privacyscope>\n<detectors>\n<enable/>\n</detectors>\n</privacyscope>",
+			wants: []string{"line 3: <enable> is missing its name attribute"},
+		},
+		{
+			name:  "lifecycle-missing-init",
+			xml:   "<privacyscope>\n<lifecycle/>\n</privacyscope>",
+			wants: []string{"line 2: <lifecycle> is missing its init attribute"},
+		},
+		{
+			name: "multiple-problems-all-reported",
+			xml: "<privacyscope>\n" +
+				"  <detectors>\n" +
+				"    <enable name=\"timing\"/>\n" +
+				"    <enable name=\"bogus\"/>\n" + // line 4
+				"    <disable/>\n" + // line 5
+				"  </detectors>\n" +
+				"  <lifecycle/>\n" + // line 7
+				"</privacyscope>",
+			wants: []string{
+				`line 4: <enable> names unknown detector "bogus"`,
+				"line 5: <disable> is missing its name attribute",
+				"line 7: <lifecycle> is missing its init attribute",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := ParseConfig([]byte(tc.xml))
+			if err != nil {
+				t.Fatal(err)
+			}
+			verr := c.ValidateDetectors(knownSet)
+			if verr == nil {
+				t.Fatal("malformed config validated cleanly")
+			}
+			if !strings.HasPrefix(verr.Error(), "edl: rule config: ") {
+				t.Errorf("error %q lacks the rule-config prefix", verr)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(verr.Error(), want) {
+					t.Errorf("error %q does not contain %q", verr, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDetectorConfigValidClean pins that a fully valid detectors block —
+// every registry name, enabled and disabled — validates without error, so
+// the validator can never reject a legitimate selection.
+func TestDetectorConfigValidClean(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<privacyscope>\n<detectors>\n")
+	for _, n := range []string{"explicit", "implicit", "timing",
+		"ocall-pointer", "errcode-channel", "orderliness", "access-pattern"} {
+		sb.WriteString("<enable name=\"" + n + "\"/>\n")
+		sb.WriteString("<disable name=\"" + n + "\"/>\n")
+	}
+	sb.WriteString("</detectors>\n</privacyscope>")
+	c, err := ParseConfig([]byte(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ValidateDetectors(knownSet); err != nil {
+		t.Fatalf("all-names config rejected: %v", err)
+	}
+}

@@ -1,8 +1,11 @@
 package edl
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"privacyscope/internal/symexec"
 )
 
 // FuzzEDL throws arbitrary bytes at the EDL parser: it must reject garbage
@@ -27,9 +30,9 @@ func FuzzEDL(f *testing.F) {
 		"enclave { /* comment */ trusted { public int f([user_check] int *p); }; };",
 		"// line comment\nenclave { trusted { public unsigned long f(size_t n); }; };",
 		"enclave { trusted { public int f([in, out, count=4] int *buf); }; };",
-		"enclave {",                 // truncated: must error, not crash
-		"/* unterminated comment",   // ran the scanner past EOF once
-		"trusted { public int f",    // no enclave wrapper
+		"enclave {",                                   // truncated: must error, not crash
+		"/* unterminated comment",                     // ran the scanner past EOF once
+		"trusted { public int f",                      // no enclave wrapper
 		"enclave { trusted { public int f([]); }; };", // empty attribute list
 		strings.Repeat("enclave {", 64),
 		"enclave { trusted { public int f([in] int *s, ); }; };",
@@ -53,5 +56,73 @@ func FuzzEDL(f *testing.F) {
 			}
 		}
 		iface.OCallNames()
+	})
+}
+
+// FuzzRuleConfig throws arbitrary bytes at the XML rule-file parser and its
+// detector validator: ConfigXML is attacker-reachable over the daemon wire
+// (POST /v1/analyze), so parse, line capture and validation must reject
+// garbage with an error — never panic, hang, or return a nonsensical
+// structure. Accepted configs must survive every downstream accessor the
+// facade calls, and every validation problem must carry a plausible
+// "line N:" location. Run via `make fuzz-smoke`.
+func FuzzRuleConfig(f *testing.F) {
+	seeds := []string{
+		`<privacyscope></privacyscope>`,
+		`<privacyscope><detectors><enable name="ocall-pointer"/></detectors></privacyscope>`,
+		"<privacyscope>\n<detectors>\n<enable name=\"bogus\"/>\n<disable/>\n</detectors>\n<lifecycle/>\n</privacyscope>",
+		`<privacyscope><detectors><disable name="implicit"/></detectors><lifecycle init="init_session"/></privacyscope>`,
+		`<privacyscope><function name="f"><secret param="x"/><sink param="y"/></function></privacyscope>`,
+		`<privacyscope><decrypt function="ipp_decrypt" dstArg="2"/><ocall function="ocall_log"/></privacyscope>`,
+		`<privacyscope><detectors>`,                                              // truncated block
+		`<privacyscope><detectors><enable name="`,                                // truncated attribute
+		`<privacyscope><lifecycle init="a"><enable/></lifecycle></privacyscope>`, // nested where flat expected
+		"<privacyscope>\r\n<detectors>\r\n<enable name=\"timing\"/>\r\n</detectors>\r\n</privacyscope>",
+		`<detectors><enable name="explicit"/></detectors>`, // wrong root
+		strings.Repeat("<detectors>", 32),
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := func(n string) bool {
+		switch n {
+		case "explicit", "implicit", "timing",
+			"ocall-pointer", "errcode-channel", "orderliness", "access-pattern":
+			return true
+		}
+		return false
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseConfig([]byte(src))
+		if err != nil {
+			return // rejecting garbage is correct; crashing is not
+		}
+		if c == nil {
+			t.Fatal("nil config with nil error")
+		}
+		if verr := c.ValidateDetectors(known); verr != nil {
+			// Every reported problem must be line-located and in range.
+			msg := strings.TrimPrefix(verr.Error(), "edl: rule config: ")
+			lines := 1 + strings.Count(src, "\n")
+			for _, prob := range strings.Split(msg, "; ") {
+				var n int
+				if _, err := fmt.Sscanf(prob, "line %d:", &n); err != nil {
+					t.Fatalf("problem %q is not line-numbered", prob)
+				}
+				if n < 0 || n > lines+1 {
+					t.Fatalf("problem %q cites line %d of a %d-line document", prob, n, lines)
+				}
+			}
+		}
+		// Accepted configs must answer the facade's accessors without
+		// panicking, whatever shape the document had.
+		enable, disable := c.DetectorToggles()
+		if c.Detectors == nil && (enable != nil || disable != nil) {
+			t.Fatal("toggles from an absent detectors block")
+		}
+		c.InitFuncs()
+		c.Rule("f")
+		c.EngineOptions(symexec.Options{})
 	})
 }

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// ocallPtrC/ocallPtrEDL mirror examples/leakpacks/ocallptr_leak: quiet under
+// the default detector set (no tainted scalar crosses the boundary), flagged
+// by the ocall-pointer pack (the buffer handed to the OCALL holds a
+// secret-derived cell).
+const ocallPtrC = `
+int push_stats(int *secrets, int *output)
+{
+    int buf[2];
+    buf[0] = secrets[0] * 2;
+    buf[1] = 5;
+    ocall_send(buf);
+    output[0] = 0;
+    return 0;
+}
+`
+
+const ocallPtrEDL = `
+enclave {
+    trusted {
+        public int push_stats([in] int *secrets, [out] int *output);
+    };
+    untrusted {
+        void ocall_send([user_check] int *buf);
+    };
+};
+`
+
+// TestDetectorSetInCacheKey pins the daemon half of the cache-key
+// participation contract: the detector selection is part of the request's
+// content address, so the same module analyzed under two selections runs
+// twice, yields different verdicts, and each selection hits only its own
+// LRU entry on resubmission.
+func TestDetectorSetInCacheKey(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4, CacheEntries: 16})
+	defer s.Shutdown(t.Context())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	base := AnalyzeRequest{Source: ocallPtrC, EDL: ocallPtrEDL}
+	resp, data := postAnalyze(t, ts, base, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	if env := decodeEnvelope(t, data); env.Verdict != "secure" {
+		t.Fatalf("default-set verdict = %q, want secure (pointer escape is pack-only)", env.Verdict)
+	}
+
+	withPack := base
+	withPack.Options.Detectors = []string{"default", "ocall-pointer"}
+	resp2, data2 := postAnalyze(t, ts, withPack, "")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get("X-Privacyscope-Cache"); got != "" {
+		t.Fatalf("pack selection served from the default set's cache entry (header %q)", got)
+	}
+	env2 := decodeEnvelope(t, data2)
+	if env2.Verdict != "findings" || len(env2.Findings) != 1 {
+		t.Fatalf("pack verdict=%q findings=%d, want findings/1", env2.Verdict, len(env2.Findings))
+	}
+	if n := s.metrics.Counter("server.analyses.executed"); n != 2 {
+		t.Fatalf("executed = %d, want 2 (one per detector selection)", n)
+	}
+
+	// Resubmitting each selection hits its own entry, never the other's.
+	respB, dataB := postAnalyze(t, ts, base, "")
+	respP, dataP := postAnalyze(t, ts, withPack, "")
+	if got := respB.Header.Get("X-Privacyscope-Cache"); got != "hit" {
+		t.Errorf("default-set resubmit cache header = %q, want hit", got)
+	}
+	if got := respP.Header.Get("X-Privacyscope-Cache"); got != "hit" {
+		t.Errorf("pack-set resubmit cache header = %q, want hit", got)
+	}
+	if string(dataB) == string(dataP) {
+		t.Error("both selections returned the same cached body")
+	}
+	if env := decodeEnvelope(t, dataB); env.Verdict != "secure" {
+		t.Errorf("default-set cached verdict = %q, want secure", env.Verdict)
+	}
+	if n := s.metrics.Counter("server.analyses.executed"); n != 2 {
+		t.Errorf("executed = %d after resubmits, want still 2", n)
+	}
+
+	// An unknown detector name is a client error, not a 500 — and is never
+	// cached.
+	bad := base
+	bad.Options.Detectors = []string{"nonsense"}
+	respBad, bodyBad := postAnalyze(t, ts, bad, "")
+	if respBad.StatusCode != http.StatusUnprocessableEntity && respBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown detector status = %d (body %s), want 4xx", respBad.StatusCode, bodyBad)
+	}
+}

@@ -35,6 +35,40 @@ func isIntrinsic(opts Options, name string) bool {
 	return false
 }
 
+// noteLifecycle records a call to a configured lifecycle init function on
+// the current path, with the shared ocall/init sequence number the
+// orderliness detector replays. No-op unless Options.InitFuncs names fn.
+func (e *Engine) noteLifecycle(st *state, fn string, pos minic.Pos) {
+	if !e.opts.InitFuncs[fn] {
+		return
+	}
+	st.inits = append(st.inits, LifecycleEvent{Func: fn, Pos: pos, Seq: st.evSeq})
+	st.evSeq++
+	e.obs.Add("symexec.events.lifecycle", 1)
+}
+
+// ptrEscape captures everything bound under an OCALL pointer argument's
+// region at call time: once the call crosses the enclave boundary those
+// cells are untrusted memory. Cell order is deterministic (store iteration
+// is sorted by region key).
+func (e *Engine) ptrEscape(st *state, arg int, loc mem.Loc) PtrEscape {
+	root := mem.Root(loc.R)
+	pe := PtrEscape{Arg: arg, Display: e.displayName(root)}
+	for _, sub := range st.store.SubRegionsOf(root) {
+		v, ok := st.store.Lookup(sub)
+		if !ok {
+			continue
+		}
+		sc, isScalar := v.(mem.Scalar)
+		if !isScalar {
+			continue
+		}
+		pe.Cells = append(pe.Cells, EscapeCell{Display: e.displayName(sub), Value: sc.E})
+	}
+	e.obs.Add("symexec.events.ptr_escapes", 1)
+	return pe
+}
+
 // execCallStmt executes a statement-position user call with full path
 // sensitivity: every path through the callee continues the caller.
 func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont) error {
@@ -55,6 +89,7 @@ func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont)
 		}
 		args[i] = val
 	}
+	e.noteLifecycle(st, fn.Name, v.Pos)
 	// Statement position discards the result, but a summary still replays
 	// the callee's accounting (and a havoc summary its truncation), keeping
 	// the two call-resolution modes byte-identical.
@@ -81,6 +116,7 @@ func (e *Engine) execCallStmt(st *state, fn *ir.Func, v *minic.CallExpr, k cont)
 // arguments; decrypt intrinsics re-symbolize their destination as secret.
 func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, error) {
 	intTy := minic.Type(minic.Basic{Kind: minic.Int})
+	e.noteLifecycle(st, v.Fun, v.Pos)
 
 	// Front-end intrinsics (the PRIML adapter's get_secret/declassify)
 	// take precedence over every built-in model.
@@ -104,14 +140,20 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 	}
 
 	if e.opts.OCallFuncs[v.Fun] {
-		ev := SinkEvent{Func: v.Fun, Pos: v.Pos, PC: st.pc}
-		for _, a := range v.Args {
+		ev := SinkEvent{Func: v.Fun, Pos: v.Pos, PC: st.pc, Seq: st.evSeq}
+		st.evSeq++
+		for i, a := range v.Args {
 			val, _, err := e.eval(st, a)
 			if err != nil {
 				return nil, nil, err
 			}
-			if sc, ok := val.(mem.Scalar); ok {
-				ev.Args = append(ev.Args, sc.E)
+			switch sv := val.(type) {
+			case mem.Scalar:
+				ev.Args = append(ev.Args, sv.E)
+			case mem.Loc:
+				if e.opts.RecordPtrEscapes {
+					ev.PtrArgs = append(ev.PtrArgs, e.ptrEscape(st, i, sv))
+				}
 			}
 		}
 		st.ocalls = append(st.ocalls, ev)

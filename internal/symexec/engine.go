@@ -64,9 +64,9 @@ type Engine struct {
 	// regionPad counts the memory regions summarized-away callee bodies
 	// would have allocated, so Result.Regions matches inline mode.
 	regionPad int64
-	res      *Result
-	env      *mem.Env
-	obs      obs.Observer
+	res       *Result
+	env       *mem.Env
+	obs       obs.Observer
 
 	// resMu guards res.Paths, the warning log and the path budget.
 	resMu    sync.Mutex
@@ -300,13 +300,16 @@ func (e *Engine) completePath(st *state, ret sym.Expr, retPos minic.Pos) error {
 	e.obs.Observe("symexec.path.depth", int64(st.pc.Len()))
 	e.obs.Observe("symexec.path.cost", int64(st.cost))
 	pr := &PathResult{
-		PC:         st.pc,
-		Return:     ret,
-		ReturnPos:  retPos,
-		Ocalls:     st.ocalls,
-		Incomplete: st.incomplete,
-		Cost:       st.cost,
-		key:        st.key,
+		PC:             st.pc,
+		Return:         ret,
+		ReturnPos:      retPos,
+		Ocalls:         st.ocalls,
+		Incomplete:     st.incomplete,
+		Cost:           st.cost,
+		Inits:          st.inits,
+		SecretBranches: st.branches,
+		SecretAccesses: st.accesses,
+		key:            st.key,
 	}
 	for _, b := range st.store.Bindings() {
 		rootKey := mem.Root(b.Region).Key()
@@ -338,6 +341,13 @@ type state struct {
 	frames     []*sframe
 	ocalls     []SinkEvent
 	incomplete bool
+	// inits, branches and accesses are the per-path detector-pack event
+	// logs (empty unless the corresponding Options gate is on); evSeq is
+	// the shared ocall/init sequence counter.
+	inits    []LifecycleEvent
+	branches []BranchEvent
+	accesses []AccessEvent
+	evSeq    int
 	// cost counts executed statements (the abstract time model).
 	cost int
 	// key is the fork-choice sequence that reached this state (two
@@ -359,7 +369,7 @@ func (st *state) clone() *state {
 	copy(ocalls, st.ocalls)
 	key := make([]byte, len(st.key))
 	copy(key, st.key)
-	return &state{
+	c := &state{
 		pc:         st.pc,
 		store:      st.store.Clone(),
 		frames:     frames,
@@ -368,7 +378,18 @@ func (st *state) clone() *state {
 		cost:       st.cost,
 		key:        key,
 		seqLock:    st.seqLock,
+		evSeq:      st.evSeq,
 	}
+	if len(st.inits) > 0 {
+		c.inits = append([]LifecycleEvent(nil), st.inits...)
+	}
+	if len(st.branches) > 0 {
+		c.branches = append([]BranchEvent(nil), st.branches...)
+	}
+	if len(st.accesses) > 0 {
+		c.accesses = append([]AccessEvent(nil), st.accesses...)
+	}
+	return c
 }
 
 func (st *state) frame() *sframe { return st.frames[len(st.frames)-1] }
@@ -546,11 +567,11 @@ func (e *Engine) exec(st *state, op ir.Op, k cont) error {
 				case ctlBreak:
 					return k(next, ctlFallthrough)
 				}
-				return e.execLoop(next, v.Cond, nil, v.Body, k)
+				return e.execLoop(next, v.Position(), v.Cond, nil, v.Body, k)
 			})
 		}
 		if !v.Scoped {
-			return e.execLoop(st, v.Cond, nil, v.Body, k)
+			return e.execLoop(st, v.Position(), v.Cond, nil, v.Body, k)
 		}
 		st.frame().push()
 		inner := func(end *state, c ctl) error {
@@ -562,10 +583,10 @@ func (e *Engine) exec(st *state, op ir.Op, k cont) error {
 				if c.kind != ctlNext {
 					return inner(next, c)
 				}
-				return e.execLoop(next, v.Cond, v.Post, v.Body, inner)
+				return e.execLoop(next, v.Position(), v.Cond, v.Post, v.Body, inner)
 			})
 		}
-		return e.execLoop(st, v.Cond, v.Post, v.Body, inner)
+		return e.execLoop(st, v.Position(), v.Cond, v.Post, v.Body, inner)
 	case *ir.SwitchOp:
 		return e.execSwitch(st, v, k)
 	case *ir.ReturnOp:
@@ -693,6 +714,21 @@ func (e *Engine) runBranches(parent *state, branches []branchCase) error {
 	return nil
 }
 
+// noteBranch records a fork on a secret-tainted condition on the parent
+// state, *before* cloning, so both successors carry the event: the branch
+// outcome is observable in the access trace whichever way it goes. Gated on
+// RecordSecretAccess; no-op (and allocation-free) otherwise.
+func (e *Engine) noteBranch(st *state, pos minic.Pos, cond sym.Expr) {
+	if !e.opts.RecordSecretAccess {
+		return
+	}
+	if sym.TaintOf(cond).IsBottom() {
+		return
+	}
+	st.branches = append(st.branches, BranchEvent{Pos: pos, Cond: cond})
+	e.obs.Add("symexec.events.secret_branches", 1)
+}
+
 func (e *Engine) execIf(st *state, v *ir.IfOp, k cont) error {
 	condVal, _, err := e.eval(st, v.Cond)
 	if err != nil {
@@ -709,6 +745,7 @@ func (e *Engine) execIf(st *state, v *ir.IfOp, k cont) error {
 		return k(st, ctlFallthrough)
 	}
 	// Fork (PS-TCOND / PS-FCOND).
+	e.noteBranch(st, v.Position(), cond)
 	e.obs.Add("symexec.forks", 1)
 	thenSt := st.clone()
 	thenSt.pc = thenSt.pc.And(cond)
@@ -748,7 +785,7 @@ func (e *Engine) feasible(pc *solver.PathCondition) bool {
 // execLoop handles while (post == nil) and for loops. Concrete conditions
 // iterate without forking (bounded by the step budget); symbolic conditions
 // fork per iteration up to LoopBound.
-func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body ir.Op, k cont) error {
+func (e *Engine) execLoop(st *state, pos minic.Pos, cond minic.Expr, post minic.Expr, body ir.Op, k cont) error {
 	var iter func(cur *state, remaining int) error
 
 	afterBody := func(next *state, c ctl, remaining int) error {
@@ -805,6 +842,7 @@ func (e *Engine) execLoop(st *state, cond minic.Expr, post minic.Expr, body ir.O
 			e.warn(cur, "symbolic loop cut at bound "+fmt.Sprint(e.opts.loopBound()))
 			return k(cur, ctlFallthrough)
 		}
+		e.noteBranch(cur, pos, truth)
 		e.obs.Add("symexec.forks", 1)
 		enter := cur.clone()
 		enter.pc = enter.pc.And(truth)
@@ -999,6 +1037,7 @@ func (e *Engine) execSwitch(st *state, v *ir.SwitchOp, k cont) error {
 	}
 
 	// Symbolic tag: fork per case.
+	e.noteBranch(st, v.Position(), tag)
 	e.obs.Add("symexec.forks", 1)
 	var excluded []sym.Expr
 	var branches []branchCase

@@ -259,6 +259,7 @@ func (e *Engine) indexPlace(st *state, v *minic.IndexExpr) (mem.Region, minic.Ty
 		if arr, ok := ty.(minic.Array); ok {
 			er := e.elementOf(reg, idx)
 			e.env.Bind(minic.ExprString(v), er)
+			e.noteAccess(st, v.Pos, er, idxVal, concrete)
 			return er, arr.Elem, nil
 		}
 	}
@@ -277,7 +278,23 @@ func (e *Engine) indexPlace(st *state, v *minic.IndexExpr) (mem.Region, minic.Ty
 	}
 	er := e.shiftRegion(loc.R, idx)
 	e.env.Bind(minic.ExprString(v), er)
+	e.noteAccess(st, v.Pos, er, idxVal, concrete)
 	return er, elem, nil
+}
+
+// noteAccess records a memory subscript whose index expression carries
+// secret taint. Concrete indices are skipped: the address is then fixed for
+// all secret values, so the access pattern reveals nothing.
+func (e *Engine) noteAccess(st *state, pos minic.Pos, er mem.Region, idxVal mem.SVal, concrete bool) {
+	if !e.opts.RecordSecretAccess || concrete {
+		return
+	}
+	ix := scalarOf(idxVal)
+	if sym.TaintOf(ix).IsBottom() {
+		return
+	}
+	st.accesses = append(st.accesses, AccessEvent{Pos: pos, Display: e.displayName(er), Index: ix})
+	e.obs.Add("symexec.events.secret_indices", 1)
 }
 
 // elementOf returns the element region, collapsing summary indices.

@@ -124,6 +124,23 @@ type Options struct {
 	// SummaryBudget bounds the steps one scratch summary run may spend
 	// before the callee is classified havoc. 0 means DefaultSummaryBudget.
 	SummaryBudget int
+	// RecordPtrEscapes records, for every OCALL pointer argument, the
+	// values bound under the pointed-to region at call time
+	// (SinkEvent.PtrArgs). The ocall-pointer and orderliness detector
+	// packs consume them; off by default so the scalar-only sink model —
+	// and its cost — is unchanged. Forces inline call resolution when
+	// summaries are enabled (summaries replay effects, not events).
+	RecordPtrEscapes bool
+	// RecordSecretAccess records secret-tainted branch conditions at fork
+	// points (PathResult.SecretBranches) and secret-tainted symbolic array
+	// indices (PathResult.SecretAccesses) for the access-pattern detector
+	// pack. Off by default; forces inline mode like RecordPtrEscapes.
+	RecordSecretAccess bool
+	// InitFuncs names lifecycle init/gate functions; every call to one is
+	// recorded per path (PathResult.Inits) with its sequence number
+	// relative to the path's OCALLs, so the orderliness pack can replay
+	// the entry order. Nil disables recording.
+	InitFuncs map[string]bool
 }
 
 // Defaults.
@@ -199,6 +216,56 @@ type SinkEvent struct {
 	Pos  minic.Pos
 	Args []sym.Expr
 	PC   *solver.PathCondition
+	// Seq orders this OCALL against the path's lifecycle events (shared
+	// per-path counter; see PathResult.Inits).
+	Seq int
+	// PtrArgs lists pointer arguments and the values reachable through
+	// them at call time (only when Options.RecordPtrEscapes).
+	PtrArgs []PtrEscape
+}
+
+// PtrEscape is one OCALL pointer argument: everything bound under the
+// pointed-to region escapes to untrusted memory when the call crosses the
+// enclave boundary.
+type PtrEscape struct {
+	// Arg is the 0-based argument index.
+	Arg int
+	// Display names the pointed-to region root in source notation.
+	Display string
+	// Cells are the bound scalar elements, sorted by display name.
+	Cells []EscapeCell
+}
+
+// EscapeCell is one scalar value reachable through an escaping pointer.
+type EscapeCell struct {
+	Display string
+	Value   sym.Expr
+}
+
+// LifecycleEvent is one call to an Options.InitFuncs function on a path.
+type LifecycleEvent struct {
+	Func string
+	Pos  minic.Pos
+	// Seq orders the call against the path's OCALLs (shared counter).
+	Seq int
+}
+
+// BranchEvent is one fork on a secret-tainted condition (recorded under
+// Options.RecordSecretAccess). Both forked successors inherit the event:
+// the branch is observable on either outcome.
+type BranchEvent struct {
+	Pos  minic.Pos
+	Cond sym.Expr
+}
+
+// AccessEvent is one memory access through a secret-tainted symbolic index
+// (recorded under Options.RecordSecretAccess).
+type AccessEvent struct {
+	Pos minic.Pos
+	// Display names the accessed region in source notation ("table[*]").
+	Display string
+	// Index is the tainted index expression.
+	Index sym.Expr
 }
 
 // PathResult is the observable outcome of one completed execution path.
@@ -221,6 +288,15 @@ type PathResult struct {
 	// sketches in §VIII-A ("simulate the execution time for program
 	// paths and detect if execution time depends on secret").
 	Cost int
+	// Inits lists lifecycle init-function calls in execution order (only
+	// when Options.InitFuncs is set).
+	Inits []LifecycleEvent
+	// SecretBranches lists forks on secret-tainted conditions (only when
+	// Options.RecordSecretAccess).
+	SecretBranches []BranchEvent
+	// SecretAccesses lists memory accesses through secret-tainted indices
+	// (only when Options.RecordSecretAccess).
+	SecretAccesses []AccessEvent
 	// key is the fork-choice sequence that produced this path; results
 	// sort by it so parallel exploration reproduces the sequential order.
 	key []byte

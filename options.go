@@ -27,6 +27,11 @@ type AnalysisOptions struct {
 	ConservativeExterns bool     `json:"conservativeExterns,omitempty"`
 	Summaries           bool     `json:"summaries,omitempty"`
 	KnownInputs         []string `json:"knownInputs,omitempty"`
+	// Detectors replaces the detector selection (the -detectors flag);
+	// empty keeps the defaults. Participates in every cache key like any
+	// other field: two runs with different detector sets produce different
+	// reports and must never share an entry.
+	Detectors []string `json:"detectors,omitempty"`
 }
 
 // FacadeOptions converts the declarative knobs into the functional options
@@ -68,6 +73,9 @@ func (o AnalysisOptions) FacadeOptions() []Option {
 	}
 	if len(o.KnownInputs) > 0 {
 		opts = append(opts, WithKnownInputs(o.KnownInputs...))
+	}
+	if len(o.Detectors) > 0 {
+		opts = append(opts, WithDetectors(o.Detectors...))
 	}
 	return opts
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"privacyscope/internal/core"
+	"privacyscope/internal/detect"
 	"privacyscope/internal/edl"
 	"privacyscope/internal/minic"
 	"privacyscope/internal/obs"
@@ -136,17 +137,31 @@ func WithTraceID(id string) TracerOption { return obs.WithTraceID(id) }
 // Metrics aggregation and a Tracer side by side on one analysis.
 func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
-// Leak kinds and sink kinds, re-exported.
+// Leak kinds and sink kinds, re-exported. The last four kinds are the
+// scenario packs of the detector registry (docs/DETECTORS.md); enable them
+// with WithDetectors or the rule file's <detectors> block.
 const (
 	ExplicitLeak      = core.ExplicitLeak
 	ImplicitLeak      = core.ImplicitLeak
 	TimingLeak        = core.TimingLeak
 	ProbabilisticLeak = core.ProbabilisticLeak
+	OcallPtrLeak      = core.OcallPtrLeak
+	ErrCodeLeak       = core.ErrCodeLeak
+	OrderlinessLeak   = core.OrderlinessLeak
+	AccessPatternLeak = core.AccessPatternLeak
 
 	SinkOutParam = core.SinkOutParam
 	SinkReturn   = core.SinkReturn
 	SinkOCall    = core.SinkOCall
+	SinkBranch   = core.SinkBranch
+	SinkMemory   = core.SinkMemory
 )
+
+// DetectorNames lists every registered leak detector in execution order:
+// the three built-in checks ("explicit", "implicit", "timing") and the
+// scenario packs ("ocall-pointer", "errcode-channel", "orderliness",
+// "access-pattern").
+func DetectorNames() []string { return detect.Names() }
 
 // Parameter classes, re-exported.
 const (
@@ -167,6 +182,7 @@ type config struct {
 	configXML    []byte
 	parallelism  int
 	summaryStore symexec.SummaryStore
+	detectors    []string
 }
 
 func defaultConfig() *config {
@@ -303,6 +319,17 @@ func WithSummaryBudget(n int) Option {
 // Only consulted when WithSummaries is also set.
 func WithSummaryStore(s SummaryStore) Option {
 	return func(c *config) { c.summaryStore = s }
+}
+
+// WithDetectors replaces the detector selection outright (the -detectors
+// CLI flag): only the named detectors run. The keywords "default" (the
+// option-implied set) and "all" expand inside the list, so
+// WithDetectors("default", "ocall-pointer") adds one pack on top of the
+// defaults. Unknown names fail the analysis with an error naming the known
+// set. Without this option the defaults apply, adjusted by the rule file's
+// <detectors> block.
+func WithDetectors(names ...string) Option {
+	return func(c *config) { c.detectors = append(c.detectors, names...) }
 }
 
 // WithParallelism analyzes up to n ECALLs concurrently (each entry point
@@ -469,6 +496,10 @@ func AnalyzeEnclaveContext(ctx context.Context, cSource, edlSource string, opts 
 		}
 		cfg.checker.Engine.OCallFuncs = merged
 	}
+	set, err := resolveDetectors(cfg, rules)
+	if err != nil {
+		return nil, err
+	}
 	// Summary tables are built once per module, after the rule file and the
 	// EDL have settled the engine's sink/declassify sets (they feed each
 	// summary's obligations and cache key), and shared read-only across
@@ -476,7 +507,7 @@ func AnalyzeEnclaveContext(ctx context.Context, cSource, edlSource string, opts 
 	if cfg.checker.Engine.Summaries {
 		cfg.checker.Engine.SummaryTable = symexec.BuildSummaryTable(ctx, file, cfg.checker.Engine, symexec.SummaryBuildConfig{
 			Store:       cfg.summaryStore,
-			Fingerprint: Fingerprint(),
+			Fingerprint: summaryFingerprint(set),
 			Obs:         ob,
 		})
 	}
@@ -530,7 +561,7 @@ func AnalyzeEnclaveContext(ctx context.Context, cSource, edlSource string, opts 
 				return
 			}
 		}
-		rep, err := core.New(cfg.checker).CheckFunction(ctx, jfile, jobs[i].name, jobs[i].specs)
+		rep, err := detect.Run(ctx, set, cfg.checker, jfile, jobs[i].name, jobs[i].specs)
 		if err != nil {
 			ob.Add("check.errors", 1)
 			out.Reports[i] = core.ErrorReport(jobs[i].name, err.Error())
@@ -583,18 +614,75 @@ func AnalyzeFunctionContext(ctx context.Context, cSource, fn string, params []Pa
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
+	// The rule file applies in function mode too: extra decrypt/OCALL
+	// registrations, detector toggles and lifecycle gates all configure the
+	// engine the same way they do for a full enclave module.
+	var rules *edl.Config
+	if len(cfg.configXML) > 0 {
+		rules, err = edl.ParseConfig(cfg.configXML)
+		if err != nil {
+			return nil, fmt.Errorf("privacyscope: %w", err)
+		}
+		cfg.checker.Engine = rules.EngineOptions(cfg.checker.Engine)
+	}
+	set, err := resolveDetectors(cfg, rules)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.checker.Engine.Summaries {
 		cfg.checker.Engine.SummaryTable = symexec.BuildSummaryTable(ctx, file, cfg.checker.Engine, symexec.SummaryBuildConfig{
 			Store:       cfg.summaryStore,
-			Fingerprint: Fingerprint(),
+			Fingerprint: summaryFingerprint(set),
 			Obs:         ob,
 		})
 	}
-	report, err := core.New(cfg.checker).CheckFunction(ctx, file, fn, params)
+	report, err := detect.Run(ctx, set, cfg.checker, file, fn, params)
 	if err != nil {
 		return nil, fmt.Errorf("privacyscope: %w", err)
 	}
 	return report, nil
+}
+
+// resolveDetectors computes the effective detector selection from the
+// checker options, the rule file's <detectors>/<lifecycle> entries and the
+// WithDetectors override, then switches on the engine event streams the
+// selection consumes. Pointer-escape, lifecycle and secret-access events
+// are per-path state that function summaries do not replay, so selections
+// needing them force inline call resolution.
+func resolveDetectors(cfg *config, rules *edl.Config) (detect.Set, error) {
+	var enable, disable []string
+	if rules != nil {
+		known := func(n string) bool { _, ok := detect.Lookup(n); return ok }
+		if err := rules.ValidateDetectors(known); err != nil {
+			return detect.Set{}, fmt.Errorf("privacyscope: %w", err)
+		}
+		enable, disable = rules.DetectorToggles()
+		if inits := rules.InitFuncs(); inits != nil {
+			cfg.checker.Engine.InitFuncs = inits
+		}
+	}
+	set, err := detect.ResolveSet(cfg.checker, enable, disable, cfg.detectors)
+	if err != nil {
+		return detect.Set{}, fmt.Errorf("privacyscope: %w", err)
+	}
+	if set.NeedsPtrEscapes() {
+		cfg.checker.Engine.RecordPtrEscapes = true
+	}
+	if set.NeedsSecretAccess() {
+		cfg.checker.Engine.RecordSecretAccess = true
+	}
+	if set.NeedsInline() {
+		cfg.checker.Engine.Summaries = false
+	}
+	return set, nil
+}
+
+// summaryFingerprint salts the engine fingerprint with the detector
+// selection so persisted summary-store entries never cross detector sets —
+// the same participation rule the disk cache and the server LRU follow via
+// AnalysisOptions.Detectors.
+func summaryFingerprint(set detect.Set) string {
+	return Fingerprint() + ";detectors=" + set.Key()
 }
 
 // PRIMLAnalysis is the result of analyzing a PRIML program.
