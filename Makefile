@@ -7,6 +7,9 @@ help:
 	@echo "examples-smoke  run the runnable examples"
 	@echo "batch-smoke     cold + warm project run over examples/project"
 	@echo "summary-smoke   summary-vs-inline differential over every corpus (-race)"
+	@echo "intern-smoke    hash-consing differential: interning on vs off must be"
+	@echo "                byte-identical over every corpus, jobs-invariant, plus"
+	@echo "                the arena property/race/alloc pins (-race)"
 	@echo "detect-smoke    detector-registry differential: legacy detectors must be"
 	@echo "                byte-identical to the pre-refactor checker over every"
 	@echo "                corpus; scenario packs must flag the seeded leakpacks (-race)"
@@ -30,7 +33,7 @@ test:
 # WithParallelism, and the privacyscoped daemon), a short fuzz pass over the
 # parsers and the fail-soft engine invariant, and the runnable examples.
 .PHONY: check
-check: fuzz-smoke examples-smoke batch-smoke summary-smoke detect-smoke
+check: fuzz-smoke examples-smoke batch-smoke summary-smoke detect-smoke intern-smoke
 	go vet ./...
 	go test -race ./...
 
@@ -48,6 +51,7 @@ fuzz-smoke:
 	go test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime 10s
 	go test ./internal/symexec -run '^$$' -fuzz '^FuzzSummaryRoundtrip$$' -fuzztime 10s
 	go test ./internal/edl -run '^$$' -fuzz '^FuzzRuleConfig$$' -fuzztime 10s
+	go test ./internal/sym -run '^$$' -fuzz '^FuzzIntern$$' -fuzztime 10s
 
 # Chaos smoke: the distributed fail-soft gate (docs/ROBUSTNESS.md). A
 # coordinator fans examples/project across three in-process worker daemons
@@ -88,6 +92,17 @@ batch-smoke:
 .PHONY: summary-smoke
 summary-smoke:
 	go test -race -count=1 -run '^TestSummary' . ./internal/symexec ./internal/batch
+
+# Intern smoke: the hash-consing differential gate. Interning (the default)
+# is a pure representation change, so -intern=false must produce
+# byte-identical JSON envelopes over the ML suite, the §IV stacks,
+# examples/project and examples/leakpacks, invariant under ECALL
+# parallelism and path workers; the arena's property/fuzz-regression/alloc
+# pins ride in ./internal/sym. Run under the race detector because one
+# arena is shared read-only across path-worker goroutines.
+.PHONY: intern-smoke
+intern-smoke:
+	go test -race -count=1 -run '^TestIntern' . ./internal/sym
 
 # Detector-registry differential gate (docs/DETECTORS.md): the registry's
 # legacy detectors (explicit, implicit, timing) must render byte-identically

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"privacyscope/internal/sym"
 )
@@ -124,85 +125,100 @@ func Root(r Region) Region {
 // It is safe for concurrent use: parallel path workers exploring one entry
 // point share a single manager, and region identity (pointer equality)
 // must hold across workers.
+// Manager hash-conses regions, mirroring the sym.Interner contract: one
+// canonical *Region per key, so region equality throughout the engine is
+// pointer equality. Reads are lock-free (sync.Map, shared read-mostly
+// across path workers); creation takes a short mutex so numeric region IDs
+// stay dense and deterministic under sequential exploration.
 type Manager struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards nextID and the create path
 	nextID int
-	vars   map[string]*VarRegion
-	symRgs map[string]*SymRegion
-	elems  map[string]*ElementRegion
-	fields map[string]*FieldRegion
+	count  atomic.Int64
+	vars   sync.Map // key → *VarRegion
+	symRgs sync.Map // key → *SymRegion
+	elems  sync.Map // key → *ElementRegion
+	fields sync.Map // key → *FieldRegion
 }
 
 // NewManager returns an empty region manager.
 func NewManager() *Manager {
-	return &Manager{
-		vars:   make(map[string]*VarRegion),
-		symRgs: make(map[string]*SymRegion),
-		elems:  make(map[string]*ElementRegion),
-		fields: make(map[string]*FieldRegion),
-	}
+	return &Manager{}
 }
 
 // Var returns the region of variable name in the given frame.
 func (m *Manager) Var(name string, frame int) *VarRegion {
+	k := name + "@" + strconv.Itoa(frame)
+	if r, ok := m.vars.Load(k); ok {
+		return r.(*VarRegion)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := name + "@" + strconv.Itoa(frame)
-	if r, ok := m.vars[k]; ok {
-		return r
+	if r, ok := m.vars.Load(k); ok {
+		return r.(*VarRegion)
 	}
 	r := &VarRegion{id: m.nextID, Name: name, Frame: frame}
 	m.nextID++
-	m.vars[k] = r
+	m.vars.Store(k, r)
+	m.count.Add(1)
 	return r
 }
 
 // SymBlock returns the SymRegion for the block identified by pointee.
 func (m *Manager) SymBlock(pointee *sym.Symbol, display string, secret bool) *SymRegion {
+	k := strconv.Itoa(pointee.ID)
+	if r, ok := m.symRgs.Load(k); ok {
+		return r.(*SymRegion)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := strconv.Itoa(pointee.ID)
-	if r, ok := m.symRgs[k]; ok {
-		return r
+	if r, ok := m.symRgs.Load(k); ok {
+		return r.(*SymRegion)
 	}
 	r := &SymRegion{id: m.nextID, Pointee: pointee, DisplayName: display, SecretSource: secret}
 	m.nextID++
-	m.symRgs[k] = r
+	m.symRgs.Store(k, r)
+	m.count.Add(1)
 	return r
 }
 
 // Element returns the ElementRegion super[index].
 func (m *Manager) Element(super Region, index int) *ElementRegion {
+	k := super.Key() + "[" + strconv.Itoa(index) + "]"
+	if r, ok := m.elems.Load(k); ok {
+		return r.(*ElementRegion)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := super.Key() + "[" + strconv.Itoa(index) + "]"
-	if r, ok := m.elems[k]; ok {
-		return r
+	if r, ok := m.elems.Load(k); ok {
+		return r.(*ElementRegion)
 	}
 	r := &ElementRegion{super: super, Index: index}
-	m.elems[k] = r
+	m.elems.Store(k, r)
+	m.count.Add(1)
 	return r
 }
 
 // Field returns the FieldRegion super.field.
 func (m *Manager) Field(super Region, field string) *FieldRegion {
+	k := super.Key() + "." + field
+	if r, ok := m.fields.Load(k); ok {
+		return r.(*FieldRegion)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := super.Key() + "." + field
-	if r, ok := m.fields[k]; ok {
-		return r
+	if r, ok := m.fields.Load(k); ok {
+		return r.(*FieldRegion)
 	}
 	r := &FieldRegion{super: super, Field: field}
-	m.fields[k] = r
+	m.fields.Store(k, r)
+	m.count.Add(1)
 	return r
 }
 
 // RegionCount returns how many distinct regions have been created, a metric
 // the Table IV bench reports.
 func (m *Manager) RegionCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.vars) + len(m.symRgs) + len(m.elems) + len(m.fields)
+	return int(m.count.Load())
 }
 
 // SVal is a symbolic value stored in the store or produced by expression

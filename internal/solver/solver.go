@@ -3,6 +3,7 @@ package solver
 import (
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -105,10 +106,26 @@ var feasCacheCap = 1 << 16
 // solver.cache.hits / solver.cache.misses make the win measurable).
 type Solver struct {
 	obs obs.Observer
+	itn *sym.Interner // optional: canonicalizes solver-built negations
 
 	mu   sync.Mutex
 	feas map[string]bool // canonical π → (propagate != Unsat)
+
+	// atoms caches the normalized constraint per interned conjunct: the
+	// engine re-checks the same prefix conjuncts at every statement of a
+	// branch's suite, and without the cache each check re-runs affine
+	// extraction (the profiled hot spot). Keys are canonical *sym* nodes —
+	// pointer identity is structural identity — so the cache is bounded by
+	// the arena and needs no eviction; non-interned atoms are analyzed
+	// fresh each time, which keeps the cache sound with interning off.
+	atoms sync.Map // sym.Expr (canonical) → *atomInfo
 }
+
+// SetInterner hands the solver the engine's intern arena so the negations
+// it synthesizes while flattening conjuncts are canonical too (and thus
+// hit the per-atom cache). Call before the first query; a nil arena (or
+// never calling this) keeps the solver fully structural.
+func (s *Solver) SetInterner(in *sym.Interner) { s.itn = in }
 
 // New returns a Solver.
 func New() *Solver { return &Solver{} }
@@ -119,13 +136,20 @@ func NewObserved(o obs.Observer) *Solver { return &Solver{obs: obs.Or(o)} }
 // o returns the observer, keeping the zero-value Solver usable.
 func (s *Solver) o() obs.Observer { return obs.Or(s.obs) }
 
-// canonicalKey renders π order-independently: the sorted structural keys of
-// its conjuncts. Two conditions with the same conjunct set — regardless of
-// the order branches were taken in — share one cache entry.
+// canonicalKey renders π order-independently: the sorted keys of its
+// conjuncts. Two conditions with the same conjunct set — regardless of the
+// order branches were taken in — share one cache entry. Interned conjuncts
+// use their arena ID ("#<id>", cheap and collision-free by construction);
+// everything else falls back to the structural Merkle key. The prefixes
+// are disjoint, so the two schemes never alias.
 func canonicalKey(pc *PathCondition) string {
 	keys := make([]string, len(pc.conj))
 	for i, c := range pc.conj {
-		keys[i] = sym.Key(c)
+		if id, ok := sym.InternID(c); ok {
+			keys[i] = "#" + strconv.FormatUint(id, 36)
+		} else {
+			keys[i] = sym.Key(c)
+		}
 	}
 	sort.Strings(keys)
 	return strings.Join(keys, "&")
@@ -229,11 +253,11 @@ func (s *Solver) propagate(pc *PathCondition) (map[int]*interval, Result) {
 		return iv
 	}
 
-	atoms := flatten(pc.Conjuncts())
+	atoms := s.flatten(pc.Conjuncts())
 	for round := 0; round < 8; round++ {
 		changed := false
 		for _, a := range atoms {
-			switch applyAtom(a, get) {
+			switch s.applyAtom(a, get) {
 			case atomUnsat:
 				return ivs, Unsat
 			case atomChanged:
@@ -252,8 +276,10 @@ func (s *Solver) propagate(pc *PathCondition) (map[int]*interval, Result) {
 	return ivs, Unknown
 }
 
-// flatten splits top-level && conjuncts and strips double negation.
-func flatten(conj []sym.Expr) []sym.Expr {
+// flatten splits top-level && conjuncts and strips double negation. The
+// negations it builds go through the intern arena (when attached) so they
+// share identity with engine-built atoms and stay cacheable.
+func (s *Solver) flatten(conj []sym.Expr) []sym.Expr {
 	var out []sym.Expr
 	var walk func(e sym.Expr)
 	walk = func(e sym.Expr) {
@@ -263,7 +289,7 @@ func flatten(conj []sym.Expr) []sym.Expr {
 			return
 		}
 		if u, ok := e.(*sym.Unary); ok && u.Op == sym.OpLNot {
-			out = append(out, sym.Negate(u.X))
+			out = append(out, s.itn.Negate(u.X))
 			return
 		}
 		out = append(out, e)
@@ -282,34 +308,55 @@ const (
 	atomUnsat
 )
 
-// applyAtom interprets one boolean conjunct, tightening intervals where the
-// conjunct is a comparison of an affine form over a single symbol.
-func applyAtom(e sym.Expr, get func(*sym.Symbol) *interval) atomResult {
+// atomKind classifies what a conjunct contributes to propagation.
+type atomKind int
+
+const (
+	atomOpaque atomKind = iota // no usable interval information
+	atomFalse                  // constant-false conjunct: immediately unsat
+	atomBound                  // single-symbol affine comparison s OP c
+)
+
+// atomInfo is the normalized, input-independent part of applyAtom — the
+// expensive half (affine extraction, coefficient normalization) that is a
+// pure function of the conjunct and therefore cacheable per canonical node.
+type atomInfo struct {
+	kind atomKind
+	sm   *sym.Symbol
+	op   sym.Op // flipped already if the coefficient was negative
+	c    float64
+}
+
+var opaqueAtom = &atomInfo{kind: atomOpaque}
+var falseAtom = &atomInfo{kind: atomFalse}
+
+// analyzeAtom normalizes one boolean conjunct to its interval contribution.
+func analyzeAtom(e sym.Expr) *atomInfo {
 	// Constant conjuncts decide immediately.
 	if c, ok := e.(sym.IntConst); ok {
 		if c.V == 0 {
-			return atomUnsat
+			return falseAtom
 		}
-		return atomNoop
+		return opaqueAtom
 	}
 	b, ok := e.(*sym.Binary)
 	if !ok || !b.Op.IsComparison() {
-		return atomNoop // opaque conjunct; stay sound by ignoring it
+		return opaqueAtom // opaque conjunct; stay sound by ignoring it
 	}
 	// Normalize to (L - R) OP 0 as an affine form.
 	diff := sym.ExtractAffine(&sym.Binary{Op: sym.OpSub, L: b.L, R: b.R})
 	if diff == nil {
-		return atomNoop
+		return opaqueAtom
 	}
 	if diff.IsConstant() {
 		if constHolds(b.Op, diff.Const) {
-			return atomNoop
+			return opaqueAtom
 		}
-		return atomUnsat
+		return falseAtom
 	}
 	syms := diff.Symbols()
 	if len(syms) != 1 {
-		return atomNoop
+		return opaqueAtom
 	}
 	sm := syms[0]
 	a := diff.Coef[sm.ID]
@@ -318,6 +365,35 @@ func applyAtom(e sym.Expr, get func(*sym.Symbol) *interval) atomResult {
 	if a < 0 {
 		op = flipOp(op)
 	}
+	return &atomInfo{kind: atomBound, sm: sm, op: op, c: c}
+}
+
+// atomInfoFor analyzes e, memoizing per canonical node. Interned atoms are
+// immutable and pointer-unique, so the sync.Map read path is lock-free and
+// a racing duplicate Store is idempotent.
+func (s *Solver) atomInfoFor(e sym.Expr) *atomInfo {
+	if !sym.Interned(e) {
+		return analyzeAtom(e)
+	}
+	if v, ok := s.atoms.Load(e); ok {
+		return v.(*atomInfo)
+	}
+	info := analyzeAtom(e)
+	s.atoms.Store(e, info)
+	return info
+}
+
+// applyAtom interprets one boolean conjunct, tightening intervals where the
+// conjunct is a comparison of an affine form over a single symbol.
+func (s *Solver) applyAtom(e sym.Expr, get func(*sym.Symbol) *interval) atomResult {
+	info := s.atomInfoFor(e)
+	if info.kind == atomFalse {
+		return atomUnsat
+	}
+	if info.kind == atomOpaque {
+		return atomNoop
+	}
+	sm, op, c := info.sm, info.op, info.c
 	iv := get(sm)
 	changed := false
 	switch op {

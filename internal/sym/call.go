@@ -13,6 +13,8 @@ import (
 type Call struct {
 	Name string
 	Args []Expr
+
+	tag internTag // set only by an Interner; zero for structurally built nodes
 }
 
 func (*Call) isExpr() {}

@@ -134,6 +134,8 @@ func (s *Symbol) Secret() bool { return s.Tag != 0 }
 type Binary struct {
 	Op   Op
 	L, R Expr
+
+	tag internTag // set only by an Interner; zero for structurally built nodes
 }
 
 func (*Binary) isExpr() {}
@@ -147,6 +149,8 @@ func (b *Binary) String() string {
 type Unary struct {
 	Op Op
 	X  Expr
+
+	tag internTag // set only by an Interner; zero for structurally built nodes
 }
 
 func (*Unary) isExpr() {}
@@ -330,12 +334,24 @@ func IsConcrete(e Expr) bool {
 // pointers short-circuit and compared pairs are memoized, so the walk stays
 // polynomial on shared DAGs.
 func Equal(a, b Expr) bool {
+	// Fast paths before the memo map is allocated: identical values (or
+	// pointers), and distinct canonical nodes of one intern arena — both
+	// answer without a walk and without allocating.
+	if a == b {
+		return true
+	}
+	if distinctInterned(a, b) {
+		return false
+	}
 	return equalMemo(a, b, make(map[[2]Expr]bool))
 }
 
 func equalMemo(a, b Expr, memo map[[2]Expr]bool) bool {
 	if a == b {
 		return true
+	}
+	if distinctInterned(a, b) {
+		return false
 	}
 	var pair [2]Expr
 	memoizable := false

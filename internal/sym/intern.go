@@ -1,0 +1,351 @@
+package sym
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Interner is a hash-consing arena for expression nodes: structurally equal
+// composites interned through the same arena are the same pointer, so
+// equality on canonical nodes is a pointer comparison and downstream caches
+// (the solver's feasibility memo and per-atom analysis) can key on identity
+// instead of re-walking DAGs.
+//
+// The arena is shared read-only across path workers: lookups go through
+// sync.Map with no lock on the read path, and a losing racer on insert
+// simply adopts the winner's node. Leaves need no table — IntConst and
+// FloatConst are comparable values, *Symbol is already canonical per
+// Builder. For the same reason an arena must only see expressions built
+// over a single Builder's symbols (two Builders reuse IDs, which would
+// break the "distinct canonical nodes are structurally unequal"
+// invariant); the engine owns exactly one of each, which satisfies this.
+//
+// NaN constants are deliberately never canonicalized: sym.Equal treats
+// NaN != NaN (matching C semantics), and a NaN inside a map key can never
+// be looked up again, so composites with a direct NaN child are returned
+// as fresh un-tagged nodes. That keeps the intern invariant exact — two
+// NaN-bearing composites are distinct pointers AND structurally unequal.
+// ±0.0 float children, conversely, intern to one node: Go map keys and
+// sym.Equal both consider +0.0 == -0.0.
+type Interner struct {
+	nextID atomic.Uint64
+
+	bins  sync.Map // binKey  -> *Binary
+	uns   sync.Map // unKey   -> *Unary
+	calls sync.Map // string  -> *Call
+	// symIDs assigns arena-local dense IDs to symbols for call-key tokens,
+	// so call keys never depend on Builder ID uniqueness across arenas.
+	symIDs    sync.Map // *Symbol -> uint64
+	nextSymID atomic.Uint64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	size   atomic.Int64
+}
+
+// binKey and unKey are comparable: children are canonical, so interface
+// equality (value equality for consts, pointer equality for composites and
+// symbols) is exactly structural equality.
+type binKey struct {
+	op   Op
+	l, r Expr
+}
+
+type unKey struct {
+	op Op
+	x  Expr
+}
+
+// internTag is carried (unexported) by composite nodes: the owning arena
+// and a per-arena dense ID used for cheap canonical cache keys.
+type internTag struct {
+	arena *Interner
+	id    uint64
+}
+
+// NewInterner returns an empty arena.
+func NewInterner() *Interner { return &Interner{} }
+
+// Stats returns the cumulative table hits, misses (fresh inserts), and the
+// current table size (distinct canonical composites).
+func (in *Interner) Stats() (hits, misses, size int64) {
+	if in == nil {
+		return 0, 0, 0
+	}
+	return in.hits.Load(), in.misses.Load(), in.size.Load()
+}
+
+// Intern returns the canonical representative of e in this arena,
+// rebuilding bottom-up. Already-canonical nodes return themselves in O(1).
+// A nil receiver is the identity, so call sites need no interning branch.
+func (in *Interner) Intern(e Expr) Expr {
+	if in == nil || e == nil {
+		return e
+	}
+	switch v := e.(type) {
+	case IntConst, FloatConst, *Symbol:
+		return e
+	case *Binary:
+		if v.tag.arena == in {
+			return e
+		}
+		l, r := in.Intern(v.L), in.Intern(v.R)
+		if n, ok := in.binary(v.Op, l, r); ok {
+			return n
+		}
+		// Un-internable (direct NaN child): Intern is the identity. Any
+		// rebuild would be intern-equivalent to v yet not Equal to it
+		// (NaN != NaN), breaking the iff property — a NaN-bearing node is
+		// canonical only of itself.
+		return v
+	case *Unary:
+		if v.tag.arena == in {
+			return e
+		}
+		x := in.Intern(v.X)
+		if n, ok := in.unary(v.Op, x); ok {
+			return n
+		}
+		return v
+	case *Call:
+		if v.tag.arena == in {
+			return e
+		}
+		args := make([]Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = in.Intern(a)
+		}
+		if n, ok := in.call(v.Name, args); ok {
+			return n
+		}
+		return v
+	}
+	return e
+}
+
+// NewBinary folds like sym.NewBinary, then interns the result. Folding
+// semantics are unchanged — the fold runs first on the interned operands,
+// and only the constructed node is canonicalized.
+func (in *Interner) NewBinary(op Op, l, r Expr) Expr {
+	if in == nil {
+		return NewBinary(op, l, r)
+	}
+	// Interning the operands first lets the fold's Equal calls (x-x, x==x,
+	// …) take the pointer fast path, and makes the folded node internable
+	// by table lookup instead of a recursive walk.
+	return in.Intern(NewBinary(op, in.Intern(l), in.Intern(r)))
+}
+
+// NewUnary folds like sym.NewUnary, then interns the result.
+func (in *Interner) NewUnary(op Op, x Expr) Expr {
+	if in == nil {
+		return NewUnary(op, x)
+	}
+	return in.Intern(NewUnary(op, in.Intern(x)))
+}
+
+// NewCall folds like sym.NewCall, then interns the result.
+func (in *Interner) NewCall(name string, args []Expr) Expr {
+	if in == nil {
+		return NewCall(name, args)
+	}
+	for i, a := range args {
+		args[i] = in.Intern(a)
+	}
+	return in.Intern(NewCall(name, args))
+}
+
+// Truth is sym.Truth followed by interning.
+func (in *Interner) Truth(e Expr) Expr {
+	if in == nil {
+		return Truth(e)
+	}
+	return in.Intern(Truth(in.Intern(e)))
+}
+
+// Negate is sym.Negate followed by interning.
+func (in *Interner) Negate(e Expr) Expr {
+	if in == nil {
+		return Negate(e)
+	}
+	return in.Intern(Negate(in.Intern(e)))
+}
+
+// nanConst reports a direct NaN float constant — the one leaf whose map-key
+// round trip is broken (NaN != NaN), so composites with such a child skip
+// the tables: each build is a fresh node, which matches Equal (NaN != NaN
+// makes them structurally unequal anyway). Composite children are always
+// keyed — interned ones by canonical pointer, and the only composites left
+// un-interned after a child Intern pass are themselves NaN-bearers, whose
+// pointer identity IS their structural identity (two distinct NaN-bearing
+// nodes are never Equal), so interface equality on the key stays exactly
+// structural equality.
+func nanConst(e Expr) bool {
+	c, ok := e.(FloatConst)
+	return ok && math.IsNaN(c.V)
+}
+
+func (in *Interner) binary(op Op, l, r Expr) (Expr, bool) {
+	if nanConst(l) || nanConst(r) {
+		return nil, false
+	}
+	k := binKey{op: op, l: l, r: r}
+	if got, ok := in.bins.Load(k); ok {
+		in.hits.Add(1)
+		return got.(*Binary), true
+	}
+	n := &Binary{Op: op, L: l, R: r, tag: internTag{arena: in, id: in.nextID.Add(1)}}
+	if got, loaded := in.bins.LoadOrStore(k, n); loaded {
+		in.hits.Add(1)
+		return got.(*Binary), true
+	}
+	in.misses.Add(1)
+	in.size.Add(1)
+	return n, true
+}
+
+func (in *Interner) unary(op Op, x Expr) (Expr, bool) {
+	if nanConst(x) {
+		return nil, false
+	}
+	k := unKey{op: op, x: x}
+	if got, ok := in.uns.Load(k); ok {
+		in.hits.Add(1)
+		return got.(*Unary), true
+	}
+	n := &Unary{Op: op, X: x, tag: internTag{arena: in, id: in.nextID.Add(1)}}
+	if got, loaded := in.uns.LoadOrStore(k, n); loaded {
+		in.hits.Add(1)
+		return got.(*Unary), true
+	}
+	in.misses.Add(1)
+	in.size.Add(1)
+	return n, true
+}
+
+// call interns a Call through a string key (Args is a slice, so no
+// comparable struct key exists). Tokens uniquely name children — canonical
+// composites by arena ID, NaN-bearing (un-interned) composites by address
+// (pinned alive by the table entry itself, so the address cannot be
+// recycled into a false alias) — making key equality exactly structural
+// equality. Only a direct NaN leaf argument defeats interning.
+func (in *Interner) call(name string, args []Expr) (Expr, bool) {
+	// Length-prefix the name so a '|' inside it cannot alias an argument
+	// boundary.
+	var sb []byte
+	sb = append(sb, strconv.Itoa(len(name))...)
+	sb = append(sb, ':')
+	sb = append(sb, name...)
+	for _, a := range args {
+		tok, ok := in.childToken(a)
+		if !ok {
+			return nil, false
+		}
+		sb = append(sb, '|')
+		sb = append(sb, tok...)
+	}
+	k := string(sb)
+	if got, ok := in.calls.Load(k); ok {
+		in.hits.Add(1)
+		return got.(*Call), true
+	}
+	n := &Call{Name: name, Args: args, tag: internTag{arena: in, id: in.nextID.Add(1)}}
+	if got, loaded := in.calls.LoadOrStore(k, n); loaded {
+		in.hits.Add(1)
+		return got.(*Call), true
+	}
+	in.misses.Add(1)
+	in.size.Add(1)
+	return n, true
+}
+
+func (in *Interner) childToken(e Expr) (string, bool) {
+	switch v := e.(type) {
+	case IntConst:
+		return "i" + strconv.FormatInt(int64(v.V), 10), true
+	case FloatConst:
+		if math.IsNaN(v.V) {
+			return "", false
+		}
+		if v.V == 0 { // merge ±0 like the map keys (and sym.Equal) do
+			return "f0", true
+		}
+		return "f" + strconv.FormatUint(math.Float64bits(v.V), 16), true
+	case *Symbol:
+		id, ok := in.symIDs.Load(v)
+		if !ok {
+			id, _ = in.symIDs.LoadOrStore(v, in.nextSymID.Add(1))
+		}
+		return "$" + strconv.FormatUint(id.(uint64), 10), true
+	case *Binary:
+		if v.tag.arena != in {
+			return "p" + strconv.FormatUint(uint64(reflect.ValueOf(v).Pointer()), 16), true
+		}
+		return "#" + strconv.FormatUint(v.tag.id, 36), true
+	case *Unary:
+		if v.tag.arena != in {
+			return "p" + strconv.FormatUint(uint64(reflect.ValueOf(v).Pointer()), 16), true
+		}
+		return "#" + strconv.FormatUint(v.tag.id, 36), true
+	case *Call:
+		if v.tag.arena != in {
+			return "p" + strconv.FormatUint(uint64(reflect.ValueOf(v).Pointer()), 16), true
+		}
+		return "#" + strconv.FormatUint(v.tag.id, 36), true
+	}
+	return "", false
+}
+
+// arenaOf returns the arena a composite node is canonical in, or nil.
+func arenaOf(e Expr) *Interner {
+	switch v := e.(type) {
+	case *Binary:
+		return v.tag.arena
+	case *Unary:
+		return v.tag.arena
+	case *Call:
+		return v.tag.arena
+	}
+	return nil
+}
+
+// Interned reports whether e is safe to use as an identity cache key: a
+// canonical composite of some arena. (Leaves are excluded on purpose —
+// callers key caches on composite identity.)
+func Interned(e Expr) bool { return arenaOf(e) != nil }
+
+// InternID returns the arena-local dense ID of a canonical composite.
+// IDs are unique within one arena, so per-engine caches (the solver's
+// canonical path-condition key) can use them as cheap stable tokens.
+func InternID(e Expr) (uint64, bool) {
+	switch v := e.(type) {
+	case *Binary:
+		if v.tag.arena != nil {
+			return v.tag.id, true
+		}
+	case *Unary:
+		if v.tag.arena != nil {
+			return v.tag.id, true
+		}
+	case *Call:
+		if v.tag.arena != nil {
+			return v.tag.id, true
+		}
+	}
+	return 0, false
+}
+
+// distinctInterned reports that a and b are distinct canonical composites
+// of the same arena — by the interning invariant they are structurally
+// unequal, so Equal can answer false without a walk. Callers have already
+// ruled out a == b.
+func distinctInterned(a, b Expr) bool {
+	aa := arenaOf(a)
+	if aa == nil {
+		return false
+	}
+	return aa == arenaOf(b)
+}

@@ -115,10 +115,18 @@ func abstract(e Expr, paramOf map[int]int, memo map[Expr]*SumExpr) (*SumExpr, er
 // explode into a tree. Errors (out-of-range slot, unknown node kind) are
 // the caller's signal to fall back to inlining.
 func (s *SumExpr) Instantiate(args []Expr) (Expr, error) {
-	return s.instantiate(args, make(map[*SumExpr]Expr))
+	return s.instantiate(nil, args, make(map[*SumExpr]Expr))
 }
 
-func (s *SumExpr) instantiate(args []Expr, memo map[*SumExpr]Expr) (Expr, error) {
+// InstantiateIn is Instantiate with the replay routed through an intern
+// arena: every rebuilt node is canonicalized in it, so summary-mode
+// expressions share identity with inline-mode ones and downstream
+// pointer-keyed caches stay hot. A nil arena degrades to plain Instantiate.
+func (s *SumExpr) InstantiateIn(in *Interner, args []Expr) (Expr, error) {
+	return s.instantiate(in, args, make(map[*SumExpr]Expr))
+}
+
+func (s *SumExpr) instantiate(in *Interner, args []Expr, memo map[*SumExpr]Expr) (Expr, error) {
 	if e, ok := memo[s]; ok {
 		return e, nil
 	}
@@ -137,34 +145,34 @@ func (s *SumExpr) instantiate(args []Expr, memo map[*SumExpr]Expr) (Expr, error)
 		if len(s.Args) != 2 {
 			return nil, errors.New("sym: malformed binary skeleton node")
 		}
-		l, err := s.Args[0].instantiate(args, memo)
+		l, err := s.Args[0].instantiate(in, args, memo)
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.Args[1].instantiate(args, memo)
+		r, err := s.Args[1].instantiate(in, args, memo)
 		if err != nil {
 			return nil, err
 		}
-		e = NewBinary(s.Op, l, r)
+		e = in.NewBinary(s.Op, l, r)
 	case SumUn:
 		if len(s.Args) != 1 {
 			return nil, errors.New("sym: malformed unary skeleton node")
 		}
-		x, err := s.Args[0].instantiate(args, memo)
+		x, err := s.Args[0].instantiate(in, args, memo)
 		if err != nil {
 			return nil, err
 		}
-		e = NewUnary(s.Op, x)
+		e = in.NewUnary(s.Op, x)
 	case SumApp:
 		ca := make([]Expr, len(s.Args))
 		for i, a := range s.Args {
-			ce, err := a.instantiate(args, memo)
+			ce, err := a.instantiate(in, args, memo)
 			if err != nil {
 				return nil, err
 			}
 			ca[i] = ce
 		}
-		e = NewCall(s.Name, ca)
+		e = in.NewCall(s.Name, ca)
 	default:
 		return nil, fmt.Errorf("sym: unknown skeleton kind %d", s.Kind)
 	}

@@ -177,7 +177,7 @@ func (e *Engine) evalCall(st *state, v *minic.CallExpr) (mem.SVal, minic.Type, e
 		if v.Fun == "abs" {
 			ty = intTy
 		}
-		return mem.Scalar{E: sym.NewCall(v.Fun, args)}, ty, nil
+		return mem.Scalar{E: e.itn.NewCall(v.Fun, args)}, ty, nil
 	}
 
 	switch v.Fun {

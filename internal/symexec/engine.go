@@ -39,6 +39,9 @@ type Engine struct {
 	mgr     *mem.Manager
 	builder *sym.Builder
 	sv      *solver.Solver
+	itn     *sym.Interner // hash-consing arena; nil with NoIntern
+	// intern.* counter values already flushed to obs (see AnalyzeFunction).
+	internHits, internMisses int64
 
 	// inputSyms memoizes conjured input values per region key so every
 	// path sees the same symbol for the same memory.
@@ -97,12 +100,19 @@ func New(file *minic.File, opts Options) *Engine {
 func NewIR(prog *ir.Program, opts Options) *Engine {
 	var alloc taint.Allocator
 	o := obs.Or(opts.Obs)
+	var itn *sym.Interner
+	if !opts.NoIntern {
+		itn = sym.NewInterner()
+	}
+	sv := solver.NewObserved(o)
+	sv.SetInterner(itn)
 	return &Engine{
 		prog:        prog,
 		opts:        opts,
 		mgr:         mem.NewManager(),
 		builder:     sym.NewBuilder(&alloc),
-		sv:          solver.NewObserved(o),
+		sv:          sv,
+		itn:         itn,
 		inputSyms:   make(map[string]mem.SVal),
 		secretRoots: make(map[string]bool),
 		rootDisplay: make(map[string]string),
@@ -214,6 +224,15 @@ func (e *Engine) AnalyzeFunction(ctx context.Context, name string, params []Para
 	e.res.Regions = e.mgr.RegionCount() + int(atomic.LoadInt64(&e.regionPad))
 	if e.res.Trace != nil {
 		e.res.TraceTruncated = e.res.Trace.Dropped()
+	}
+	if e.itn != nil {
+		// Flush arena deltas so a (hypothetical) second AnalyzeFunction on
+		// the same engine never double-counts.
+		h, m, sz := e.itn.Stats()
+		e.obs.Add("intern.hits", h-e.internHits)
+		e.obs.Add("intern.misses", m-e.internMisses)
+		e.internHits, e.internMisses = h, m
+		e.obs.Observe("intern.size", sz)
 	}
 	e.obs.Event("symexec.done",
 		obs.F("function", name),
@@ -734,7 +753,7 @@ func (e *Engine) execIf(st *state, v *ir.IfOp, k cont) error {
 	if err != nil {
 		return err
 	}
-	cond := sym.Truth(scalarOf(condVal))
+	cond := e.itn.Truth(scalarOf(condVal))
 	if c, ok := cond.(sym.IntConst); ok {
 		if c.V != 0 {
 			return e.exec(st, v.Then, k)
@@ -750,7 +769,7 @@ func (e *Engine) execIf(st *state, v *ir.IfOp, k cont) error {
 	thenSt := st.clone()
 	thenSt.pc = thenSt.pc.And(cond)
 	elseSt := st.clone()
-	elseSt.pc = elseSt.pc.And(sym.Negate(cond))
+	elseSt.pc = elseSt.pc.And(e.itn.Negate(cond))
 	return e.runBranches(st, []branchCase{
 		{st: thenSt, run: func(s *state) error {
 			if !e.feasible(s.pc) {
@@ -824,7 +843,7 @@ func (e *Engine) execLoop(st *state, pos minic.Pos, cond minic.Expr, post minic.
 		if err != nil {
 			return err
 		}
-		truth := sym.Truth(scalarOf(condVal))
+		truth := e.itn.Truth(scalarOf(condVal))
 		if c, ok := truth.(sym.IntConst); ok {
 			if c.V == 0 {
 				return k(cur, ctlFallthrough)
@@ -837,7 +856,7 @@ func (e *Engine) execLoop(st *state, pos minic.Pos, cond minic.Expr, post minic.
 		if remaining <= 0 {
 			// Bound hit: assume exit, mark incomplete.
 			cur.incomplete = true
-			cur.pc = cur.pc.And(sym.Negate(truth))
+			cur.pc = cur.pc.And(e.itn.Negate(truth))
 			e.obs.Add("symexec.loop.bound_hits", 1)
 			e.warn(cur, "symbolic loop cut at bound "+fmt.Sprint(e.opts.loopBound()))
 			return k(cur, ctlFallthrough)
@@ -847,7 +866,7 @@ func (e *Engine) execLoop(st *state, pos minic.Pos, cond minic.Expr, post minic.
 		enter := cur.clone()
 		enter.pc = enter.pc.And(truth)
 		exit := cur.clone()
-		exit.pc = exit.pc.And(sym.Negate(truth))
+		exit.pc = exit.pc.And(e.itn.Negate(truth))
 		return e.runBranches(cur, []branchCase{
 			{st: enter, run: func(s *state) error {
 				if !e.feasible(s.pc) {
@@ -1045,11 +1064,11 @@ func (e *Engine) execSwitch(st *state, v *ir.SwitchOp, k cont) error {
 		if c.IsDefault {
 			continue
 		}
-		match := sym.NewBinary(sym.OpEq, tag, caseVals[i])
+		match := e.itn.NewBinary(sym.OpEq, tag, caseVals[i])
 		branch := st.clone()
 		branch.pc = branch.pc.And(match)
 		for _, ex := range excluded {
-			branch.pc = branch.pc.And(sym.Negate(ex))
+			branch.pc = branch.pc.And(e.itn.Negate(ex))
 		}
 		entry := i
 		branches = append(branches, branchCase{st: branch, run: func(s *state) error {
@@ -1063,7 +1082,7 @@ func (e *Engine) execSwitch(st *state, v *ir.SwitchOp, k cont) error {
 	// No-match state: default case, or fall past the switch.
 	rest := st.clone()
 	for _, ex := range excluded {
-		rest.pc = rest.pc.And(sym.Negate(ex))
+		rest.pc = rest.pc.And(e.itn.Negate(ex))
 	}
 	branches = append(branches, branchCase{st: rest, run: func(s *state) error {
 		if !e.feasible(s.pc) {

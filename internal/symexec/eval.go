@@ -53,7 +53,7 @@ func (e *Engine) eval(st *state, x minic.Expr) (mem.SVal, minic.Type, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return mem.Scalar{E: sym.NewUnary(v.Op, scalarOf(val))}, ty, nil
+		return mem.Scalar{E: e.itn.NewUnary(v.Op, scalarOf(val))}, ty, nil
 	case *minic.BinExpr:
 		return e.evalBinary(st, v)
 	case *minic.CondExpr:
@@ -96,7 +96,7 @@ func (e *Engine) evalAssign(st *state, v *minic.AssignExpr) (mem.SVal, minic.Typ
 		if err != nil {
 			return nil, nil, err
 		}
-		rhs = mem.Scalar{E: sym.NewBinary(v.Op, scalarOf(cur), scalarOf(rhs))}
+		rhs = mem.Scalar{E: e.itn.NewBinary(v.Op, scalarOf(cur), scalarOf(rhs))}
 	}
 	out := coerceSVal(rhs, ty)
 	st.store.Bind(reg, out)
@@ -116,7 +116,7 @@ func (e *Engine) evalIncDec(st *state, v *minic.IncDecExpr) (mem.SVal, minic.Typ
 	if v.Decr {
 		op = sym.OpSub
 	}
-	updated := mem.Scalar{E: sym.NewBinary(op, scalarOf(cur), sym.IntConst{V: 1})}
+	updated := mem.Scalar{E: e.itn.NewBinary(op, scalarOf(cur), sym.IntConst{V: 1})}
 	st.store.Bind(reg, updated)
 	if v.Prefix {
 		return updated, ty, nil
@@ -151,7 +151,7 @@ func (e *Engine) evalBinary(st *state, v *minic.BinExpr) (mem.SVal, minic.Type, 
 		return nil, nil, err
 	}
 	_ = rty
-	return mem.Scalar{E: sym.NewBinary(v.Op, scalarOf(l), scalarOf(r))}, binResultType(lty), nil
+	return mem.Scalar{E: e.itn.NewBinary(v.Op, scalarOf(l), scalarOf(r))}, binResultType(lty), nil
 }
 
 func binResultType(lty minic.Type) minic.Type {
@@ -166,7 +166,7 @@ func (e *Engine) evalCond(st *state, v *minic.CondExpr) (mem.SVal, minic.Type, e
 	if err != nil {
 		return nil, nil, err
 	}
-	cond := sym.Truth(scalarOf(condVal))
+	cond := e.itn.Truth(scalarOf(condVal))
 	if c, ok := cond.(sym.IntConst); ok {
 		if c.V != 0 {
 			return e.eval(st, v.Then)
@@ -182,7 +182,7 @@ func (e *Engine) evalCond(st *state, v *minic.CondExpr) (mem.SVal, minic.Type, e
 	if err != nil {
 		return nil, nil, err
 	}
-	ite := sym.NewCall("ite", []sym.Expr{cond, scalarOf(thenV), scalarOf(elseV)})
+	ite := e.itn.NewCall("ite", []sym.Expr{cond, scalarOf(thenV), scalarOf(elseV)})
 	return mem.Scalar{E: ite}, ty, nil
 }
 

@@ -717,7 +717,7 @@ func (e *Engine) applyPure(st *state, fn *ir.Func, sum *Summary, args []mem.SVal
 		atomic.AddInt64(&e.steps, -sum.Steps)
 		return nil, false
 	}
-	ret, err := sum.Skeleton.Instantiate(argExprs)
+	ret, err := sum.Skeleton.InstantiateIn(e.itn, argExprs)
 	if err != nil {
 		atomic.AddInt64(&e.steps, -sum.Steps)
 		return nil, false

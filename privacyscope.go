@@ -306,6 +306,17 @@ func WithSummaries() Option {
 	return func(c *config) { c.checker.Engine.Summaries = true }
 }
 
+// WithInterning toggles the hash-consing arena of the symbolic layer
+// (on by default): structurally equal expressions intern to one canonical
+// node, path conditions are canonicalized at fork time, and the solver
+// keys its feasibility memo and per-atom analysis on node identity.
+// Findings are byte-identical either way — the `make intern-smoke`
+// differential gate pins that — so the switch exists for debugging and as
+// the gate's own oracle, not as a semantic knob.
+func WithInterning(enabled bool) Option {
+	return func(c *config) { c.checker.Engine.NoIntern = !enabled }
+}
+
 // WithSummaryBudget bounds the steps one function's summary construction
 // may spend before the function is classified havoc (n ≤ 0 keeps the
 // default).
